@@ -1,0 +1,115 @@
+// Command figtwo reproduces the paper's Figures 1 and 2.
+//
+// With -fig1 it replays the design-interface session of Fig 1: the
+// source palette, the drag-n-drop construction of the GamerQueen
+// result layout, and the resulting configuration tree.
+//
+// By default it reproduces Fig 2, "Query Execution in Symphony": it
+// publishes the GamerQueen application, submits a customer query and
+// prints the stage-by-stage trace — query received from the embedded
+// JavaScript, primary content search over proprietary inventory,
+// supplemental queries driven by primary fields, merge/format to
+// HTML, response returned.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/runtime"
+)
+
+func main() {
+	fig1 := flag.Bool("fig1", false, "replay the Fig 1 design-interface session instead of Fig 2")
+	seed := flag.Int64("seed", 1, "synthetic web seed")
+	query := flag.String("q", "", "customer query (default: first inventory title)")
+	flag.Parse()
+
+	p := core.New(core.Config{Seed: *seed, ClickBase: "http://symphony.example/click"})
+	sc, err := demo.GamerQueen(p, *seed, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sc.Close()
+
+	if *fig1 {
+		printFig1(sc)
+		return
+	}
+	printFig2(p, sc, *query)
+}
+
+func printFig1(sc *demo.Scenario) {
+	fmt.Println("=== Fig 1: Design Interface (programmatic session) ===")
+	fmt.Println()
+	fmt.Println("Source palette (left bar):")
+	for _, s := range []string{
+		"proprietary: inventory (Ann's registered data)",
+		"websearch / imagesearch / videosearch / newssearch (built-in services)",
+		"ads (adCenter integration)", "service (SOAP/REST web services)",
+	} {
+		fmt.Println("  -", s)
+	}
+	fmt.Println()
+	fmt.Println("Application after the drag-n-drop session:")
+	data, err := json.MarshalIndent(sc.App, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	fmt.Println()
+	inv := sc.App.Primary[0]
+	fmt.Printf("Result layout of %q binds fields %v and places supplemental slots %v\n",
+		inv.ID, inv.Layout.BoundFields(), inv.Layout.SourceSlots())
+}
+
+func printFig2(p *core.Platform, sc *demo.Scenario, query string) {
+	if query == "" {
+		query = sc.Titles[0]
+	}
+	fmt.Println("=== Fig 2: Query Execution in Symphony ===")
+	fmt.Printf("GamerQueen customer query: %q\n\n", query)
+	resp, err := p.Query(context.Background(), "gamerqueen", runtime.Query{Text: query, Customer: "demo-customer"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range resp.Trace.Stages {
+		line := fmt.Sprintf("  %-28s %-55s", st.Name, st.Detail)
+		if st.Duration > 0 {
+			line += fmt.Sprintf(" %10s", st.Duration.Round(1000).String())
+		}
+		if st.Items > 0 {
+			line += fmt.Sprintf("  items=%d", st.Items)
+		}
+		if st.Err != "" {
+			line += "  ERR=" + st.Err
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("  %-28s %55s %10s\n", "TOTAL", "", resp.Trace.Total.Round(1000))
+	fmt.Println()
+	if len(resp.Blocks) > 0 && len(resp.Blocks[0].Items) > 0 {
+		top := resp.Blocks[0].Items[0]
+		fmt.Printf("Top result: %s\n", top["title"])
+		for suppID, items := range resp.Blocks[0].SupplementalByItem[0] {
+			var labels []string
+			for _, it := range items {
+				if t := it["title"]; t != "" {
+					labels = append(labels, t)
+				} else if pr := it["price"]; pr != "" {
+					labels = append(labels, "price="+pr+" instock="+it["instock"])
+				}
+			}
+			fmt.Printf("  supplemental %-10s -> %s\n", suppID, strings.Join(labels, " | "))
+		}
+	}
+	fmt.Printf("\nHTML fragment returned to the embedded JavaScript: %d bytes\n", len(resp.HTML))
+}

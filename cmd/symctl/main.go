@@ -1,0 +1,151 @@
+// Command symctl is the designer-facing command line for a demo
+// Symphony platform: it walks the §II-B lifecycle — upload data,
+// inspect the app config, query it, pull monetization reports, and
+// ask for site suggestions — against an in-process platform seeded
+// with the GamerQueen scenario.
+//
+// Usage:
+//
+//	symctl query -q "halo"            execute GamerQueen for a query
+//	symctl config                     print the application JSON
+//	symctl snippet                    print the embed snippet
+//	symctl report                     traffic + revenue summary
+//	symctl suggest -sites a.com,b.com related-site suggestions
+//	symctl recommend                  supplemental sites for inventory
+//	symctl structured -q "price:<30"  structured query over inventory
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/host"
+	"repro/internal/recommend"
+	"repro/internal/runtime"
+	"repro/internal/store"
+	"repro/internal/structured"
+	"repro/internal/webcorpus"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	q := fs.String("q", "", "query text")
+	sites := fs.String("sites", "ign.com,gamespot.com", "comma-separated seed sites")
+	seed := fs.Int64("seed", 1, "synthetic web seed")
+	fs.Parse(os.Args[2:])
+
+	p := core.New(core.Config{Seed: *seed})
+	sc, err := demo.GamerQueen(p, *seed, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sc.Close()
+
+	switch cmd {
+	case "query":
+		text := *q
+		if text == "" {
+			text = sc.Titles[0]
+		}
+		resp, err := p.Query(context.Background(), "gamerqueen", runtime.Query{Text: text})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, block := range resp.Blocks {
+			fmt.Printf("source %s (%s): %d items\n", block.SourceID, block.Kind, len(block.Items))
+			for i, item := range block.Items {
+				fmt.Printf("  %d. %s\n", i+1, item["title"])
+				for suppID, suppItems := range block.SupplementalByItem[i] {
+					for _, si := range suppItems {
+						label := si["title"]
+						if label == "" {
+							label = "price=" + si["price"]
+						}
+						fmt.Printf("      [%s] %s\n", suppID, label)
+					}
+				}
+			}
+		}
+	case "config":
+		data, err := app.Marshal(sc.App)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	case "snippet":
+		fmt.Println(host.EmbedSnippet("http://symphony.example", "gamerqueen"))
+	case "report":
+		// Generate a little traffic first so the report is non-empty.
+		for _, t := range sc.Titles[:3] {
+			if _, err := p.Query(context.Background(), "gamerqueen", runtime.Query{Text: t}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		p.RecordClick("gamerqueen", "http://ign.com/review/1", "c1")
+		s := p.TrafficSummary("gamerqueen")
+		fmt.Printf("queries=%d clicks=%d adclicks=%d ctr=%.2f revenue=$%.2f users=%d\n",
+			s.Queries, s.Clicks, s.AdClicks, s.CTR, s.Revenue, s.UniqueUsers)
+		fmt.Println("top queries:")
+		for _, c := range s.TopQueries {
+			fmt.Printf("  %4d  %s\n", c.N, c.Label)
+		}
+		fmt.Print("\nDownloadable click log (CSV):\n")
+		fmt.Print(p.Log.ExportCSV("gamerqueen"))
+	case "suggest":
+		demo.SeedEngineClicks(p, webcorpus.TopicGames, 6)
+		seeds := strings.Split(*sites, ",")
+		for _, sg := range p.SiteSuggest(seeds, 5) {
+			fmt.Printf("%.3f  %s\n", sg.Score, sg.Site)
+		}
+	case "recommend":
+		ds, err := p.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs, err := recommend.SupplementalSites(p.Engine, ds, recommend.Options{
+			DriveField: "title", ProbeSuffix: "review", Limit: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("recommended supplemental sites for 'inventory':")
+		for _, r := range recs {
+			fmt.Printf("  %.3f (%d probe hits)  %s\n", r.Score, r.Hits, r.Site)
+		}
+	case "structured":
+		ds, err := p.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text := *q
+		if text == "" {
+			text = "sort:title"
+		}
+		hits, err := structured.Apply(ds, text, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, h := range hits {
+			fmt.Printf("%s  %s\n", h.Record["sku"], h.Record["title"])
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: symctl {query|config|snippet|report|suggest|recommend|structured} [flags]")
+	os.Exit(2)
+}

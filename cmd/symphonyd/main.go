@@ -1,0 +1,43 @@
+// Command symphonyd hosts a demo Symphony platform over HTTP with the
+// three paper applications published (GamerQueen, WineFinder,
+// VideoStore). Visit:
+//
+//	/apps                          published applications
+//	/query?app=gamerqueen&q=...    execute an application
+//	/embed.js?app=gamerqueen       the designer's embed loader
+//	/click?app=...&url=...         logged click redirect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	seed := flag.Int64("seed", 1, "synthetic web seed")
+	flag.Parse()
+
+	base := "http://" + *addr
+	p := core.New(core.Config{Seed: *seed, ClickBase: base + "/click"})
+	gq, err := demo.GamerQueen(p, *seed, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gq.Close()
+	if _, err := demo.WineFinder(p, *seed, 10); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := demo.VideoStore(p, *seed, 10); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("symphonyd: hosting %v\n", p.Registry.List())
+	fmt.Printf("symphonyd: try %s/query?app=gamerqueen&q=%s\n", base, "game")
+	log.Fatal(http.ListenAndServe(*addr, p.Serve(base)))
+}

@@ -1,0 +1,79 @@
+// Command tableone regenerates the paper's Table I, "Comparison of
+// Symphony with related systems", by probing live capability
+// emulations of each system (see internal/baselines) rather than
+// asserting the matrix. Exit status is non-zero if any probed
+// capability disagrees with the paper's published row.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "synthetic web seed")
+	flag.Parse()
+
+	p := core.New(core.Config{Seed: *seed})
+	systems, err := baselines.AllSystems(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := baselines.RenderTableI(systems)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Table I: Comparison of Symphony with related systems (probed live) ===")
+	fmt.Println()
+	fmt.Print(table)
+	fmt.Println()
+
+	// Verify against the paper's published matrix.
+	expected := baselines.ExpectedTableI()
+	failures := 0
+	for _, s := range systems {
+		row, err := baselines.Probe(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp := expected[s.Name()]
+		check := func(label, got, wantSub string) {
+			if !strings.Contains(strings.ToLower(got), strings.ToLower(wantSub)) {
+				fmt.Printf("MISMATCH %s/%s: got %q, paper says %q\n", s.Name(), label, got, wantSub)
+				failures++
+			}
+		}
+		check("api", row.SearchAPI, exp["api"])
+		sites := "no"
+		if row.CustomSites {
+			sites = "supported"
+		}
+		check("sites", sites, exp["sites"])
+		check("data", row.ProprietaryData, exp["data"])
+		var deploy []string
+		for _, d := range row.Deployment {
+			deploy = append(deploy, string(d))
+		}
+		switch exp["deploy"] {
+		case "hosted":
+			check("deploy", strings.Join(deploy, ";"), "hosted")
+		case "search box":
+			check("deploy", strings.Join(deploy, ";"), "search box")
+		case "no assistance":
+			check("deploy", strings.Join(deploy, ";"), "no assistance")
+		case "3rd-party":
+			check("deploy", strings.Join(deploy, ";"), "3rd-party")
+		case "surfaced":
+			check("deploy", strings.Join(deploy, ";"), "surfaced")
+		}
+	}
+	if failures > 0 {
+		log.Fatalf("%d cells disagree with the paper", failures)
+	}
+	fmt.Println("All probed capabilities agree with the paper's Table I.")
+}

@@ -1,0 +1,67 @@
+// Quickstart: the smallest useful Symphony application — upload a
+// tiny catalog, design a search app around it with one web-search
+// supplemental, publish, and run a query.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/runtime"
+)
+
+func main() {
+	// A platform over a deterministic synthetic web.
+	p := core.New(core.Config{Seed: 1})
+
+	// 1. Register and upload proprietary data (CSV, schema inferred).
+	if err := p.RegisterDesigner("me", "myshop"); err != nil {
+		log.Fatal(err)
+	}
+	csv := "sku,title,description\n" +
+		"A1,Galaxy Racer,fast space racing game\n" +
+		"A2,Dragon Quest,classic roleplaying adventure\n"
+	if _, err := p.Upload(ingest.Options{
+		Tenant: "myshop", Actor: "me", Dataset: "catalog",
+		Format: ingest.FormatCSV, KeyField: "sku",
+	}, strings.NewReader(csv)); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Design the app: catalog primary + web reviews supplemental.
+	d := p.NewApp("myshop", "My Shop", "me", "myshop")
+	d.DropPrimary(app.SourceConfig{ID: "catalog", Kind: app.KindProprietary, Dataset: "catalog", MaxResults: 5})
+	d.SetSearchFields("catalog", "title", "description")
+	d.UseTemplate("catalog", "title-link", map[string]string{"title": "title", "url": "sku"})
+	d.DropSupplemental("catalog", app.SourceConfig{ID: "reviews", Kind: app.KindWebSearch, MaxResults: 2})
+	d.SetDriveFields("reviews", "{title} review", "title")
+	d.UseTemplate("reviews", "headline-snippet", map[string]string{"title": "title", "url": "url", "snippet": "snippet"})
+	a, err := d.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Publish and get the embed snippet for your site.
+	embed, err := p.Publish(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Paste this into your web page:")
+	fmt.Println(embed.Snippet)
+	fmt.Println()
+
+	// 4. A visitor searches.
+	resp, err := p.Query(context.Background(), "myshop", runtime.Query{Text: "dragon"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, item := range resp.Blocks[0].Items {
+		fmt.Println("result:", item["title"])
+	}
+	fmt.Printf("rendered HTML: %d bytes, pipeline: %s\n", len(resp.HTML), resp.Trace.Total.Round(1000))
+}

@@ -1,0 +1,73 @@
+// WineFinder builds §I's wine connoisseur application: Claire embeds
+// a specialized wine search on her site that combines her cellar
+// notes with targeted web results, monetizes it with sponsored
+// listings, and uses Site Suggest to grow her restriction list.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/runtime"
+	"repro/internal/store"
+	"repro/internal/structured"
+	"repro/internal/webcorpus"
+)
+
+func main() {
+	p := core.New(core.Config{Seed: 1})
+	sc, err := demo.WineFinder(p, 1, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sc.Close()
+
+	// A visitor searches Claire's vertical.
+	resp, err := p.Query(context.Background(), "winefinder", runtime.Query{Text: sc.Titles[0], Customer: "v1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %q\n", sc.Titles[0])
+	for _, item := range resp.Blocks[0].Items {
+		fmt.Printf("  cellar: %s (%s, rating %s)\n", item["name"], item["region"], item["rating"])
+	}
+	if len(resp.Blocks[0].Items) > 0 {
+		for suppID, items := range resp.Blocks[0].SupplementalByItem[0] {
+			fmt.Printf("  %s: %d items\n", suppID, len(items))
+		}
+	}
+
+	// Richer structured querying over her cellar (future work §IV).
+	ds, err := p.Store.Dataset("winefinder", "claire", "cellar", store.PermRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits, err := structured.Apply(ds, "rating:>=95 sort:-rating", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop-rated cellar wines (rating:>=95 sort:-rating):")
+	for _, h := range hits {
+		fmt.Printf("  %s  rating=%s\n", h.Record["name"], h.Record["rating"])
+	}
+
+	// Site Suggest: Claire seeds two wine sites; the crowd's clicks
+	// suggest more (§II-A, built-in services).
+	demo.SeedEngineClicks(p, webcorpus.TopicWine, 8)
+	fmt.Println("\nsites related to winespectator.example + vinous.example:")
+	for _, sg := range p.SiteSuggest([]string{"winespectator.example", "vinous.example"}, 4) {
+		fmt.Printf("  %.3f  %s\n", sg.Score, sg.Site)
+	}
+
+	// Sponsored listing revenue.
+	sels := p.Ads.Select(sc.Titles[0], 1)
+	if len(sels) > 0 {
+		credit := p.RecordAdClick("winefinder", sels[0], "v1")
+		fmt.Printf("\nClaire earned $%.2f from one sponsored click (voluntary revenue share)\n", credit)
+	}
+	s := p.TrafficSummary("winefinder")
+	fmt.Printf("summary: queries=%d adclicks=%d revenue=$%.2f\n", s.Queries, s.AdClicks, s.Revenue)
+}

@@ -1,0 +1,241 @@
+// Package ads simulates the advertising service (adCenter in the
+// paper) that Symphony integrates: "allowing ads to be displayed and
+// configured just like any other content source" (§II-A), with
+// automatic crediting of ad-click revenue to application designers
+// (§II-A, Monetization).
+//
+// Advertisers register keyword-targeted ads with a cost-per-click
+// bid. Selection runs a generalized second-price auction over the
+// ads matching the query's keywords; a click charges the advertiser
+// the price below their bid and credits the configured revenue share
+// to the application designer.
+package ads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/textproc"
+)
+
+// Ad is one registered advertisement.
+type Ad struct {
+	ID         string
+	Advertiser string
+	Title      string
+	Text       string
+	LandingURL string
+	Keywords   []string
+	BidCPC     float64 // advertiser's maximum cost per click
+}
+
+// Selected is an ad chosen for display, with the price a click will
+// actually cost (second-price).
+type Selected struct {
+	Ad       Ad
+	ClickCPC float64
+	Score    float64
+}
+
+// Service is the ad marketplace.
+type Service struct {
+	// RevenueShare is the fraction of click revenue credited to the
+	// application designer (the paper: "shares any revenue with the
+	// designer"). Default 0.5.
+	RevenueShare float64
+
+	mu       sync.Mutex
+	ads      map[string]Ad
+	byKw     map[string][]string // analyzed keyword -> ad IDs
+	earnings map[string]float64  // designer -> credited revenue
+	spend    map[string]float64  // advertiser -> charged spend
+	clicks   int
+}
+
+// NewService returns an empty ad service with a 50% revenue share.
+func NewService() *Service {
+	return &Service{
+		RevenueShare: 0.5,
+		ads:          make(map[string]Ad),
+		byKw:         make(map[string][]string),
+		earnings:     make(map[string]float64),
+		spend:        make(map[string]float64),
+	}
+}
+
+// Register adds or replaces an ad.
+func (s *Service) Register(ad Ad) error {
+	if ad.ID == "" {
+		return fmt.Errorf("ads: ad has no ID")
+	}
+	if ad.BidCPC <= 0 {
+		return fmt.Errorf("ads: ad %s has non-positive bid", ad.ID)
+	}
+	if len(ad.Keywords) == 0 {
+		return fmt.Errorf("ads: ad %s has no keywords", ad.ID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.ads[ad.ID]; ok {
+		s.removeKeywordsLocked(old)
+	}
+	s.ads[ad.ID] = ad
+	for _, kw := range ad.Keywords {
+		for _, term := range textproc.DefaultAnalyzer.AnalyzeTerms(kw) {
+			s.byKw[term] = append(s.byKw[term], ad.ID)
+		}
+	}
+	return nil
+}
+
+func (s *Service) removeKeywordsLocked(ad Ad) {
+	for _, kw := range ad.Keywords {
+		for _, term := range textproc.DefaultAnalyzer.AnalyzeTerms(kw) {
+			list := s.byKw[term]
+			kept := list[:0]
+			for _, id := range list {
+				if id != ad.ID {
+					kept = append(kept, id)
+				}
+			}
+			if len(kept) == 0 {
+				delete(s.byKw, term)
+			} else {
+				s.byKw[term] = kept
+			}
+		}
+	}
+}
+
+// Unregister removes an ad.
+func (s *Service) Unregister(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ad, ok := s.ads[id]
+	if !ok {
+		return false
+	}
+	s.removeKeywordsLocked(ad)
+	delete(s.ads, id)
+	return true
+}
+
+// Select runs the auction for a query and returns up to limit ads
+// ordered by auction rank (bid x relevance). ClickCPC of the i-th ad
+// is the rank-normalized bid of the (i+1)-th — generalized second
+// price — or a minimum of 0.01 for the last slot.
+func (s *Service) Select(query string, limit int) []Selected {
+	if limit <= 0 {
+		limit = 3
+	}
+	terms := textproc.DefaultAnalyzer.AnalyzeTerms(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// relevance = number of matched keywords terms
+	matched := make(map[string]int)
+	for _, t := range terms {
+		for _, id := range s.byKw[t] {
+			matched[id]++
+		}
+	}
+	if len(matched) == 0 {
+		return nil
+	}
+	out := make([]Selected, 0, len(matched))
+	for id, rel := range matched {
+		ad := s.ads[id]
+		out = append(out, Selected{
+			Ad:    ad,
+			Score: ad.BidCPC * float64(rel),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Ad.ID < out[j].Ad.ID
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	// Second-price: each slot pays the score of the slot below scaled
+	// back into its own relevance, bounded by its own bid.
+	for i := range out {
+		price := 0.01
+		if i+1 < len(out) {
+			rel := out[i].Score / out[i].Ad.BidCPC
+			price = out[i+1].Score/rel + 0.01
+		}
+		if price > out[i].Ad.BidCPC {
+			price = out[i].Ad.BidCPC
+		}
+		out[i].ClickCPC = price
+	}
+	return out
+}
+
+// RecordClick charges the advertiser and credits the designer. It
+// returns the designer's credited amount.
+func (s *Service) RecordClick(designer string, sel Selected) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clicks++
+	s.spend[sel.Ad.Advertiser] += sel.ClickCPC
+	credit := sel.ClickCPC * s.RevenueShare
+	s.earnings[designer] += credit
+	return credit
+}
+
+// Earnings returns the designer's accumulated revenue share.
+func (s *Service) Earnings(designer string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.earnings[designer]
+}
+
+// Spend returns an advertiser's accumulated charges.
+func (s *Service) Spend(advertiser string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spend[advertiser]
+}
+
+// Clicks returns the total billed clicks.
+func (s *Service) Clicks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clicks
+}
+
+// Len returns the number of registered ads.
+func (s *Service) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ads)
+}
+
+// SuggestBid proposes a bid for keywords: 10% above the current top
+// bid among ads sharing any keyword term, or 0.10 if none compete.
+func (s *Service) SuggestBid(keywords []string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	top := 0.0
+	for _, kw := range keywords {
+		for _, term := range textproc.DefaultAnalyzer.AnalyzeTerms(strings.ToLower(kw)) {
+			for _, id := range s.byKw[term] {
+				if b := s.ads[id].BidCPC; b > top {
+					top = b
+				}
+			}
+		}
+	}
+	if top == 0 {
+		return 0.10
+	}
+	return top * 1.1
+}

@@ -1,0 +1,211 @@
+package ads
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleService(t testing.TB) *Service {
+	t.Helper()
+	s := NewService()
+	adsList := []Ad{
+		{ID: "a1", Advertiser: "GameMart", Title: "Buy Zelda", Text: "Best prices", LandingURL: "http://gamemart.example/zelda", Keywords: []string{"zelda", "adventure games"}, BidCPC: 1.00},
+		{ID: "a2", Advertiser: "PlayShop", Title: "Zelda Sale", Text: "Discounts", LandingURL: "http://playshop.example/zelda", Keywords: []string{"zelda"}, BidCPC: 0.60},
+		{ID: "a3", Advertiser: "WineClub", Title: "Cabernet Club", Text: "Join now", LandingURL: "http://wineclub.example/", Keywords: []string{"cabernet", "wine"}, BidCPC: 2.00},
+	}
+	for _, ad := range adsList {
+		if err := s.Register(ad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := NewService()
+	bad := []Ad{
+		{},
+		{ID: "x", BidCPC: 1},               // no keywords
+		{ID: "x", Keywords: []string{"k"}}, // no bid
+		{ID: "x", Keywords: []string{"k"}, BidCPC: -1}, // negative bid
+	}
+	for i, ad := range bad {
+		if err := s.Register(ad); err == nil {
+			t.Errorf("bad ad %d accepted", i)
+		}
+	}
+	if s.Len() != 0 {
+		t.Error("bad ads registered")
+	}
+}
+
+func TestSelectMatchesKeywords(t *testing.T) {
+	s := sampleService(t)
+	sels := s.Select("zelda walkthrough", 5)
+	if len(sels) != 2 {
+		t.Fatalf("zelda ads = %d", len(sels))
+	}
+	// a1 bids higher, should rank first.
+	if sels[0].Ad.ID != "a1" {
+		t.Errorf("top ad = %s", sels[0].Ad.ID)
+	}
+	for _, sel := range sels {
+		if sel.Ad.ID == "a3" {
+			t.Error("wine ad matched a game query")
+		}
+	}
+}
+
+func TestSelectNoMatch(t *testing.T) {
+	s := sampleService(t)
+	if sels := s.Select("quantum physics", 5); len(sels) != 0 {
+		t.Errorf("irrelevant query returned %d ads", len(sels))
+	}
+	if sels := s.Select("", 5); len(sels) != 0 {
+		t.Error("empty query returned ads")
+	}
+}
+
+func TestSecondPricePricing(t *testing.T) {
+	s := sampleService(t)
+	sels := s.Select("zelda", 5)
+	if len(sels) != 2 {
+		t.Fatal("setup")
+	}
+	// Winner pays just above loser's effective bid, never more than
+	// their own bid; loser pays the floor.
+	if sels[0].ClickCPC > sels[0].Ad.BidCPC {
+		t.Errorf("winner pays %f above bid %f", sels[0].ClickCPC, sels[0].Ad.BidCPC)
+	}
+	if sels[0].ClickCPC <= sels[1].ClickCPC {
+		t.Errorf("price ordering wrong: %f <= %f", sels[0].ClickCPC, sels[1].ClickCPC)
+	}
+	wantWinner := 0.60 + 0.01 // runner-up bid + increment (equal relevance)
+	if math.Abs(sels[0].ClickCPC-wantWinner) > 1e-9 {
+		t.Errorf("winner price = %f, want %f", sels[0].ClickCPC, wantWinner)
+	}
+	if math.Abs(sels[1].ClickCPC-0.01) > 1e-9 {
+		t.Errorf("last slot price = %f, want 0.01", sels[1].ClickCPC)
+	}
+}
+
+func TestRelevanceBeatsBidWhenMoreTermsMatch(t *testing.T) {
+	s := NewService()
+	s.Register(Ad{ID: "broad", Advertiser: "x", Keywords: []string{"wine", "cabernet"}, BidCPC: 1.0, Title: "t", LandingURL: "u"})
+	s.Register(Ad{ID: "rich", Advertiser: "y", Keywords: []string{"wine"}, BidCPC: 1.5, Title: "t", LandingURL: "u"})
+	sels := s.Select("cabernet wine tasting", 2)
+	if len(sels) != 2 || sels[0].Ad.ID != "broad" {
+		t.Fatalf("expected two-term match to win: %+v", sels)
+	}
+}
+
+func TestClickBillingAndRevenueShare(t *testing.T) {
+	s := sampleService(t)
+	sels := s.Select("zelda", 1)
+	credit := s.RecordClick("ann", sels[0])
+	if math.Abs(credit-sels[0].ClickCPC*0.5) > 1e-9 {
+		t.Errorf("credit = %f", credit)
+	}
+	if got := s.Earnings("ann"); math.Abs(got-credit) > 1e-9 {
+		t.Errorf("earnings = %f", got)
+	}
+	if got := s.Spend(sels[0].Ad.Advertiser); math.Abs(got-sels[0].ClickCPC) > 1e-9 {
+		t.Errorf("spend = %f", got)
+	}
+	if s.Clicks() != 1 {
+		t.Errorf("clicks = %d", s.Clicks())
+	}
+}
+
+func TestCustomRevenueShare(t *testing.T) {
+	s := sampleService(t)
+	s.RevenueShare = 0.7
+	sels := s.Select("zelda", 1)
+	credit := s.RecordClick("ann", sels[0])
+	if math.Abs(credit-sels[0].ClickCPC*0.7) > 1e-9 {
+		t.Errorf("credit = %f", credit)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	s := sampleService(t)
+	if !s.Unregister("a1") || s.Unregister("a1") {
+		t.Fatal("unregister semantics")
+	}
+	sels := s.Select("zelda", 5)
+	for _, sel := range sels {
+		if sel.Ad.ID == "a1" {
+			t.Error("unregistered ad still selected")
+		}
+	}
+}
+
+func TestReRegisterReplacesKeywords(t *testing.T) {
+	s := sampleService(t)
+	s.Register(Ad{ID: "a1", Advertiser: "GameMart", Title: "Wine now", Keywords: []string{"merlot"}, BidCPC: 1, LandingURL: "u"})
+	for _, sel := range s.Select("zelda", 5) {
+		if sel.Ad.ID == "a1" {
+			t.Error("old keywords survived re-register")
+		}
+	}
+	found := false
+	for _, sel := range s.Select("merlot", 5) {
+		if sel.Ad.ID == "a1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new keywords not live")
+	}
+}
+
+func TestSuggestBid(t *testing.T) {
+	s := sampleService(t)
+	if got := s.SuggestBid([]string{"nonexistent keyword"}); got != 0.10 {
+		t.Errorf("floor bid = %f", got)
+	}
+	got := s.SuggestBid([]string{"zelda"})
+	if math.Abs(got-1.10) > 1e-9 {
+		t.Errorf("competitive bid = %f, want 1.10", got)
+	}
+}
+
+func TestSelectLimit(t *testing.T) {
+	s := NewService()
+	for i := 0; i < 10; i++ {
+		s.Register(Ad{ID: fmt.Sprintf("ad%d", i), Advertiser: "a", Keywords: []string{"game"}, BidCPC: float64(i + 1), Title: "t", LandingURL: "u"})
+	}
+	if got := len(s.Select("game", 3)); got != 3 {
+		t.Errorf("limit 3 returned %d", got)
+	}
+	if got := len(s.Select("game", 0)); got != 3 {
+		t.Errorf("default limit returned %d", got)
+	}
+}
+
+// Property: total designer credit equals clicks x share x price, and
+// advertiser spend always covers designer earnings.
+func TestPropertyBillingConsistent(t *testing.T) {
+	f := func(nClicks uint8) bool {
+		s := sampleService(t)
+		sels := s.Select("zelda", 2)
+		var wantEarn, wantSpend float64
+		for i := 0; i < int(nClicks%20); i++ {
+			sel := sels[i%len(sels)]
+			s.RecordClick("ann", sel)
+			wantEarn += sel.ClickCPC * 0.5
+			wantSpend += sel.ClickCPC
+		}
+		var gotSpend float64
+		for _, adv := range []string{"GameMart", "PlayShop"} {
+			gotSpend += s.Spend(adv)
+		}
+		return math.Abs(s.Earnings("ann")-wantEarn) < 1e-6 &&
+			math.Abs(gotSpend-wantSpend) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

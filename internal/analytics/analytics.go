@@ -1,0 +1,223 @@
+// Package analytics implements the paper's Monetization support:
+// "built-in support for the application designer to be able to record
+// customer interactions with the application and obtain various
+// summaries... a summary of an application's click traffic can be
+// downloaded by the application designer to serve as the basis for
+// charging or auditing referral compensation."
+//
+// It records impressions (queries served) and clicks per application,
+// attributes ad-click revenue, and produces per-app summaries plus a
+// CSV export for referral auditing.
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EventType distinguishes logged interactions.
+type EventType string
+
+// Interaction kinds: a query served (impression of results), a click
+// on an outbound content link, a click on an ad.
+const (
+	EventQuery   EventType = "query"
+	EventClick   EventType = "click"
+	EventAdClick EventType = "adclick"
+)
+
+// Event is one logged customer interaction.
+type Event struct {
+	Time  time.Time
+	App   string
+	Type  EventType
+	Query string
+	// URL is the click target (clicks only).
+	URL  string
+	Site string
+	// Revenue credited to the designer (ad clicks only).
+	Revenue float64
+	// Customer is an opaque visitor identifier when available.
+	Customer string
+}
+
+// Log is the append-only interaction log.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	now    func() time.Time
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{now: time.Now}
+}
+
+// SetClock injects a clock for deterministic tests.
+func (l *Log) SetClock(now func() time.Time) { l.now = now }
+
+// Record appends an event, stamping the time if unset.
+func (l *Log) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.Time.IsZero() {
+		e.Time = l.now()
+	}
+	if e.Site == "" && e.URL != "" {
+		e.Site = siteOf(e.URL)
+	}
+	l.events = append(l.events, e)
+}
+
+func siteOf(url string) string {
+	s := url
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// Len returns the number of logged events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of events for app (all apps when app is "").
+func (l *Log) Events(app string) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.events))
+	for _, e := range l.events {
+		if app == "" || e.App == app {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Summary aggregates one application's traffic.
+type Summary struct {
+	App         string
+	Queries     int
+	Clicks      int
+	AdClicks    int
+	Revenue     float64
+	CTR         float64 // clicks (incl. ad clicks) per query
+	TopQueries  []Count
+	TopSites    []Count
+	UniqueUsers int
+}
+
+// Count is a labeled tally.
+type Count struct {
+	Label string
+	N     int
+}
+
+// Summarize computes the designer-facing traffic summary.
+func (l *Log) Summarize(app string, topN int) Summary {
+	if topN <= 0 {
+		topN = 5
+	}
+	events := l.Events(app)
+	s := Summary{App: app}
+	queries := map[string]int{}
+	sites := map[string]int{}
+	users := map[string]bool{}
+	for _, e := range events {
+		if e.Customer != "" {
+			users[e.Customer] = true
+		}
+		switch e.Type {
+		case EventQuery:
+			s.Queries++
+			if e.Query != "" {
+				queries[strings.ToLower(e.Query)]++
+			}
+		case EventClick:
+			s.Clicks++
+			if e.Site != "" {
+				sites[e.Site]++
+			}
+		case EventAdClick:
+			s.AdClicks++
+			s.Revenue += e.Revenue
+		}
+	}
+	if s.Queries > 0 {
+		s.CTR = float64(s.Clicks+s.AdClicks) / float64(s.Queries)
+	}
+	s.TopQueries = topCounts(queries, topN)
+	s.TopSites = topCounts(sites, topN)
+	s.UniqueUsers = len(users)
+	return s
+}
+
+func topCounts(m map[string]int, n int) []Count {
+	out := make([]Count, 0, len(m))
+	for k, v := range m {
+		out = append(out, Count{Label: k, N: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		return out[i].Label < out[j].Label
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ReferralReport tallies outbound clicks per destination site — the
+// paper's "basis for charging or auditing referral compensation".
+func (l *Log) ReferralReport(app string) []Count {
+	sites := map[string]int{}
+	for _, e := range l.Events(app) {
+		if e.Type == EventClick && e.Site != "" {
+			sites[e.Site]++
+		}
+	}
+	return topCounts(sites, len(sites))
+}
+
+// ExportCSV writes the app's click traffic as CSV, the downloadable
+// summary the paper describes.
+func (l *Log) ExportCSV(app string) string {
+	var b strings.Builder
+	b.WriteString("time,app,type,query,url,site,revenue,customer\n")
+	for _, e := range l.Events(app) {
+		b.WriteString(fmt.Sprintf("%s,%s,%s,%s,%s,%s,%.4f,%s\n",
+			e.Time.UTC().Format(time.RFC3339),
+			csvEscape(e.App), string(e.Type), csvEscape(e.Query),
+			csvEscape(e.URL), csvEscape(e.Site), e.Revenue, csvEscape(e.Customer)))
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// RevenueStatement reports per-app designer earnings from ad clicks.
+func (l *Log) RevenueStatement(app string) (clicks int, total float64) {
+	for _, e := range l.Events(app) {
+		if e.Type == EventAdClick {
+			clicks++
+			total += e.Revenue
+		}
+	}
+	return clicks, total
+}

@@ -1,0 +1,161 @@
+package analytics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func seededLog() *Log {
+	l := NewLog()
+	base := time.Date(2010, 3, 1, 0, 0, 0, 0, time.UTC)
+	tick := 0
+	l.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	})
+	l.Record(Event{App: "gamerqueen", Type: EventQuery, Query: "zelda", Customer: "c1"})
+	l.Record(Event{App: "gamerqueen", Type: EventQuery, Query: "Zelda", Customer: "c2"})
+	l.Record(Event{App: "gamerqueen", Type: EventQuery, Query: "halo", Customer: "c1"})
+	l.Record(Event{App: "gamerqueen", Type: EventClick, URL: "http://ign.com/review/1", Customer: "c1"})
+	l.Record(Event{App: "gamerqueen", Type: EventClick, URL: "http://gamespot.com/x", Customer: "c2"})
+	l.Record(Event{App: "gamerqueen", Type: EventClick, URL: "http://ign.com/review/2", Customer: "c2"})
+	l.Record(Event{App: "gamerqueen", Type: EventAdClick, URL: "http://ads.example/1", Revenue: 0.25, Customer: "c1"})
+	l.Record(Event{App: "winefinder", Type: EventQuery, Query: "merlot"})
+	return l
+}
+
+func TestSummarize(t *testing.T) {
+	l := seededLog()
+	s := l.Summarize("gamerqueen", 5)
+	if s.Queries != 3 || s.Clicks != 3 || s.AdClicks != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Revenue != 0.25 {
+		t.Errorf("revenue = %f", s.Revenue)
+	}
+	wantCTR := 4.0 / 3.0
+	if s.CTR < wantCTR-1e-9 || s.CTR > wantCTR+1e-9 {
+		t.Errorf("CTR = %f", s.CTR)
+	}
+	if s.UniqueUsers != 2 {
+		t.Errorf("unique users = %d", s.UniqueUsers)
+	}
+	// queries case-folded: "zelda" counted twice
+	if len(s.TopQueries) == 0 || s.TopQueries[0].Label != "zelda" || s.TopQueries[0].N != 2 {
+		t.Errorf("top queries = %v", s.TopQueries)
+	}
+	if len(s.TopSites) == 0 || s.TopSites[0].Label != "ign.com" || s.TopSites[0].N != 2 {
+		t.Errorf("top sites = %v", s.TopSites)
+	}
+}
+
+func TestSummaryIsolatesApps(t *testing.T) {
+	l := seededLog()
+	s := l.Summarize("winefinder", 5)
+	if s.Queries != 1 || s.Clicks != 0 {
+		t.Fatalf("winefinder summary contaminated: %+v", s)
+	}
+}
+
+func TestSiteDerivedFromURL(t *testing.T) {
+	l := NewLog()
+	l.Record(Event{App: "a", Type: EventClick, URL: "https://sub.example.com/path?x=1"})
+	events := l.Events("a")
+	if events[0].Site != "sub.example.com" {
+		t.Errorf("site = %q", events[0].Site)
+	}
+}
+
+func TestReferralReport(t *testing.T) {
+	l := seededLog()
+	rep := l.ReferralReport("gamerqueen")
+	if len(rep) != 2 {
+		t.Fatalf("report = %v", rep)
+	}
+	if rep[0].Label != "ign.com" || rep[0].N != 2 || rep[1].Label != "gamespot.com" {
+		t.Errorf("report = %v", rep)
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	l := seededLog()
+	csv := l.ExportCSV("gamerqueen")
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 8 { // header + 7 events
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "time,app,type,") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(csv, "adclick") || !strings.Contains(csv, "0.2500") {
+		t.Error("ad click row missing")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	l := NewLog()
+	l.Record(Event{App: "a", Type: EventQuery, Query: `games, "best" ones`})
+	csv := l.ExportCSV("a")
+	if !strings.Contains(csv, `"games, ""best"" ones"`) {
+		t.Errorf("csv escaping wrong:\n%s", csv)
+	}
+}
+
+func TestRevenueStatement(t *testing.T) {
+	l := seededLog()
+	clicks, total := l.RevenueStatement("gamerqueen")
+	if clicks != 1 || total != 0.25 {
+		t.Fatalf("statement = %d, %f", clicks, total)
+	}
+}
+
+func TestEventsAllApps(t *testing.T) {
+	l := seededLog()
+	if got := len(l.Events("")); got != 8 {
+		t.Fatalf("all events = %d", got)
+	}
+	if l.Len() != 8 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestTimeStamping(t *testing.T) {
+	l := seededLog()
+	events := l.Events("gamerqueen")
+	for i := 1; i < len(events); i++ {
+		if !events[i].Time.After(events[i-1].Time) {
+			t.Fatal("timestamps not monotonic under injected clock")
+		}
+	}
+	// Explicit time preserved.
+	explicit := time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)
+	l.Record(Event{App: "x", Type: EventQuery, Time: explicit})
+	if got := l.Events("x")[0].Time; !got.Equal(explicit) {
+		t.Errorf("explicit time overwritten: %v", got)
+	}
+}
+
+// Property: summary counters always equal a manual scan of Events.
+func TestPropertySummaryMatchesEvents(t *testing.T) {
+	f := func(queries, clicks, adclicks uint8) bool {
+		l := NewLog()
+		for i := 0; i < int(queries%30); i++ {
+			l.Record(Event{App: "a", Type: EventQuery, Query: "q"})
+		}
+		for i := 0; i < int(clicks%30); i++ {
+			l.Record(Event{App: "a", Type: EventClick, URL: "http://s.example/x"})
+		}
+		for i := 0; i < int(adclicks%30); i++ {
+			l.Record(Event{App: "a", Type: EventAdClick, Revenue: 0.1})
+		}
+		s := l.Summarize("a", 3)
+		return s.Queries == int(queries%30) &&
+			s.Clicks == int(clicks%30) &&
+			s.AdClicks == int(adclicks%30)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Time-bucketed reporting: the paper's "various summaries" include
+// traffic over time; designers chart daily queries/clicks/revenue.
+
+// Bucket is one time slice of an application's traffic.
+type Bucket struct {
+	Start    time.Time
+	Queries  int
+	Clicks   int
+	AdClicks int
+	Revenue  float64
+}
+
+// Series buckets the app's events by the given duration (e.g. 24h for
+// daily). Buckets are contiguous from the first to the last event;
+// empty buckets are included so charts have no gaps.
+func (l *Log) Series(app string, bucket time.Duration) []Bucket {
+	if bucket <= 0 {
+		bucket = 24 * time.Hour
+	}
+	events := l.Events(app)
+	if len(events) == 0 {
+		return nil
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	start := events[0].Time.Truncate(bucket)
+	end := events[len(events)-1].Time.Truncate(bucket)
+	n := int(end.Sub(start)/bucket) + 1
+	out := make([]Bucket, n)
+	for i := range out {
+		out[i].Start = start.Add(time.Duration(i) * bucket)
+	}
+	for _, e := range events {
+		i := int(e.Time.Truncate(bucket).Sub(start) / bucket)
+		switch e.Type {
+		case EventQuery:
+			out[i].Queries++
+		case EventClick:
+			out[i].Clicks++
+		case EventAdClick:
+			out[i].AdClicks++
+			out[i].Revenue += e.Revenue
+		}
+	}
+	return out
+}
+
+// RenderSeries formats a series as an aligned text table, the shape
+// the designer downloads alongside the CSV log.
+func RenderSeries(buckets []Bucket) string {
+	var b strings.Builder
+	b.WriteString("bucket               queries  clicks  adclicks  revenue\n")
+	for _, bu := range buckets {
+		fmt.Fprintf(&b, "%-20s %7d %7d %9d  $%.2f\n",
+			bu.Start.UTC().Format("2006-01-02 15:04"),
+			bu.Queries, bu.Clicks, bu.AdClicks, bu.Revenue)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package analytics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesDailyBuckets(t *testing.T) {
+	l := NewLog()
+	day := func(d int) time.Time {
+		return time.Date(2010, 3, 1+d, 12, 0, 0, 0, time.UTC)
+	}
+	l.Record(Event{App: "a", Type: EventQuery, Time: day(0)})
+	l.Record(Event{App: "a", Type: EventQuery, Time: day(0)})
+	l.Record(Event{App: "a", Type: EventClick, URL: "http://x.example", Time: day(0)})
+	// day 1: nothing (gap must appear as an empty bucket)
+	l.Record(Event{App: "a", Type: EventAdClick, Revenue: 0.5, Time: day(2)})
+
+	buckets := l.Series("a", 24*time.Hour)
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	if buckets[0].Queries != 2 || buckets[0].Clicks != 1 {
+		t.Errorf("day0 = %+v", buckets[0])
+	}
+	if buckets[1].Queries != 0 || buckets[1].Clicks != 0 || buckets[1].AdClicks != 0 {
+		t.Errorf("gap day not empty: %+v", buckets[1])
+	}
+	if buckets[2].AdClicks != 1 || buckets[2].Revenue != 0.5 {
+		t.Errorf("day2 = %+v", buckets[2])
+	}
+	for i := 1; i < len(buckets); i++ {
+		if got := buckets[i].Start.Sub(buckets[i-1].Start); got != 24*time.Hour {
+			t.Fatalf("bucket spacing = %v", got)
+		}
+	}
+}
+
+func TestSeriesEmptyAndDefaults(t *testing.T) {
+	l := NewLog()
+	if got := l.Series("none", time.Hour); got != nil {
+		t.Fatalf("empty app series = %v", got)
+	}
+	l.Record(Event{App: "a", Type: EventQuery, Time: time.Date(2010, 3, 1, 5, 0, 0, 0, time.UTC)})
+	// bucket <= 0 defaults to daily
+	if got := l.Series("a", 0); len(got) != 1 {
+		t.Fatalf("default bucket series = %v", got)
+	}
+}
+
+func TestSeriesHourly(t *testing.T) {
+	l := NewLog()
+	base := time.Date(2010, 3, 1, 9, 10, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		l.Record(Event{App: "a", Type: EventQuery, Time: base.Add(time.Duration(i) * 30 * time.Minute)})
+	}
+	buckets := l.Series("a", time.Hour)
+	if len(buckets) != 3 {
+		t.Fatalf("hourly buckets = %d", len(buckets))
+	}
+	total := 0
+	for _, b := range buckets {
+		total += b.Queries
+	}
+	if total != 5 {
+		t.Fatalf("queries lost in bucketing: %d", total)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	l := NewLog()
+	l.Record(Event{App: "a", Type: EventQuery, Time: time.Date(2010, 3, 1, 0, 30, 0, 0, time.UTC)})
+	out := RenderSeries(l.Series("a", 24*time.Hour))
+	if !strings.Contains(out, "2010-03-01") || !strings.Contains(out, "queries") {
+		t.Fatalf("rendered series:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}

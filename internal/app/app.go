@@ -1,0 +1,232 @@
+// Package app holds the application model: the configuration a
+// designer builds through the paper's WYSIWYG interface (Fig 1) and
+// that the runtime executes (Fig 2). The model is pure data —
+// serializable to JSON — so applications can be saved, published and
+// hosted; the Designer type in this package provides the no-code
+// operations the drag-n-drop GUI would invoke.
+package app
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/store"
+	"repro/internal/webservice"
+)
+
+// SourceKind enumerates configurable source types.
+type SourceKind string
+
+// The source palette from Fig 1's left bar: the designer's own
+// proprietary datasets, the four engine services, ads, and SOAP/REST
+// web services. KindApp composes another application as a source
+// (future work §IV).
+const (
+	KindProprietary SourceKind = "proprietary"
+	KindWebSearch   SourceKind = "websearch"
+	KindImageSearch SourceKind = "imagesearch"
+	KindVideoSearch SourceKind = "videosearch"
+	KindNewsSearch  SourceKind = "newssearch"
+	KindAds         SourceKind = "ads"
+	KindService     SourceKind = "service"
+	KindApp         SourceKind = "app"
+)
+
+// SourceConfig configures one data source dropped onto the
+// application.
+type SourceConfig struct {
+	ID   string     `json:"id"`
+	Kind SourceKind `json:"kind"`
+
+	// MaxResults is "how many results to be shown" per Fig 1.
+	MaxResults int `json:"maxResults,omitempty"`
+
+	// Proprietary sources:
+	Dataset      string         `json:"dataset,omitempty"`
+	SearchFields []string       `json:"searchFields,omitempty"`
+	Filters      []store.Filter `json:"filters,omitempty"`
+	OrderBy      string         `json:"orderBy,omitempty"`
+
+	// Engine sources:
+	Sites      []string `json:"sites,omitempty"`
+	AddTerms   []string `json:"addTerms,omitempty"`
+	PreferURLs []string `json:"preferUrls,omitempty"`
+
+	// Web services:
+	Service webservice.Definition `json:"service,omitempty"`
+
+	// App composition:
+	AppID string `json:"appId,omitempty"`
+
+	// Supplemental binding: which fields of the primary result drive
+	// this source ("The designer selects which fields from the first
+	// data source to use when querying that secondary data"), and the
+	// query template built from them, e.g. "{title} review".
+	DriveFields   []string `json:"driveFields,omitempty"`
+	QueryTemplate string   `json:"queryTemplate,omitempty"`
+
+	// Layout renders this source's results (one tree per item).
+	Layout *layout.Element `json:"layout,omitempty"`
+}
+
+// Application is a complete search-driven application.
+type Application struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	Owner string `json:"owner"`
+	// Tenant is the proprietary-data space the app reads.
+	Tenant string `json:"tenant"`
+
+	// Primary sources answer the end user's query directly.
+	Primary []SourceConfig `json:"primary"`
+	// Supplemental sources are driven by fields of primary results;
+	// they appear in a primary layout's source slots.
+	Supplemental []SourceConfig `json:"supplemental,omitempty"`
+
+	// Stylesheet gives web-savvy designers full styling control.
+	Stylesheet *layout.Stylesheet `json:"stylesheet,omitempty"`
+	// Theme names a wizard preset recorded for provenance.
+	Theme string `json:"theme,omitempty"`
+
+	// Published lists distribution targets ("web", "facebook").
+	Published []string `json:"published,omitempty"`
+}
+
+// Validate checks the configuration for the errors the design GUI
+// would surface before publishing.
+func (a *Application) Validate() error {
+	if a.ID == "" {
+		return fmt.Errorf("app: missing ID")
+	}
+	if a.Name == "" {
+		return fmt.Errorf("app %s: missing name", a.ID)
+	}
+	if a.Owner == "" {
+		return fmt.Errorf("app %s: missing owner", a.ID)
+	}
+	if len(a.Primary) == 0 {
+		return fmt.Errorf("app %s: no primary source", a.ID)
+	}
+	ids := map[string]bool{}
+	supplemental := map[string]*SourceConfig{}
+	for i := range a.Supplemental {
+		sc := &a.Supplemental[i]
+		if err := a.validateSource(sc, false); err != nil {
+			return err
+		}
+		if ids[sc.ID] {
+			return fmt.Errorf("app %s: duplicate source id %q", a.ID, sc.ID)
+		}
+		ids[sc.ID] = true
+		supplemental[sc.ID] = sc
+	}
+	for i := range a.Primary {
+		sc := &a.Primary[i]
+		if err := a.validateSource(sc, true); err != nil {
+			return err
+		}
+		if ids[sc.ID] {
+			return fmt.Errorf("app %s: duplicate source id %q", a.ID, sc.ID)
+		}
+		ids[sc.ID] = true
+		// Every source slot in a primary layout must name a known
+		// supplemental source.
+		if sc.Layout != nil {
+			for _, slot := range sc.Layout.SourceSlots() {
+				if supplemental[slot] == nil {
+					return fmt.Errorf("app %s: source %s layout references unknown supplemental %q", a.ID, sc.ID, slot)
+				}
+			}
+		}
+	}
+	// Supplemental sources must be reachable from some primary layout;
+	// a dangling one is a designer mistake.
+	for id := range supplemental {
+		found := false
+		for i := range a.Primary {
+			if a.Primary[i].Layout == nil {
+				continue
+			}
+			for _, slot := range a.Primary[i].Layout.SourceSlots() {
+				if slot == id {
+					found = true
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("app %s: supplemental source %q is not placed in any layout", a.ID, id)
+		}
+	}
+	return nil
+}
+
+func (a *Application) validateSource(sc *SourceConfig, primary bool) error {
+	if sc.ID == "" {
+		return fmt.Errorf("app %s: source with empty id", a.ID)
+	}
+	switch sc.Kind {
+	case KindProprietary:
+		if sc.Dataset == "" {
+			return fmt.Errorf("app %s: source %s: proprietary source needs a dataset", a.ID, sc.ID)
+		}
+	case KindWebSearch, KindImageSearch, KindVideoSearch, KindNewsSearch:
+		// engine sources need nothing extra
+	case KindAds:
+		// ads need nothing extra
+	case KindService:
+		if sc.Service.Endpoint == "" {
+			return fmt.Errorf("app %s: source %s: service source needs an endpoint", a.ID, sc.ID)
+		}
+	case KindApp:
+		if sc.AppID == "" {
+			return fmt.Errorf("app %s: source %s: app source needs an appId", a.ID, sc.ID)
+		}
+	default:
+		return fmt.Errorf("app %s: source %s: unknown kind %q", a.ID, sc.ID, sc.Kind)
+	}
+	if !primary {
+		if len(sc.DriveFields) == 0 && sc.QueryTemplate == "" && sc.Kind != KindService {
+			return fmt.Errorf("app %s: supplemental source %s has no drive fields or query template", a.ID, sc.ID)
+		}
+	}
+	if sc.Layout != nil {
+		if err := sc.Layout.Validate(); err != nil {
+			return fmt.Errorf("app %s: source %s: %w", a.ID, sc.ID, err)
+		}
+		if !primary && len(sc.Layout.SourceSlots()) > 0 {
+			return fmt.Errorf("app %s: supplemental source %s cannot nest source slots", a.ID, sc.ID)
+		}
+	}
+	return nil
+}
+
+// Source finds a source config by ID across primary and supplemental.
+func (a *Application) Source(id string) (*SourceConfig, bool) {
+	for i := range a.Primary {
+		if a.Primary[i].ID == id {
+			return &a.Primary[i], true
+		}
+	}
+	for i := range a.Supplemental {
+		if a.Supplemental[i].ID == id {
+			return &a.Supplemental[i], true
+		}
+	}
+	return nil, false
+}
+
+// MarshalJSON round-trip: applications persist as JSON configuration
+// files (the paper's "configuration file for the application").
+func Marshal(a *Application) ([]byte, error) {
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// Unmarshal parses an application configuration.
+func Unmarshal(data []byte) (*Application, error) {
+	var a Application
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("app: %w", err)
+	}
+	return &a, nil
+}

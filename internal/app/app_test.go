@@ -1,0 +1,236 @@
+package app
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/webservice"
+)
+
+// gamerQueenApp builds the paper's §II-B running example through the
+// Designer API: Ann's inventory as primary content, game reviews from
+// site-restricted web search as supplemental, and a pricing service.
+func gamerQueenApp(t testing.TB) *Application {
+	t.Helper()
+	d := NewDesigner("gamerqueen", "GamerQueen", "ann", "gamerqueen")
+	d.DropPrimary(SourceConfig{
+		ID:      "inventory",
+		Kind:    KindProprietary,
+		Dataset: "inventory",
+	})
+	d.SetSearchFields("inventory", "title", "producer", "description")
+	d.UseTemplate("inventory", "media-card", map[string]string{
+		"title": "title", "url": "detailurl", "image": "image", "description": "description",
+	})
+	d.DropSupplemental("inventory", SourceConfig{
+		ID:         "reviews",
+		Kind:       KindWebSearch,
+		MaxResults: 3,
+	})
+	d.RestrictSites("reviews", "gamespot.com", "ign.com", "teamxbox.com")
+	d.SetDriveFields("reviews", "{title} review", "title")
+	d.UseTemplate("reviews", "headline-snippet", map[string]string{
+		"title": "title", "url": "url", "snippet": "snippet",
+	})
+	d.DropSupplemental("inventory", SourceConfig{
+		ID:   "pricing",
+		Kind: KindService,
+	})
+	d.ConfigureService("pricing", webservice.Definition{
+		Name:     "pricing",
+		Endpoint: "http://pricing.example/price",
+		Params:   map[string]string{"title": "{title}"},
+	})
+	d.SetDriveFields("pricing", "", "title")
+	d.SetResultLayout("pricing", &layout.Element{
+		Type: layout.ElemContainer,
+		Children: []*layout.Element{
+			{Type: layout.ElemText, Field: "price"},
+			{Type: layout.ElemText, Field: "instock"},
+		},
+	})
+	a, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDesignerBuildsGamerQueen(t *testing.T) {
+	a := gamerQueenApp(t)
+	if len(a.Primary) != 1 || len(a.Supplemental) != 2 {
+		t.Fatalf("sources = %d primary, %d supplemental", len(a.Primary), len(a.Supplemental))
+	}
+	inv := a.Primary[0]
+	if len(inv.SearchFields) != 3 {
+		t.Errorf("search fields = %v", inv.SearchFields)
+	}
+	slots := inv.Layout.SourceSlots()
+	if len(slots) != 2 || slots[0] != "reviews" || slots[1] != "pricing" {
+		t.Fatalf("slots = %v", slots)
+	}
+	rev, ok := a.Source("reviews")
+	if !ok || rev.QueryTemplate != "{title} review" || len(rev.Sites) != 3 {
+		t.Fatalf("reviews config = %+v", rev)
+	}
+	if a.Theme == "" {
+		t.Error("template use not recorded as theme")
+	}
+}
+
+func TestUseTemplatePreservesSlots(t *testing.T) {
+	a := gamerQueenApp(t)
+	// UseTemplate was called before DropSupplemental for inventory; in
+	// the other order slots must survive. Build a fresh app that
+	// re-applies a template after attaching supplementals.
+	d := NewDesigner("x", "X", "o", "t")
+	d.DropPrimary(SourceConfig{ID: "p", Kind: KindProprietary, Dataset: "d"})
+	d.DropSupplemental("p", SourceConfig{ID: "s", Kind: KindWebSearch, QueryTemplate: "{title}"})
+	d.UseTemplate("p", "title-link", map[string]string{"title": "title", "url": "url"})
+	app, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := app.Primary[0].Layout.SourceSlots(); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("slots after re-template = %v", got)
+	}
+	_ = a
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	base := func() *Application { return gamerQueenApp(t) }
+
+	a := base()
+	a.ID = ""
+	if a.Validate() == nil {
+		t.Error("missing ID accepted")
+	}
+
+	a = base()
+	a.Primary = nil
+	if a.Validate() == nil {
+		t.Error("no primary accepted")
+	}
+
+	a = base()
+	a.Primary[0].Dataset = ""
+	if a.Validate() == nil {
+		t.Error("dataset-less proprietary source accepted")
+	}
+
+	a = base()
+	a.Supplemental[0].DriveFields = nil
+	a.Supplemental[0].QueryTemplate = ""
+	if a.Validate() == nil {
+		t.Error("driverless supplemental accepted")
+	}
+
+	a = base()
+	a.Primary[0].Layout.Append(&layout.Element{Type: layout.ElemSourceSlot, SourceID: "ghost"})
+	if a.Validate() == nil {
+		t.Error("dangling slot accepted")
+	}
+
+	a = base()
+	a.Supplemental = append(a.Supplemental, SourceConfig{ID: "orphan", Kind: KindWebSearch, QueryTemplate: "{title}"})
+	if err := a.Validate(); err == nil || !strings.Contains(err.Error(), "orphan") {
+		t.Errorf("orphan supplemental accepted: %v", err)
+	}
+
+	a = base()
+	a.Supplemental[0].ID = a.Primary[0].ID
+	if a.Validate() == nil {
+		t.Error("duplicate source id accepted")
+	}
+
+	a = base()
+	a.Supplemental[0].Layout = &layout.Element{
+		Type:     layout.ElemContainer,
+		Children: []*layout.Element{{Type: layout.ElemSourceSlot, SourceID: "pricing"}},
+	}
+	if a.Validate() == nil {
+		t.Error("nested source slot accepted")
+	}
+}
+
+func TestValidateServiceSource(t *testing.T) {
+	d := NewDesigner("x", "X", "o", "t")
+	d.DropPrimary(SourceConfig{ID: "p", Kind: KindService})
+	if _, err := d.Build(); err == nil {
+		t.Error("service source without endpoint accepted")
+	}
+}
+
+func TestValidateAppComposition(t *testing.T) {
+	d := NewDesigner("x", "X", "o", "t")
+	d.DropPrimary(SourceConfig{ID: "p", Kind: KindApp})
+	if _, err := d.Build(); err == nil {
+		t.Error("app source without appId accepted")
+	}
+	d2 := NewDesigner("x", "X", "o", "t")
+	d2.DropPrimary(SourceConfig{ID: "p", Kind: KindApp, AppID: "other"})
+	if _, err := d2.Build(); err != nil {
+		t.Errorf("valid app composition rejected: %v", err)
+	}
+}
+
+func TestDesignerErrorsAccumulate(t *testing.T) {
+	d := NewDesigner("x", "X", "o", "t")
+	d.SetSearchFields("missing", "f")
+	d.RestrictSites("missing", "a.com")
+	d.DropSupplemental("missing", SourceConfig{ID: "s", Kind: KindWebSearch})
+	if len(d.Errors()) != 3 {
+		t.Fatalf("errors = %d", len(d.Errors()))
+	}
+	if _, err := d.Build(); err == nil {
+		t.Fatal("build succeeded despite errors")
+	}
+}
+
+func TestDesignerUnknownTemplate(t *testing.T) {
+	d := NewDesigner("x", "X", "o", "t")
+	d.DropPrimary(SourceConfig{ID: "p", Kind: KindProprietary, Dataset: "d"})
+	d.UseTemplate("p", "nope", nil)
+	if _, err := d.Build(); err == nil {
+		t.Fatal("unknown template accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := gamerQueenApp(t)
+	data, err := Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped app invalid: %v", err)
+	}
+	if back.ID != a.ID || len(back.Supplemental) != len(a.Supplemental) {
+		t.Error("round trip lost configuration")
+	}
+	rev, ok := back.Source("reviews")
+	if !ok || rev.QueryTemplate != "{title} review" {
+		t.Error("supplemental config lost in round trip")
+	}
+	if _, err := Unmarshal([]byte("{bad")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestSourceLookup(t *testing.T) {
+	a := gamerQueenApp(t)
+	if _, ok := a.Source("inventory"); !ok {
+		t.Error("primary not found")
+	}
+	if _, ok := a.Source("pricing"); !ok {
+		t.Error("supplemental not found")
+	}
+	if _, ok := a.Source("ghost"); ok {
+		t.Error("phantom source found")
+	}
+}

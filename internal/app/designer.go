@@ -1,0 +1,181 @@
+package app
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/webservice"
+)
+
+// Designer provides the no-code operations of the Fig 1 design
+// interface as a fluent API. Each method corresponds to a GUI
+// gesture: dropping a source onto the application, dropping elements
+// onto a result layout, binding fields, attaching supplemental
+// content to a result, and styling.
+//
+// Errors are accumulated and returned by Build, mirroring how the
+// GUI surfaces problems at publish time rather than blocking each
+// gesture.
+type Designer struct {
+	app  *Application
+	errs []error
+}
+
+// NewDesigner starts a new application for a designer (owner) whose
+// proprietary data lives in tenant.
+func NewDesigner(id, name, owner, tenant string) *Designer {
+	return &Designer{app: &Application{ID: id, Name: name, Owner: owner, Tenant: tenant}}
+}
+
+func (d *Designer) fail(format string, args ...any) *Designer {
+	d.errs = append(d.errs, fmt.Errorf(format, args...))
+	return d
+}
+
+// DropPrimary adds a primary content source (left-bar drag onto the
+// application canvas).
+func (d *Designer) DropPrimary(sc SourceConfig) *Designer {
+	if sc.ID == "" {
+		return d.fail("designer: primary source needs an id")
+	}
+	d.app.Primary = append(d.app.Primary, sc)
+	return d
+}
+
+// DropSupplemental attaches a supplemental source driven by fields of
+// primaryID's results, and places a source slot for it at the end of
+// that primary's layout ("Supplemental content can be added by simply
+// dragging additional data sources onto the current result layout").
+func (d *Designer) DropSupplemental(primaryID string, sc SourceConfig) *Designer {
+	if sc.ID == "" {
+		return d.fail("designer: supplemental source needs an id")
+	}
+	var prim *SourceConfig
+	for i := range d.app.Primary {
+		if d.app.Primary[i].ID == primaryID {
+			prim = &d.app.Primary[i]
+		}
+	}
+	if prim == nil {
+		return d.fail("designer: unknown primary source %q", primaryID)
+	}
+	if prim.Layout == nil {
+		prim.Layout = &layout.Element{Type: layout.ElemContainer}
+	}
+	prim.Layout.Append(&layout.Element{Type: layout.ElemSourceSlot, SourceID: sc.ID})
+	d.app.Supplemental = append(d.app.Supplemental, sc)
+	return d
+}
+
+// SetResultLayout replaces a source's result layout wholesale.
+func (d *Designer) SetResultLayout(sourceID string, el *layout.Element) *Designer {
+	sc, ok := d.app.Source(sourceID)
+	if !ok {
+		return d.fail("designer: unknown source %q", sourceID)
+	}
+	sc.Layout = el
+	return d
+}
+
+// UseTemplate instantiates a wizard template as sourceID's layout.
+func (d *Designer) UseTemplate(sourceID, template string, fields map[string]string) *Designer {
+	sc, ok := d.app.Source(sourceID)
+	if !ok {
+		return d.fail("designer: unknown source %q", sourceID)
+	}
+	el, err := layout.FromTemplate(template, fields)
+	if err != nil {
+		return d.fail("designer: %v", err)
+	}
+	// Preserve source slots already attached to this layout.
+	if sc.Layout != nil {
+		for _, slot := range sc.Layout.SourceSlots() {
+			el.Append(&layout.Element{Type: layout.ElemSourceSlot, SourceID: slot})
+		}
+	}
+	sc.Layout = el
+	d.app.Theme = template
+	return d
+}
+
+// AddElement appends an element to a source's result layout (a drop
+// onto the layout panel).
+func (d *Designer) AddElement(sourceID string, el *layout.Element) *Designer {
+	sc, ok := d.app.Source(sourceID)
+	if !ok {
+		return d.fail("designer: unknown source %q", sourceID)
+	}
+	if sc.Layout == nil {
+		sc.Layout = &layout.Element{Type: layout.ElemContainer}
+	}
+	sc.Layout.Append(el)
+	return d
+}
+
+// SetSearchFields configures which fields of a proprietary source the
+// end-user query searches ("configures the application to search by
+// title, producer, and description").
+func (d *Designer) SetSearchFields(sourceID string, fields ...string) *Designer {
+	sc, ok := d.app.Source(sourceID)
+	if !ok {
+		return d.fail("designer: unknown source %q", sourceID)
+	}
+	sc.SearchFields = fields
+	return d
+}
+
+// SetDriveFields selects the primary-result fields that parameterize
+// a supplemental source and the query template over them.
+func (d *Designer) SetDriveFields(sourceID, queryTemplate string, fields ...string) *Designer {
+	sc, ok := d.app.Source(sourceID)
+	if !ok {
+		return d.fail("designer: unknown source %q", sourceID)
+	}
+	sc.DriveFields = fields
+	sc.QueryTemplate = queryTemplate
+	return d
+}
+
+// RestrictSites applies site restriction to an engine source.
+func (d *Designer) RestrictSites(sourceID string, sites ...string) *Designer {
+	sc, ok := d.app.Source(sourceID)
+	if !ok {
+		return d.fail("designer: unknown source %q", sourceID)
+	}
+	sc.Sites = sites
+	return d
+}
+
+// SetStylesheet attaches a stylesheet for presentation control.
+func (d *Designer) SetStylesheet(ss *layout.Stylesheet) *Designer {
+	d.app.Stylesheet = ss
+	return d
+}
+
+// ConfigureService sets the service definition of a service source.
+func (d *Designer) ConfigureService(sourceID string, def webservice.Definition) *Designer {
+	sc, ok := d.app.Source(sourceID)
+	if !ok {
+		return d.fail("designer: unknown source %q", sourceID)
+	}
+	sc.Service = def
+	return d
+}
+
+// Build validates and returns the application.
+func (d *Designer) Build() (*Application, error) {
+	if len(d.errs) > 0 {
+		return nil, fmt.Errorf("designer: %d error(s), first: %w", len(d.errs), d.errs[0])
+	}
+	if err := d.app.Validate(); err != nil {
+		return nil, err
+	}
+	return d.app, nil
+}
+
+// App returns the application under construction without validation,
+// for inspection in tests and tooling.
+func (d *Designer) App() *Application { return d.app }
+
+// Errors returns accumulated designer errors.
+func (d *Designer) Errors() []error { return d.errs }

@@ -1,0 +1,155 @@
+package baselines
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+)
+
+func platform(t testing.TB) *core.Platform {
+	t.Helper()
+	return core.New(core.Config{Seed: 8})
+}
+
+func TestProbeSymphony(t *testing.T) {
+	p := platform(t)
+	sym, err := NewSymphony(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := Probe(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.CustomSites {
+		t.Error("symphony custom sites not detected")
+	}
+	if len(row.UploadFormats) != len(probeFormats) {
+		t.Errorf("symphony formats = %v", row.UploadFormats)
+	}
+	if row.Monetization != MonetizationVoluntary || row.CustomUI != UIDragDrop {
+		t.Errorf("row = %+v", row)
+	}
+	if len(row.Deployment) != 3 {
+		t.Errorf("deployment = %v", row.Deployment)
+	}
+	if err := sym.ProbeDragDrop(); err != nil {
+		t.Errorf("drag-drop probe failed: %v", err)
+	}
+}
+
+func TestProbeBaselines(t *testing.T) {
+	p := platform(t)
+	systems, err := AllSystems(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]Row{}
+	for _, s := range systems {
+		row, err := Probe(s)
+		if err != nil {
+			t.Fatalf("probe %s: %v", s.Name(), err)
+		}
+		got[s.Name()] = row
+	}
+	// Row-by-row expectations matching the paper's Table I.
+	if got["yboss"].ProprietaryData != "no" || !got["yboss"].CustomSites {
+		t.Errorf("yboss = %+v", got["yboss"])
+	}
+	if got["rollyo"].ProprietaryData != "no" || got["rollyo"].CustomUI != UIBasicStyling {
+		t.Errorf("rollyo = %+v", got["rollyo"])
+	}
+	if got["eurekster"].Monetization != MonetizationForProfitOnly {
+		t.Errorf("eurekster = %+v", got["eurekster"])
+	}
+	if got["googlecustom"].ProprietaryData != "no" || got["googlecustom"].SearchAPI != "Google" {
+		t.Errorf("googlecustom = %+v", got["googlecustom"])
+	}
+	gb := got["googlebase"]
+	if gb.CustomSites {
+		t.Error("google base should not support custom sites")
+	}
+	// Google Base: rss/txt/xml uploads but no Excel.
+	hasXLS := false
+	for _, f := range gb.UploadFormats {
+		if f == ingest.FormatXLS {
+			hasXLS = true
+		}
+	}
+	if hasXLS || len(gb.UploadFormats) == 0 {
+		t.Errorf("googlebase formats = %v", gb.UploadFormats)
+	}
+	// Only Symphony has both custom sites and full uploads.
+	for name, row := range got {
+		if name == "symphony" {
+			continue
+		}
+		if row.CustomSites && len(row.UploadFormats) == len(probeFormats) {
+			t.Errorf("%s matches symphony's full capability set", name)
+		}
+	}
+}
+
+func TestRollyoRequiresSites(t *testing.T) {
+	p := platform(t)
+	r := NewRollyo(p.Engine)
+	if _, err := r.Search("anything", nil, 5); err == nil {
+		t.Fatal("rollyo searched without a searchroll")
+	}
+}
+
+func TestGoogleBaseUploadSearchable(t *testing.T) {
+	p := platform(t)
+	gb := NewGoogleBase(p.Engine)
+	err := gb.UploadProprietary(ingest.FormatCSV, strings.NewReader("title,price\nUnique Widget,5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := gb.SearchProprietary("widget", 5)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("hits = %v, %v", hits, err)
+	}
+	if err := gb.UploadProprietary(ingest.FormatXLS, strings.NewReader("a\tb\n1\t2\n")); !errors.Is(err, ErrUnsupported) {
+		t.Error("google base accepted an Excel upload")
+	}
+}
+
+func TestRenderTableI(t *testing.T) {
+	p := platform(t)
+	systems, err := AllSystems(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := RenderTableI(systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"symphony", "yboss", "rollyo", "eurekster", "googlecustom", "googlebase",
+		"Search API", "Custom Sites", "Proprietary Data", "Monetization", "Custom UI", "Deployment",
+		"Bing", "Yahoo", "Google", "drag'n'drop",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 7 {
+		t.Errorf("table rows = %d", len(lines))
+	}
+}
+
+func TestExpectedTableIShape(t *testing.T) {
+	exp := ExpectedTableI()
+	if len(exp) != 6 {
+		t.Fatalf("expected systems = %d", len(exp))
+	}
+	for sys, rows := range exp {
+		if len(rows) != 6 {
+			t.Errorf("%s has %d capability rows", sys, len(rows))
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package baselines
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ingest"
+	"repro/internal/publish"
+	"repro/internal/store"
+)
+
+// Symphony adapts the full platform to the System probe interface so
+// it sits in the same matrix as the baselines.
+type Symphony struct {
+	Platform *core.Platform
+	datasets int
+}
+
+// NewSymphony wraps a platform (registering the probe designer).
+func NewSymphony(p *core.Platform) (*Symphony, error) {
+	if err := p.RegisterDesigner("designer", "symphony-probe"); err != nil {
+		return nil, err
+	}
+	return &Symphony{Platform: p}, nil
+}
+
+// Name implements System.
+func (s *Symphony) Name() string { return "symphony" }
+
+// SearchAPI implements System.
+func (s *Symphony) SearchAPI() string { return "Bing" }
+
+// Search implements System.
+func (s *Symphony) Search(q string, sites []string, limit int) ([]engine.Result, error) {
+	return s.Platform.Engine.Search(engine.Request{Query: q, Sites: sites, Limit: limit})
+}
+
+// UploadProprietary implements System.
+func (s *Symphony) UploadProprietary(format ingest.Format, r io.Reader) error {
+	s.datasets++
+	_, err := s.Platform.Upload(ingest.Options{
+		Tenant:  "symphony-probe",
+		Actor:   "designer",
+		Dataset: fmt.Sprintf("probe%d", s.datasets),
+		Format:  format,
+	}, r)
+	return err
+}
+
+// SearchProprietary implements System.
+func (s *Symphony) SearchProprietary(q string, limit int) ([]store.Hit, error) {
+	names, err := s.Platform.Store.Datasets("symphony-probe", "designer")
+	if err != nil {
+		return nil, err
+	}
+	var out []store.Hit
+	for _, n := range names {
+		ds, err := s.Platform.Store.Dataset("symphony-probe", "designer", n, store.PermRead)
+		if err != nil {
+			return nil, err
+		}
+		hits, err := ds.Search(store.SearchRequest{Query: q, Limit: limit})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, hits...)
+	}
+	return out, nil
+}
+
+// Monetization implements System.
+func (s *Symphony) Monetization() Monetization { return MonetizationVoluntary }
+
+// CustomUI implements System.
+func (s *Symphony) CustomUI() UILevel { return UIDragDrop }
+
+// Deployment implements System.
+func (s *Symphony) Deployment() []Deployment {
+	return []Deployment{DeployHosted, DeployThirdParty, DeployFacebook}
+}
+
+// ProbeDragDrop verifies the drag-n-drop claim behaviourally: build
+// and publish an app through the no-code Designer API.
+func (s *Symphony) ProbeDragDrop() error {
+	d := s.Platform.NewApp("probe-app", "Probe", "designer", "symphony-probe")
+	d.DropPrimary(app.SourceConfig{ID: "web", Kind: app.KindWebSearch})
+	d.UseTemplate("web", "headline-snippet", map[string]string{"title": "title", "url": "url", "snippet": "snippet"})
+	a, err := d.Build()
+	if err != nil {
+		return err
+	}
+	_, err = s.Platform.Publish(a, publish.TargetWeb, publish.TargetFacebook)
+	return err
+}
+
+// Row is one system's probed capability summary (one column of the
+// paper's Table I, transposed here per system).
+type Row struct {
+	System          string
+	SearchAPI       string
+	CustomSites     bool
+	ProprietaryData string
+	UploadFormats   []ingest.Format
+	Monetization    Monetization
+	CustomUI        UILevel
+	Deployment      []Deployment
+}
+
+// probeFormats are the upload formats Table I cares about.
+var probeFormats = []ingest.Format{
+	ingest.FormatCSV, ingest.FormatTSV, ingest.FormatXML, ingest.FormatRSS, ingest.FormatXLS,
+}
+
+func sampleUpload(format ingest.Format) io.Reader {
+	switch format {
+	case ingest.FormatXML:
+		return strings.NewReader("<items><item><title>Probe</title><price>1</price></item></items>")
+	case ingest.FormatRSS:
+		return strings.NewReader(`<rss><channel><title>t</title><item><title>Probe</title><link>http://p.example</link><description>d</description></item></channel></rss>`)
+	case ingest.FormatTSV, ingest.FormatXLS:
+		return strings.NewReader("title\tprice\nProbe\t1\n")
+	default:
+		return strings.NewReader("title,price\nProbe,1\n")
+	}
+}
+
+// Probe exercises each capability of a system and summarizes it.
+func Probe(s System) (Row, error) {
+	row := Row{
+		System:       s.Name(),
+		SearchAPI:    s.SearchAPI(),
+		Monetization: s.Monetization(),
+		CustomUI:     s.CustomUI(),
+		Deployment:   s.Deployment(),
+	}
+	// Custom sites: does a site-restricted search stay restricted?
+	rs, err := s.Search("review", []string{"ign.com", "gamespot.com"}, 10)
+	if err == nil {
+		row.CustomSites = true
+		for _, r := range rs {
+			if r.Site != "ign.com" && r.Site != "gamespot.com" {
+				return row, fmt.Errorf("%s: site restriction leaked %s", s.Name(), r.Site)
+			}
+		}
+	}
+	// Proprietary uploads: try each format, then verify the data is
+	// actually searchable.
+	for _, f := range probeFormats {
+		if err := s.UploadProprietary(f, sampleUpload(f)); err == nil {
+			row.UploadFormats = append(row.UploadFormats, f)
+		}
+	}
+	if len(row.UploadFormats) > 0 {
+		hits, err := s.SearchProprietary("probe", 10)
+		if err != nil {
+			return row, fmt.Errorf("%s: uploaded data not searchable: %v", s.Name(), err)
+		}
+		if len(hits) == 0 {
+			return row, fmt.Errorf("%s: uploaded data not found by search", s.Name())
+		}
+		row.ProprietaryData = FormatList(row.UploadFormats)
+	} else {
+		row.ProprietaryData = "no"
+	}
+	return row, nil
+}
+
+// AllSystems builds every system over a shared engine plus the full
+// Symphony platform.
+func AllSystems(p *core.Platform) ([]System, error) {
+	sym, err := NewSymphony(p)
+	if err != nil {
+		return nil, err
+	}
+	eng := p.Engine
+	return []System{
+		sym,
+		NewYBoss(eng),
+		NewRollyo(eng),
+		NewEurekster(eng),
+		NewGoogleCustom(eng),
+		NewGoogleBase(eng),
+	}, nil
+}
+
+// RenderTableI probes all systems and renders the comparison matrix
+// in the paper's row order.
+func RenderTableI(systems []System) (string, error) {
+	rows := make([]Row, 0, len(systems))
+	for _, s := range systems {
+		row, err := Probe(s)
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	write := func(label string, cell func(Row) string) {
+		fmt.Fprintf(&b, "%-28s", label)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "| %-38s", cell(r))
+		}
+		b.WriteString("\n")
+	}
+	write("", func(r Row) string { return r.System })
+	write("Search API", func(r Row) string { return r.SearchAPI })
+	write("Custom Sites", func(r Row) string {
+		if r.CustomSites {
+			return "supported"
+		}
+		return "no"
+	})
+	write("Proprietary Data", func(r Row) string { return r.ProprietaryData })
+	write("Monetization", func(r Row) string { return string(r.Monetization) })
+	write("Custom UI", func(r Row) string { return string(r.CustomUI) })
+	write("Deployment", func(r Row) string {
+		parts := make([]string, len(r.Deployment))
+		for i, d := range r.Deployment {
+			parts[i] = string(d)
+		}
+		return strings.Join(parts, "; ")
+	})
+	return b.String(), nil
+}
+
+// ExpectedTableI captures the paper's published matrix for the
+// assertions in tests and EXPERIMENTS.md: system -> capability row ->
+// condensed expected value.
+func ExpectedTableI() map[string]map[string]string {
+	return map[string]map[string]string{
+		"symphony":     {"api": "Bing", "sites": "supported", "data": "uploads", "monetization": "voluntary", "ui": "drag'n'drop", "deploy": "hosted"},
+		"yboss":        {"api": "Yahoo", "sites": "supported", "data": "no", "monetization": "mandatory", "ui": "library", "deploy": "no assistance"},
+		"rollyo":       {"api": "Yahoo", "sites": "supported", "data": "no", "monetization": "own ads", "ui": "basic", "deploy": "search box"},
+		"eurekster":    {"api": "Yahoo", "sites": "supported", "data": "no", "monetization": "for-profit", "ui": "basic", "deploy": "search box"},
+		"googlecustom": {"api": "Google", "sites": "supported", "data": "no", "monetization": "for-profit", "ui": "basic", "deploy": "3rd-party"},
+		"googlebase":   {"api": "Google", "sites": "no", "data": "uploads", "monetization": "none", "ui": "none", "deploy": "surfaced"},
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/app"
+)
+
+// Platform backup: Symphony hosts everything designers create, so the
+// platform can serialize its durable state — the proprietary data
+// store and the published application configurations — and restore it
+// into a fresh platform (over the same corpus seed). Interaction logs
+// and ad state are operational, not configuration, and are excluded.
+
+type backupDoc struct {
+	Version int               `json:"version"`
+	Store   json.RawMessage   `json:"store"`
+	Apps    []json.RawMessage `json:"apps"`
+}
+
+// Backup serializes designers' durable state to w.
+func (p *Platform) Backup(w io.Writer) error {
+	var storeBuf bytes.Buffer
+	if err := p.Store.Snapshot(&storeBuf); err != nil {
+		return fmt.Errorf("core: backup: %w", err)
+	}
+	doc := backupDoc{Version: 1, Store: storeBuf.Bytes()}
+	for _, id := range p.Registry.List() {
+		a, _ := p.Registry.Get(id)
+		data, err := app.Marshal(a)
+		if err != nil {
+			return fmt.Errorf("core: backup app %s: %w", id, err)
+		}
+		doc.Apps = append(doc.Apps, data)
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// RestoreBackup loads a backup into this platform, replacing the
+// store contents and re-publishing every application.
+func (p *Platform) RestoreBackup(r io.Reader) error {
+	var doc backupDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	if doc.Version != 1 {
+		return fmt.Errorf("core: restore: unsupported backup version %d", doc.Version)
+	}
+	if err := p.Store.Restore(bytes.NewReader(doc.Store)); err != nil {
+		return err
+	}
+	for _, raw := range doc.Apps {
+		a, err := app.Unmarshal(raw)
+		if err != nil {
+			return fmt.Errorf("core: restore: %w", err)
+		}
+		if err := p.Registry.Publish(a); err != nil {
+			return fmt.Errorf("core: restore app %s: %w", a.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+func TestBackupRestoreRoundTrip(t *testing.T) {
+	p := New(Config{Seed: 1})
+	_, titles := buildGamerQueen(t, p)
+
+	var buf bytes.Buffer
+	if err := p.Backup(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh platform over the same corpus seed.
+	p2 := New(Config{Seed: 1})
+	if err := p2.RestoreBackup(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// The app is published and queryable end to end. The pricing
+	// supplemental points at the old httptest server and degrades
+	// gracefully; proprietary + engine content must work.
+	resp, err := p2.Query(context.Background(), "gamerqueen", runtime.Query{Text: titles[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Blocks) != 1 || len(resp.Blocks[0].Items) == 0 {
+		t.Fatal("restored app returned nothing")
+	}
+	if resp.Blocks[0].Items[0]["title"] != titles[0] {
+		t.Errorf("top = %v", resp.Blocks[0].Items[0]["title"])
+	}
+	if len(resp.Blocks[0].SupplementalByItem[0]["reviews"]) == 0 {
+		t.Error("restored app lost review supplementals")
+	}
+}
+
+func TestRestoreBackupRejectsGarbage(t *testing.T) {
+	p := New(Config{Seed: 1})
+	if err := p.RestoreBackup(strings.NewReader("{bad")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := p.RestoreBackup(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestBackupExcludesOperationalState(t *testing.T) {
+	p := New(Config{Seed: 1})
+	_, titles := buildGamerQueen(t, p)
+	p.Query(context.Background(), "gamerqueen", runtime.Query{Text: titles[0]})
+	var buf bytes.Buffer
+	if err := p.Backup(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2 := New(Config{Seed: 1})
+	if err := p2.RestoreBackup(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Log.Len() != 0 {
+		t.Error("interaction log leaked into backup")
+	}
+}

@@ -1,0 +1,290 @@
+// Package crawler implements the "URL crawling" upload method of
+// §II-A: given seed URLs, it fetches pages, extracts title/body/link
+// structure from their HTML, and converts them into store records a
+// designer can index as proprietary content.
+//
+// Fetching goes through a Fetcher interface; production-style crawls
+// use the HTTP fetcher against httptest servers, and the benchmarks
+// crawl the synthetic web corpus directly.
+package crawler
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/store"
+	"repro/internal/textproc"
+	"repro/internal/webcorpus"
+)
+
+// Fetcher retrieves the HTML of a URL.
+type Fetcher interface {
+	Fetch(url string) (html string, err error)
+}
+
+// HTTPFetcher fetches over HTTP.
+type HTTPFetcher struct {
+	Client *http.Client
+}
+
+// Fetch implements Fetcher.
+func (f HTTPFetcher) Fetch(url string) (string, error) {
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("crawler: %s: status %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// CorpusFetcher serves pages straight from the synthetic web corpus.
+type CorpusFetcher struct {
+	Corpus *webcorpus.Corpus
+}
+
+// Fetch implements Fetcher.
+func (f CorpusFetcher) Fetch(url string) (string, error) {
+	p, ok := f.Corpus.PageByURL(url)
+	if !ok {
+		return "", fmt.Errorf("crawler: %s: not found", url)
+	}
+	return p.HTML(), nil
+}
+
+// Config bounds a crawl.
+type Config struct {
+	MaxDepth int // link-following depth from the seeds; 0 = seeds only
+	MaxPages int // hard page budget (default 100)
+	// SameSiteOnly restricts traversal to the seed URLs' sites,
+	// matching how a retailer crawls their own catalog pages.
+	SameSiteOnly bool
+	// DedupeShingleSize enables near-duplicate suppression using word
+	// shingles of the given size (0 disables).
+	DedupeShingleSize int
+}
+
+// Page is one crawled document.
+type Page struct {
+	URL   string
+	Site  string
+	Title string
+	Body  string
+	Depth int
+	Links []string
+}
+
+// Crawl walks from the seeds.
+func Crawl(f Fetcher, seeds []string, cfg Config) ([]Page, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("crawler: no seed URLs")
+	}
+	maxPages := cfg.MaxPages
+	if maxPages <= 0 {
+		maxPages = 100
+	}
+	allowedSites := make(map[string]bool)
+	for _, s := range seeds {
+		allowedSites[siteOf(s)] = true
+	}
+	type item struct {
+		url   string
+		depth int
+	}
+	queue := make([]item, 0, len(seeds))
+	for _, s := range seeds {
+		queue = append(queue, item{s, 0})
+	}
+	visited := make(map[string]bool)
+	seenShingles := make(map[string]bool)
+	var out []Page
+	var firstErr error
+	for len(queue) > 0 && len(out) < maxPages {
+		it := queue[0]
+		queue = queue[1:]
+		if visited[it.url] {
+			continue
+		}
+		visited[it.url] = true
+		if cfg.SameSiteOnly && !allowedSites[siteOf(it.url)] {
+			continue
+		}
+		html, err := f.Fetch(it.url)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		page := extract(it.url, html)
+		page.Depth = it.depth
+		if cfg.DedupeShingleSize > 0 && isNearDuplicate(page.Body, cfg.DedupeShingleSize, seenShingles) {
+			continue
+		}
+		out = append(out, page)
+		if it.depth < cfg.MaxDepth {
+			for _, l := range page.Links {
+				if !visited[l] {
+					queue = append(queue, item{l, it.depth + 1})
+				}
+			}
+		}
+	}
+	if len(out) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+func siteOf(url string) string {
+	s := url
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// extract pulls title, visible text and links out of HTML with a
+// small hand-rolled scanner (stdlib has no HTML parser outside x/).
+func extract(url, html string) Page {
+	p := Page{URL: url, Site: siteOf(url)}
+	if s, e := tagContent(html, "title"); s >= 0 {
+		p.Title = strings.TrimSpace(html[s:e])
+	}
+	// links
+	rest := html
+	for {
+		i := strings.Index(rest, `href="`)
+		if i < 0 {
+			break
+		}
+		rest = rest[i+len(`href="`):]
+		j := strings.IndexByte(rest, '"')
+		if j < 0 {
+			break
+		}
+		link := rest[:j]
+		rest = rest[j:]
+		if strings.HasPrefix(link, "http://") || strings.HasPrefix(link, "https://") {
+			p.Links = append(p.Links, link)
+		}
+	}
+	// visible text: strip tags
+	var b strings.Builder
+	inTag := false
+	inScript := false
+	lower := strings.ToLower(html)
+	for i := 0; i < len(html); i++ {
+		c := html[i]
+		switch {
+		case c == '<':
+			inTag = true
+			if strings.HasPrefix(lower[i:], "<script") {
+				inScript = true
+			} else if strings.HasPrefix(lower[i:], "</script") {
+				inScript = false
+			}
+		case c == '>':
+			inTag = false
+			b.WriteByte(' ')
+		case !inTag && !inScript:
+			b.WriteByte(c)
+		}
+	}
+	p.Body = strings.Join(strings.Fields(b.String()), " ")
+	return p
+}
+
+// tagContent finds the inner range of the first <tag>...</tag>.
+func tagContent(html, tag string) (start, end int) {
+	lower := strings.ToLower(html)
+	open := strings.Index(lower, "<"+tag+">")
+	if open < 0 {
+		return -1, -1
+	}
+	start = open + len(tag) + 2
+	close := strings.Index(lower[start:], "</"+tag+">")
+	if close < 0 {
+		return -1, -1
+	}
+	return start, start + close
+}
+
+func isNearDuplicate(body string, w int, seen map[string]bool) bool {
+	sh := textproc.Shingles(textproc.Terms(body), w)
+	if len(sh) == 0 {
+		return false
+	}
+	dup := 0
+	for _, s := range sh {
+		if seen[s] {
+			dup++
+		}
+	}
+	ratio := float64(dup) / float64(len(sh))
+	for _, s := range sh {
+		seen[s] = true
+	}
+	return ratio > 0.9
+}
+
+// ToRecords converts crawled pages to store records (fields url,
+// site, title, body, depth).
+func ToRecords(pages []Page) []store.Record {
+	out := make([]store.Record, len(pages))
+	for i, p := range pages {
+		out[i] = store.Record{
+			"url":   p.URL,
+			"site":  p.Site,
+			"title": p.Title,
+			"body":  p.Body,
+			"depth": fmt.Sprintf("%d", p.Depth),
+		}
+	}
+	return out
+}
+
+// CrawlSchema is the schema ToRecords output conforms to.
+func CrawlSchema(name string) store.Schema {
+	return store.Schema{
+		Name: name,
+		Key:  "url",
+		Fields: []store.Field{
+			{Name: "url", Type: store.TypeURL, Required: true},
+			{Name: "site", Type: store.TypeString},
+			{Name: "title", Type: store.TypeString, Searchable: true},
+			{Name: "body", Type: store.TypeString, Searchable: true},
+			{Name: "depth", Type: store.TypeNumber},
+		},
+	}
+}
+
+// Sites returns the distinct sites covered by pages, sorted.
+func Sites(pages []Page) []string {
+	set := map[string]bool{}
+	for _, p := range pages {
+		set[p.Site] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

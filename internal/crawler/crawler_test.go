@@ -1,0 +1,211 @@
+package crawler
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/webcorpus"
+)
+
+var corpus = webcorpus.Generate(webcorpus.Config{Seed: 21})
+
+func seedURL(t testing.TB) string {
+	t.Helper()
+	for _, p := range corpus.Pages {
+		if p.Vertical == webcorpus.VerticalWeb && len(p.Links) >= 2 {
+			return p.URL
+		}
+	}
+	t.Fatal("no linked web page in corpus")
+	return ""
+}
+
+func TestCrawlSeedsOnly(t *testing.T) {
+	url := seedURL(t)
+	pages, err := Crawl(CorpusFetcher{corpus}, []string{url}, Config{MaxDepth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 1 || pages[0].URL != url || pages[0].Depth != 0 {
+		t.Fatalf("pages = %+v", pages)
+	}
+	if pages[0].Title == "" || pages[0].Body == "" {
+		t.Error("extraction produced empty title/body")
+	}
+	if len(pages[0].Links) == 0 {
+		t.Error("links not extracted")
+	}
+}
+
+func TestCrawlFollowsLinks(t *testing.T) {
+	url := seedURL(t)
+	pages, err := Crawl(CorpusFetcher{corpus}, []string{url}, Config{MaxDepth: 1, MaxPages: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) < 2 {
+		t.Fatalf("depth-1 crawl found %d pages", len(pages))
+	}
+	sawDepth1 := false
+	for _, p := range pages {
+		if p.Depth == 1 {
+			sawDepth1 = true
+		}
+		if p.Depth > 1 {
+			t.Errorf("page %s beyond depth limit: %d", p.URL, p.Depth)
+		}
+	}
+	if !sawDepth1 {
+		t.Error("no depth-1 pages")
+	}
+}
+
+func TestCrawlMaxPages(t *testing.T) {
+	url := seedURL(t)
+	pages, err := Crawl(CorpusFetcher{corpus}, []string{url}, Config{MaxDepth: 3, MaxPages: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) > 5 {
+		t.Fatalf("budget exceeded: %d", len(pages))
+	}
+}
+
+func TestCrawlSameSiteOnly(t *testing.T) {
+	url := seedURL(t)
+	site := siteOf(url)
+	pages, err := Crawl(CorpusFetcher{corpus}, []string{url}, Config{MaxDepth: 2, MaxPages: 100, SameSiteOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pages {
+		if p.Site != site {
+			t.Errorf("cross-site page %s in same-site crawl", p.URL)
+		}
+	}
+}
+
+func TestCrawlNoSeeds(t *testing.T) {
+	if _, err := Crawl(CorpusFetcher{corpus}, nil, Config{}); err == nil {
+		t.Fatal("empty seeds accepted")
+	}
+}
+
+func TestCrawlAllSeedsFail(t *testing.T) {
+	_, err := Crawl(CorpusFetcher{corpus}, []string{"http://missing.example/x"}, Config{})
+	if err == nil {
+		t.Fatal("failed crawl returned no error")
+	}
+}
+
+func TestCrawlSkipsDuplicateVisits(t *testing.T) {
+	url := seedURL(t)
+	pages, err := Crawl(CorpusFetcher{corpus}, []string{url, url}, Config{MaxDepth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 1 {
+		t.Fatalf("duplicate seed crawled twice: %d", len(pages))
+	}
+}
+
+func TestCrawlHTTPFetcher(t *testing.T) {
+	mux := http.NewServeMux()
+	var base string
+	mux.HandleFunc("/a", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `<html><head><title>Page A</title></head><body>hello world <a href="%s/b">b</a></body></html>`, base)
+	})
+	mux.HandleFunc("/b", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<html><head><title>Page B</title></head><body>second page</body></html>`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	base = srv.URL
+	pages, err := Crawl(HTTPFetcher{srv.Client()}, []string{srv.URL + "/a"}, Config{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 2 {
+		t.Fatalf("crawled %d pages", len(pages))
+	}
+	if pages[0].Title != "Page A" || pages[1].Title != "Page B" {
+		t.Errorf("titles = %q %q", pages[0].Title, pages[1].Title)
+	}
+	if !strings.Contains(pages[0].Body, "hello world") {
+		t.Errorf("body = %q", pages[0].Body)
+	}
+}
+
+func TestExtractStripsScripts(t *testing.T) {
+	html := `<html><head><title>T</title><script>var x = "evil";</script></head><body>visible</body></html>`
+	p := extract("http://x.example/", html)
+	if strings.Contains(p.Body, "evil") {
+		t.Errorf("script content leaked into body: %q", p.Body)
+	}
+	if !strings.Contains(p.Body, "visible") {
+		t.Errorf("visible text missing: %q", p.Body)
+	}
+}
+
+func TestNearDuplicateSuppression(t *testing.T) {
+	mux := http.NewServeMux()
+	serve := func(path, body string) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "<html><head><title>t</title></head><body>%s</body></html>", body)
+		})
+	}
+	long := strings.Repeat("identical content repeated many times over and over again ", 5)
+	serve("/a", long)
+	serve("/b", long) // near-duplicate of /a
+	serve("/c", "completely different text about wine tasting notes and vintages")
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	pages, err := Crawl(HTTPFetcher{srv.Client()},
+		[]string{srv.URL + "/a", srv.URL + "/b", srv.URL + "/c"},
+		Config{DedupeShingleSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 2 {
+		t.Fatalf("dedupe kept %d pages, want 2", len(pages))
+	}
+}
+
+func TestToRecordsAndSchema(t *testing.T) {
+	url := seedURL(t)
+	pages, _ := Crawl(CorpusFetcher{corpus}, []string{url}, Config{MaxDepth: 1, MaxPages: 10})
+	recs := ToRecords(pages)
+	if len(recs) != len(pages) {
+		t.Fatal("record count mismatch")
+	}
+	sch := CrawlSchema("crawl")
+	if err := sch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := store.New()
+	s.CreateTenant("t", "o")
+	ds, err := s.CreateDataset("t", "o", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if _, err := ds.Put(r); err != nil {
+			t.Fatalf("crawl record rejected: %v (%v)", err, r["url"])
+		}
+	}
+	if ds.Len() != len(recs) {
+		t.Error("not all crawl records stored")
+	}
+}
+
+func TestSites(t *testing.T) {
+	pages := []Page{{Site: "b.com"}, {Site: "a.com"}, {Site: "b.com"}}
+	got := Sites(pages)
+	if len(got) != 2 || got[0] != "a.com" || got[1] != "b.com" {
+		t.Fatalf("Sites = %v", got)
+	}
+}

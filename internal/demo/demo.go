@@ -1,0 +1,251 @@
+// Package demo builds the paper's motivating applications on a
+// Platform: GamerQueen (§II-B, the running example), WineFinder (§I's
+// wine connoisseur vertical) and VideoStore (§I's video store).
+// Commands, examples and benchmarks share these scenarios so every
+// artifact exercises the same code paths.
+package demo
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/ads"
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/layout"
+	"repro/internal/publish"
+	"repro/internal/webcorpus"
+	"repro/internal/webservice"
+)
+
+// Scenario bundles what a built demo application exposes.
+type Scenario struct {
+	App *app.Application
+	// Titles are the catalog titles (all corpus entities, so engine
+	// supplementals return on-topic results).
+	Titles []string
+	// Pricing is the simulated in-house service (GamerQueen only).
+	Pricing *webservice.PricingService
+	// PricingServer must be closed by the caller when non-nil.
+	PricingServer *httptest.Server
+}
+
+// Close releases scenario resources.
+func (s *Scenario) Close() {
+	if s.PricingServer != nil {
+		s.PricingServer.Close()
+	}
+}
+
+// GamerQueen builds Ann's video game store per §II-B: inventory
+// primary, review web-search supplemental restricted to the paper's
+// three sites, and a live pricing/in-stock service. nTitles bounds
+// the inventory size (0 means 8).
+func GamerQueen(p *core.Platform, seed int64, nTitles int) (*Scenario, error) {
+	if nTitles <= 0 {
+		nTitles = 8
+	}
+	if err := p.RegisterDesigner("ann", "gamerqueen"); err != nil {
+		return nil, err
+	}
+	all := webcorpus.Entities(webcorpus.Config{Seed: seed}, webcorpus.TopicGames)
+	if nTitles > len(all) {
+		nTitles = len(all)
+	}
+	titles := all[:nTitles]
+
+	var csv strings.Builder
+	csv.WriteString("sku,title,producer,description,image,detailurl\n")
+	for i, title := range titles {
+		fmt.Fprintf(&csv, "G%d,%s,Studio%d,an exciting %s adventure for all players,http://img.example/g%d.png,http://gamerqueen.example/games/%d\n",
+			i, title, i%4, title, i, i)
+	}
+	if _, err := p.Upload(ingest.Options{
+		Tenant: "gamerqueen", Actor: "ann", Dataset: "inventory",
+		Format: ingest.FormatCSV, KeyField: "sku",
+	}, strings.NewReader(csv.String())); err != nil {
+		return nil, err
+	}
+
+	pricing := webservice.NewPricingService(seed, titles)
+	srv := httptest.NewServer(pricing)
+
+	// A game retailer advertises against Ann's catalog keywords.
+	if err := p.Ads.Register(ads.Ad{
+		ID: "gamemart-1", Advertiser: "GameMart",
+		Title: "GameMart deals", Text: "New and used games shipped free",
+		LandingURL: "http://gamemart.example/deals",
+		Keywords:   titles, BidCPC: 0.40,
+	}); err != nil {
+		return nil, err
+	}
+
+	d := p.NewApp("gamerqueen", "GamerQueen", "ann", "gamerqueen")
+	d.DropPrimary(app.SourceConfig{ID: "inventory", Kind: app.KindProprietary, Dataset: "inventory", MaxResults: 5})
+	d.SetSearchFields("inventory", "title", "producer", "description")
+	d.UseTemplate("inventory", "media-card", map[string]string{
+		"title": "title", "url": "detailurl", "image": "image", "description": "description",
+	})
+	d.DropSupplemental("inventory", app.SourceConfig{ID: "reviews", Kind: app.KindWebSearch, MaxResults: 3})
+	d.RestrictSites("reviews", "gamespot.com", "ign.com", "teamxbox.com")
+	d.SetDriveFields("reviews", "{title} review", "title")
+	d.UseTemplate("reviews", "headline-snippet", map[string]string{"title": "title", "url": "url", "snippet": "snippet"})
+	d.DropSupplemental("inventory", app.SourceConfig{ID: "pricing", Kind: app.KindService, MaxResults: 1})
+	d.ConfigureService("pricing", webservice.Definition{
+		Name: "pricing", Endpoint: srv.URL + "/price",
+		Params:     map[string]string{"title": "{title}"},
+		CacheTTLMS: 2000,
+	})
+	d.SetDriveFields("pricing", "", "title")
+	d.SetResultLayout("pricing", &layout.Element{Type: layout.ElemContainer, Children: []*layout.Element{
+		{Type: layout.ElemText, Literal: "Price: "},
+		{Type: layout.ElemText, Field: "price"},
+		{Type: layout.ElemText, Literal: " In stock: "},
+		{Type: layout.ElemText, Field: "instock"},
+	}})
+	d.DropSupplemental("inventory", app.SourceConfig{ID: "sponsored", Kind: app.KindAds, MaxResults: 1})
+	d.SetDriveFields("sponsored", "{title}", "title")
+	d.UseTemplate("sponsored", "ad-block", map[string]string{"title": "title", "url": "url", "text": "text"})
+
+	a, err := d.Build()
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	if _, err := p.Publish(a, publish.TargetWeb, publish.TargetFacebook); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &Scenario{App: a, Titles: titles, Pricing: pricing, PricingServer: srv}, nil
+}
+
+// WineFinder builds the §I wine connoisseur's vertical: her curated
+// cellar notes as primary content, wine-site web search supplemental,
+// and sponsored listings for monetization.
+func WineFinder(p *core.Platform, seed int64, nWines int) (*Scenario, error) {
+	if nWines <= 0 {
+		nWines = 10
+	}
+	if err := p.RegisterDesigner("claire", "winefinder"); err != nil {
+		return nil, err
+	}
+	all := webcorpus.Entities(webcorpus.Config{Seed: seed}, webcorpus.TopicWine)
+	if nWines > len(all) {
+		nWines = len(all)
+	}
+	wines := all[:nWines]
+
+	var grid strings.Builder
+	grid.WriteString("=XLSGRID\nname\tregion\tvintage\trating\tnotes\n")
+	regions := []string{"Napa", "Sonoma", "Bordeaux", "Rioja"}
+	for i, wine := range wines {
+		fmt.Fprintf(&grid, "%s\t%s\t%d\t%d\t%s shows ripe fruit and firm tannins\n",
+			wine, regions[i%len(regions)], 1995+i%15, 84+i%16, wine)
+	}
+	if _, err := p.Upload(ingest.Options{
+		Tenant: "winefinder", Actor: "claire", Dataset: "cellar",
+		Format: ingest.FormatXLS, KeyField: "name",
+	}, strings.NewReader(grid.String())); err != nil {
+		return nil, err
+	}
+
+	if err := p.Ads.Register(ads.Ad{
+		ID: "wineclub-1", Advertiser: "WineClub",
+		Title: "Join the Wine Club", Text: "Monthly picks from small estates",
+		LandingURL: "http://wineclub.example/join",
+		Keywords:   wines, BidCPC: 0.80,
+	}); err != nil {
+		return nil, err
+	}
+
+	d := p.NewApp("winefinder", "WineFinder", "claire", "winefinder")
+	d.DropPrimary(app.SourceConfig{ID: "cellar", Kind: app.KindProprietary, Dataset: "cellar", MaxResults: 5})
+	d.SetSearchFields("cellar", "name", "notes")
+	d.SetResultLayout("cellar", &layout.Element{Type: layout.ElemContainer, Children: []*layout.Element{
+		{Type: layout.ElemText, Field: "name", Style: map[string]string{"font-size": "15px"}},
+		{Type: layout.ElemText, Field: "region"},
+		{Type: layout.ElemText, Field: "rating"},
+		{Type: layout.ElemText, Field: "notes"},
+	}})
+	d.DropSupplemental("cellar", app.SourceConfig{ID: "web", Kind: app.KindWebSearch, MaxResults: 3})
+	d.RestrictSites("web", webcorpus.SitesForTopic(webcorpus.TopicWine)...)
+	d.SetDriveFields("web", "{name} review", "name")
+	d.UseTemplate("web", "headline-snippet", map[string]string{"title": "title", "url": "url", "snippet": "snippet"})
+	d.DropSupplemental("cellar", app.SourceConfig{ID: "sponsored", Kind: app.KindAds, MaxResults: 1})
+	d.SetDriveFields("sponsored", "{name}", "name")
+	d.UseTemplate("sponsored", "ad-block", map[string]string{"title": "title", "url": "url", "text": "text"})
+
+	a, err := d.Build()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.Publish(a, publish.TargetWeb); err != nil {
+		return nil, err
+	}
+	return &Scenario{App: a, Titles: wines}, nil
+}
+
+// VideoStore builds §I's video store: movie inventory primary with
+// trailer (video vertical) and latest-news supplementals.
+func VideoStore(p *core.Platform, seed int64, nMovies int) (*Scenario, error) {
+	if nMovies <= 0 {
+		nMovies = 10
+	}
+	if err := p.RegisterDesigner("victor", "videostore"); err != nil {
+		return nil, err
+	}
+	all := webcorpus.Entities(webcorpus.Config{Seed: seed}, webcorpus.TopicMovies)
+	if nMovies > len(all) {
+		nMovies = len(all)
+	}
+	movies := all[:nMovies]
+
+	var xml strings.Builder
+	xml.WriteString("<catalog>\n")
+	for i, m := range movies {
+		fmt.Fprintf(&xml, "<movie><id>M%d</id><title>%s</title><genre>%s</genre><synopsis>%s follows an unlikely hero</synopsis><rentalurl>http://videostore.example/rent/%d</rentalurl></movie>\n",
+			i, m, []string{"drama", "thriller", "comedy"}[i%3], m, i)
+	}
+	xml.WriteString("</catalog>")
+	if _, err := p.Upload(ingest.Options{
+		Tenant: "videostore", Actor: "victor", Dataset: "catalog",
+		Format: ingest.FormatXML, KeyField: "id",
+	}, strings.NewReader(xml.String())); err != nil {
+		return nil, err
+	}
+
+	d := p.NewApp("videostore", "VideoStore", "victor", "videostore")
+	d.DropPrimary(app.SourceConfig{ID: "catalog", Kind: app.KindProprietary, Dataset: "catalog", MaxResults: 4})
+	d.SetSearchFields("catalog", "title", "synopsis")
+	d.UseTemplate("catalog", "title-link", map[string]string{"title": "title", "url": "rentalurl"})
+	d.DropSupplemental("catalog", app.SourceConfig{ID: "trailers", Kind: app.KindVideoSearch, MaxResults: 2})
+	d.SetDriveFields("trailers", "{title} trailer", "title")
+	d.UseTemplate("trailers", "headline-snippet", map[string]string{"title": "title", "url": "url", "snippet": "snippet"})
+	d.DropSupplemental("catalog", app.SourceConfig{ID: "news", Kind: app.KindNewsSearch, MaxResults: 2})
+	d.SetDriveFields("news", "{title} announcement", "title")
+	d.UseTemplate("news", "headline-snippet", map[string]string{"title": "title", "url": "url", "snippet": "snippet"})
+
+	a, err := d.Build()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.Publish(a, publish.TargetWeb); err != nil {
+		return nil, err
+	}
+	return &Scenario{App: a, Titles: movies}, nil
+}
+
+// SeedEngineClicks replays plausible end-user traffic into the engine
+// click log so Site Suggest and recommendation demos have signal.
+func SeedEngineClicks(p *core.Platform, topic webcorpus.Topic, queriesPerSite int) {
+	sites := webcorpus.SitesForTopic(topic)
+	entities := webcorpus.Entities(webcorpus.Config{Seed: 1}, topic)
+	for qi := 0; qi < queriesPerSite; qi++ {
+		q := entities[qi%len(entities)] + " review"
+		for _, site := range sites {
+			p.Engine.RecordClick(q, "http://"+site+"/page")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package demo
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/webcorpus"
+)
+
+func TestGamerQueenScenario(t *testing.T) {
+	p := core.New(core.Config{Seed: 1})
+	sc, err := GamerQueen(p, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if len(sc.Titles) != 6 {
+		t.Fatalf("titles = %d", len(sc.Titles))
+	}
+	if _, ok := p.Registry.Get("gamerqueen"); !ok {
+		t.Fatal("app not published")
+	}
+	if got := p.Facebook.Installed(); len(got) != 1 {
+		t.Fatalf("facebook installs = %v", got)
+	}
+	resp, err := p.Query(context.Background(), "gamerqueen", runtime.Query{Text: sc.Titles[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Blocks) != 1 || len(resp.Blocks[0].Items) == 0 {
+		t.Fatal("no results")
+	}
+	supp := resp.Blocks[0].SupplementalByItem[0]
+	for _, want := range []string{"reviews", "pricing", "sponsored"} {
+		if len(supp[want]) == 0 {
+			t.Errorf("supplemental %s empty", want)
+		}
+	}
+}
+
+func TestWineFinderScenario(t *testing.T) {
+	p := core.New(core.Config{Seed: 1})
+	sc, err := WineFinder(p, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	resp, err := p.Query(context.Background(), "winefinder", runtime.Query{Text: sc.Titles[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Blocks[0].Items) == 0 {
+		t.Fatal("no cellar results")
+	}
+	if resp.Blocks[0].Items[0]["name"] != sc.Titles[0] {
+		t.Errorf("top = %v", resp.Blocks[0].Items[0]["name"])
+	}
+}
+
+func TestVideoStoreScenario(t *testing.T) {
+	p := core.New(core.Config{Seed: 1})
+	sc, err := VideoStore(p, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	resp, err := p.Query(context.Background(), "videostore", runtime.Query{Text: sc.Titles[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Blocks[0].Items) == 0 {
+		t.Fatal("no catalog results")
+	}
+	supp := resp.Blocks[0].SupplementalByItem[0]
+	if len(supp["trailers"]) == 0 && len(supp["news"]) == 0 {
+		t.Error("no media supplementals for a corpus entity")
+	}
+}
+
+func TestScenariosCoexist(t *testing.T) {
+	p := core.New(core.Config{Seed: 1})
+	gq, err := GamerQueen(p, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gq.Close()
+	if _, err := WineFinder(p, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VideoStore(p, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Registry.List(); len(got) != 3 {
+		t.Fatalf("apps = %v", got)
+	}
+}
+
+func TestSeedEngineClicks(t *testing.T) {
+	p := core.New(core.Config{Seed: 1})
+	SeedEngineClicks(p, webcorpus.TopicGames, 3)
+	log := p.Engine.Log()
+	if len(log) == 0 {
+		t.Fatal("no clicks seeded")
+	}
+	sugs := p.SiteSuggest([]string{"ign.com"}, 3)
+	if len(sugs) == 0 {
+		t.Fatal("seeded clicks produced no suggestions")
+	}
+}

@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/webcorpus"
+)
+
+func TestDidYouMeanCorrectsEntityTypo(t *testing.T) {
+	e := newEngine(t)
+	// Take a real entity word from the corpus and misspell it.
+	entity := gameEntity(t)
+	word := strings.ToLower(strings.Fields(entity)[0])
+	if len(word) < 4 {
+		t.Skip("entity word too short to misspell safely")
+	}
+	typo := word[:len(word)-1] + "q" // replace last letter
+	corrected, changed := e.DidYouMean(typo)
+	if !changed {
+		t.Fatalf("typo %q not corrected", typo)
+	}
+	// The correction must be an indexed word at distance <= 2; most
+	// often the original word itself.
+	if corrected == typo {
+		t.Fatalf("corrected to itself: %q", corrected)
+	}
+}
+
+func TestDidYouMeanLeavesGoodQueriesAlone(t *testing.T) {
+	e := newEngine(t)
+	entity := strings.ToLower(gameEntity(t))
+	got, changed := e.DidYouMean(entity)
+	if changed || got != entity {
+		t.Fatalf("valid query altered: %q -> %q", entity, got)
+	}
+}
+
+func TestDidYouMeanMixedQuery(t *testing.T) {
+	e := newEngine(t)
+	entity := gameEntity(t)
+	word := strings.ToLower(strings.Fields(entity)[0])
+	if len(word) < 4 {
+		t.Skip("short entity")
+	}
+	typo := word[:len(word)-1] + "q"
+	query := typo + " review"
+	corrected, changed := e.DidYouMean(query)
+	if !changed {
+		t.Fatalf("mixed query not corrected: %q", query)
+	}
+	if !strings.HasSuffix(corrected, " review") {
+		t.Fatalf("valid word altered: %q", corrected)
+	}
+}
+
+func TestDidYouMeanGibberish(t *testing.T) {
+	e := newEngine(t)
+	got, changed := e.DidYouMean("xqzvbnmtr wplkjh")
+	if changed {
+		t.Fatalf("gibberish 'corrected' to %q", got)
+	}
+	_ = webcorpus.VerticalWeb
+}

@@ -1,0 +1,232 @@
+// Package engine implements the general-purpose search engine
+// substrate standing in for Bing in the paper's prototype.
+//
+// It exposes the four built-in services of §II-A — web, image, video
+// and news search — with the customization hooks the paper lists:
+// site restriction, automatic query augmentation (added terms), and
+// URL-preference reordering. It also keeps a query/click log, which
+// feeds both Site Suggest [paper ref 2] and the paper's concluding
+// observation that per-application usage data can become
+// community-specific relevance signals.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/textproc"
+	"repro/internal/webcorpus"
+)
+
+// Request is one search call against a vertical.
+type Request struct {
+	Query    string
+	Vertical webcorpus.Vertical
+	// Sites, when non-empty, restricts results to these domains
+	// (Google-Custom-style site restriction).
+	Sites []string
+	// AddTerms are appended to the user query before retrieval,
+	// reproducing "automatically add terms to an input query".
+	AddTerms []string
+	// PreferURLs get a rank boost, reproducing "reorder search results
+	// to give preference to some URLs".
+	PreferURLs []string
+	Limit      int
+	Offset     int
+}
+
+// Result is one engine hit.
+type Result struct {
+	URL      string
+	Site     string
+	Title    string
+	Snippet  string
+	Score    float64
+	Vertical webcorpus.Vertical
+	Entity   string
+}
+
+// Engine is the simulated general search engine.
+type Engine struct {
+	corpus  *webcorpus.Corpus
+	perVert map[webcorpus.Vertical]*index.Index
+	quality map[string]float64
+
+	mu   sync.Mutex
+	log  []LogEntry
+	sugg *suggester
+}
+
+// LogEntry records one query and, when the end user clicked, the
+// clicked site. Site Suggest mines these.
+type LogEntry struct {
+	Query      string
+	Vertical   webcorpus.Vertical
+	ClickedURL string
+	Site       string
+}
+
+// New indexes the corpus into per-vertical indexes.
+func New(corpus *webcorpus.Corpus) *Engine {
+	e := &Engine{
+		corpus:  corpus,
+		perVert: make(map[webcorpus.Vertical]*index.Index),
+		quality: make(map[string]float64),
+	}
+	for _, v := range webcorpus.Verticals {
+		ix := index.New()
+		ix.SetFieldOptions("title", index.FieldOptions{Boost: 2.5})
+		ix.SetFieldOptions("body", index.FieldOptions{Boost: 1})
+		ix.SetFieldOptions("site", index.FieldOptions{Analyzer: textproc.KeywordAnalyzer})
+		e.perVert[v] = ix
+	}
+	for _, s := range corpus.Sites {
+		e.quality[s.Domain] = s.Quality
+	}
+	for _, p := range corpus.Pages {
+		doc := index.Document{
+			ID: p.URL,
+			Fields: map[string]string{
+				"title": p.Title,
+				"body":  p.Body,
+				"site":  p.Site,
+			},
+			Stored: map[string]string{
+				"url":    p.URL,
+				"site":   p.Site,
+				"title":  p.Title,
+				"entity": p.Entity,
+				"day":    fmt.Sprintf("%d", p.PublishedDay),
+			},
+		}
+		// Indexing the generated corpus cannot fail (IDs are URLs and
+		// never empty); a failure here is a programming error.
+		if err := e.perVert[p.Vertical].Add(doc); err != nil {
+			panic(err)
+		}
+	}
+	return e
+}
+
+// Search runs a request against its vertical.
+func (e *Engine) Search(req Request) ([]Result, error) {
+	if req.Vertical == "" {
+		req.Vertical = webcorpus.VerticalWeb
+	}
+	ix, ok := e.perVert[req.Vertical]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown vertical %q", req.Vertical)
+	}
+	queryText := req.Query
+	if len(req.AddTerms) > 0 {
+		queryText = queryText + " " + strings.Join(req.AddTerms, " ")
+	}
+	q := index.Query(index.MatchQuery{Fields: []string{"title", "body"}, Text: queryText})
+	if len(req.Sites) > 0 {
+		var should []index.Query
+		for _, s := range req.Sites {
+			should = append(should, index.TermQuery{Field: "site", Term: s})
+		}
+		q = index.BoolQuery{Must: []index.Query{q}, Should: nil, MustNot: nil}
+		q = index.BoolQuery{Must: []index.Query{q, orQuery(should)}}
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = 10
+	}
+	// Over-fetch so quality/preference reordering has candidates. The
+	// candidate pool depends only on limit+offset so that paginated
+	// requests reorder a consistent set.
+	raw := ix.Search(q, index.SearchOptions{Limit: (limit + req.Offset) * 3, SnippetField: "body"})
+
+	prefer := make(map[string]bool, len(req.PreferURLs))
+	for _, u := range req.PreferURLs {
+		prefer[u] = true
+	}
+	out := make([]Result, 0, len(raw))
+	for _, r := range raw {
+		site := r.Stored["site"]
+		score := r.Score * (0.5 + e.quality[site])
+		if prefer[r.ID] {
+			score *= 4
+		}
+		if req.Vertical == webcorpus.VerticalNews {
+			// News ranks fresher stories higher.
+			var day int
+			fmt.Sscanf(r.Stored["day"], "%d", &day)
+			score *= 1 + 0.3*float64(day)/365
+		}
+		out = append(out, Result{
+			URL:      r.ID,
+			Site:     site,
+			Title:    r.Stored["title"],
+			Snippet:  r.Snippet,
+			Score:    score,
+			Vertical: req.Vertical,
+			Entity:   r.Stored["entity"],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].URL < out[j].URL
+	})
+	if req.Offset > 0 {
+		if req.Offset >= len(out) {
+			return nil, nil
+		}
+		out = out[req.Offset:]
+	}
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	e.mu.Lock()
+	e.log = append(e.log, LogEntry{Query: req.Query, Vertical: req.Vertical})
+	e.mu.Unlock()
+	return out, nil
+}
+
+func orQuery(qs []index.Query) index.Query {
+	return index.BoolQuery{Should: qs}
+}
+
+// RecordClick logs that the end user clicked url for query. The site
+// is derived from the URL host.
+func (e *Engine) RecordClick(query, url string) {
+	site := url
+	if i := strings.Index(site, "://"); i >= 0 {
+		site = site[i+3:]
+	}
+	if i := strings.IndexByte(site, '/'); i >= 0 {
+		site = site[:i]
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.log = append(e.log, LogEntry{Query: query, ClickedURL: url, Site: site})
+}
+
+// Log returns a copy of the query/click log.
+func (e *Engine) Log() []LogEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]LogEntry, len(e.log))
+	copy(out, e.log)
+	return out
+}
+
+// Corpus exposes the underlying synthetic web (used by the crawler
+// substrate and tests).
+func (e *Engine) Corpus() *webcorpus.Corpus { return e.corpus }
+
+// DocCount returns the number of documents indexed in a vertical.
+func (e *Engine) DocCount(v webcorpus.Vertical) int {
+	ix, ok := e.perVert[v]
+	if !ok {
+		return 0
+	}
+	return ix.Len()
+}

@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/webcorpus"
+)
+
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	return New(testCorpus)
+}
+
+func BenchmarkEngineWebSearch(b *testing.B) {
+	e := benchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Search(Request{Query: "review guide", Limit: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineSiteRestricted(b *testing.B) {
+	e := benchEngine(b)
+	sites := []string{"ign.com", "gamespot.com", "teamxbox.com"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Search(Request{Query: "review", Sites: sites, Limit: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineNewsFreshness(b *testing.B) {
+	e := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Search(Request{Query: "announcement news", Vertical: webcorpus.VerticalNews, Limit: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDidYouMean(b *testing.B) {
+	e := benchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.DidYouMean("reviw guide")
+	}
+}

@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/webcorpus"
+)
+
+var testCorpus = webcorpus.Generate(webcorpus.Config{Seed: 42})
+
+func newEngine(t testing.TB) *Engine {
+	t.Helper()
+	return New(testCorpus)
+}
+
+func TestAllVerticalsIndexed(t *testing.T) {
+	e := newEngine(t)
+	total := 0
+	for _, v := range webcorpus.Verticals {
+		n := e.DocCount(v)
+		if n == 0 {
+			t.Errorf("vertical %s empty", v)
+		}
+		total += n
+	}
+	if total != len(testCorpus.Pages) {
+		t.Errorf("indexed %d docs, corpus has %d", total, len(testCorpus.Pages))
+	}
+}
+
+func TestSearchFindsEntity(t *testing.T) {
+	e := newEngine(t)
+	entity := testCorpus.Pages[0].Entity
+	rs, err := e.Search(Request{Query: entity, Vertical: testCorpus.Pages[0].Vertical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatalf("no results for %q", entity)
+	}
+	found := false
+	for _, r := range rs {
+		if r.Entity == entity {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("entity %q not in top results", entity)
+	}
+}
+
+func TestDefaultVerticalIsWeb(t *testing.T) {
+	e := newEngine(t)
+	rs, err := e.Search(Request{Query: "review"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Vertical != webcorpus.VerticalWeb {
+			t.Errorf("got vertical %s", r.Vertical)
+		}
+	}
+}
+
+func TestUnknownVertical(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Search(Request{Query: "x", Vertical: "maps"}); err == nil {
+		t.Fatal("unknown vertical accepted")
+	}
+}
+
+func TestSiteRestriction(t *testing.T) {
+	e := newEngine(t)
+	sites := []string{"ign.com", "gamespot.com", "teamxbox.com"}
+	entity := gameEntity(t)
+	rs, err := e.Search(Request{Query: entity, Sites: sites, Limit: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Skip("no restricted results for this entity")
+	}
+	allowed := map[string]bool{}
+	for _, s := range sites {
+		allowed[s] = true
+	}
+	for _, r := range rs {
+		if !allowed[r.Site] {
+			t.Errorf("site restriction leaked %s", r.Site)
+		}
+	}
+}
+
+func gameEntity(t testing.TB) string {
+	t.Helper()
+	for _, p := range testCorpus.Pages {
+		if p.Topic == webcorpus.TopicGames && p.Vertical == webcorpus.VerticalWeb && p.Site == "ign.com" {
+			return p.Entity
+		}
+	}
+	t.Fatal("no game page on ign.com in corpus")
+	return ""
+}
+
+func TestQueryAugmentation(t *testing.T) {
+	e := newEngine(t)
+	entity := gameEntity(t)
+	plain, _ := e.Search(Request{Query: entity, Limit: 10})
+	augmented, _ := e.Search(Request{Query: entity, AddTerms: []string{"review"}, Limit: 10})
+	if len(plain) == 0 || len(augmented) == 0 {
+		t.Skip("not enough results to compare")
+	}
+	// Augmented top result should mention "review" more often in the
+	// title; at minimum results may differ in order.
+	reviewHits := 0
+	for _, r := range augmented {
+		if strings.Contains(strings.ToLower(r.Title), "review") {
+			reviewHits++
+		}
+	}
+	if reviewHits == 0 {
+		t.Error("augmentation with 'review' surfaced no review pages")
+	}
+}
+
+func TestPreferURLsReorders(t *testing.T) {
+	e := newEngine(t)
+	entity := gameEntity(t)
+	base, _ := e.Search(Request{Query: entity, Limit: 10})
+	if len(base) < 2 {
+		t.Skip("need at least 2 results")
+	}
+	// Prefer the last result; it should move to the front (its score
+	// is multiplied well past the leader's).
+	target := base[len(base)-1].URL
+	re, _ := e.Search(Request{Query: entity, Limit: 10, PreferURLs: []string{target}})
+	if re[0].URL != target {
+		t.Errorf("preferred URL %s not first (got %s)", target, re[0].URL)
+	}
+}
+
+func TestPagination(t *testing.T) {
+	e := newEngine(t)
+	all, _ := e.Search(Request{Query: "review", Limit: 10})
+	p2, _ := e.Search(Request{Query: "review", Limit: 5, Offset: 5})
+	if len(all) != 10 || len(p2) != 5 {
+		t.Fatalf("sizes %d %d", len(all), len(p2))
+	}
+	if all[5].URL != p2[0].URL {
+		t.Error("offset page misaligned")
+	}
+}
+
+func TestNewsFreshness(t *testing.T) {
+	e := newEngine(t)
+	rs, err := e.Search(Request{Query: "announcement news", Vertical: webcorpus.VerticalNews, Limit: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Skip("no news hits")
+	}
+	for _, r := range rs {
+		if r.Vertical != webcorpus.VerticalNews {
+			t.Errorf("non-news result %s", r.URL)
+		}
+	}
+}
+
+func TestQueryLogRecords(t *testing.T) {
+	e := newEngine(t)
+	e.Search(Request{Query: "zelda"})
+	e.RecordClick("zelda", "http://ign.com/web/some-page-1")
+	log := e.Log()
+	if len(log) != 2 {
+		t.Fatalf("log has %d entries", len(log))
+	}
+	if log[1].Site != "ign.com" {
+		t.Errorf("click site = %q", log[1].Site)
+	}
+	if log[1].ClickedURL == "" || log[0].ClickedURL != "" {
+		t.Error("click attribution wrong")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	e := newEngine(t)
+	a, _ := e.Search(Request{Query: "review guide", Limit: 10})
+	b, _ := e.Search(Request{Query: "review guide", Limit: 10})
+	if len(a) != len(b) {
+		t.Fatal("result counts differ")
+	}
+	for i := range a {
+		if a[i].URL != b[i].URL {
+			t.Fatal("nondeterministic ranking")
+		}
+	}
+}

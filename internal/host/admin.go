@@ -1,0 +1,195 @@
+package host
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/app"
+	"repro/internal/ingest"
+)
+
+// Admin is the designer-facing HTTP surface of the hosted platform:
+// uploading proprietary data, publishing application configurations,
+// and downloading the monetization summaries of §II-A. It is mounted
+// beside the end-user endpoints by AdminHandler.
+//
+// Authentication is a designer name in the X-Symphony-Designer
+// header; the store's tenancy checks below it make spoofing useless
+// against other tenants in this reproduction, and a production
+// deployment would terminate real auth in front.
+type Admin struct {
+	Registry *Registry
+	Uploader *ingest.Uploader
+	Log      *analytics.Log
+	// Suggest serves related-site suggestions (nil disables).
+	Suggest func(seeds []string, limit int) []string
+}
+
+// Handler returns the admin mux:
+//
+//	POST /admin/upload?tenant=T&dataset=D&format=csv[&key=F]   body = file
+//	POST /admin/publish                                        body = app JSON
+//	GET  /admin/summary?app=ID
+//	GET  /admin/export.csv?app=ID
+//	GET  /admin/series?app=ID&hours=24
+//	GET  /admin/suggest?sites=a.com,b.com&limit=5
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/admin/upload", a.handleUpload)
+	mux.HandleFunc("/admin/publish", a.handlePublish)
+	mux.HandleFunc("/admin/summary", a.handleSummary)
+	mux.HandleFunc("/admin/export.csv", a.handleExport)
+	mux.HandleFunc("/admin/series", a.handleSeries)
+	mux.HandleFunc("/admin/suggest", a.handleSuggest)
+	return mux
+}
+
+func designerOf(r *http.Request) string {
+	return r.Header.Get("X-Symphony-Designer")
+}
+
+func (a *Admin) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	designer := designerOf(r)
+	if designer == "" {
+		http.Error(w, "missing X-Symphony-Designer", http.StatusUnauthorized)
+		return
+	}
+	q := r.URL.Query()
+	opts := ingest.Options{
+		Tenant:   q.Get("tenant"),
+		Actor:    designer,
+		Dataset:  q.Get("dataset"),
+		Format:   ingest.Format(q.Get("format")),
+		KeyField: q.Get("key"),
+	}
+	if opts.Tenant == "" || opts.Dataset == "" || opts.Format == "" {
+		http.Error(w, "tenant, dataset and format are required", http.StatusBadRequest)
+		return
+	}
+	rep, err := a.Uploader.Upload(opts, r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "access denied") {
+			status = http.StatusForbidden
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+func (a *Admin) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	designer := designerOf(r)
+	if designer == "" {
+		http.Error(w, "missing X-Symphony-Designer", http.StatusUnauthorized)
+		return
+	}
+	var application app.Application
+	if err := json.NewDecoder(r.Body).Decode(&application); err != nil {
+		http.Error(w, fmt.Sprintf("bad application JSON: %v", err), http.StatusBadRequest)
+		return
+	}
+	if application.Owner != designer {
+		http.Error(w, "application owner does not match designer", http.StatusForbidden)
+		return
+	}
+	if err := a.Registry.Publish(&application); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Published string `json:"published"`
+	}{application.ID})
+}
+
+// ownedApp authorizes a designer against a published application.
+func (a *Admin) ownedApp(w http.ResponseWriter, r *http.Request) (string, bool) {
+	designer := designerOf(r)
+	appID := r.URL.Query().Get("app")
+	application, ok := a.Registry.Get(appID)
+	if !ok {
+		http.Error(w, "unknown application", http.StatusNotFound)
+		return "", false
+	}
+	if designer == "" || application.Owner != designer {
+		http.Error(w, "not the application owner", http.StatusForbidden)
+		return "", false
+	}
+	return appID, true
+}
+
+func (a *Admin) handleSummary(w http.ResponseWriter, r *http.Request) {
+	appID, ok := a.ownedApp(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(a.Log.Summarize(appID, 5))
+}
+
+func (a *Admin) handleExport(w http.ResponseWriter, r *http.Request) {
+	appID, ok := a.ownedApp(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	fmt.Fprint(w, a.Log.ExportCSV(appID))
+}
+
+func (a *Admin) handleSeries(w http.ResponseWriter, r *http.Request) {
+	appID, ok := a.ownedApp(w, r)
+	if !ok {
+		return
+	}
+	hours := 24
+	if h := r.URL.Query().Get("hours"); h != "" {
+		n, err := strconv.Atoi(h)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad hours", http.StatusBadRequest)
+			return
+		}
+		hours = n
+	}
+	buckets := a.Log.Series(appID, time.Duration(hours)*time.Hour)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(buckets)
+}
+
+func (a *Admin) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	if a.Suggest == nil {
+		http.Error(w, "suggest not configured", http.StatusNotImplemented)
+		return
+	}
+	sitesParam := r.URL.Query().Get("sites")
+	if sitesParam == "" {
+		http.Error(w, "sites required", http.StatusBadRequest)
+		return
+	}
+	limit := 5
+	if l := r.URL.Query().Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	out := a.Suggest(strings.Split(sitesParam, ","), limit)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,197 @@
+package host
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/analytics"
+	"repro/internal/app"
+	"repro/internal/ingest"
+	"repro/internal/store"
+)
+
+func newAdmin(t testing.TB) (*Admin, *httptest.Server, *store.Store) {
+	t.Helper()
+	st := store.New()
+	if err := st.CreateTenant("shop", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	log := analytics.NewLog()
+	a := &Admin{
+		Registry: NewRegistry(),
+		Uploader: &ingest.Uploader{Store: st},
+		Log:      log,
+		Suggest: func(seeds []string, limit int) []string {
+			return []string{"suggested.example"}
+		},
+	}
+	srv := httptest.NewServer(a.Handler())
+	t.Cleanup(srv.Close)
+	return a, srv, st
+}
+
+func do(t testing.TB, client *http.Client, method, url, designer, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if designer != "" {
+		req.Header.Set("X-Symphony-Designer", designer)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data)
+}
+
+func TestAdminUpload(t *testing.T) {
+	_, srv, st := newAdmin(t)
+	csv := "sku,title\nA1,Widget One\nA2,Widget Two\n"
+	code, body := do(t, srv.Client(), "POST",
+		srv.URL+"/admin/upload?tenant=shop&dataset=catalog&format=csv&key=sku", "ann", csv)
+	if code != http.StatusOK {
+		t.Fatalf("upload = %d %s", code, body)
+	}
+	if !strings.Contains(body, `"Loaded":2`) {
+		t.Errorf("report = %s", body)
+	}
+	ds, err := st.Dataset("shop", "ann", "catalog", store.PermRead)
+	if err != nil || ds.Len() != 2 {
+		t.Fatalf("dataset after upload: %v %v", ds, err)
+	}
+}
+
+func TestAdminUploadAuth(t *testing.T) {
+	_, srv, _ := newAdmin(t)
+	csv := "a,b\n1,2\n"
+	// No designer header.
+	code, _ := do(t, srv.Client(), "POST", srv.URL+"/admin/upload?tenant=shop&dataset=d&format=csv", "", csv)
+	if code != http.StatusUnauthorized {
+		t.Fatalf("missing designer = %d", code)
+	}
+	// Wrong designer: tenancy denies.
+	code, _ = do(t, srv.Client(), "POST", srv.URL+"/admin/upload?tenant=shop&dataset=d&format=csv", "mallory", csv)
+	if code != http.StatusForbidden {
+		t.Fatalf("mallory = %d", code)
+	}
+	// Missing params.
+	code, _ = do(t, srv.Client(), "POST", srv.URL+"/admin/upload?tenant=shop", "ann", csv)
+	if code != http.StatusBadRequest {
+		t.Fatalf("missing params = %d", code)
+	}
+	// GET not allowed.
+	code, _ = do(t, srv.Client(), "GET", srv.URL+"/admin/upload?tenant=shop&dataset=d&format=csv", "ann", "")
+	if code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET = %d", code)
+	}
+}
+
+func publishedJSON(t testing.TB, owner string) string {
+	t.Helper()
+	d := app.NewDesigner("myapp", "My App", owner, "shop")
+	d.DropPrimary(app.SourceConfig{ID: "web", Kind: app.KindWebSearch})
+	a, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := app.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestAdminPublish(t *testing.T) {
+	ad, srv, _ := newAdmin(t)
+	code, body := do(t, srv.Client(), "POST", srv.URL+"/admin/publish", "ann", publishedJSON(t, "ann"))
+	if code != http.StatusOK {
+		t.Fatalf("publish = %d %s", code, body)
+	}
+	if _, ok := ad.Registry.Get("myapp"); !ok {
+		t.Fatal("app not in registry")
+	}
+	// Owner mismatch rejected.
+	code, _ = do(t, srv.Client(), "POST", srv.URL+"/admin/publish", "mallory", publishedJSON(t, "ann"))
+	if code != http.StatusForbidden {
+		t.Fatalf("owner mismatch = %d", code)
+	}
+	// Bad JSON and invalid app rejected.
+	code, _ = do(t, srv.Client(), "POST", srv.URL+"/admin/publish", "ann", "{broken")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad json = %d", code)
+	}
+	code, _ = do(t, srv.Client(), "POST", srv.URL+"/admin/publish", "ann", `{"id":"x","name":"X","owner":"ann"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid app = %d", code)
+	}
+}
+
+func TestAdminSummaryAndExport(t *testing.T) {
+	ad, srv, _ := newAdmin(t)
+	do(t, srv.Client(), "POST", srv.URL+"/admin/publish", "ann", publishedJSON(t, "ann"))
+	ad.Log.Record(analytics.Event{App: "myapp", Type: analytics.EventQuery, Query: "zelda"})
+	ad.Log.Record(analytics.Event{App: "myapp", Type: analytics.EventClick, URL: "http://ign.com/x"})
+
+	code, body := do(t, srv.Client(), "GET", srv.URL+"/admin/summary?app=myapp", "ann", "")
+	if code != http.StatusOK || !strings.Contains(body, `"Queries":1`) {
+		t.Fatalf("summary = %d %s", code, body)
+	}
+	code, body = do(t, srv.Client(), "GET", srv.URL+"/admin/export.csv?app=myapp", "ann", "")
+	if code != http.StatusOK || !strings.Contains(body, "zelda") {
+		t.Fatalf("export = %d %s", code, body)
+	}
+	// Only the owner can read reports.
+	code, _ = do(t, srv.Client(), "GET", srv.URL+"/admin/summary?app=myapp", "bob", "")
+	if code != http.StatusForbidden {
+		t.Fatalf("bob summary = %d", code)
+	}
+	code, _ = do(t, srv.Client(), "GET", srv.URL+"/admin/summary?app=ghost", "ann", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("ghost summary = %d", code)
+	}
+}
+
+func TestAdminSeries(t *testing.T) {
+	ad, srv, _ := newAdmin(t)
+	do(t, srv.Client(), "POST", srv.URL+"/admin/publish", "ann", publishedJSON(t, "ann"))
+	ad.Log.Record(analytics.Event{App: "myapp", Type: analytics.EventQuery})
+	code, body := do(t, srv.Client(), "GET", srv.URL+"/admin/series?app=myapp&hours=1", "ann", "")
+	if code != http.StatusOK || !strings.Contains(body, `"Queries":1`) {
+		t.Fatalf("series = %d %s", code, body)
+	}
+	code, _ = do(t, srv.Client(), "GET", srv.URL+"/admin/series?app=myapp&hours=junk", "ann", "")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad hours = %d", code)
+	}
+}
+
+func TestAdminSuggest(t *testing.T) {
+	_, srv, _ := newAdmin(t)
+	code, body := do(t, srv.Client(), "GET", srv.URL+"/admin/suggest?sites=a.com,b.com", "", "")
+	if code != http.StatusOK || !strings.Contains(body, "suggested.example") {
+		t.Fatalf("suggest = %d %s", code, body)
+	}
+	code, _ = do(t, srv.Client(), "GET", srv.URL+"/admin/suggest", "", "")
+	if code != http.StatusBadRequest {
+		t.Fatalf("missing sites = %d", code)
+	}
+	code, _ = do(t, srv.Client(), "GET", srv.URL+"/admin/suggest?sites=a.com&limit=0", "", "")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad limit = %d", code)
+	}
+	// Unconfigured suggest.
+	a2 := &Admin{Registry: NewRegistry(), Log: analytics.NewLog()}
+	srv2 := httptest.NewServer(a2.Handler())
+	defer srv2.Close()
+	code, _ = do(t, srv2.Client(), "GET", srv2.URL+"/admin/suggest?sites=a.com", "", "")
+	if code != http.StatusNotImplemented {
+		t.Fatalf("unconfigured = %d", code)
+	}
+}

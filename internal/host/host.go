@@ -1,0 +1,281 @@
+// Package host implements the hosting side of the paper: "Regardless
+// of how an application is distributed, its execution and the
+// resources involved are always shouldered by Symphony." It keeps the
+// registry of published applications and serves them over HTTP: a
+// query endpoint returning the rendered HTML fragment, a click
+// redirect that logs interactions for monetization, and the
+// auto-generated JavaScript embed loader.
+package host
+
+import (
+	"context"
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/analytics"
+	"repro/internal/app"
+	"repro/internal/runtime"
+)
+
+// Registry stores published applications.
+type Registry struct {
+	mu   sync.RWMutex
+	apps map[string]*app.Application
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{apps: make(map[string]*app.Application)}
+}
+
+// Publish validates and registers an application (replacing any
+// previous version, which is how designers iterate).
+func (r *Registry) Publish(a *app.Application) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.apps[a.ID] = a
+	return nil
+}
+
+// Unpublish removes an application.
+func (r *Registry) Unpublish(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.apps[id]; !ok {
+		return false
+	}
+	delete(r.apps, id)
+	return true
+}
+
+// Get returns a published application.
+func (r *Registry) Get(id string) (*app.Application, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.apps[id]
+	return a, ok
+}
+
+// List returns published app IDs, sorted.
+func (r *Registry) List() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.apps))
+	for id := range r.apps {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Server hosts published applications.
+type Server struct {
+	Registry *Registry
+	Executor *runtime.Executor
+	Log      *analytics.Log
+	// BaseURL is the public base of this host, used in generated
+	// embed snippets.
+	BaseURL string
+	// Limiter meters per-app query load when non-nil; over-limit
+	// queries get 429.
+	Limiter *RateLimiter
+}
+
+// Handler returns the HTTP mux serving:
+//
+//	GET /query?app=ID&q=TEXT[&customer=C][&offset=N][&format=json]
+//	GET /click?app=ID&url=TARGET    (302 redirect + click log)
+//	GET /embed.js?app=ID            (the auto-generated loader)
+//	GET /apps                        (published app listing, JSON)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/click", s.handleClick)
+	mux.HandleFunc("/embed.js", s.handleEmbed)
+	mux.HandleFunc("/apps", s.handleApps)
+	mux.HandleFunc("/rss", s.handleRSS)
+	return mux
+}
+
+// handleRSS serves an application's results as an RSS 2.0 feed —
+// search-driven applications become data sources themselves, closing
+// the loop with the RSS upload path (one app's feed can be another
+// designer's proprietary source).
+func (s *Server) handleRSS(w http.ResponseWriter, r *http.Request) {
+	appID := r.URL.Query().Get("app")
+	a, ok := s.Registry.Get(appID)
+	if !ok {
+		http.Error(w, "unknown application", http.StatusNotFound)
+		return
+	}
+	resp, err := s.Executor.Execute(context.Background(), a, runtime.Query{Text: r.URL.Query().Get("q")})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	type rssItem struct {
+		Title       string `xml:"title"`
+		Link        string `xml:"link,omitempty"`
+		Description string `xml:"description,omitempty"`
+	}
+	type rssChannel struct {
+		Title string    `xml:"title"`
+		Items []rssItem `xml:"item"`
+	}
+	type rssDoc struct {
+		XMLName struct{}   `xml:"rss"`
+		Version string     `xml:"version,attr"`
+		Channel rssChannel `xml:"channel"`
+	}
+	doc := rssDoc{Version: "2.0"}
+	doc.Channel.Title = a.Name
+	for _, block := range resp.Blocks {
+		for _, item := range block.Items {
+			ri := rssItem{Title: item["title"]}
+			if ri.Title == "" {
+				ri.Title = item["name"]
+			}
+			for _, f := range []string{"url", "detailurl", "link", "rentalurl"} {
+				if v := item[f]; v != "" {
+					ri.Link = v
+					break
+				}
+			}
+			for _, f := range []string{"description", "snippet", "notes", "synopsis"} {
+				if v := item[f]; v != "" {
+					ri.Description = v
+					break
+				}
+			}
+			doc.Channel.Items = append(doc.Channel.Items, ri)
+		}
+	}
+	w.Header().Set("Content-Type", "application/rss+xml")
+	out, err := xml.Marshal(doc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(out)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	appID := r.URL.Query().Get("app")
+	a, ok := s.Registry.Get(appID)
+	if !ok {
+		http.Error(w, "unknown application", http.StatusNotFound)
+		return
+	}
+	if s.Limiter != nil && !s.Limiter.Allow(appID) {
+		http.Error(w, "application over query rate limit", http.StatusTooManyRequests)
+		return
+	}
+	q := runtime.Query{
+		Text:     r.URL.Query().Get("q"),
+		Customer: r.URL.Query().Get("customer"),
+	}
+	if off := r.URL.Query().Get("offset"); off != "" {
+		n, err := strconv.Atoi(off)
+		if err != nil || n < 0 {
+			http.Error(w, "bad offset", http.StatusBadRequest)
+			return
+		}
+		q.Offset = n
+	}
+	if prefer := r.URL.Query().Get("prefer"); prefer != "" {
+		q.Profile = &runtime.CustomerProfile{PreferTerms: []string{prefer}}
+	}
+	resp, err := s.Executor.Execute(context.Background(), a, q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			App    string `json:"app"`
+			Query  string `json:"query"`
+			HTML   string `json:"html"`
+			Blocks int    `json:"blocks"`
+		}{resp.AppID, resp.Query, resp.HTML, len(resp.Blocks)})
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, resp.HTML)
+}
+
+// handleClick logs the interaction and redirects to the target —
+// "When a link is clicked in a Symphony-hosted application, it can be
+// logged by the system."
+func (s *Server) handleClick(w http.ResponseWriter, r *http.Request) {
+	appID := r.URL.Query().Get("app")
+	target := r.URL.Query().Get("url")
+	if _, ok := s.Registry.Get(appID); !ok {
+		http.Error(w, "unknown application", http.StatusNotFound)
+		return
+	}
+	parsed, err := url.Parse(target)
+	if err != nil || (parsed.Scheme != "http" && parsed.Scheme != "https" && parsed.Scheme != "ftp") {
+		http.Error(w, "bad target", http.StatusBadRequest)
+		return
+	}
+	if s.Log != nil {
+		s.Log.Record(analytics.Event{
+			App:      appID,
+			Type:     analytics.EventClick,
+			URL:      target,
+			Customer: r.URL.Query().Get("customer"),
+		})
+	}
+	http.Redirect(w, r, target, http.StatusFound)
+}
+
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	appID := r.URL.Query().Get("app")
+	if _, ok := s.Registry.Get(appID); !ok {
+		http.Error(w, "unknown application", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/javascript")
+	fmt.Fprint(w, EmbedJS(s.BaseURL, appID))
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Registry.List())
+}
+
+// EmbedJS is the auto-generated JavaScript loader the designer pastes
+// into their page: it forwards the visitor's query to Symphony and
+// injects the returned HTML (Fig 2's first and last arrows).
+func EmbedJS(baseURL, appID string) string {
+	return fmt.Sprintf(`(function(){
+  var BASE=%q, APP=%q;
+  window.symphonySearch=function(q){
+    var xhr=new XMLHttpRequest();
+    xhr.open("GET", BASE+"/query?app="+encodeURIComponent(APP)+"&q="+encodeURIComponent(q));
+    xhr.onload=function(){
+      document.getElementById("symphony-"+APP).innerHTML=xhr.responseText;
+    };
+    xhr.send();
+  };
+})();`, baseURL, appID)
+}
+
+// EmbedSnippet is the copy-and-paste HTML block for the designer's
+// site: a container div, a search box wired to the loader, and the
+// script tag.
+func EmbedSnippet(baseURL, appID string) string {
+	return fmt.Sprintf(`<div id="symphony-%s"></div>
+<input type="search" onchange="symphonySearch(this.value)" placeholder="Search"/>
+<script src="%s/embed.js?app=%s"></script>`, appID, baseURL, url.QueryEscape(appID))
+}

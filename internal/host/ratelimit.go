@@ -1,0 +1,59 @@
+package host
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter meters queries per application with a token bucket.
+// The paper's hosting promise ("execution and the resources involved
+// are always shouldered by Symphony") implies the platform must
+// protect itself from a single hot application; this is that guard.
+type RateLimiter struct {
+	// QPS is the steady refill rate per app; Burst the bucket size.
+	QPS   float64
+	Burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter allowing qps sustained and burst
+// instantaneous queries per app.
+func NewRateLimiter(qps, burst float64) *RateLimiter {
+	return &RateLimiter{
+		QPS:     qps,
+		Burst:   burst,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// Allow reports whether one more query for app may proceed now.
+func (rl *RateLimiter) Allow(app string) bool {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	b, ok := rl.buckets[app]
+	if !ok {
+		b = &bucket{tokens: rl.Burst, last: now}
+		rl.buckets[app] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	b.last = now
+	b.tokens += elapsed * rl.QPS
+	if b.tokens > rl.Burst {
+		b.tokens = rl.Burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,69 @@
+package host
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRateLimiterTokenBucket(t *testing.T) {
+	rl := NewRateLimiter(10, 3)
+	now := time.Unix(1000, 0)
+	rl.now = func() time.Time { return now }
+
+	// Burst of 3 allowed, 4th denied.
+	for i := 0; i < 3; i++ {
+		if !rl.Allow("a") {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	if rl.Allow("a") {
+		t.Fatal("over-burst request allowed")
+	}
+	// After 100ms at 10 qps one token refills.
+	now = now.Add(100 * time.Millisecond)
+	if !rl.Allow("a") {
+		t.Fatal("refilled token denied")
+	}
+	if rl.Allow("a") {
+		t.Fatal("second request after single refill allowed")
+	}
+	// Tokens cap at burst.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !rl.Allow("a") {
+			t.Fatalf("capped burst request %d denied", i)
+		}
+	}
+	if rl.Allow("a") {
+		t.Fatal("bucket exceeded burst cap")
+	}
+}
+
+func TestRateLimiterPerApp(t *testing.T) {
+	rl := NewRateLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	rl.now = func() time.Time { return now }
+	if !rl.Allow("a") {
+		t.Fatal("a denied")
+	}
+	if !rl.Allow("b") {
+		t.Fatal("b should have its own bucket")
+	}
+	if rl.Allow("a") {
+		t.Fatal("a exceeded its bucket")
+	}
+}
+
+func TestServerRateLimits(t *testing.T) {
+	s, srv := newServer(t)
+	s.Limiter = NewRateLimiter(0.001, 2)
+	codes := map[int]int{}
+	for i := 0; i < 5; i++ {
+		code, _ := get(t, srv.Client(), srv.URL+"/query?app=websearch&q=review")
+		codes[code]++
+	}
+	if codes[http.StatusOK] != 2 || codes[http.StatusTooManyRequests] != 3 {
+		t.Fatalf("codes = %v", codes)
+	}
+}

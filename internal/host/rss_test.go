@@ -1,0 +1,49 @@
+package host
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+func TestRSSEndpoint(t *testing.T) {
+	_, srv := newServer(t)
+	code, body := get(t, srv.Client(), srv.URL+"/rss?app=websearch&q=review")
+	if code != http.StatusOK {
+		t.Fatalf("rss = %d", code)
+	}
+	if !strings.Contains(body, `<rss version="2.0">`) {
+		t.Fatalf("not rss: %.120s", body)
+	}
+	if !strings.Contains(body, "<channel><title>Web Search</title>") {
+		t.Errorf("channel title missing: %.200s", body)
+	}
+	if !strings.Contains(body, "<item>") || !strings.Contains(body, "<link>") {
+		t.Error("no items/links in feed")
+	}
+	code, _ = get(t, srv.Client(), srv.URL+"/rss?app=nope&q=x")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown app rss = %d", code)
+	}
+}
+
+// The feed an application serves can be ingested back as another
+// designer's proprietary dataset — apps become data sources.
+func TestRSSRoundTripsThroughIngest(t *testing.T) {
+	_, srv := newServer(t)
+	_, body := get(t, srv.Client(), srv.URL+"/rss?app=websearch&q=review")
+	recs, err := ingest.ParseRSS(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("feed produced no records")
+	}
+	for _, r := range recs {
+		if r["title"] == "" {
+			t.Fatalf("record missing title: %v", r)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFacetsOverMatch(t *testing.T) {
+	ix := sampleIndex(t)
+	got := ix.Facets(MatchQuery{Text: "game"}, "producer", nil)
+	want := []FacetCount{
+		{Value: "Nintendo", N: 2},
+		{Value: "Ensemble", N: 1},
+		{Value: "Epic", N: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("facets = %v", got)
+	}
+}
+
+func TestFacetsRespectFilters(t *testing.T) {
+	ix := sampleIndex(t)
+	got := ix.Facets(nil, "producer", map[string]string{"producer": "Nintendo"})
+	if len(got) != 1 || got[0].N != 2 {
+		t.Fatalf("filtered facets = %v", got)
+	}
+}
+
+func TestFacetsSkipDeletedAndEmpty(t *testing.T) {
+	ix := sampleIndex(t)
+	ix.Delete("g1")
+	got := ix.Facets(nil, "producer", nil)
+	for _, f := range got {
+		if f.Value == "Nintendo" && f.N != 1 {
+			t.Fatalf("deleted doc counted: %v", got)
+		}
+	}
+	if got := ix.Facets(nil, "nonexistent", nil); len(got) != 0 {
+		t.Fatalf("phantom field facets = %v", got)
+	}
+}

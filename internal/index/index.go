@@ -1,0 +1,266 @@
+// Package index implements the in-memory inverted index that backs
+// every searchable source in the Symphony reproduction: the synthetic
+// web engine's verticals and each designer's proprietary data store.
+//
+// It supports multi-field documents, BM25 ranking with per-field
+// boosts, term / and / or / phrase / prefix queries, exact filters on
+// keyword fields, deletions, and snippet generation. Everything is
+// guarded by one RWMutex: reads (queries) vastly outnumber writes in
+// the platform's workload, matching the paper's read-heavy hosted
+// execution model.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/textproc"
+)
+
+// Document is the unit of indexing. Fields holds the analyzed,
+// searchable text per field; Stored holds values returned verbatim
+// with results (display fields, URLs, prices).
+type Document struct {
+	ID     string
+	Fields map[string]string
+	Stored map[string]string
+}
+
+// FieldOptions controls how a field is analyzed and scored.
+type FieldOptions struct {
+	// Analyzer used at index and query time. Nil means the default
+	// free-text analyzer.
+	Analyzer *textproc.Analyzer
+	// Boost multiplies the field's BM25 contribution. Zero means 1.
+	Boost float64
+}
+
+type posting struct {
+	doc       int   // internal ordinal
+	positions []int // term positions within the field
+}
+
+type fieldPostings struct {
+	// term -> postings ordered by doc ordinal
+	terms map[string][]posting
+	// total token count across live docs, for average length
+	totalLen int
+	// per-doc field length
+	docLen map[int]int
+	opts   FieldOptions
+}
+
+// Ranker selects the scoring function.
+type Ranker int
+
+// Rankers: BM25 (default) and classic TF-IDF, kept for the ablation
+// in DESIGN.md §5.
+const (
+	RankerBM25 Ranker = iota
+	RankerTFIDF
+)
+
+// Index is a thread-safe inverted index.
+type Index struct {
+	mu sync.RWMutex
+
+	fields map[string]*fieldPostings
+	docs   []Document // by ordinal; deleted entries have ID ""
+	byID   map[string]int
+	live   int
+
+	ranker Ranker
+	// bm25 parameters
+	k1, b float64
+}
+
+// New returns an empty index with standard BM25 parameters
+// (k1=1.2, b=0.75).
+func New() *Index {
+	return &Index{
+		fields: make(map[string]*fieldPostings),
+		byID:   make(map[string]int),
+		k1:     1.2,
+		b:      0.75,
+	}
+}
+
+// SetRanker switches the scoring function. Safe to call at any time;
+// it affects subsequent searches only.
+func (ix *Index) SetRanker(r Ranker) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.ranker = r
+}
+
+// SetFieldOptions configures analysis and boost for a field. It must
+// be called before documents containing the field are added; changing
+// analyzers after indexing would desynchronize query analysis.
+func (ix *Index) SetFieldOptions(field string, opts FieldOptions) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	fp := ix.fieldFor(field)
+	fp.opts = opts
+}
+
+func (ix *Index) fieldFor(field string) *fieldPostings {
+	fp, ok := ix.fields[field]
+	if !ok {
+		fp = &fieldPostings{
+			terms:  make(map[string][]posting),
+			docLen: make(map[int]int),
+		}
+		ix.fields[field] = fp
+	}
+	return fp
+}
+
+// Add indexes doc, replacing any existing document with the same ID.
+func (ix *Index) Add(doc Document) error {
+	if doc.ID == "" {
+		return fmt.Errorf("index: document has empty ID")
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ord, ok := ix.byID[doc.ID]; ok {
+		ix.deleteOrdLocked(ord)
+	}
+	ord := len(ix.docs)
+	ix.docs = append(ix.docs, doc)
+	ix.byID[doc.ID] = ord
+	ix.live++
+	for field, text := range doc.Fields {
+		fp := ix.fieldFor(field)
+		an := fp.opts.Analyzer
+		toks := an.Analyze(text)
+		fp.docLen[ord] = len(toks)
+		fp.totalLen += len(toks)
+		perTerm := make(map[string][]int)
+		for _, t := range toks {
+			perTerm[t.Term] = append(perTerm[t.Term], t.Position)
+		}
+		for term, positions := range perTerm {
+			fp.terms[term] = append(fp.terms[term], posting{doc: ord, positions: positions})
+		}
+	}
+	return nil
+}
+
+// AddBatch indexes docs, stopping at the first error.
+func (ix *Index) AddBatch(docs []Document) error {
+	for _, d := range docs {
+		if err := ix.Add(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes the document with the given ID. It reports whether a
+// document was removed.
+func (ix *Index) Delete(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ord, ok := ix.byID[id]
+	if !ok {
+		return false
+	}
+	ix.deleteOrdLocked(ord)
+	return true
+}
+
+// deleteOrdLocked tombstones a document ordinal. Postings are lazily
+// skipped at query time (posting lists may still reference the
+// ordinal) and fully dropped at Compact.
+func (ix *Index) deleteOrdLocked(ord int) {
+	doc := ix.docs[ord]
+	if doc.ID == "" {
+		return
+	}
+	delete(ix.byID, doc.ID)
+	for field := range doc.Fields {
+		fp := ix.fields[field]
+		if fp == nil {
+			continue
+		}
+		fp.totalLen -= fp.docLen[ord]
+		delete(fp.docLen, ord)
+	}
+	ix.docs[ord] = Document{}
+	ix.live--
+}
+
+// Compact rebuilds posting lists without tombstoned entries. Call it
+// after bulk deletions; queries work correctly either way.
+func (ix *Index) Compact() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, fp := range ix.fields {
+		for term, list := range fp.terms {
+			kept := list[:0]
+			for _, p := range list {
+				if ix.docs[p.doc].ID != "" {
+					kept = append(kept, p)
+				}
+			}
+			if len(kept) == 0 {
+				delete(fp.terms, term)
+			} else {
+				fp.terms[term] = kept
+			}
+		}
+	}
+}
+
+// Len returns the number of live documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.live
+}
+
+// Get returns the stored document for id.
+func (ix *Index) Get(id string) (Document, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ord, ok := ix.byID[id]
+	if !ok {
+		return Document{}, false
+	}
+	return ix.docs[ord], true
+}
+
+// Fields returns the names of all indexed fields, sorted.
+func (ix *Index) Fields() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.fields))
+	for f := range ix.fields {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DocFreq returns how many live documents contain term in field after
+// analysis with the field's analyzer.
+func (ix *Index) DocFreq(field, term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	fp := ix.fields[field]
+	if fp == nil {
+		return 0
+	}
+	terms := fp.opts.Analyzer.AnalyzeTerms(term)
+	if len(terms) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range fp.terms[terms[0]] {
+		if ix.docs[p.doc].ID != "" {
+			n++
+		}
+	}
+	return n
+}

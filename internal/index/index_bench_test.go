@@ -1,0 +1,83 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func benchDocs(n int) []Document {
+	rng := rand.New(rand.NewSource(11))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa", "search", "review", "platform"}
+	docs := make([]Document, n)
+	for i := range docs {
+		var b strings.Builder
+		for w := 0; w < 20; w++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			b.WriteByte(' ')
+		}
+		docs[i] = Document{
+			ID:     fmt.Sprintf("d%d", i),
+			Fields: map[string]string{"body": b.String(), "title": vocab[i%len(vocab)]},
+		}
+	}
+	return docs
+}
+
+func BenchmarkAddSingle(b *testing.B) {
+	docs := benchDocs(b.N + 1)
+	ix := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ix.Add(docs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchMatch(b *testing.B) {
+	ix := New()
+	ix.AddBatch(benchDocs(5000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(MatchQuery{Text: "alpha review"}, SearchOptions{Limit: 10})
+	}
+}
+
+func BenchmarkSearchBool(b *testing.B) {
+	ix := New()
+	ix.AddBatch(benchDocs(5000))
+	q := BoolQuery{
+		Must:    []Query{MatchQuery{Text: "alpha"}},
+		MustNot: []Query{TermQuery{Field: "title", Term: "beta"}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, SearchOptions{Limit: 10})
+	}
+}
+
+func BenchmarkDeleteAndCompact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ix := New()
+		ix.AddBatch(benchDocs(2000))
+		b.StartTimer()
+		for d := 0; d < 1000; d++ {
+			ix.Delete(fmt.Sprintf("d%d", d))
+		}
+		ix.Compact()
+	}
+}
+
+func BenchmarkSuggestTerms(b *testing.B) {
+	ix := New()
+	ix.AddBatch(benchDocs(5000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SuggestTerms("body", "alpka", 3)
+	}
+}

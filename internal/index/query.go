@@ -1,0 +1,450 @@
+package index
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Query is the interface implemented by all query node types. A query
+// evaluates to a set of matching ordinals with scores; composition is
+// by the usual boolean operators.
+type Query interface {
+	// eval returns ordinal -> score for live documents.
+	eval(ix *Index) map[int]float64
+}
+
+// MatchQuery analyzes Text with each field's analyzer and matches
+// documents containing any resulting term (disjunctive max across
+// fields, sum across terms) — the standard free-text search box query.
+type MatchQuery struct {
+	// Fields to search. Empty means all indexed fields.
+	Fields []string
+	Text   string
+	// Operator "and" requires every analyzed term to appear (in any of
+	// the fields); the default "or" requires at least one.
+	Operator string
+}
+
+// TermQuery matches documents whose field contains the exact analyzed
+// term.
+type TermQuery struct {
+	Field string
+	Term  string
+}
+
+// PhraseQuery matches documents where the analyzed terms of Text occur
+// at consecutive positions in Field.
+type PhraseQuery struct {
+	Field string
+	Text  string
+}
+
+// PrefixQuery matches documents whose field has a term with the given
+// prefix (post-analysis). Used by suggestion features.
+type PrefixQuery struct {
+	Field  string
+	Prefix string
+}
+
+// BoolQuery combines sub-queries: all Must match (scores summed), at
+// least one Should matches if any are present (scores added), none of
+// MustNot may match.
+type BoolQuery struct {
+	Must    []Query
+	Should  []Query
+	MustNot []Query
+}
+
+// AllQuery matches every live document with score 1. It is the primary
+// query for browse-style applications with filters only.
+type AllQuery struct{}
+
+// Result is one search hit.
+type Result struct {
+	ID     string
+	Score  float64
+	Stored map[string]string
+	// Snippet holds a highlighted fragment when SearchOptions.Snippet
+	// was requested.
+	Snippet string
+}
+
+// SearchOptions controls Search behaviour.
+type SearchOptions struct {
+	Limit  int
+	Offset int
+	// SnippetField, when non-empty, generates a highlighted snippet
+	// from that field for each hit using the query's match terms.
+	SnippetField string
+	// Filters restricts hits to documents whose stored field equals
+	// the given value (e.g. site:"ign.com"). Applied post-scoring.
+	Filters map[string]string
+}
+
+// Search evaluates q and returns ranked results.
+func (ix *Index) Search(q Query, opts SearchOptions) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if q == nil {
+		q = AllQuery{}
+	}
+	scores := q.eval(ix)
+	hits := make([]Result, 0, len(scores))
+	for ord, score := range scores {
+		doc := ix.docs[ord]
+		if doc.ID == "" {
+			continue
+		}
+		if !matchFilters(doc, opts.Filters) {
+			continue
+		}
+		hits = append(hits, Result{ID: doc.ID, Score: score, Stored: doc.Stored})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if opts.Offset > 0 {
+		if opts.Offset >= len(hits) {
+			return nil
+		}
+		hits = hits[opts.Offset:]
+	}
+	if opts.Limit > 0 && len(hits) > opts.Limit {
+		hits = hits[:opts.Limit]
+	}
+	if opts.SnippetField != "" {
+		terms := queryTerms(ix, q, opts.SnippetField)
+		for i := range hits {
+			ord := ix.byID[hits[i].ID]
+			text := ix.docs[ord].Fields[opts.SnippetField]
+			hits[i].Snippet = makeSnippet(text, terms, 160)
+		}
+	}
+	return hits
+}
+
+// Count returns how many live documents match q with the filters.
+func (ix *Index) Count(q Query, filters map[string]string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if q == nil {
+		q = AllQuery{}
+	}
+	n := 0
+	for ord := range q.eval(ix) {
+		doc := ix.docs[ord]
+		if doc.ID != "" && matchFilters(doc, filters) {
+			n++
+		}
+	}
+	return n
+}
+
+func matchFilters(doc Document, filters map[string]string) bool {
+	for f, want := range filters {
+		if doc.Stored[f] != want {
+			return false
+		}
+	}
+	return true
+}
+
+func (AllQuery) eval(ix *Index) map[int]float64 {
+	out := make(map[int]float64, ix.live)
+	for ord, doc := range ix.docs {
+		if doc.ID != "" {
+			out[ord] = 1
+		}
+	}
+	return out
+}
+
+func (q TermQuery) eval(ix *Index) map[int]float64 {
+	fp := ix.fields[q.Field]
+	if fp == nil {
+		return nil
+	}
+	terms := fp.opts.Analyzer.AnalyzeTerms(q.Term)
+	if len(terms) == 0 {
+		return nil
+	}
+	return ix.scoreTerm(q.Field, terms[0])
+}
+
+func (q MatchQuery) eval(ix *Index) map[int]float64 {
+	fields := q.Fields
+	if len(fields) == 0 {
+		for f := range ix.fields {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+	}
+	// Evaluate per term across fields so "and" semantics can require
+	// each term somewhere.
+	type termScores = map[int]float64
+	var perTerm []termScores
+	// Terms may analyze differently per field; use the union keyed by
+	// the source token text before analysis.
+	rawTerms := strings.Fields(strings.ToLower(q.Text))
+	if len(rawTerms) == 0 {
+		return nil
+	}
+	for _, raw := range rawTerms {
+		acc := make(termScores)
+		for _, field := range fields {
+			fp := ix.fields[field]
+			if fp == nil {
+				continue
+			}
+			for _, t := range fp.opts.Analyzer.AnalyzeTerms(raw) {
+				for ord, s := range ix.scoreTerm(field, t) {
+					if s > acc[ord] {
+						acc[ord] = s // max across fields
+					}
+				}
+			}
+		}
+		perTerm = append(perTerm, acc)
+	}
+	out := make(map[int]float64)
+	if strings.EqualFold(q.Operator, "and") {
+		first := perTerm[0]
+	outer:
+		for ord, s := range first {
+			total := s
+			for _, ts := range perTerm[1:] {
+				s2, ok := ts[ord]
+				if !ok {
+					continue outer
+				}
+				total += s2
+			}
+			out[ord] = total
+		}
+		return out
+	}
+	for _, ts := range perTerm {
+		for ord, s := range ts {
+			out[ord] += s
+		}
+	}
+	return out
+}
+
+func (q PhraseQuery) eval(ix *Index) map[int]float64 {
+	fp := ix.fields[q.Field]
+	if fp == nil {
+		return nil
+	}
+	toks := fp.opts.Analyzer.Analyze(q.Text)
+	if len(toks) == 0 {
+		return nil
+	}
+	if len(toks) == 1 {
+		return ix.scoreTerm(q.Field, toks[0].Term)
+	}
+	// Gather positions per doc for each term, honoring the analyzed
+	// position gaps (stopword holes count).
+	base := toks[0].Position
+	cand := make(map[int][]int) // doc -> positions of first term
+	for _, p := range fp.terms[toks[0].Term] {
+		if ix.docs[p.doc].ID != "" {
+			cand[p.doc] = p.positions
+		}
+	}
+	for _, tok := range toks[1:] {
+		gap := tok.Position - base
+		next := make(map[int][]int)
+		for _, p := range fp.terms[tok.Term] {
+			starts, ok := cand[p.doc]
+			if !ok {
+				continue
+			}
+			posSet := make(map[int]bool, len(p.positions))
+			for _, pos := range p.positions {
+				posSet[pos] = true
+			}
+			var kept []int
+			for _, s := range starts {
+				if posSet[s+gap] {
+					kept = append(kept, s)
+				}
+			}
+			if len(kept) > 0 {
+				next[p.doc] = kept
+			}
+		}
+		cand = next
+		if len(cand) == 0 {
+			return nil
+		}
+	}
+	out := make(map[int]float64, len(cand))
+	for ord, starts := range cand {
+		base := ix.scoreTermDoc(q.Field, toks[0].Term, ord)
+		out[ord] = base * (1 + 0.5*float64(len(starts)))
+	}
+	return out
+}
+
+func (q PrefixQuery) eval(ix *Index) map[int]float64 {
+	fp := ix.fields[q.Field]
+	if fp == nil {
+		return nil
+	}
+	prefix := strings.ToLower(q.Prefix)
+	out := make(map[int]float64)
+	for term, list := range fp.terms {
+		if !strings.HasPrefix(term, prefix) {
+			continue
+		}
+		for _, p := range list {
+			if ix.docs[p.doc].ID != "" {
+				out[p.doc] += 1
+			}
+		}
+	}
+	return out
+}
+
+func (q BoolQuery) eval(ix *Index) map[int]float64 {
+	var out map[int]float64
+	if len(q.Must) > 0 {
+		out = q.Must[0].eval(ix)
+		for _, sub := range q.Must[1:] {
+			s2 := sub.eval(ix)
+			merged := make(map[int]float64)
+			for ord, s := range out {
+				if extra, ok := s2[ord]; ok {
+					merged[ord] = s + extra
+				}
+			}
+			out = merged
+		}
+	} else {
+		out = AllQuery{}.eval(ix)
+		for ord := range out {
+			out[ord] = 0
+		}
+	}
+	if len(q.Should) > 0 {
+		any := make(map[int]float64)
+		for _, sub := range q.Should {
+			for ord, s := range sub.eval(ix) {
+				any[ord] += s
+			}
+		}
+		if len(q.Must) == 0 {
+			// pure should: must match at least one
+			merged := make(map[int]float64)
+			for ord, s := range any {
+				if _, ok := out[ord]; ok {
+					merged[ord] = s
+				}
+			}
+			out = merged
+		} else {
+			for ord := range out {
+				out[ord] += any[ord]
+			}
+		}
+	}
+	for _, sub := range q.MustNot {
+		for ord := range sub.eval(ix) {
+			delete(out, ord)
+		}
+	}
+	return out
+}
+
+// scoreTerm computes BM25 scores for all live docs containing the
+// analyzed term in field.
+func (ix *Index) scoreTerm(field, term string) map[int]float64 {
+	fp := ix.fields[field]
+	if fp == nil {
+		return nil
+	}
+	list := fp.terms[term]
+	if len(list) == 0 {
+		return nil
+	}
+	df := 0
+	for _, p := range list {
+		if ix.docs[p.doc].ID != "" {
+			df++
+		}
+	}
+	if df == 0 {
+		return nil
+	}
+	idf := math.Log(1 + (float64(ix.live)-float64(df)+0.5)/(float64(df)+0.5))
+	avgLen := 1.0
+	if n := len(fp.docLen); n > 0 {
+		avgLen = float64(fp.totalLen) / float64(n)
+	}
+	boost := fp.opts.Boost
+	if boost == 0 {
+		boost = 1
+	}
+	out := make(map[int]float64, df)
+	for _, p := range list {
+		if ix.docs[p.doc].ID == "" {
+			continue
+		}
+		tf := float64(len(p.positions))
+		var score float64
+		switch ix.ranker {
+		case RankerTFIDF:
+			// Classic lnc-style TF-IDF with log tf damping and raw
+			// inverse document frequency, no length normalization.
+			score = (1 + math.Log(tf)) * math.Log(float64(ix.live+1)/float64(df))
+		default: // BM25
+			dl := float64(fp.docLen[p.doc])
+			denom := tf + ix.k1*(1-ix.b+ix.b*dl/avgLen)
+			score = idf * (tf * (ix.k1 + 1)) / denom
+		}
+		out[p.doc] = boost * score
+	}
+	return out
+}
+
+func (ix *Index) scoreTermDoc(field, term string, ord int) float64 {
+	scores := ix.scoreTerm(field, term)
+	return scores[ord]
+}
+
+// queryTerms extracts the raw match terms a query would highlight in
+// the given field.
+func queryTerms(ix *Index, q Query, field string) []string {
+	fp := ix.fields[field]
+	var an = fp.opts.Analyzer
+	var out []string
+	var walk func(Query)
+	walk = func(q Query) {
+		switch t := q.(type) {
+		case MatchQuery:
+			out = append(out, an.AnalyzeTerms(t.Text)...)
+		case TermQuery:
+			out = append(out, an.AnalyzeTerms(t.Term)...)
+		case PhraseQuery:
+			out = append(out, an.AnalyzeTerms(t.Text)...)
+		case PrefixQuery:
+			out = append(out, strings.ToLower(t.Prefix))
+		case BoolQuery:
+			for _, s := range t.Must {
+				walk(s)
+			}
+			for _, s := range t.Should {
+				walk(s)
+			}
+		}
+	}
+	if fp != nil {
+		walk(q)
+	}
+	return out
+}

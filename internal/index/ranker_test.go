@@ -1,0 +1,57 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTFIDFRankerProducesResults(t *testing.T) {
+	ix := sampleIndex(t)
+	ix.SetRanker(RankerTFIDF)
+	rs := ix.Search(MatchQuery{Text: "zelda adventure"}, SearchOptions{})
+	if len(rs) == 0 {
+		t.Fatal("tfidf returned nothing")
+	}
+	for _, r := range rs {
+		if r.Score <= 0 {
+			t.Errorf("non-positive tfidf score %f", r.Score)
+		}
+	}
+	// Same match set as BM25, possibly different order.
+	ix.SetRanker(RankerBM25)
+	bm := ix.Search(MatchQuery{Text: "zelda adventure"}, SearchOptions{})
+	if len(bm) != len(rs) {
+		t.Fatalf("match sets differ: %d vs %d", len(rs), len(bm))
+	}
+}
+
+func TestRankersDifferOnLengthNormalization(t *testing.T) {
+	// BM25 penalizes long documents; lnc TF-IDF here does not. A term
+	// appearing once in a short doc vs once in a very long doc ranks
+	// differently under BM25 but identically under this TF-IDF.
+	build := func(r Ranker) []Result {
+		ix := New()
+		ix.SetRanker(r)
+		long := "target "
+		for i := 0; i < 200; i++ {
+			long += fmt.Sprintf("filler%d ", i)
+		}
+		ix.Add(Document{ID: "short", Fields: map[string]string{"b": "target word"}})
+		ix.Add(Document{ID: "long", Fields: map[string]string{"b": long}})
+		return ix.Search(MatchQuery{Text: "target"}, SearchOptions{})
+	}
+	bm := build(RankerBM25)
+	if len(bm) != 2 || bm[0].ID != "short" {
+		t.Fatalf("bm25 order = %v", bm)
+	}
+	if bm[0].Score <= bm[1].Score {
+		t.Error("bm25 did not penalize the long document")
+	}
+	ti := build(RankerTFIDF)
+	if len(ti) != 2 {
+		t.Fatal("tfidf lost a match")
+	}
+	if ti[0].Score != ti[1].Score {
+		t.Errorf("tfidf length-normalized unexpectedly: %f vs %f", ti[0].Score, ti[1].Score)
+	}
+}

@@ -1,0 +1,68 @@
+package index
+
+import (
+	"strings"
+
+	"repro/internal/textproc"
+)
+
+// makeSnippet returns a fragment of text of roughly maxLen bytes
+// centered on the densest window of match terms, with matches wrapped
+// in <b>...</b>. Terms are compared post-stemming so "reviews"
+// highlights for query "review".
+func makeSnippet(text string, matchTerms []string, maxLen int) string {
+	if text == "" {
+		return ""
+	}
+	want := make(map[string]bool, len(matchTerms))
+	for _, t := range matchTerms {
+		want[t] = true
+	}
+	toks := textproc.Tokenize(text)
+	// Find the window of up to 25 tokens with the most matches.
+	bestStart, bestCount := 0, -1
+	const window = 25
+	for i := range toks {
+		count := 0
+		for j := i; j < len(toks) && j < i+window; j++ {
+			if want[textproc.Stem(toks[j].Term)] {
+				count++
+			}
+		}
+		if count > bestCount {
+			bestStart, bestCount = i, count
+		}
+		if i > 0 && toks[i].Start > maxLen && bestCount > 0 {
+			break
+		}
+	}
+	start := toks[bestStart].Start
+	end := len(text)
+	if start+maxLen < end {
+		end = start + maxLen
+	}
+	frag := text[start:end]
+
+	// Highlight matched tokens inside the fragment.
+	var b strings.Builder
+	last := 0
+	for _, tok := range textproc.Tokenize(frag) {
+		if !want[textproc.Stem(tok.Term)] {
+			continue
+		}
+		b.WriteString(frag[last:tok.Start])
+		b.WriteString("<b>")
+		b.WriteString(frag[tok.Start:tok.End])
+		b.WriteString("</b>")
+		last = tok.End
+	}
+	b.WriteString(frag[last:])
+	out := b.String()
+	if start > 0 {
+		out = "…" + out
+	}
+	if end < len(text) {
+		out += "…"
+	}
+	return out
+}

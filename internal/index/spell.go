@@ -1,0 +1,159 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/textproc"
+)
+
+// Spell correction: a search platform serving end users must survive
+// typos in queries. SuggestTerms proposes indexed terms close to a
+// misspelled one, using character-trigram candidate generation and
+// Damerau-Levenshtein (distance ≤ 2) ranking weighted by document
+// frequency — more common terms are more likely intended.
+
+// SuggestTerms returns up to limit indexed terms within edit distance
+// 2 of term (post-analysis with the field's analyzer), most frequent
+// first. An exact indexed term returns nil: nothing to correct.
+func (ix *Index) SuggestTerms(field, term string, limit int) []string {
+	if limit <= 0 {
+		limit = 3
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	fp := ix.fields[field]
+	if fp == nil {
+		return nil
+	}
+	analyzed := fp.opts.Analyzer.AnalyzeTerms(term)
+	if len(analyzed) == 0 {
+		return nil
+	}
+	target := analyzed[0]
+	if len(fp.terms[target]) > 0 {
+		return nil
+	}
+	targetGrams := gramSet(target)
+	type cand struct {
+		term string
+		dist int
+		df   int
+	}
+	var cands []cand
+	for t, postings := range fp.terms {
+		// Cheap trigram prefilter before the edit-distance check.
+		if !gramsOverlap(targetGrams, t) {
+			continue
+		}
+		d := editDistance(target, t, 2)
+		if d < 0 {
+			continue
+		}
+		df := 0
+		for _, p := range postings {
+			if ix.docs[p.doc].ID != "" {
+				df++
+			}
+		}
+		if df > 0 {
+			cands = append(cands, cand{t, d, df})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		if cands[i].df != cands[j].df {
+			return cands[i].df > cands[j].df
+		}
+		return cands[i].term < cands[j].term
+	})
+	if len(cands) > limit {
+		cands = cands[:limit]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.term
+	}
+	return out
+}
+
+// Bigrams (not trigrams) drive candidate generation: a transposition
+// in a 4-letter word ("ahlo" for "halo") shares no trigram with the
+// intended term but always shares a bigram.
+func gramSet(term string) map[string]bool {
+	set := make(map[string]bool)
+	for _, g := range textproc.NGrams(term, 2) {
+		set[g] = true
+	}
+	return set
+}
+
+// gramsOverlap reports whether candidate shares at least one bigram
+// with the target (or either is too short for bigram evidence).
+func gramsOverlap(target map[string]bool, candidate string) bool {
+	grams := textproc.NGrams(candidate, 2)
+	if len(grams) == 0 || len(target) == 0 {
+		return true
+	}
+	for _, g := range grams {
+		if target[g] {
+			return true
+		}
+	}
+	return false
+}
+
+// editDistance computes Damerau-Levenshtein distance with transposition,
+// returning -1 when it exceeds maxDist (band-limited).
+func editDistance(a, b string, maxDist int) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la-lb > maxDist || lb-la > maxDist {
+		return -1
+	}
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < m {
+					m = t
+				}
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > maxDist {
+			return -1
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	if prev[lb] > maxDist {
+		return -1
+	}
+	return prev[lb]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,107 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+)
+
+func spellIndex(t testing.TB) *Index {
+	t.Helper()
+	ix := New()
+	docs := []Document{}
+	// "zelda" appears in many docs, "zelds" in none; "halo" common.
+	for i := 0; i < 10; i++ {
+		docs = append(docs, Document{
+			ID:     fmt.Sprintf("z%d", i),
+			Fields: map[string]string{"title": "zelda adventure"},
+		})
+	}
+	for i := 0; i < 3; i++ {
+		docs = append(docs, Document{
+			ID:     fmt.Sprintf("h%d", i),
+			Fields: map[string]string{"title": "halo strategy"},
+		})
+	}
+	docs = append(docs, Document{ID: "x", Fields: map[string]string{"title": "zebra documentary"}})
+	if err := ix.AddBatch(docs); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestSuggestTermsCorrectsTypo(t *testing.T) {
+	ix := spellIndex(t)
+	sugs := ix.SuggestTerms("title", "zelta", 3)
+	if len(sugs) == 0 || sugs[0] != "zelda" {
+		t.Fatalf("suggestions = %v", sugs)
+	}
+}
+
+func TestSuggestTermsTransposition(t *testing.T) {
+	ix := spellIndex(t)
+	sugs := ix.SuggestTerms("title", "ahlo", 3)
+	if len(sugs) == 0 || sugs[0] != "halo" {
+		t.Fatalf("transposed suggestions = %v", sugs)
+	}
+}
+
+func TestSuggestTermsExactTermNoCorrection(t *testing.T) {
+	ix := spellIndex(t)
+	if sugs := ix.SuggestTerms("title", "zelda", 3); sugs != nil {
+		t.Fatalf("exact term corrected: %v", sugs)
+	}
+}
+
+func TestSuggestTermsPrefersFrequent(t *testing.T) {
+	ix := spellIndex(t)
+	// "zeldb" is distance 1 from "zelda" (df=10); "zebra" is farther.
+	sugs := ix.SuggestTerms("title", "zeldb", 3)
+	if len(sugs) == 0 || sugs[0] != "zelda" {
+		t.Fatalf("suggestions = %v", sugs)
+	}
+}
+
+func TestSuggestTermsNoCandidates(t *testing.T) {
+	ix := spellIndex(t)
+	if sugs := ix.SuggestTerms("title", "qqqqqqq", 3); len(sugs) != 0 {
+		t.Fatalf("far word produced %v", sugs)
+	}
+	if sugs := ix.SuggestTerms("missingfield", "zelta", 3); sugs != nil {
+		t.Fatalf("missing field produced %v", sugs)
+	}
+	if sugs := ix.SuggestTerms("title", "", 3); sugs != nil {
+		t.Fatalf("empty term produced %v", sugs)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		max  int
+		want int
+	}{
+		{"abc", "abc", 2, 0},
+		{"abc", "abd", 2, 1},
+		{"abc", "acb", 2, 1}, // transposition
+		{"abc", "xyz", 2, -1},
+		{"kitten", "sitting", 2, -1},
+		{"zelda", "zelta", 2, 1},
+		{"a", "abc", 2, 2},
+		{"a", "abcd", 2, -1}, // length gap exceeds band
+		{"", "ab", 2, 2},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b, c.max); got != c.want {
+			t.Errorf("editDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceSymmetric(t *testing.T) {
+	pairs := [][2]string{{"zelda", "zelta"}, {"halo", "ahlo"}, {"game", "games"}}
+	for _, p := range pairs {
+		if editDistance(p[0], p[1], 2) != editDistance(p[1], p[0], 2) {
+			t.Errorf("asymmetric distance for %v", p)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package ingest implements the upload side of the paper's
+// "Proprietary Data" capability: parsing designer uploads in the
+// formats §II-A enumerates — delimited files, Excel-like grids, XML,
+// and RSS feeds — into store records, inferring a schema when none is
+// declared, and managing upload sessions arriving over HTTP/FTP-style
+// transports.
+package ingest
+
+import (
+	"encoding/csv"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// Format identifies an upload format.
+type Format string
+
+// Supported formats, matching the paper's list ("delimited files,
+// Excel files, and XML", plus RSS feeds).
+const (
+	FormatCSV Format = "csv"
+	FormatTSV Format = "tsv"
+	FormatXML Format = "xml"
+	FormatRSS Format = "rss"
+	FormatXLS Format = "xls" // Excel-like grid (see DESIGN.md substitution)
+)
+
+// DetectFormat guesses a format from a filename extension.
+func DetectFormat(filename string) (Format, error) {
+	lower := strings.ToLower(filename)
+	switch {
+	case strings.HasSuffix(lower, ".csv"), strings.HasSuffix(lower, ".txt"):
+		return FormatCSV, nil
+	case strings.HasSuffix(lower, ".tsv"), strings.HasSuffix(lower, ".tab"):
+		return FormatTSV, nil
+	case strings.HasSuffix(lower, ".xml"):
+		return FormatXML, nil
+	case strings.HasSuffix(lower, ".rss"):
+		return FormatRSS, nil
+	case strings.HasSuffix(lower, ".xls"), strings.HasSuffix(lower, ".xlsx"):
+		return FormatXLS, nil
+	}
+	return "", fmt.Errorf("ingest: cannot detect format of %q", filename)
+}
+
+// Parse reads records in the given format. The first row of delimited
+// and XLS inputs is the header.
+func Parse(format Format, r io.Reader) ([]store.Record, error) {
+	switch format {
+	case FormatCSV:
+		return parseDelimited(r, ',')
+	case FormatTSV:
+		return parseDelimited(r, '\t')
+	case FormatXML:
+		return parseXML(r)
+	case FormatRSS:
+		return ParseRSS(r)
+	case FormatXLS:
+		return parseXLSGrid(r)
+	default:
+		return nil, fmt.Errorf("ingest: unknown format %q", format)
+	}
+}
+
+func parseDelimited(r io.Reader, sep rune) ([]store.Record, error) {
+	cr := csv.NewReader(r)
+	cr.Comma = sep
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("ingest: empty delimited file")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ingest: reading header: %w", err)
+	}
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+		if header[i] == "" {
+			return nil, fmt.Errorf("ingest: empty column name at position %d", i)
+		}
+	}
+	var out []store.Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ingest: line %d: %w", line, err)
+		}
+		rec := make(store.Record, len(header))
+		for i, col := range header {
+			if i < len(row) {
+				rec[col] = strings.TrimSpace(row[i])
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// parseXML accepts documents of the shape
+//
+//	<items><item><field>value</field>...</item>...</items>
+//
+// (any element names; the per-record element is the repeated child of
+// the root, and its children become fields).
+func parseXML(r io.Reader) ([]store.Record, error) {
+	dec := xml.NewDecoder(r)
+	var out []store.Record
+	depth := 0
+	var rec store.Record
+	var field string
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ingest: xml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			switch depth {
+			case 2:
+				rec = make(store.Record)
+			case 3:
+				field = t.Name.Local
+				text.Reset()
+			}
+		case xml.CharData:
+			if depth == 3 {
+				text.Write(t)
+			}
+		case xml.EndElement:
+			switch depth {
+			case 3:
+				rec[field] = strings.TrimSpace(text.String())
+			case 2:
+				if len(rec) > 0 {
+					out = append(out, rec)
+				}
+			}
+			depth--
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("ingest: xml: unbalanced document")
+	}
+	return out, nil
+}
+
+// parseXLSGrid parses the Excel-substitute grid format: the cells of
+// each row are separated by tabs, rows by newlines, and the file may
+// begin with an optional "=XLSGRID" marker line. This preserves the
+// ingestion code path for spreadsheet uploads without a binary .xls
+// reader (see DESIGN.md).
+func parseXLSGrid(r io.Reader) ([]store.Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: xls: %w", err)
+	}
+	content := string(data)
+	if strings.HasPrefix(content, "=XLSGRID\n") {
+		content = strings.TrimPrefix(content, "=XLSGRID\n")
+	}
+	return parseDelimited(strings.NewReader(content), '\t')
+}
+
+// rssDoc mirrors the RSS 2.0 structure we consume.
+type rssDoc struct {
+	Channel struct {
+		Title string    `xml:"title"`
+		Items []rssItem `xml:"item"`
+	} `xml:"channel"`
+}
+
+type rssItem struct {
+	Title       string `xml:"title"`
+	Link        string `xml:"link"`
+	Description string `xml:"description"`
+	PubDate     string `xml:"pubDate"`
+	GUID        string `xml:"guid"`
+	Category    string `xml:"category"`
+}
+
+// ParseRSS converts an RSS 2.0 feed into records with fields title,
+// link, description, pubdate, guid, category.
+func ParseRSS(r io.Reader) ([]store.Record, error) {
+	var doc rssDoc
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("ingest: rss: %w", err)
+	}
+	if len(doc.Channel.Items) == 0 {
+		return nil, fmt.Errorf("ingest: rss feed has no items")
+	}
+	out := make([]store.Record, 0, len(doc.Channel.Items))
+	for _, it := range doc.Channel.Items {
+		rec := store.Record{
+			"title":       strings.TrimSpace(it.Title),
+			"link":        strings.TrimSpace(it.Link),
+			"description": strings.TrimSpace(it.Description),
+		}
+		if it.PubDate != "" {
+			rec["pubdate"] = strings.TrimSpace(it.PubDate)
+		}
+		if it.GUID != "" {
+			rec["guid"] = strings.TrimSpace(it.GUID)
+		}
+		if it.Category != "" {
+			rec["category"] = strings.TrimSpace(it.Category)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

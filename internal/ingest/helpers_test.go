@@ -1,0 +1,26 @@
+package ingest
+
+import "repro/internal/store"
+
+// newUploaderStore builds a store with tenant "t" owned by "o" for
+// property tests.
+func newUploaderStore() *store.Store {
+	s := store.New()
+	if err := s.CreateTenant("t", "o"); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// declaredSchema is a two-column schema with a numeric price used by
+// the report-accounting property.
+func declaredSchema() store.Schema {
+	return store.Schema{
+		Name: "d",
+		Key:  "id",
+		Fields: []store.Field{
+			{Name: "id", Required: true},
+			{Name: "price", Type: store.TypeNumber},
+		},
+	}
+}

@@ -1,0 +1,301 @@
+package ingest
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+const csvSample = `sku,title,price,instock
+G1,The Legend of Zelda,49.99,true
+G2,Halo Wars,39.99,true
+G3,"Gears, of War",19.99,false
+`
+
+const xmlSample = `<inventory>
+  <game><sku>G1</sku><title>Zelda</title><price>49.99</price></game>
+  <game><sku>G2</sku><title>Halo</title><price>39.99</price></game>
+</inventory>`
+
+const rssSample = `<?xml version="1.0"?>
+<rss version="2.0"><channel><title>Game News</title>
+<item><title>Zelda announced</title><link>http://news.example/zelda</link><description>New zelda game</description><pubDate>Mon, 01 Mar 2010</pubDate><guid>n1</guid><category>games</category></item>
+<item><title>Halo patch</title><link>http://news.example/halo</link><description>Patch notes</description></item>
+</channel></rss>`
+
+const xlsSample = "=XLSGRID\nsku\ttitle\tprice\nG1\tZelda\t49.99\nG2\tHalo\t39.99\n"
+
+func TestDetectFormat(t *testing.T) {
+	cases := map[string]Format{
+		"inventory.csv": FormatCSV,
+		"data.TXT":      FormatCSV,
+		"data.tsv":      FormatTSV,
+		"feed.rss":      FormatRSS,
+		"doc.xml":       FormatXML,
+		"sheet.xls":     FormatXLS,
+		"sheet.xlsx":    FormatXLS,
+	}
+	for name, want := range cases {
+		got, err := DetectFormat(name)
+		if err != nil || got != want {
+			t.Errorf("DetectFormat(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := DetectFormat("archive.zip"); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}
+
+func TestParseCSV(t *testing.T) {
+	recs, err := Parse(FormatCSV, strings.NewReader(csvSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0]["title"] != "The Legend of Zelda" || recs[0]["price"] != "49.99" {
+		t.Errorf("rec0 = %v", recs[0])
+	}
+	if recs[2]["title"] != "Gears, of War" {
+		t.Errorf("quoted comma mishandled: %v", recs[2])
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	if _, err := Parse(FormatCSV, strings.NewReader("")); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := Parse(FormatCSV, strings.NewReader("a,,c\n1,2,3\n")); err == nil {
+		t.Error("empty column name accepted")
+	}
+	if _, err := Parse(FormatCSV, strings.NewReader("a,b\n1,2,3,4\n")); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestParseTSV(t *testing.T) {
+	recs, err := Parse(FormatTSV, strings.NewReader("sku\ttitle\nG1\tZelda\n"))
+	if err != nil || len(recs) != 1 || recs[0]["title"] != "Zelda" {
+		t.Fatalf("tsv = %v, %v", recs, err)
+	}
+}
+
+func TestParseXML(t *testing.T) {
+	recs, err := Parse(FormatXML, strings.NewReader(xmlSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0]["sku"] != "G1" || recs[1]["title"] != "Halo" {
+		t.Fatalf("xml = %v", recs)
+	}
+}
+
+func TestParseXMLMalformed(t *testing.T) {
+	if _, err := Parse(FormatXML, strings.NewReader("<a><b></a>")); err == nil {
+		t.Error("malformed xml accepted")
+	}
+}
+
+func TestParseRSS(t *testing.T) {
+	recs, err := Parse(FormatRSS, strings.NewReader(rssSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("rss items = %d", len(recs))
+	}
+	if recs[0]["title"] != "Zelda announced" || recs[0]["category"] != "games" {
+		t.Errorf("rss rec0 = %v", recs[0])
+	}
+	if _, ok := recs[1]["guid"]; ok {
+		t.Error("absent guid materialized")
+	}
+}
+
+func TestParseRSSEmpty(t *testing.T) {
+	empty := `<rss><channel><title>x</title></channel></rss>`
+	if _, err := Parse(FormatRSS, strings.NewReader(empty)); err == nil {
+		t.Error("empty feed accepted")
+	}
+}
+
+func TestParseXLSGrid(t *testing.T) {
+	recs, err := Parse(FormatXLS, strings.NewReader(xlsSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0]["title"] != "Zelda" {
+		t.Fatalf("xls = %v", recs)
+	}
+	// without marker line
+	recs, err = Parse(FormatXLS, strings.NewReader("a\tb\n1\t2\n"))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("plain grid = %v, %v", recs, err)
+	}
+}
+
+func TestParseUnknownFormat(t *testing.T) {
+	if _, err := Parse("parquet", strings.NewReader("x")); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func newUploader(t *testing.T) (*Uploader, *store.Store) {
+	t.Helper()
+	s := store.New()
+	if err := s.CreateTenant("shop", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	return &Uploader{Store: s}, s
+}
+
+func TestUploadCreatesDatasetWithInferredSchema(t *testing.T) {
+	u, s := newUploader(t)
+	rep, err := u.Upload(Options{Tenant: "shop", Actor: "ann", Dataset: "inventory", Format: FormatCSV, KeyField: "sku"}, strings.NewReader(csvSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CreatedDataset || rep.Loaded != 3 || rep.Received != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	ds, err := s.Dataset("shop", "ann", "inventory", store.PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 {
+		t.Fatalf("dataset has %d records", ds.Len())
+	}
+	// schema inference: price should be numeric, title searchable
+	f, _ := ds.Schema().Field("price")
+	if f.Type != store.TypeNumber {
+		t.Errorf("price type = %v", f.Type)
+	}
+	hits, err := ds.Search(store.SearchRequest{Query: "zelda"})
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("search after upload: %v, %v", hits, err)
+	}
+	// key field respected
+	if _, ok := ds.Get("G1"); !ok {
+		t.Error("key field not used for record identity")
+	}
+}
+
+func TestUploadIntoExistingDataset(t *testing.T) {
+	u, s := newUploader(t)
+	sch := store.Schema{Name: "inventory", Key: "sku", Fields: []store.Field{
+		{Name: "sku", Required: true},
+		{Name: "title", Searchable: true},
+		{Name: "price", Type: store.TypeNumber},
+		{Name: "instock", Type: store.TypeBool},
+	}}
+	if _, err := s.CreateDataset("shop", "ann", sch); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := u.Upload(Options{Tenant: "shop", Actor: "ann", Dataset: "inventory", Format: FormatCSV}, strings.NewReader(csvSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CreatedDataset {
+		t.Error("re-created existing dataset")
+	}
+	if rep.Loaded != 3 {
+		t.Errorf("loaded %d", rep.Loaded)
+	}
+}
+
+func TestUploadRejectsInvalidRows(t *testing.T) {
+	u, s := newUploader(t)
+	sch := store.Schema{Name: "inv", Key: "sku", Fields: []store.Field{
+		{Name: "sku", Required: true},
+		{Name: "price", Type: store.TypeNumber},
+	}}
+	if _, err := s.CreateDataset("shop", "ann", sch); err != nil {
+		t.Fatal(err)
+	}
+	bad := "sku,price\nA,10\nB,not-a-number\nC,30\n"
+	rep, err := u.Upload(Options{Tenant: "shop", Actor: "ann", Dataset: "inv", Format: FormatCSV}, strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loaded != 2 || len(rep.Rejected) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if _, ok := rep.Rejected[1]; !ok {
+		t.Error("wrong row rejected")
+	}
+}
+
+func TestUploadAccessControl(t *testing.T) {
+	u, _ := newUploader(t)
+	_, err := u.Upload(Options{Tenant: "shop", Actor: "mallory", Dataset: "inv", Format: FormatCSV}, strings.NewReader(csvSample))
+	if err == nil {
+		t.Fatal("mallory uploaded into ann's space")
+	}
+}
+
+func TestUploadURLAndFeedPolling(t *testing.T) {
+	u, s := newUploader(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(rssSample))
+	}))
+	defer srv.Close()
+	u.Client = srv.Client()
+
+	sub := &FeedSubscription{
+		Uploader: u,
+		Opts:     Options{Tenant: "shop", Actor: "ann", Dataset: "news", KeyField: "link"},
+		URL:      srv.URL + "/feed.rss",
+	}
+	rep, err := sub.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loaded != 2 {
+		t.Fatalf("first poll loaded %d", rep.Loaded)
+	}
+	// Second poll upserts the same items (no duplicates by link key).
+	if _, err := sub.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := s.Dataset("shop", "ann", "news", store.PermRead)
+	if ds.Len() != 2 {
+		t.Fatalf("after re-poll dataset has %d records", ds.Len())
+	}
+	if sub.Polls() != 2 {
+		t.Errorf("polls = %d", sub.Polls())
+	}
+}
+
+func TestUploadURLHTTPError(t *testing.T) {
+	u, _ := newUploader(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	u.Client = srv.Client()
+	_, err := u.UploadURL(Options{Tenant: "shop", Actor: "ann", Dataset: "d"}, srv.URL+"/x.csv")
+	if err == nil {
+		t.Fatal("404 upload accepted")
+	}
+}
+
+func TestUploadURLFormatDetection(t *testing.T) {
+	u, s := newUploader(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(csvSample))
+	}))
+	defer srv.Close()
+	u.Client = srv.Client()
+	rep, err := u.UploadURL(Options{Tenant: "shop", Actor: "ann", Dataset: "inv"}, srv.URL+"/export.csv")
+	if err != nil || rep.Loaded != 3 {
+		t.Fatalf("url upload: %+v, %v", rep, err)
+	}
+	if _, err := u.UploadURL(Options{Tenant: "shop", Actor: "ann", Dataset: "x"}, srv.URL+"/export.bin"); err == nil {
+		t.Error("undetectable format accepted")
+	}
+	_ = s
+}

@@ -1,0 +1,118 @@
+package ingest
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: writing records as CSV and parsing them back yields the
+// same records, including values with commas, quotes and newlines.
+func TestPropertyCSVRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cols := []string{"id", "title", "notes"}
+		n := rng.Intn(20) + 1
+		rows := make([][]string, n)
+		alphabet := []string{"plain", "with,comma", `with"quote`, "with\nnewline", "tab\tvalue", "ünïcode"}
+		for i := range rows {
+			rows[i] = []string{
+				fmt.Sprintf("r%d", i),
+				alphabet[rng.Intn(len(alphabet))],
+				alphabet[rng.Intn(len(alphabet))],
+			}
+		}
+		var buf strings.Builder
+		w := csv.NewWriter(&buf)
+		w.Write(cols)
+		w.WriteAll(rows)
+		w.Flush()
+
+		recs, err := Parse(FormatCSV, strings.NewReader(buf.String()))
+		if err != nil || len(recs) != n {
+			return false
+		}
+		for i, row := range rows {
+			for c, col := range cols {
+				// Parse trims surrounding whitespace; compare trimmed.
+				if recs[i][col] != strings.TrimSpace(row[c]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XML item documents round-trip through parseXML.
+func TestPropertyXMLRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 1
+		var b strings.Builder
+		b.WriteString("<items>")
+		want := make([]map[string]string, n)
+		for i := 0; i < n; i++ {
+			v := fmt.Sprintf("value&amp;%d", i)
+			b.WriteString("<item><id>")
+			fmt.Fprintf(&b, "id%d", i)
+			b.WriteString("</id><val>")
+			b.WriteString(v)
+			b.WriteString("</val></item>")
+			want[i] = map[string]string{"id": fmt.Sprintf("id%d", i), "val": fmt.Sprintf("value&%d", i)}
+		}
+		b.WriteString("</items>")
+		recs, err := Parse(FormatXML, strings.NewReader(b.String()))
+		if err != nil || len(recs) != n {
+			return false
+		}
+		for i := range recs {
+			if recs[i]["id"] != want[i]["id"] || recs[i]["val"] != want[i]["val"] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every upload report satisfies Received = Loaded +
+// len(Rejected).
+func TestPropertyReportAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		b.WriteString("id,price\n")
+		n := rng.Intn(30) + 1
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				fmt.Fprintf(&b, "r%d,not-a-number\n", i)
+			} else {
+				fmt.Fprintf(&b, "r%d,%d\n", i, rng.Intn(100))
+			}
+		}
+		st := newUploaderStore()
+		up := &Uploader{Store: st}
+		// Declared schema forces price to be numeric so bad rows are
+		// rejected rather than inferred as strings.
+		rep, err := up.Upload(Options{
+			Tenant: "t", Actor: "o", Dataset: "d", Format: FormatCSV,
+			Schema: declaredSchema(),
+		}, strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		return rep.Received == n && rep.Loaded+len(rep.Rejected) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package layout models the visual result layout that the paper's
+// drag-n-drop design interface builds (Fig 1): a tree of HTML
+// elements — text, images, hyperlinks — whose content is bound to
+// fields of a data source, plus per-element style properties,
+// stylesheets, and wizard templates for non-developers.
+package layout
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ElementType enumerates the element kinds a designer can drop onto a
+// result layout.
+type ElementType string
+
+// Element kinds from the paper: "Application designers can create
+// HTML elements such as text, images and hyperlinks using fields from
+// the data source." Containers group children; a SourceSlot marks
+// where a supplemental source's results render inside a result.
+const (
+	ElemContainer  ElementType = "container"
+	ElemText       ElementType = "text"
+	ElemImage      ElementType = "image"
+	ElemLink       ElementType = "link"
+	ElemSourceSlot ElementType = "sourceslot"
+)
+
+// Element is one node of a result layout tree.
+type Element struct {
+	Type ElementType `json:"type"`
+	// Field binds content to a data-source field: text content for
+	// ElemText, image src for ElemImage, link text for ElemLink.
+	// Literal text may be given instead via Literal.
+	Field   string `json:"field,omitempty"`
+	Literal string `json:"literal,omitempty"`
+	// HrefField names the field holding a link's URL (ElemLink).
+	HrefField string `json:"hrefField,omitempty"`
+	// SourceID names the supplemental source rendered at an
+	// ElemSourceSlot.
+	SourceID string `json:"sourceId,omitempty"`
+	// Style holds CSS-ish properties ("color", "font-size", ...).
+	Style    map[string]string `json:"style,omitempty"`
+	Children []*Element        `json:"children,omitempty"`
+}
+
+// Validate checks structural correctness.
+func (e *Element) Validate() error {
+	if e == nil {
+		return fmt.Errorf("layout: nil element")
+	}
+	switch e.Type {
+	case ElemContainer:
+		for i, c := range e.Children {
+			if err := c.Validate(); err != nil {
+				return fmt.Errorf("layout: child %d: %w", i, err)
+			}
+		}
+		return nil
+	case ElemText:
+		if e.Field == "" && e.Literal == "" {
+			return fmt.Errorf("layout: text element binds no field and has no literal")
+		}
+	case ElemImage:
+		if e.Field == "" {
+			return fmt.Errorf("layout: image element binds no field")
+		}
+	case ElemLink:
+		if e.HrefField == "" {
+			return fmt.Errorf("layout: link element has no hrefField")
+		}
+		if e.Field == "" && e.Literal == "" {
+			return fmt.Errorf("layout: link element has no label")
+		}
+	case ElemSourceSlot:
+		if e.SourceID == "" {
+			return fmt.Errorf("layout: source slot names no source")
+		}
+	default:
+		return fmt.Errorf("layout: unknown element type %q", e.Type)
+	}
+	if len(e.Children) > 0 {
+		return fmt.Errorf("layout: %s element cannot have children", e.Type)
+	}
+	return nil
+}
+
+// BoundFields returns every field the tree binds, sorted and deduped.
+// The designer UI uses this to warn about fields missing from the
+// source schema.
+func (e *Element) BoundFields() []string {
+	set := map[string]bool{}
+	var walk func(el *Element)
+	walk = func(el *Element) {
+		if el == nil {
+			return
+		}
+		if el.Field != "" {
+			set[el.Field] = true
+		}
+		if el.HrefField != "" {
+			set[el.HrefField] = true
+		}
+		for _, c := range el.Children {
+			walk(c)
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SourceSlots returns the supplemental source IDs referenced by the
+// tree in document order.
+func (e *Element) SourceSlots() []string {
+	var out []string
+	var walk func(el *Element)
+	walk = func(el *Element) {
+		if el == nil {
+			return
+		}
+		if el.Type == ElemSourceSlot {
+			out = append(out, el.SourceID)
+		}
+		for _, c := range el.Children {
+			walk(c)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// Clone deep-copies the tree, so templates can be instantiated and
+// modified per application.
+func (e *Element) Clone() *Element {
+	if e == nil {
+		return nil
+	}
+	cp := *e
+	if e.Style != nil {
+		cp.Style = make(map[string]string, len(e.Style))
+		for k, v := range e.Style {
+			cp.Style[k] = v
+		}
+	}
+	cp.Children = make([]*Element, len(e.Children))
+	for i, c := range e.Children {
+		cp.Children[i] = c.Clone()
+	}
+	return &cp
+}
+
+// SetStyle sets a style property, allocating the map lazily.
+func (e *Element) SetStyle(prop, value string) *Element {
+	if e.Style == nil {
+		e.Style = make(map[string]string)
+	}
+	e.Style[prop] = value
+	return e
+}
+
+// Append adds children and returns e for chaining.
+func (e *Element) Append(children ...*Element) *Element {
+	e.Children = append(e.Children, children...)
+	return e
+}
+
+// EncodeElement serializes a layout tree to JSON. (It is a free
+// function rather than a MarshalText method: a TextMarshaler method
+// calling json.Marshal on the receiver would recurse.)
+func EncodeElement(e *Element) ([]byte, error) { return json.Marshal(e) }
+
+// ParseElement decodes a JSON layout tree.
+func ParseElement(data []byte) (*Element, error) {
+	var e Element
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("layout: %w", err)
+	}
+	return &e, nil
+}
+
+// Stylesheet is the "greater control ... via style-sheets" option:
+// named classes of style properties that presentation merges under
+// per-element styles.
+type Stylesheet struct {
+	Rules map[string]map[string]string `json:"rules"`
+}
+
+// Resolve merges the stylesheet class (by element type) under the
+// element's own style; element properties win.
+func (ss *Stylesheet) Resolve(e *Element) map[string]string {
+	out := map[string]string{}
+	if ss != nil {
+		for k, v := range ss.Rules[string(e.Type)] {
+			out[k] = v
+		}
+	}
+	for k, v := range e.Style {
+		out[k] = v
+	}
+	return out
+}
+
+// StyleAttr renders a style map as a deterministic HTML style
+// attribute value.
+func StyleAttr(style map[string]string) string {
+	if len(style) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(style))
+	for k := range style {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		if b.Len() > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(k)
+		b.WriteByte(':')
+		b.WriteString(style[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package layout
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleTree() *Element {
+	root := &Element{Type: ElemContainer}
+	root.Append(
+		&Element{Type: ElemLink, Field: "title", HrefField: "url"},
+		&Element{Type: ElemImage, Field: "image"},
+		&Element{Type: ElemText, Field: "description"},
+		&Element{Type: ElemSourceSlot, SourceID: "reviews"},
+	)
+	return root
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleTree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []*Element{
+		nil,
+		{Type: "blob"},
+		{Type: ElemText},                 // no field/literal
+		{Type: ElemImage},                // no field
+		{Type: ElemLink, Field: "t"},     // no href
+		{Type: ElemLink, HrefField: "u"}, // no label
+		{Type: ElemSourceSlot},           // no source
+		{Type: ElemText, Field: "a", Children: []*Element{{Type: ElemText, Field: "b"}}}, // leaf with children
+		{Type: ElemContainer, Children: []*Element{{Type: ElemImage}}},                   // bad child
+	}
+	for i, e := range cases {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad element %d accepted", i)
+		}
+	}
+}
+
+func TestValidateLiteralText(t *testing.T) {
+	e := &Element{Type: ElemText, Literal: "Ad"}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l := &Element{Type: ElemLink, Literal: "More", HrefField: "url"}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundFields(t *testing.T) {
+	got := sampleTree().BoundFields()
+	want := []string{"description", "image", "title", "url"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BoundFields = %v, want %v", got, want)
+	}
+}
+
+func TestSourceSlots(t *testing.T) {
+	tree := sampleTree()
+	tree.Append(&Element{Type: ElemSourceSlot, SourceID: "pricing"})
+	got := tree.SourceSlots()
+	if !reflect.DeepEqual(got, []string{"reviews", "pricing"}) {
+		t.Fatalf("SourceSlots = %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := sampleTree()
+	orig.Children[0].SetStyle("color", "red")
+	cp := orig.Clone()
+	cp.Children[0].SetStyle("color", "blue")
+	cp.Append(&Element{Type: ElemText, Literal: "extra"})
+	if orig.Children[0].Style["color"] != "red" {
+		t.Error("clone shares style map")
+	}
+	if len(orig.Children) == len(cp.Children) {
+		t.Error("clone shares children slice")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := sampleTree()
+	orig.SetStyle("border", "1px")
+	data, err := EncodeElement(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseElement(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Error("round trip changed the tree")
+	}
+	if _, err := ParseElement([]byte("{bad")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestStylesheetResolve(t *testing.T) {
+	ss := &Stylesheet{Rules: map[string]map[string]string{
+		"text": {"color": "#333", "font-size": "12px"},
+	}}
+	e := (&Element{Type: ElemText, Field: "f"}).SetStyle("color", "red")
+	got := ss.Resolve(e)
+	if got["color"] != "red" {
+		t.Errorf("element style should win: %v", got)
+	}
+	if got["font-size"] != "12px" {
+		t.Errorf("stylesheet property missing: %v", got)
+	}
+	// nil stylesheet: element style only
+	var nilSS *Stylesheet
+	got = nilSS.Resolve(e)
+	if got["color"] != "red" || len(got) != 1 {
+		t.Errorf("nil stylesheet resolve = %v", got)
+	}
+}
+
+func TestStyleAttrDeterministic(t *testing.T) {
+	style := map[string]string{"color": "red", "border": "1px", "a": "b"}
+	want := "a:b;border:1px;color:red"
+	for i := 0; i < 5; i++ {
+		if got := StyleAttr(style); got != want {
+			t.Fatalf("StyleAttr = %q", got)
+		}
+	}
+	if StyleAttr(nil) != "" {
+		t.Error("empty style should render empty")
+	}
+}
+
+func TestTemplates(t *testing.T) {
+	names := TemplateNames()
+	if len(names) != 4 {
+		t.Fatalf("templates = %v", names)
+	}
+	fields := map[string]string{"title": "title", "url": "url", "image": "image", "description": "desc", "snippet": "snippet", "text": "text"}
+	for _, n := range names {
+		el, err := FromTemplate(n, fields)
+		if err != nil {
+			t.Errorf("template %s: %v", n, err)
+			continue
+		}
+		if err := el.Validate(); err != nil {
+			t.Errorf("template %s invalid: %v", n, err)
+		}
+	}
+}
+
+func TestTemplateMissingBinding(t *testing.T) {
+	if _, err := FromTemplate("media-card", map[string]string{"title": "t"}); err == nil {
+		t.Error("missing bindings accepted")
+	}
+	if _, err := FromTemplate("no-such-template", nil); err == nil {
+		t.Error("unknown template accepted")
+	}
+}
+
+func TestMediaCardMatchesFig1(t *testing.T) {
+	// Fig 1: "a search result features a hyperlink, an image, and a
+	// descriptive field."
+	el, err := FromTemplate("media-card", map[string]string{
+		"title": "title", "url": "detailUrl", "image": "image", "description": "description",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []ElementType
+	for _, c := range el.Children {
+		types = append(types, c.Type)
+	}
+	want := []ElementType{ElemLink, ElemImage, ElemText}
+	if !reflect.DeepEqual(types, want) {
+		t.Fatalf("media card children = %v", types)
+	}
+	fields := el.BoundFields()
+	if !strings.Contains(strings.Join(fields, ","), "detailUrl") {
+		t.Error("href binding missing")
+	}
+}

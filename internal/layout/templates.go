@@ -1,0 +1,105 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Templates are the paper's "wizard-style assistance": prebuilt
+// result layouts a non-developer starts from. Each template takes
+// the field names to bind and returns a fresh tree.
+
+// TemplateFunc instantiates a template for the given field bindings.
+type TemplateFunc func(fields map[string]string) (*Element, error)
+
+var templates = map[string]TemplateFunc{
+	"title-link":       titleLinkTemplate,
+	"media-card":       mediaCardTemplate,
+	"headline-snippet": headlineSnippetTemplate,
+	"ad-block":         adBlockTemplate,
+}
+
+// TemplateNames lists available templates.
+func TemplateNames() []string {
+	out := make([]string, 0, len(templates))
+	for n := range templates {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FromTemplate instantiates a named template. fields maps template
+// roles (e.g. "title", "url", "image", "description") to the source's
+// field names.
+func FromTemplate(name string, fields map[string]string) (*Element, error) {
+	fn, ok := templates[name]
+	if !ok {
+		return nil, fmt.Errorf("layout: unknown template %q", name)
+	}
+	return fn(fields)
+}
+
+func need(fields map[string]string, roles ...string) error {
+	for _, r := range roles {
+		if fields[r] == "" {
+			return fmt.Errorf("layout: template requires a %q field binding", r)
+		}
+	}
+	return nil
+}
+
+// titleLinkTemplate: a hyperlinked title — the minimal search result.
+func titleLinkTemplate(fields map[string]string) (*Element, error) {
+	if err := need(fields, "title", "url"); err != nil {
+		return nil, err
+	}
+	root := &Element{Type: ElemContainer}
+	root.Append(&Element{Type: ElemLink, Field: fields["title"], HrefField: fields["url"]})
+	return root, nil
+}
+
+// mediaCardTemplate reproduces the Fig 1 result layout: "a search
+// result features a hyperlink, an image, and a descriptive field."
+func mediaCardTemplate(fields map[string]string) (*Element, error) {
+	if err := need(fields, "title", "url", "image", "description"); err != nil {
+		return nil, err
+	}
+	root := &Element{Type: ElemContainer}
+	root.SetStyle("border", "1px solid #ccc")
+	root.Append(
+		(&Element{Type: ElemLink, Field: fields["title"], HrefField: fields["url"]}).SetStyle("font-size", "16px"),
+		&Element{Type: ElemImage, Field: fields["image"]},
+		&Element{Type: ElemText, Field: fields["description"]},
+	)
+	return root, nil
+}
+
+// headlineSnippetTemplate suits engine results: linked title over a
+// snippet.
+func headlineSnippetTemplate(fields map[string]string) (*Element, error) {
+	if err := need(fields, "title", "url", "snippet"); err != nil {
+		return nil, err
+	}
+	root := &Element{Type: ElemContainer}
+	root.Append(
+		&Element{Type: ElemLink, Field: fields["title"], HrefField: fields["url"]},
+		(&Element{Type: ElemText, Field: fields["snippet"]}).SetStyle("color", "#444"),
+	)
+	return root, nil
+}
+
+// adBlockTemplate renders an ad with disclosure labeling.
+func adBlockTemplate(fields map[string]string) (*Element, error) {
+	if err := need(fields, "title", "url", "text"); err != nil {
+		return nil, err
+	}
+	root := &Element{Type: ElemContainer}
+	root.SetStyle("background", "#fffbe6")
+	root.Append(
+		(&Element{Type: ElemText, Literal: "Ad"}).SetStyle("color", "#888"),
+		&Element{Type: ElemLink, Field: fields["title"], HrefField: fields["url"]},
+		&Element{Type: ElemText, Field: fields["text"]},
+	)
+	return root, nil
+}

@@ -1,0 +1,153 @@
+// Package publish implements distribution (§II-A): embedding an
+// application into the designer's own site via auto-generated
+// JavaScript/HTML snippets, and publishing to social networking
+// platforms (Facebook in the paper, simulated here by a platform
+// registry that accepts app manifests).
+package publish
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/app"
+	"repro/internal/host"
+)
+
+// Target is a distribution channel.
+type Target string
+
+// Distribution targets from the paper: the designer's own web site
+// (embed snippet) and social platforms.
+const (
+	TargetWeb      Target = "web"
+	TargetFacebook Target = "facebook"
+)
+
+// WebEmbed is the copy-paste deployment package for a designer's own
+// site.
+type WebEmbed struct {
+	AppID   string
+	Snippet string
+	Loader  string
+}
+
+// ForWeb produces the embed package.
+func ForWeb(baseURL string, a *app.Application) (*WebEmbed, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &WebEmbed{
+		AppID:   a.ID,
+		Snippet: host.EmbedSnippet(baseURL, a.ID),
+		Loader:  host.EmbedJS(baseURL, a.ID),
+	}, nil
+}
+
+// SocialPlatform simulates an external platform (e.g. Facebook) that
+// accepts application manifests. Installing returns the canvas URL a
+// platform user would visit; rendering still happens on Symphony
+// (the paper's hosting promise).
+type SocialPlatform struct {
+	Name string
+
+	mu       sync.Mutex
+	installs map[string]Manifest
+}
+
+// Manifest is the listing a platform shows for an installed app.
+type Manifest struct {
+	AppID       string
+	DisplayName string
+	CanvasURL   string
+	Owner       string
+}
+
+// NewSocialPlatform creates a platform simulation.
+func NewSocialPlatform(name string) *SocialPlatform {
+	return &SocialPlatform{Name: name, installs: make(map[string]Manifest)}
+}
+
+// Install publishes an app to the platform.
+func (p *SocialPlatform) Install(baseURL string, a *app.Application) (Manifest, error) {
+	if err := a.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	m := Manifest{
+		AppID:       a.ID,
+		DisplayName: a.Name,
+		Owner:       a.Owner,
+		CanvasURL:   fmt.Sprintf("https://%s.example/canvas/%s?backend=%s", p.Name, a.ID, baseURL),
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.installs[a.ID] = m
+	return m, nil
+}
+
+// Uninstall removes an app from the platform.
+func (p *SocialPlatform) Uninstall(appID string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.installs[appID]; !ok {
+		return false
+	}
+	delete(p.installs, appID)
+	return true
+}
+
+// Installed lists installed app IDs, sorted.
+func (p *SocialPlatform) Installed() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.installs))
+	for id := range p.installs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Manifest returns the manifest for an installed app.
+func (p *SocialPlatform) Manifest(appID string) (Manifest, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, ok := p.installs[appID]
+	return m, ok
+}
+
+// Distribute publishes the app to the given targets, recording them
+// on the application, and returns the web embed when requested.
+func Distribute(baseURL string, a *app.Application, fb *SocialPlatform, targets ...Target) (*WebEmbed, error) {
+	var embed *WebEmbed
+	for _, t := range targets {
+		switch t {
+		case TargetWeb:
+			e, err := ForWeb(baseURL, a)
+			if err != nil {
+				return nil, err
+			}
+			embed = e
+		case TargetFacebook:
+			if fb == nil {
+				return nil, fmt.Errorf("publish: no social platform configured")
+			}
+			if _, err := fb.Install(baseURL, a); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("publish: unknown target %q", t)
+		}
+		a.Published = appendUnique(a.Published, string(t))
+	}
+	return embed, nil
+}
+
+func appendUnique(list []string, v string) []string {
+	for _, x := range list {
+		if x == v {
+			return list
+		}
+	}
+	return append(list, v)
+}

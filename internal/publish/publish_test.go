@@ -1,0 +1,97 @@
+package publish
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+)
+
+func validApp(t testing.TB) *app.Application {
+	t.Helper()
+	d := app.NewDesigner("shop", "Shop", "ann", "shop")
+	d.DropPrimary(app.SourceConfig{ID: "p", Kind: app.KindWebSearch})
+	a, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestForWeb(t *testing.T) {
+	e, err := ForWeb("http://base.example", validApp(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Snippet, "embed.js?app=shop") {
+		t.Errorf("snippet = %s", e.Snippet)
+	}
+	if !strings.Contains(e.Loader, "symphonySearch") {
+		t.Error("loader missing function")
+	}
+	if _, err := ForWeb("http://b.example", &app.Application{}); err == nil {
+		t.Error("invalid app embedded")
+	}
+}
+
+func TestSocialPlatformInstall(t *testing.T) {
+	fb := NewSocialPlatform("facebook")
+	a := validApp(t)
+	m, err := fb.Install("http://base.example", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.CanvasURL, "facebook.example/canvas/shop") {
+		t.Errorf("canvas = %s", m.CanvasURL)
+	}
+	if m.Owner != "ann" || m.DisplayName != "Shop" {
+		t.Errorf("manifest = %+v", m)
+	}
+	if got := fb.Installed(); len(got) != 1 || got[0] != "shop" {
+		t.Fatalf("installed = %v", got)
+	}
+	if _, ok := fb.Manifest("shop"); !ok {
+		t.Error("manifest lookup failed")
+	}
+	if !fb.Uninstall("shop") || fb.Uninstall("shop") {
+		t.Error("uninstall semantics")
+	}
+	if _, err := fb.Install("http://b.example", &app.Application{}); err == nil {
+		t.Error("invalid app installed")
+	}
+}
+
+func TestDistribute(t *testing.T) {
+	fb := NewSocialPlatform("facebook")
+	a := validApp(t)
+	embed, err := Distribute("http://base.example", a, fb, TargetWeb, TargetFacebook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if embed == nil || embed.AppID != "shop" {
+		t.Fatal("no web embed returned")
+	}
+	if len(fb.Installed()) != 1 {
+		t.Error("facebook install missing")
+	}
+	if len(a.Published) != 2 {
+		t.Fatalf("published = %v", a.Published)
+	}
+	// Re-distribution does not duplicate targets.
+	if _, err := Distribute("http://base.example", a, fb, TargetWeb); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Published) != 2 {
+		t.Errorf("published duplicated: %v", a.Published)
+	}
+}
+
+func TestDistributeErrors(t *testing.T) {
+	a := validApp(t)
+	if _, err := Distribute("http://b.example", a, nil, TargetFacebook); err == nil {
+		t.Error("facebook without platform accepted")
+	}
+	if _, err := Distribute("http://b.example", a, nil, Target("myspace")); err == nil {
+		t.Error("unknown target accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Package recommend implements the paper's first future-work item:
+// "recommending suitable supplemental content (e.g., good game review
+// sites) for a designer's primary content (e.g., game inventory)".
+//
+// Given a sample of the designer's primary records, it issues probe
+// queries built from the drive field to the engine's web vertical and
+// scores sites by how often and how highly they rank across probes —
+// sites that consistently answer queries about the catalog's entities
+// are good supplemental restriction sets. When a click-log suggester
+// is supplied, its co-visitation signal is blended in.
+package recommend
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/sitesuggest"
+	"repro/internal/store"
+	"repro/internal/webcorpus"
+)
+
+// SiteScore is one recommended supplemental site.
+type SiteScore struct {
+	Site  string
+	Score float64
+	// Hits is the number of probe queries the site answered.
+	Hits int
+}
+
+// Options tunes a recommendation run.
+type Options struct {
+	// DriveField is the record field probes are built from (e.g.
+	// "title"). Required.
+	DriveField string
+	// ProbeSuffix is appended to each probe ("review", "trailer").
+	ProbeSuffix string
+	// SampleSize bounds how many records to probe (default 10).
+	SampleSize int
+	// PerProbe is how many results to examine per probe (default 10).
+	PerProbe int
+	// Limit bounds the returned sites (default 5).
+	Limit int
+	// Suggester optionally blends click-log co-visitation scores.
+	Suggester *sitesuggest.Suggester
+}
+
+// SupplementalSites recommends restriction sites for supplementing
+// the dataset's content.
+func SupplementalSites(e *engine.Engine, ds *store.Dataset, opts Options) ([]SiteScore, error) {
+	if opts.SampleSize <= 0 {
+		opts.SampleSize = 10
+	}
+	if opts.PerProbe <= 0 {
+		opts.PerProbe = 10
+	}
+	if opts.Limit <= 0 {
+		opts.Limit = 5
+	}
+	records := ds.List(0, opts.SampleSize)
+	scores := make(map[string]float64)
+	hits := make(map[string]int)
+	probes := 0
+	for _, rec := range records {
+		seedVal := rec[opts.DriveField]
+		if seedVal == "" {
+			continue
+		}
+		query := seedVal
+		if opts.ProbeSuffix != "" {
+			query += " " + opts.ProbeSuffix
+		}
+		rs, err := e.Search(engine.Request{
+			Query:    query,
+			Vertical: webcorpus.VerticalWeb,
+			Limit:    opts.PerProbe,
+		})
+		if err != nil {
+			return nil, err
+		}
+		probes++
+		seen := map[string]bool{}
+		for rank, r := range rs {
+			// Reciprocal-rank credit, counted once per probe per site.
+			if seen[r.Site] {
+				continue
+			}
+			seen[r.Site] = true
+			scores[r.Site] += 1.0 / float64(rank+1)
+			hits[r.Site]++
+		}
+	}
+	if probes == 0 {
+		return nil, nil
+	}
+	out := make([]SiteScore, 0, len(scores))
+	for site, sc := range scores {
+		blended := sc / float64(probes)
+		out = append(out, SiteScore{Site: site, Score: blended, Hits: hits[site]})
+	}
+	if opts.Suggester != nil && len(out) > 0 {
+		// Blend: seed the click-graph with our current top site and
+		// boost sites the crowd co-visits with it.
+		sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+		seed := out[0].Site
+		boost := map[string]float64{}
+		for _, sg := range opts.Suggester.Suggest([]string{seed}, 10) {
+			boost[sg.Site] = sg.Score
+		}
+		for i := range out {
+			out[i].Score += 0.5 * boost[out[i].Site]
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Site < out[j].Site
+	})
+	if len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+// Package render turns result items and layout trees into the HTML
+// fragment Symphony sends back to the embedded JavaScript (Fig 2:
+// "merged ... and formatted into HTML, applying any configured layout
+// and presentation details").
+//
+// All field values are HTML-escaped; URLs additionally pass a scheme
+// allowlist so a hostile record cannot inject javascript: links into
+// a hosted application.
+package render
+
+import (
+	"html"
+	"net/url"
+	"strings"
+
+	"repro/internal/layout"
+	"repro/internal/source"
+)
+
+// Renderer renders items under an optional stylesheet.
+type Renderer struct {
+	Stylesheet *layout.Stylesheet
+	// ClickBase, when set, wraps outbound hrefs in the hosting click
+	// redirect (/click?app=...&url=...) so interactions are logged
+	// for monetization. Empty renders direct links.
+	ClickBase string
+	AppID     string
+}
+
+// Item renders one result item through a layout tree. A nil layout
+// falls back to a definition-list dump of the item's fields, which is
+// what the design GUI shows before a layout is configured.
+func (r *Renderer) Item(el *layout.Element, item source.Item, supplementalHTML map[string]string) string {
+	var b strings.Builder
+	if el == nil {
+		r.fallback(&b, item)
+		return b.String()
+	}
+	r.render(&b, el, item, supplementalHTML)
+	return b.String()
+}
+
+func (r *Renderer) fallback(b *strings.Builder, item source.Item) {
+	b.WriteString(`<dl class="sym-item">`)
+	for _, k := range sortedKeys(item) {
+		if strings.HasPrefix(k, "_") {
+			continue
+		}
+		b.WriteString("<dt>")
+		b.WriteString(html.EscapeString(k))
+		b.WriteString("</dt><dd>")
+		b.WriteString(html.EscapeString(item[k]))
+		b.WriteString("</dd>")
+	}
+	b.WriteString("</dl>")
+}
+
+func sortedKeys(item source.Item) []string {
+	keys := make([]string, 0, len(item))
+	for k := range item {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}
+
+func (r *Renderer) render(b *strings.Builder, el *layout.Element, item source.Item, supp map[string]string) {
+	style := layout.StyleAttr(r.Stylesheet.Resolve(el))
+	attr := ""
+	if style != "" {
+		attr = ` style="` + html.EscapeString(style) + `"`
+	}
+	switch el.Type {
+	case layout.ElemContainer:
+		b.WriteString("<div" + attr + ">")
+		for _, c := range el.Children {
+			r.render(b, c, item, supp)
+		}
+		b.WriteString("</div>")
+	case layout.ElemText:
+		b.WriteString("<span" + attr + ">")
+		b.WriteString(html.EscapeString(r.content(el, item)))
+		b.WriteString("</span>")
+	case layout.ElemImage:
+		src := SafeURL(item[el.Field])
+		b.WriteString(`<img` + attr + ` src="` + html.EscapeString(src) + `" alt=""/>`)
+	case layout.ElemLink:
+		href := r.href(SafeURL(item[el.HrefField]))
+		b.WriteString(`<a` + attr + ` href="` + html.EscapeString(href) + `">`)
+		b.WriteString(html.EscapeString(r.content(el, item)))
+		b.WriteString("</a>")
+	case layout.ElemSourceSlot:
+		b.WriteString(`<div class="sym-supplemental" data-source="` + html.EscapeString(el.SourceID) + `">`)
+		b.WriteString(supp[el.SourceID]) // already-rendered safe HTML
+		b.WriteString("</div>")
+	}
+}
+
+func (r *Renderer) content(el *layout.Element, item source.Item) string {
+	if el.Field != "" {
+		if v := item[el.Field]; v != "" {
+			return v
+		}
+	}
+	return el.Literal
+}
+
+// href routes through the click logger when configured.
+func (r *Renderer) href(target string) string {
+	if r.ClickBase == "" || target == "" {
+		return target
+	}
+	return r.ClickBase + "?app=" + url.QueryEscape(r.AppID) + "&url=" + url.QueryEscape(target)
+}
+
+// SafeURL allows http, https and ftp URLs plus rooted paths; anything
+// else (javascript:, data:) collapses to "#".
+func SafeURL(u string) string {
+	lower := strings.ToLower(strings.TrimSpace(u))
+	switch {
+	case lower == "":
+		return ""
+	case strings.HasPrefix(lower, "http://"),
+		strings.HasPrefix(lower, "https://"),
+		strings.HasPrefix(lower, "ftp://"),
+		strings.HasPrefix(lower, "/"):
+		return strings.TrimSpace(u)
+	}
+	return "#"
+}
+
+// List renders a list of items, each through the same layout.
+func (r *Renderer) List(el *layout.Element, items []source.Item, suppByItem []map[string]string) string {
+	var b strings.Builder
+	b.WriteString(`<div class="sym-results">`)
+	for i, item := range items {
+		var supp map[string]string
+		if i < len(suppByItem) {
+			supp = suppByItem[i]
+		}
+		b.WriteString(r.Item(el, item, supp))
+	}
+	b.WriteString("</div>")
+	return b.String()
+}
+
+// Page wraps rendered source blocks into the application response
+// fragment injected by the embed JavaScript.
+func Page(appID string, blocks []string) string {
+	var b strings.Builder
+	b.WriteString(`<div class="symphony-app" data-app="` + html.EscapeString(appID) + `">`)
+	for _, blk := range blocks {
+		b.WriteString(blk)
+	}
+	b.WriteString("</div>")
+	return b.String()
+}

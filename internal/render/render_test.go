@@ -1,0 +1,160 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/source"
+)
+
+func card() *layout.Element {
+	root := &layout.Element{Type: layout.ElemContainer}
+	root.Append(
+		&layout.Element{Type: layout.ElemLink, Field: "title", HrefField: "url"},
+		&layout.Element{Type: layout.ElemImage, Field: "image"},
+		&layout.Element{Type: layout.ElemText, Field: "description"},
+	)
+	return root
+}
+
+func item() source.Item {
+	return source.Item{
+		"title":       "Legend of Zelda",
+		"url":         "http://shop.example/zelda",
+		"image":       "http://img.example/zelda.png",
+		"description": "An adventure game",
+	}
+}
+
+func TestItemRendersBindings(t *testing.T) {
+	r := &Renderer{}
+	html := r.Item(card(), item(), nil)
+	for _, want := range []string{
+		`<a href="http://shop.example/zelda">Legend of Zelda</a>`,
+		`<img src="http://img.example/zelda.png"`,
+		`<span>An adventure game</span>`,
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("missing %q in %s", want, html)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := &Renderer{}
+	evil := source.Item{
+		"title":       `<script>alert(1)</script>`,
+		"url":         `javascript:alert(1)`,
+		"image":       `data:text/html,x`,
+		"description": `"quoted" & <tagged>`,
+	}
+	html := r.Item(card(), evil, nil)
+	if strings.Contains(html, "<script>") {
+		t.Error("script tag not escaped")
+	}
+	if strings.Contains(html, "javascript:") {
+		t.Error("javascript: URL survived")
+	}
+	if strings.Contains(html, "data:") {
+		t.Error("data: URL survived")
+	}
+	if !strings.Contains(html, "&lt;tagged&gt;") {
+		t.Error("text not escaped")
+	}
+}
+
+func TestSafeURL(t *testing.T) {
+	cases := map[string]string{
+		"http://a.example/x":  "http://a.example/x",
+		"https://a.example":   "https://a.example",
+		"ftp://files.example": "ftp://files.example",
+		"/relative/path":      "/relative/path",
+		"javascript:alert(1)": "#",
+		"data:text/html":      "#",
+		"  http://b.example":  "http://b.example",
+		"":                    "",
+	}
+	for in, want := range cases {
+		if got := SafeURL(in); got != want {
+			t.Errorf("SafeURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLiteralFallback(t *testing.T) {
+	r := &Renderer{}
+	el := &layout.Element{Type: layout.ElemText, Field: "missing", Literal: "default text"}
+	html := r.Item(el, source.Item{}, nil)
+	if !strings.Contains(html, "default text") {
+		t.Errorf("literal fallback missing: %s", html)
+	}
+}
+
+func TestNilLayoutFallsBackToFieldDump(t *testing.T) {
+	r := &Renderer{}
+	html := r.Item(nil, source.Item{"title": "X", "_score": "1.0"}, nil)
+	if !strings.Contains(html, "<dl") || !strings.Contains(html, "X") {
+		t.Errorf("fallback dump wrong: %s", html)
+	}
+	if strings.Contains(html, "_score") {
+		t.Error("internal fields leaked into fallback")
+	}
+}
+
+func TestStyleRendering(t *testing.T) {
+	r := &Renderer{}
+	el := (&layout.Element{Type: layout.ElemText, Field: "title"}).SetStyle("color", "red")
+	html := r.Item(el, item(), nil)
+	if !strings.Contains(html, `style="color:red"`) {
+		t.Errorf("style missing: %s", html)
+	}
+}
+
+func TestStylesheetApplied(t *testing.T) {
+	r := &Renderer{Stylesheet: &layout.Stylesheet{Rules: map[string]map[string]string{
+		"text": {"font-size": "12px"},
+	}}}
+	el := &layout.Element{Type: layout.ElemText, Field: "title"}
+	html := r.Item(el, item(), nil)
+	if !strings.Contains(html, "font-size:12px") {
+		t.Errorf("stylesheet not applied: %s", html)
+	}
+}
+
+func TestClickWrapping(t *testing.T) {
+	r := &Renderer{ClickBase: "http://symphony.example/click", AppID: "shop app"}
+	html := r.Item(card(), item(), nil)
+	if !strings.Contains(html, "http://symphony.example/click?app=shop+app&amp;url=http%3A%2F%2Fshop.example%2Fzelda") {
+		t.Errorf("click wrapping wrong: %s", html)
+	}
+}
+
+func TestSourceSlotInjectsSupplementalHTML(t *testing.T) {
+	r := &Renderer{}
+	tree := card()
+	tree.Append(&layout.Element{Type: layout.ElemSourceSlot, SourceID: "reviews"})
+	html := r.Item(tree, item(), map[string]string{"reviews": "<em>review list</em>"})
+	if !strings.Contains(html, `data-source="reviews"`) || !strings.Contains(html, "<em>review list</em>") {
+		t.Errorf("slot injection wrong: %s", html)
+	}
+}
+
+func TestList(t *testing.T) {
+	r := &Renderer{}
+	items := []source.Item{item(), item()}
+	html := r.List(card(), items, nil)
+	if strings.Count(html, "Legend of Zelda") != 2 {
+		t.Errorf("list did not render both items: %s", html)
+	}
+	if !strings.HasPrefix(html, `<div class="sym-results">`) {
+		t.Error("list wrapper missing")
+	}
+}
+
+func TestPage(t *testing.T) {
+	html := Page("myapp", []string{"<p>a</p>", "<p>b</p>"})
+	if !strings.Contains(html, `data-app="myapp"`) || !strings.Contains(html, "<p>a</p><p>b</p>") {
+		t.Errorf("page = %s", html)
+	}
+}

@@ -1,0 +1,442 @@
+// Package runtime executes applications: it is the component in the
+// middle of the paper's Fig 2. A query arrives from the embedded
+// JavaScript, is processed by the primary content sources, then the
+// supplemental sources are queried with fields drawn from each
+// primary result, and everything is merged and formatted into HTML
+// that is sent back for injection into the host page.
+//
+// The executor also implements the paper's customer-data hook ("In a
+// more complex scenario, customer data could also be included to
+// alter the query") and records every stage in a Trace so the Fig 2
+// flow can be printed and benchmarked.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"html"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ads"
+	"repro/internal/analytics"
+	"repro/internal/app"
+	"repro/internal/engine"
+	"repro/internal/render"
+	"repro/internal/source"
+	"repro/internal/store"
+	"repro/internal/webcorpus"
+	"repro/internal/webservice"
+)
+
+// Query is one end-user request against an application.
+type Query struct {
+	Text string
+	// Customer is an opaque visitor ID for analytics and
+	// personalization.
+	Customer string
+	// Profile carries customer data used to alter the query — extra
+	// preference terms appended to engine queries (the paper's "prefer
+	// some types of games over others").
+	Profile *CustomerProfile
+	// Offset pages through primary results.
+	Offset int
+}
+
+// CustomerProfile is the personalization record.
+type CustomerProfile struct {
+	PreferTerms []string
+}
+
+// SourceBlock is the executed output of one primary source.
+type SourceBlock struct {
+	SourceID string
+	Kind     string
+	Items    []source.Item
+	// SupplementalByItem[i][suppID] holds supplemental items for
+	// primary item i.
+	SupplementalByItem []map[string][]source.Item
+	HTML               string
+}
+
+// Response is the executed application output.
+type Response struct {
+	AppID  string
+	Query  string
+	HTML   string
+	Blocks []SourceBlock
+	Trace  *Trace
+}
+
+// Trace records per-stage timing, reproducing Fig 2's stages.
+type Trace struct {
+	Stages []Stage
+	Total  time.Duration
+}
+
+// Stage is one timed pipeline step.
+type Stage struct {
+	Name     string
+	Detail   string
+	Duration time.Duration
+	Items    int
+	Err      string
+}
+
+func (t *Trace) add(name, detail string, d time.Duration, items int, err error) {
+	s := Stage{Name: name, Detail: detail, Duration: d, Items: items}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	t.Stages = append(t.Stages, s)
+}
+
+// Executor wires the platform services the runtime draws on.
+type Executor struct {
+	Store    *store.Store
+	Engine   *engine.Engine
+	Services *webservice.Client
+	Ads      *ads.Service
+	Log      *analytics.Log
+
+	// SupplementalParallelism bounds concurrent supplemental fetches
+	// per primary source (the ablation in DESIGN.md §5). 0 means 8;
+	// 1 means sequential.
+	SupplementalParallelism int
+
+	// ClickBase, when set, routes rendered links through the hosting
+	// click endpoint for monetization logging.
+	ClickBase string
+
+	// ResolveApp resolves composed applications (KindApp sources).
+	// Nil disables composition.
+	ResolveApp func(appID string) (*app.Application, error)
+
+	// maxComposeDepth guards composed apps from cycles.
+	maxComposeDepth int
+}
+
+// DefaultPrimaryLimit is used when a source sets no MaxResults.
+const DefaultPrimaryLimit = 10
+
+// DefaultSupplementalLimit bounds supplemental results per primary
+// item when unset.
+const DefaultSupplementalLimit = 3
+
+// Execute runs the Fig 2 pipeline for one query.
+func (x *Executor) Execute(ctx context.Context, a *app.Application, q Query) (*Response, error) {
+	start := time.Now()
+	if a == nil {
+		return nil, fmt.Errorf("runtime: nil application")
+	}
+	trace := &Trace{}
+	trace.add("receive", fmt.Sprintf("query %q forwarded to Symphony", q.Text), 0, 0, nil)
+
+	resp := &Response{AppID: a.ID, Query: q.Text, Trace: trace}
+	renderer := &render.Renderer{Stylesheet: a.Stylesheet, ClickBase: x.ClickBase, AppID: a.ID}
+
+	if x.Log != nil {
+		x.Log.Record(analytics.Event{App: a.ID, Type: analytics.EventQuery, Query: q.Text, Customer: q.Customer})
+	}
+
+	var blocks []string
+	for i := range a.Primary {
+		sc := &a.Primary[i]
+		block, err := x.executePrimary(ctx, a, sc, q, renderer, trace, 0)
+		if err != nil {
+			// A failing source degrades to an empty block rather than
+			// failing the whole page: hosted apps must stay up when a
+			// 3rd-party service is down.
+			trace.add("primary:"+sc.ID, "failed", 0, 0, err)
+			continue
+		}
+		resp.Blocks = append(resp.Blocks, *block)
+		blocks = append(blocks, block.HTML)
+	}
+	stageStart := time.Now()
+	resp.HTML = render.Page(a.ID, blocks)
+	trace.add("format", "merged content formatted into HTML", time.Since(stageStart), len(blocks), nil)
+	trace.add("respond", "HTML returned to embedded JavaScript", 0, 0, nil)
+	trace.Total = time.Since(start)
+	return resp, nil
+}
+
+func (x *Executor) executePrimary(ctx context.Context, a *app.Application, sc *app.SourceConfig, q Query, renderer *render.Renderer, trace *Trace, depth int) (*SourceBlock, error) {
+	src, err := x.resolve(a, sc, depth)
+	if err != nil {
+		return nil, err
+	}
+	limit := sc.MaxResults
+	if limit <= 0 {
+		limit = DefaultPrimaryLimit
+	}
+	req := source.Request{Query: x.alteredQuery(sc, q), Limit: limit + q.Offset}
+	stageStart := time.Now()
+	items, err := src.Search(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	// "Did you mean": a primary source with spell correction gets one
+	// corrected retry when the query text matched nothing.
+	if len(items) == 0 && req.Query != "" {
+		if corrector, ok := src.(source.QueryCorrector); ok {
+			if corrected, changed := corrector.CorrectQuery(req.Query); changed {
+				req.Query = corrected
+				items, err = src.Search(ctx, req)
+				if err != nil {
+					return nil, err
+				}
+				trace.add("didyoumean:"+sc.ID, fmt.Sprintf("query corrected to %q", corrected), 0, len(items), nil)
+			}
+		}
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(items) {
+			items = nil
+		} else {
+			items = items[q.Offset:]
+		}
+	}
+	trace.add("primary:"+sc.ID, fmt.Sprintf("%s source queried", src.Kind()), time.Since(stageStart), len(items), nil)
+
+	block := &SourceBlock{SourceID: sc.ID, Kind: src.Kind(), Items: items}
+
+	// Supplemental fan-out: which supplemental sources does this
+	// primary's layout place?
+	var suppConfigs []*app.SourceConfig
+	if sc.Layout != nil {
+		for _, slot := range sc.Layout.SourceSlots() {
+			if ssc, ok := a.Source(slot); ok {
+				suppConfigs = append(suppConfigs, ssc)
+			}
+		}
+	}
+	block.SupplementalByItem = make([]map[string][]source.Item, len(items))
+	if len(suppConfigs) > 0 && len(items) > 0 {
+		stageStart = time.Now()
+		n, err := x.fanOut(ctx, a, block, suppConfigs, depth)
+		detail := fmt.Sprintf("%d supplemental queries driven by primary fields", n)
+		trace.add("supplemental:"+sc.ID, detail, time.Since(stageStart), n, err)
+	}
+
+	// Render: each item, with its supplemental HTML, through the
+	// configured layout.
+	stageStart = time.Now()
+	suppHTML := make([]map[string]string, len(items))
+	for i := range items {
+		m := make(map[string]string)
+		for suppID, suppItems := range block.SupplementalByItem[i] {
+			ssc, _ := a.Source(suppID)
+			var lay = ssc.Layout
+			m[suppID] = renderer.List(lay, suppItems, nil)
+		}
+		suppHTML[i] = m
+	}
+	var itemsHTML string
+	itemsHTML = renderListWithSupp(renderer, sc, items, suppHTML)
+	block.HTML = itemsHTML
+	trace.add("render:"+sc.ID, "layout applied", time.Since(stageStart), len(items), nil)
+	return block, nil
+}
+
+func renderListWithSupp(r *render.Renderer, sc *app.SourceConfig, items []source.Item, supp []map[string]string) string {
+	var blocks []string
+	for i, item := range items {
+		var m map[string]string
+		if i < len(supp) {
+			m = supp[i]
+		}
+		blocks = append(blocks, r.Item(sc.Layout, item, m))
+	}
+	return `<div class="sym-source" data-source="` + html.EscapeString(sc.ID) + `">` + strings.Join(blocks, "") + `</div>`
+}
+
+// fanOut queries every supplemental source for every primary item,
+// bounded by SupplementalParallelism. It returns the number of
+// supplemental queries issued and the first error (non-fatal).
+func (x *Executor) fanOut(ctx context.Context, a *app.Application, block *SourceBlock, suppConfigs []*app.SourceConfig, depth int) (int, error) {
+	type job struct {
+		itemIdx int
+		sc      *app.SourceConfig
+	}
+	var jobs []job
+	for i := range block.Items {
+		block.SupplementalByItem[i] = make(map[string][]source.Item, len(suppConfigs))
+		for _, ssc := range suppConfigs {
+			jobs = append(jobs, job{i, ssc})
+		}
+	}
+	par := x.SupplementalParallelism
+	if par <= 0 {
+		par = 8
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			items, err := x.querySupplemental(ctx, a, j.sc, block.Items[j.itemIdx], depth)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			block.SupplementalByItem[j.itemIdx][j.sc.ID] = items
+		}(j)
+	}
+	wg.Wait()
+	return len(jobs), firstErr
+}
+
+// querySupplemental runs one supplemental source for one primary
+// item, passing the configured drive fields as args.
+func (x *Executor) querySupplemental(ctx context.Context, a *app.Application, sc *app.SourceConfig, item source.Item, depth int) ([]source.Item, error) {
+	src, err := x.resolve(a, sc, depth)
+	if err != nil {
+		return nil, err
+	}
+	args := make(map[string]string, len(sc.DriveFields))
+	for _, f := range sc.DriveFields {
+		args[f] = item[f]
+	}
+	limit := sc.MaxResults
+	if limit <= 0 {
+		limit = DefaultSupplementalLimit
+	}
+	// The query template is expanded by the source itself (engine/ads
+	// sources) or ignored (service sources use args directly).
+	return src.Search(ctx, source.Request{Args: args, Limit: limit})
+}
+
+// alteredQuery applies customer personalization to engine-backed
+// primary sources.
+func (x *Executor) alteredQuery(sc *app.SourceConfig, q Query) string {
+	text := q.Text
+	if q.Profile == nil || len(q.Profile.PreferTerms) == 0 {
+		return text
+	}
+	switch sc.Kind {
+	case app.KindWebSearch, app.KindImageSearch, app.KindVideoSearch, app.KindNewsSearch:
+		for _, t := range q.Profile.PreferTerms {
+			text += " " + t
+		}
+	}
+	return text
+}
+
+// resolve turns a SourceConfig into a live Source.
+func (x *Executor) resolve(a *app.Application, sc *app.SourceConfig, depth int) (source.Source, error) {
+	switch sc.Kind {
+	case app.KindProprietary:
+		if x.Store == nil {
+			return nil, fmt.Errorf("runtime: no store configured")
+		}
+		ds, err := x.Store.Dataset(a.Tenant, a.Owner, sc.Dataset, store.PermRead)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: source %s: %w", sc.ID, err)
+		}
+		return &source.StoreSource{
+			SourceName:   sc.ID,
+			Dataset:      ds,
+			SearchFields: sc.SearchFields,
+			Filters:      sc.Filters,
+			OrderBy:      sc.OrderBy,
+		}, nil
+	case app.KindWebSearch, app.KindImageSearch, app.KindVideoSearch, app.KindNewsSearch:
+		if x.Engine == nil {
+			return nil, fmt.Errorf("runtime: no engine configured")
+		}
+		return &source.EngineSource{
+			SourceName:    sc.ID,
+			Engine:        x.Engine,
+			Vertical:      verticalOf(sc.Kind),
+			Sites:         sc.Sites,
+			AddTerms:      sc.AddTerms,
+			PreferURLs:    sc.PreferURLs,
+			QueryTemplate: sc.QueryTemplate,
+		}, nil
+	case app.KindAds:
+		if x.Ads == nil {
+			return nil, fmt.Errorf("runtime: no ad service configured")
+		}
+		return &source.AdSource{SourceName: sc.ID, Service: x.Ads, QueryTemplate: sc.QueryTemplate}, nil
+	case app.KindService:
+		if x.Services == nil {
+			return nil, fmt.Errorf("runtime: no service client configured")
+		}
+		return &source.ServiceSource{SourceName: sc.ID, Client: x.Services, Definition: sc.Service}, nil
+	case app.KindApp:
+		return x.resolveApp(sc, depth)
+	default:
+		return nil, fmt.Errorf("runtime: source %s: unknown kind %q", sc.ID, sc.Kind)
+	}
+}
+
+func verticalOf(k app.SourceKind) webcorpus.Vertical {
+	switch k {
+	case app.KindImageSearch:
+		return webcorpus.VerticalImage
+	case app.KindVideoSearch:
+		return webcorpus.VerticalVideo
+	case app.KindNewsSearch:
+		return webcorpus.VerticalNews
+	default:
+		return webcorpus.VerticalWeb
+	}
+}
+
+// resolveApp implements application composition (§IV future work:
+// "creating new applications by composing other applications"): the
+// composed app's primary results become this source's items.
+func (x *Executor) resolveApp(sc *app.SourceConfig, depth int) (source.Source, error) {
+	if x.ResolveApp == nil {
+		return nil, fmt.Errorf("runtime: source %s: app composition not configured", sc.ID)
+	}
+	maxDepth := x.maxComposeDepth
+	if maxDepth == 0 {
+		maxDepth = 3
+	}
+	if depth >= maxDepth {
+		return nil, fmt.Errorf("runtime: source %s: app composition too deep", sc.ID)
+	}
+	sub, err := x.ResolveApp(sc.AppID)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: source %s: %w", sc.ID, err)
+	}
+	return &source.Func{
+		SourceName: sc.ID,
+		SourceKind: "app",
+		Fn: func(ctx context.Context, req source.Request) ([]source.Item, error) {
+			query := req.Query
+			if sc.QueryTemplate != "" {
+				query = webservice.ExpandTemplate(sc.QueryTemplate, req.Args)
+			}
+			var all []source.Item
+			for i := range sub.Primary {
+				psc := &sub.Primary[i]
+				srcSub, err := x.resolve(sub, psc, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				items, err := srcSub.Search(ctx, source.Request{Query: query, Limit: req.Limit})
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, items...)
+			}
+			if req.Limit > 0 && len(all) > req.Limit {
+				all = all[:req.Limit]
+			}
+			return all, nil
+		},
+	}, nil
+}

@@ -1,0 +1,158 @@
+// Package sitesuggest implements the paper's Site Suggest feature
+// (§II-A, citing Fuxman, Tsaparas, Kannan, Agrawal, "Using the wisdom
+// of the crowds for keyword generation", WWW'08): given the set of
+// sites an application designer has already selected for a
+// site-restricted source, suggest additional related sites.
+//
+// Following the cited approach, relatedness is mined from the search
+// engine's query/click log: two sites are related when the same
+// queries lead users to click on both. We score a candidate site by
+// the weighted overlap between its query set and the union of the
+// seed sites' query sets (cosine similarity over query vectors).
+package sitesuggest
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// Suggestion is a candidate related site with its relatedness score.
+type Suggestion struct {
+	Site  string
+	Score float64
+}
+
+// Suggester holds the mined query->site click graph.
+type Suggester struct {
+	// site -> query -> click count
+	siteQueries map[string]map[string]float64
+	siteNorm    map[string]float64
+}
+
+// Build mines a click log into a Suggester. Entries without a click
+// are ignored; they carry no site co-visitation signal.
+func Build(log []engine.LogEntry) *Suggester {
+	s := &Suggester{
+		siteQueries: make(map[string]map[string]float64),
+		siteNorm:    make(map[string]float64),
+	}
+	for _, e := range log {
+		if e.Site == "" || e.Query == "" {
+			continue
+		}
+		m := s.siteQueries[e.Site]
+		if m == nil {
+			m = make(map[string]float64)
+			s.siteQueries[e.Site] = m
+		}
+		m[e.Query]++
+	}
+	for site, qs := range s.siteQueries {
+		var sum float64
+		for _, c := range qs {
+			sum += c * c
+		}
+		s.siteNorm[site] = math.Sqrt(sum)
+	}
+	return s
+}
+
+// Sites returns all sites present in the click graph.
+func (s *Suggester) Sites() []string {
+	out := make([]string, 0, len(s.siteQueries))
+	for site := range s.siteQueries {
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Suggest returns up to limit sites related to the seeds, ordered by
+// score descending. Seed sites are never suggested back.
+func (s *Suggester) Suggest(seeds []string, limit int) []Suggestion {
+	if limit <= 0 {
+		limit = 5
+	}
+	seedSet := make(map[string]bool, len(seeds))
+	// Aggregate the seeds' query vector.
+	profile := make(map[string]float64)
+	for _, seed := range seeds {
+		seedSet[seed] = true
+		for q, c := range s.siteQueries[seed] {
+			profile[q] += c
+		}
+	}
+	if len(profile) == 0 {
+		return nil
+	}
+	var profNorm float64
+	for _, c := range profile {
+		profNorm += c * c
+	}
+	profNorm = math.Sqrt(profNorm)
+
+	var out []Suggestion
+	for site, qs := range s.siteQueries {
+		if seedSet[site] {
+			continue
+		}
+		var dot float64
+		for q, c := range qs {
+			dot += c * profile[q]
+		}
+		if dot == 0 {
+			continue
+		}
+		score := dot / (profNorm * s.siteNorm[site])
+		out = append(out, Suggestion{Site: site, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Site < out[j].Site
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// KeywordsForSites returns the top queries that led to clicks on the
+// given sites — the "keyword generation" half of the cited paper,
+// used by the ads substrate to propose bid keywords to designers.
+func (s *Suggester) KeywordsForSites(sites []string, limit int) []string {
+	if limit <= 0 {
+		limit = 10
+	}
+	counts := make(map[string]float64)
+	for _, site := range sites {
+		for q, c := range s.siteQueries[site] {
+			counts[q] += c
+		}
+	}
+	type kv struct {
+		q string
+		c float64
+	}
+	list := make([]kv, 0, len(counts))
+	for q, c := range counts {
+		list = append(list, kv{q, c})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].c != list[j].c {
+			return list[i].c > list[j].c
+		}
+		return list[i].q < list[j].q
+	})
+	if len(list) > limit {
+		list = list[:limit]
+	}
+	out := make([]string, len(list))
+	for i, e := range list {
+		out[i] = e.q
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package sitesuggest
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// makeLog builds a click log in which gaming sites share queries with
+// one another and wine sites share different queries.
+func makeLog() []engine.LogEntry {
+	var log []engine.LogEntry
+	click := func(q, site string) {
+		log = append(log, engine.LogEntry{Query: q, Site: site, ClickedURL: "http://" + site + "/x"})
+	}
+	gameQueries := []string{"halo review", "zelda walkthrough", "gears trailer", "best rpg"}
+	for _, q := range gameQueries {
+		for _, s := range []string{"ign.com", "gamespot.com", "teamxbox.com"} {
+			click(q, s)
+		}
+	}
+	// kotaku shares most game queries.
+	for _, q := range gameQueries[:3] {
+		click(q, "kotaku.com")
+	}
+	wineQueries := []string{"cabernet rating", "best merlot"}
+	for _, q := range wineQueries {
+		for _, s := range []string{"winespectator.example", "vinous.example"} {
+			click(q, s)
+		}
+	}
+	// queries without clicks should be ignored
+	log = append(log, engine.LogEntry{Query: "no click here"})
+	return log
+}
+
+func TestSuggestRelatedSites(t *testing.T) {
+	s := Build(makeLog())
+	sugs := s.Suggest([]string{"ign.com", "gamespot.com"}, 3)
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	top := sugs[0].Site
+	if top != "teamxbox.com" && top != "kotaku.com" {
+		t.Errorf("top suggestion %q is not a gaming site", top)
+	}
+	for _, sg := range sugs {
+		if sg.Site == "ign.com" || sg.Site == "gamespot.com" {
+			t.Errorf("seed site %s suggested back", sg.Site)
+		}
+		if sg.Score <= 0 || sg.Score > 1.0001 {
+			t.Errorf("score %f out of (0,1]", sg.Score)
+		}
+	}
+}
+
+func TestSuggestDoesNotCrossTopics(t *testing.T) {
+	s := Build(makeLog())
+	sugs := s.Suggest([]string{"ign.com", "gamespot.com", "teamxbox.com"}, 10)
+	for _, sg := range sugs {
+		if sg.Site == "winespectator.example" || sg.Site == "vinous.example" {
+			t.Errorf("wine site %s suggested for game seeds", sg.Site)
+		}
+	}
+}
+
+func TestSuggestEmptySeeds(t *testing.T) {
+	s := Build(makeLog())
+	if sugs := s.Suggest(nil, 5); sugs != nil {
+		t.Errorf("empty seeds gave %v", sugs)
+	}
+	if sugs := s.Suggest([]string{"unknown.example"}, 5); sugs != nil {
+		t.Errorf("unknown seed gave %v", sugs)
+	}
+}
+
+func TestSuggestLimit(t *testing.T) {
+	s := Build(makeLog())
+	sugs := s.Suggest([]string{"ign.com"}, 1)
+	if len(sugs) > 1 {
+		t.Errorf("limit ignored: %d", len(sugs))
+	}
+	// default limit when <=0
+	sugs = s.Suggest([]string{"ign.com"}, 0)
+	if len(sugs) == 0 {
+		t.Error("default limit returned nothing")
+	}
+}
+
+func TestScoresDescending(t *testing.T) {
+	s := Build(makeLog())
+	sugs := s.Suggest([]string{"ign.com"}, 10)
+	for i := 1; i < len(sugs); i++ {
+		if sugs[i].Score > sugs[i-1].Score {
+			t.Fatalf("scores not descending at %d", i)
+		}
+	}
+}
+
+func TestSites(t *testing.T) {
+	s := Build(makeLog())
+	sites := s.Sites()
+	if len(sites) != 6 {
+		t.Fatalf("got %d sites: %v", len(sites), sites)
+	}
+	for i := 1; i < len(sites); i++ {
+		if sites[i] < sites[i-1] {
+			t.Fatal("sites not sorted")
+		}
+	}
+}
+
+func TestKeywordsForSites(t *testing.T) {
+	s := Build(makeLog())
+	kws := s.KeywordsForSites([]string{"ign.com", "kotaku.com"}, 3)
+	if len(kws) != 3 {
+		t.Fatalf("got %d keywords", len(kws))
+	}
+	// The three queries kotaku shares should dominate.
+	seen := map[string]bool{}
+	for _, k := range kws {
+		seen[k] = true
+	}
+	if !seen["halo review"] {
+		t.Errorf("expected 'halo review' among top keywords, got %v", kws)
+	}
+}
+
+func TestBuildIgnoresClicklessEntries(t *testing.T) {
+	s := Build([]engine.LogEntry{{Query: "q"}, {Query: "q2", Site: ""}})
+	if len(s.Sites()) != 0 {
+		t.Error("clickless entries created sites")
+	}
+}

@@ -1,0 +1,131 @@
+// Package social implements the paper's future-work item "adding
+// support for social search features": saved searches shared within
+// an application's community, and community votes on results that
+// feed a re-ranking boost — the topic-specific relevance signal the
+// paper's conclusion anticipates.
+package social
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/source"
+)
+
+// SavedSearch is a query a community member shared.
+type SavedSearch struct {
+	ID    string
+	App   string
+	Owner string
+	Query string
+	Label string
+}
+
+// Board holds one application's community state.
+type Board struct {
+	mu       sync.Mutex
+	searches map[string]SavedSearch
+	nextID   int
+	// votes[url] = net votes for a result URL within this app.
+	votes map[string]int
+}
+
+// Hub manages boards per application.
+type Hub struct {
+	mu     sync.Mutex
+	boards map[string]*Board
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{boards: make(map[string]*Board)}
+}
+
+// Board returns (creating) the board for an app.
+func (h *Hub) Board(appID string) *Board {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, ok := h.boards[appID]
+	if !ok {
+		b = &Board{searches: make(map[string]SavedSearch), votes: make(map[string]int)}
+		h.boards[appID] = b
+	}
+	return b
+}
+
+// Save shares a search with the community, returning its ID.
+func (b *Board) Save(owner, query, label string) SavedSearch {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	s := SavedSearch{
+		ID:    fmt.Sprintf("s%d", b.nextID),
+		Owner: owner,
+		Query: query,
+		Label: label,
+	}
+	b.searches[s.ID] = s
+	return s
+}
+
+// Delete removes a saved search; only its owner may delete it.
+func (b *Board) Delete(id, actor string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.searches[id]
+	if !ok {
+		return fmt.Errorf("social: no saved search %q", id)
+	}
+	if s.Owner != actor {
+		return fmt.Errorf("social: %s does not own search %q", actor, id)
+	}
+	delete(b.searches, id)
+	return nil
+}
+
+// Saved lists saved searches sorted by ID.
+func (b *Board) Saved() []SavedSearch {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]SavedSearch, 0, len(b.searches))
+	for _, s := range b.searches {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Vote applies a community vote (+1 / -1) to a result URL.
+func (b *Board) Vote(url string, delta int) int {
+	if delta > 0 {
+		delta = 1
+	} else if delta < 0 {
+		delta = -1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.votes[url] += delta
+	return b.votes[url]
+}
+
+// Votes returns the net votes for a URL.
+func (b *Board) Votes(url string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.votes[url]
+}
+
+// Rerank stably reorders items so that community votes act as a
+// primary signal bucketed on top of the original relevance order:
+// items are sorted by vote count descending, ties keep engine order.
+func (b *Board) Rerank(items []source.Item, urlField string) []source.Item {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]source.Item, len(items))
+	copy(out, items)
+	sort.SliceStable(out, func(i, j int) bool {
+		return b.votes[out[i][urlField]] > b.votes[out[j][urlField]]
+	})
+	return out
+}

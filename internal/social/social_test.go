@@ -1,0 +1,96 @@
+package social
+
+import (
+	"testing"
+
+	"repro/internal/source"
+)
+
+func TestSaveListDelete(t *testing.T) {
+	hub := NewHub()
+	b := hub.Board("gamerqueen")
+	s1 := b.Save("c1", "zelda under 30", "Cheap Zelda")
+	s2 := b.Save("c2", "halo", "Halo stuff")
+	if s1.ID == s2.ID {
+		t.Fatal("IDs collide")
+	}
+	saved := b.Saved()
+	if len(saved) != 2 || saved[0].ID != s1.ID {
+		t.Fatalf("saved = %+v", saved)
+	}
+	if err := b.Delete(s1.ID, "someone-else"); err == nil {
+		t.Fatal("non-owner deleted a saved search")
+	}
+	if err := b.Delete(s1.ID, "c1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete(s1.ID, "c1"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if len(b.Saved()) != 1 {
+		t.Fatal("delete did not remove")
+	}
+}
+
+func TestBoardsIsolatedPerApp(t *testing.T) {
+	hub := NewHub()
+	hub.Board("a").Save("c", "q", "l")
+	if got := len(hub.Board("b").Saved()); got != 0 {
+		t.Fatalf("board b has %d searches", got)
+	}
+	// Same app returns the same board.
+	if hub.Board("a") != hub.Board("a") {
+		t.Fatal("board identity not stable")
+	}
+}
+
+func TestVotes(t *testing.T) {
+	b := NewHub().Board("a")
+	if got := b.Vote("http://x.example", +1); got != 1 {
+		t.Fatalf("vote = %d", got)
+	}
+	b.Vote("http://x.example", +5) // clamped to +1
+	if got := b.Votes("http://x.example"); got != 2 {
+		t.Fatalf("votes = %d", got)
+	}
+	b.Vote("http://x.example", -1)
+	if got := b.Votes("http://x.example"); got != 1 {
+		t.Fatalf("votes after down = %d", got)
+	}
+	if got := b.Votes("http://unseen.example"); got != 0 {
+		t.Fatalf("unseen votes = %d", got)
+	}
+}
+
+func TestRerankByVotes(t *testing.T) {
+	b := NewHub().Board("a")
+	items := []source.Item{
+		{"url": "http://first.example", "title": "engine-first"},
+		{"url": "http://second.example", "title": "engine-second"},
+		{"url": "http://third.example", "title": "engine-third"},
+	}
+	b.Vote("http://third.example", +1)
+	b.Vote("http://third.example", +1)
+	b.Vote("http://second.example", +1)
+	got := b.Rerank(items, "url")
+	if got[0]["url"] != "http://third.example" || got[1]["url"] != "http://second.example" {
+		t.Fatalf("rerank = %v", got)
+	}
+	// Original slice untouched.
+	if items[0]["url"] != "http://first.example" {
+		t.Fatal("rerank mutated input")
+	}
+}
+
+func TestRerankStableOnTies(t *testing.T) {
+	b := NewHub().Board("a")
+	items := []source.Item{
+		{"url": "u1"}, {"url": "u2"}, {"url": "u3"},
+	}
+	got := b.Rerank(items, "url")
+	for i := range items {
+		if got[i]["url"] != items[i]["url"] {
+			t.Fatal("tie order changed")
+		}
+	}
+}

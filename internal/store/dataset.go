@@ -1,0 +1,409 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/textproc"
+)
+
+// Dataset is one named, schema'd collection of records inside a
+// tenant space, with a full-text index over its searchable fields.
+type Dataset struct {
+	schema Schema
+
+	mu      sync.RWMutex
+	records map[string]Record
+	order   []string // insertion order of IDs, for stable listing
+	nextID  int
+	ix      *index.Index
+
+	// Tenant quota enforcement, wired by the store: usage reports
+	// records across the tenant, quota is the ceiling (0 = none).
+	usage func() int
+	quota int
+}
+
+// setQuotaCheck wires tenant-level quota enforcement into Put.
+func (d *Dataset) setQuotaCheck(usage func() int, quota int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.usage = usage
+	d.quota = quota
+}
+
+func newDataset(schema Schema) *Dataset {
+	ds := &Dataset{
+		schema:  schema,
+		records: make(map[string]Record),
+		ix:      index.New(),
+	}
+	for _, f := range schema.Fields {
+		if f.Searchable {
+			boost := 1.0
+			if f.Name == "title" || f.Name == schema.Key {
+				boost = 2
+			}
+			ds.ix.SetFieldOptions(f.Name, index.FieldOptions{Boost: boost})
+		}
+	}
+	return ds
+}
+
+// Schema returns the dataset schema.
+func (d *Dataset) Schema() Schema { return d.schema }
+
+// Put inserts or replaces a record, returning its ID.
+func (d *Dataset) Put(rec Record) (string, error) {
+	if err := checkRecord(d.schema, rec); err != nil {
+		return "", err
+	}
+	// Quota check runs BEFORE taking the write lock: usage() reads
+	// sibling datasets' counts, and holding our lock while taking
+	// theirs would invert lock order against their own Puts. The
+	// check is therefore approximate under concurrent writers, which
+	// is the usual contract for storage metering.
+	d.mu.RLock()
+	quota, usage := d.quota, d.usage
+	cur := len(d.records)
+	isNew := true
+	if d.schema.Key != "" {
+		_, exists := d.records[rec[d.schema.Key]]
+		isNew = !exists
+	}
+	d.mu.RUnlock()
+	if quota > 0 && usage != nil && isNew && usage()+cur >= quota {
+		return "", ErrQuotaExceeded
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var id string
+	if d.schema.Key != "" {
+		id = rec[d.schema.Key]
+		if id == "" {
+			return "", fmt.Errorf("store: record missing key field %q", d.schema.Key)
+		}
+	} else {
+		d.nextID++
+		id = strconv.Itoa(d.nextID)
+	}
+	if _, exists := d.records[id]; !exists {
+		d.order = append(d.order, id)
+	}
+	cp := make(Record, len(rec))
+	for k, v := range rec {
+		cp[k] = v
+	}
+	d.records[id] = cp
+	return id, d.reindexLocked(id, cp)
+}
+
+func (d *Dataset) reindexLocked(id string, rec Record) error {
+	fields := make(map[string]string)
+	stored := make(map[string]string, len(rec))
+	for _, f := range d.schema.Fields {
+		v := rec[f.Name]
+		stored[f.Name] = v
+		if f.Searchable && v != "" {
+			fields[f.Name] = v
+		}
+	}
+	return d.ix.Add(index.Document{ID: id, Fields: fields, Stored: stored})
+}
+
+// Get returns the record with the given ID.
+func (d *Dataset) Get(id string) (Record, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	rec, ok := d.records[id]
+	if !ok {
+		return nil, false
+	}
+	cp := make(Record, len(rec))
+	for k, v := range rec {
+		cp[k] = v
+	}
+	return cp, true
+}
+
+// Delete removes a record.
+func (d *Dataset) Delete(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.records[id]; !ok {
+		return false
+	}
+	delete(d.records, id)
+	for i, o := range d.order {
+		if o == id {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.ix.Delete(id)
+	return true
+}
+
+// Len returns the record count.
+func (d *Dataset) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.records)
+}
+
+// List returns up to limit records in insertion order starting at
+// offset. limit <= 0 means all.
+func (d *Dataset) List(offset, limit int) []Record {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if offset >= len(d.order) {
+		return nil
+	}
+	ids := d.order[offset:]
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]Record, 0, len(ids))
+	for _, id := range ids {
+		rec := d.records[id]
+		cp := make(Record, len(rec)+1)
+		for k, v := range rec {
+			cp[k] = v
+		}
+		cp["_id"] = id
+		out = append(out, cp)
+	}
+	return out
+}
+
+// Filter is a structured predicate over a typed field.
+type Filter struct {
+	Field string
+	// Op is one of "=", "!=", "<", "<=", ">", ">=", "contains".
+	Op    string
+	Value string
+}
+
+// SearchRequest is a full-text + structured query over the dataset.
+type SearchRequest struct {
+	// Query is free text matched against searchable fields. Empty
+	// matches all records (browse mode).
+	Query string
+	// Fields restricts which searchable fields the query runs
+	// against; empty means all searchable fields.
+	Fields  []string
+	Filters []Filter
+	Limit   int
+	Offset  int
+	// OrderBy sorts results by a field instead of relevance
+	// ("price", "-price" for descending). Empty keeps BM25 order.
+	OrderBy string
+}
+
+// Hit is one search result with its record and relevance score.
+type Hit struct {
+	ID     string
+	Score  float64
+	Record Record
+}
+
+// Search runs the request.
+func (d *Dataset) Search(req SearchRequest) ([]Hit, error) {
+	fields := req.Fields
+	if len(fields) == 0 {
+		fields = d.schema.SearchableFields()
+	} else {
+		for _, f := range fields {
+			fd, ok := d.schema.Field(f)
+			if !ok {
+				return nil, fmt.Errorf("store: unknown search field %q", f)
+			}
+			if !fd.Searchable {
+				return nil, fmt.Errorf("store: field %q is not searchable", f)
+			}
+		}
+	}
+	for _, f := range req.Filters {
+		if _, ok := d.schema.Field(f.Field); !ok {
+			return nil, fmt.Errorf("store: unknown filter field %q", f.Field)
+		}
+	}
+
+	var q index.Query
+	if req.Query == "" {
+		q = index.AllQuery{}
+	} else {
+		q = index.MatchQuery{Fields: fields, Text: req.Query}
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	// Fetch everything matching; structured filters and ordering are
+	// applied here where types are known.
+	raw := d.ix.Search(q, index.SearchOptions{})
+	hits := make([]Hit, 0, len(raw))
+	for _, r := range raw {
+		rec := d.records[r.ID]
+		ok, err := matchAll(d.schema, rec, req.Filters)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		cp := make(Record, len(rec)+1)
+		for k, v := range rec {
+			cp[k] = v
+		}
+		cp["_id"] = r.ID
+		hits = append(hits, Hit{ID: r.ID, Score: r.Score, Record: cp})
+	}
+	if req.OrderBy != "" {
+		if err := sortHits(d.schema, hits, req.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if req.Offset > 0 {
+		if req.Offset >= len(hits) {
+			return nil, nil
+		}
+		hits = hits[req.Offset:]
+	}
+	if req.Limit > 0 && len(hits) > req.Limit {
+		hits = hits[:req.Limit]
+	}
+	return hits, nil
+}
+
+// Facets counts the values of field across records matching the
+// request's query and filters — the designer's filter sidebar
+// (e.g. producer counts next to inventory results).
+func (d *Dataset) Facets(req SearchRequest, field string) ([]index.FacetCount, error) {
+	if _, ok := d.schema.Field(field); !ok {
+		return nil, fmt.Errorf("store: unknown facet field %q", field)
+	}
+	hits, err := d.Search(SearchRequest{
+		Query:   req.Query,
+		Fields:  req.Fields,
+		Filters: req.Filters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int)
+	for _, h := range hits {
+		if v := h.Record[field]; v != "" {
+			counts[v]++
+		}
+	}
+	out := make([]index.FacetCount, 0, len(counts))
+	for v, n := range counts {
+		out = append(out, index.FacetCount{Value: v, N: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out, nil
+}
+
+func matchAll(s Schema, rec Record, filters []Filter) (bool, error) {
+	for _, f := range filters {
+		ok, err := matchFilter(s, rec, f)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func matchFilter(s Schema, rec Record, f Filter) (bool, error) {
+	fd, _ := s.Field(f.Field)
+	have := rec[f.Field]
+	switch f.Op {
+	case "=", "":
+		return have == f.Value, nil
+	case "!=":
+		return have != f.Value, nil
+	case "contains":
+		return containsFold(have, f.Value), nil
+	case "<", "<=", ">", ">=":
+		if fd.Type == TypeNumber {
+			a, err1 := strconv.ParseFloat(have, 64)
+			b, err2 := strconv.ParseFloat(f.Value, 64)
+			if err1 != nil || err2 != nil {
+				return false, nil
+			}
+			return cmpOrdered(a, b, f.Op), nil
+		}
+		return cmpOrdered(have, f.Value, f.Op), nil
+	default:
+		return false, fmt.Errorf("store: unknown filter op %q", f.Op)
+	}
+}
+
+func cmpOrdered[T float64 | string](a, b T, op string) bool {
+	switch op {
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func containsFold(haystack, needle string) bool {
+	h := textproc.Terms(haystack)
+	n := textproc.Terms(needle)
+	if len(n) == 0 {
+		return true
+	}
+	set := make(map[string]bool, len(h))
+	for _, t := range h {
+		set[t] = true
+	}
+	for _, t := range n {
+		if !set[t] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortHits(s Schema, hits []Hit, orderBy string) error {
+	desc := false
+	field := orderBy
+	if len(field) > 0 && field[0] == '-' {
+		desc = true
+		field = field[1:]
+	}
+	fd, ok := s.Field(field)
+	if !ok {
+		return fmt.Errorf("store: unknown order field %q", field)
+	}
+	numeric := fd.Type == TypeNumber
+	sort.SliceStable(hits, func(i, j int) bool {
+		a, b := hits[i].Record[field], hits[j].Record[field]
+		var less bool
+		if numeric {
+			af, _ := strconv.ParseFloat(a, 64)
+			bf, _ := strconv.ParseFloat(b, 64)
+			less = af < bf
+		} else {
+			less = a < b
+		}
+		if desc {
+			return !less && a != b
+		}
+		return less
+	})
+	return nil
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Persistence: Symphony hosts the designers' data, so the store can
+// snapshot itself to a writer and restore from a reader. The format
+// is versioned JSON — records are strings end to end, so JSON is
+// lossless — and restoring rebuilds the full-text indexes from the
+// records rather than serializing postings.
+
+// snapshotVersion guards format evolution.
+const snapshotVersion = 1
+
+type snapshot struct {
+	Version int              `json:"version"`
+	Tenants []tenantSnapshot `json:"tenants"`
+}
+
+type tenantSnapshot struct {
+	ID       string                `json:"id"`
+	Owner    string                `json:"owner"`
+	Grants   map[string]Permission `json:"grants,omitempty"`
+	Datasets []datasetSnapshot     `json:"datasets"`
+}
+
+type datasetSnapshot struct {
+	Schema  Schema   `json:"schema"`
+	Order   []string `json:"order"`
+	Records []Record `json:"records"`
+	NextID  int      `json:"nextId"`
+}
+
+// Snapshot serializes the whole store.
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := snapshot{Version: snapshotVersion}
+	tenantIDs := make([]string, 0, len(s.tenants))
+	for id := range s.tenants {
+		tenantIDs = append(tenantIDs, id)
+	}
+	sort.Strings(tenantIDs)
+	for _, id := range tenantIDs {
+		t := s.tenants[id]
+		ts := tenantSnapshot{ID: id, Owner: t.owner, Grants: t.grants}
+		dsNames := make([]string, 0, len(t.datasets))
+		for name := range t.datasets {
+			dsNames = append(dsNames, name)
+		}
+		sort.Strings(dsNames)
+		for _, name := range dsNames {
+			ds := t.datasets[name]
+			ds.mu.RLock()
+			d := datasetSnapshot{
+				Schema: ds.schema,
+				Order:  append([]string(nil), ds.order...),
+				NextID: ds.nextID,
+			}
+			for _, rid := range ds.order {
+				rec := ds.records[rid]
+				cp := make(Record, len(rec))
+				for k, v := range rec {
+					cp[k] = v
+				}
+				d.Records = append(d.Records, cp)
+			}
+			ds.mu.RUnlock()
+			ts.Datasets = append(ts.Datasets, d)
+		}
+		snap.Tenants = append(snap.Tenants, ts)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// Restore replaces the store's contents from a snapshot, rebuilding
+// all indexes.
+func (s *Store) Restore(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("store: restore: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("store: restore: unsupported snapshot version %d", snap.Version)
+	}
+	tenants := make(map[string]*tenant, len(snap.Tenants))
+	for _, ts := range snap.Tenants {
+		if ts.ID == "" || ts.Owner == "" {
+			return fmt.Errorf("store: restore: tenant with empty id/owner")
+		}
+		t := &tenant{
+			owner:    ts.Owner,
+			datasets: make(map[string]*Dataset, len(ts.Datasets)),
+			grants:   ts.Grants,
+		}
+		if t.grants == nil {
+			t.grants = make(map[string]Permission)
+		}
+		for _, dsnap := range ts.Datasets {
+			if err := dsnap.Schema.Validate(); err != nil {
+				return fmt.Errorf("store: restore tenant %s: %w", ts.ID, err)
+			}
+			if len(dsnap.Order) != len(dsnap.Records) {
+				return fmt.Errorf("store: restore tenant %s dataset %s: order/record mismatch", ts.ID, dsnap.Schema.Name)
+			}
+			ds := newDataset(dsnap.Schema)
+			ds.nextID = dsnap.NextID
+			for i, rec := range dsnap.Records {
+				id := dsnap.Order[i]
+				if err := checkRecord(ds.schema, rec); err != nil {
+					return fmt.Errorf("store: restore: record %s: %w", id, err)
+				}
+				cp := make(Record, len(rec))
+				for k, v := range rec {
+					cp[k] = v
+				}
+				ds.records[id] = cp
+				ds.order = append(ds.order, id)
+				if err := ds.reindexLocked(id, cp); err != nil {
+					return err
+				}
+			}
+			t.datasets[dsnap.Schema.Name] = ds
+		}
+		tenants[ts.ID] = t
+	}
+	s.mu.Lock()
+	s.tenants = tenants
+	s.mu.Unlock()
+	return nil
+}

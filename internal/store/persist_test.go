@@ -1,0 +1,124 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s, ds := newInventory(t)
+	if err := s.Grant("gamerqueen", "ann", "bob", PermRead); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New()
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := restored.Dataset("gamerqueen", "ann", "inventory", PermWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Len() != ds.Len() {
+		t.Fatalf("record counts differ: %d vs %d", ds2.Len(), ds.Len())
+	}
+	// Records intact.
+	rec, ok := ds2.Get("G1")
+	if !ok || rec["title"] != "The Legend of Zelda" {
+		t.Fatalf("G1 = %v %v", rec, ok)
+	}
+	// Indexes rebuilt: search works.
+	hits, err := ds2.Search(SearchRequest{Query: "zelda"})
+	if err != nil || len(hits) != 2 {
+		t.Fatalf("restored search = %v, %v", hits, err)
+	}
+	// Grants preserved.
+	if _, err := restored.Dataset("gamerqueen", "bob", "inventory", PermRead); err != nil {
+		t.Fatalf("grant lost: %v", err)
+	}
+	if _, err := restored.Dataset("gamerqueen", "mallory", "inventory", PermRead); err == nil {
+		t.Fatal("access control lost in restore")
+	}
+	// Insertion order preserved.
+	list := ds2.List(0, 0)
+	if list[0]["sku"] != "G1" || list[3]["sku"] != "G4" {
+		t.Fatalf("order lost: %v", list)
+	}
+}
+
+func TestRestoreContinuesAutoIDs(t *testing.T) {
+	s := New()
+	s.CreateTenant("t", "o")
+	ds, _ := s.CreateDataset("t", "o", Schema{Name: "notes", Fields: []Field{{Name: "text", Searchable: true}}})
+	ds.Put(Record{"text": "first"})
+	ds.Put(Record{"text": "second"})
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds2, _ := restored.Dataset("t", "o", "notes", PermWrite)
+	id, err := ds2.Put(Record{"text": "third"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "3" {
+		t.Fatalf("auto ID after restore = %q, want 3", id)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	s := New()
+	if err := s.Restore(strings.NewReader("{broken")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := s.Restore(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if err := s.Restore(strings.NewReader(`{"version":1,"tenants":[{"id":"","owner":""}]}`)); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+	bad := `{"version":1,"tenants":[{"id":"t","owner":"o","datasets":[{"schema":{"name":"d","fields":[{"name":"a"}]},"order":["1","2"],"records":[{"a":"x"}]}]}]}`
+	if err := s.Restore(strings.NewReader(bad)); err == nil {
+		t.Fatal("order/record mismatch accepted")
+	}
+}
+
+func TestRestoreReplacesExistingState(t *testing.T) {
+	s, _ := newInventory(t)
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A store with unrelated content restores to exactly the snapshot.
+	other := New()
+	other.CreateTenant("junk", "j")
+	if err := other.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := other.Tenants(); len(got) != 1 || got[0] != "gamerqueen" {
+		t.Fatalf("tenants after restore = %v", got)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	s, _ := newInventory(t)
+	var a, b bytes.Buffer
+	if err := s.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("snapshots of identical state differ")
+	}
+}

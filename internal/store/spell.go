@@ -1,0 +1,44 @@
+package store
+
+import "strings"
+
+// SuggestQuery corrects a free-text query against the dataset's
+// searchable-field vocabulary: each word with no match in any
+// searchable field is replaced by its closest indexed term. It
+// returns the corrected query and whether anything changed — the
+// dataset-level "did you mean" used when a proprietary primary source
+// returns nothing.
+func (d *Dataset) SuggestQuery(query string) (string, bool) {
+	fields := d.schema.SearchableFields()
+	if len(fields) == 0 {
+		return query, false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	words := strings.Fields(query)
+	changed := false
+	for i, w := range words {
+		// A word is fine if any searchable field has it.
+		present := false
+		for _, f := range fields {
+			if d.ix.DocFreq(f, w) > 0 {
+				present = true
+				break
+			}
+		}
+		if present {
+			continue
+		}
+		for _, f := range fields {
+			if sugs := d.ix.SuggestTerms(f, w, 1); len(sugs) > 0 {
+				words[i] = sugs[0]
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		return query, false
+	}
+	return strings.Join(words, " "), true
+}

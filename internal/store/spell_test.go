@@ -1,0 +1,44 @@
+package store
+
+import "testing"
+
+func TestSuggestQueryCorrectsTypo(t *testing.T) {
+	_, ds := newInventory(t)
+	got, changed := ds.SuggestQuery("zelta")
+	if !changed || got != "zelda" {
+		t.Fatalf("SuggestQuery = %q, %v", got, changed)
+	}
+}
+
+func TestSuggestQueryKeepsValidWords(t *testing.T) {
+	_, ds := newInventory(t)
+	got, changed := ds.SuggestQuery("zelda adventure")
+	if changed || got != "zelda adventure" {
+		t.Fatalf("valid query altered: %q %v", got, changed)
+	}
+}
+
+func TestSuggestQueryMixed(t *testing.T) {
+	_, ds := newInventory(t)
+	got, changed := ds.SuggestQuery("zelta adventure")
+	if !changed || got != "zelda adventure" {
+		t.Fatalf("mixed query = %q, %v", got, changed)
+	}
+}
+
+func TestSuggestQueryGibberishUnchanged(t *testing.T) {
+	_, ds := newInventory(t)
+	got, changed := ds.SuggestQuery("xxyyzz qqwwee")
+	if changed {
+		t.Fatalf("gibberish corrected to %q", got)
+	}
+}
+
+func TestSuggestQueryNoSearchableFields(t *testing.T) {
+	s := New()
+	s.CreateTenant("t", "o")
+	ds, _ := s.CreateDataset("t", "o", Schema{Name: "d", Fields: []Field{{Name: "a"}}})
+	if _, changed := ds.SuggestQuery("anything"); changed {
+		t.Fatal("dataset without searchable fields corrected a query")
+	}
+}

@@ -1,0 +1,83 @@
+package store
+
+import "testing"
+
+func TestStats(t *testing.T) {
+	_, ds := newInventory(t)
+	stats := ds.Stats()
+	byField := map[string]FieldStats{}
+	for _, s := range stats {
+		byField[s.Field] = s
+	}
+	price := byField["price"]
+	if price.NonEmpty != 4 || price.Min != 19.99 || price.Max != 49.99 {
+		t.Fatalf("price stats = %+v", price)
+	}
+	producer := byField["producer"]
+	if producer.Distinct != 3 {
+		t.Fatalf("producer distinct = %d", producer.Distinct)
+	}
+	if len(producer.TopValues) == 0 || producer.TopValues[0].Value != "Nintendo" || producer.TopValues[0].N != 2 {
+		t.Fatalf("producer top = %v", producer.TopValues)
+	}
+	image := byField["image"]
+	if image.NonEmpty != 1 {
+		t.Fatalf("image non-empty = %d", image.NonEmpty)
+	}
+	// Field order matches schema order.
+	if stats[0].Field != "sku" || stats[1].Field != "title" {
+		t.Fatalf("order = %v %v", stats[0].Field, stats[1].Field)
+	}
+}
+
+func TestStatsEmptyDataset(t *testing.T) {
+	s := New()
+	s.CreateTenant("t", "o")
+	ds, _ := s.CreateDataset("t", "o", Schema{Name: "d", Fields: []Field{{Name: "x", Type: TypeNumber}}})
+	stats := ds.Stats()
+	if len(stats) != 1 || stats[0].NonEmpty != 0 || stats[0].Distinct != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestFacets(t *testing.T) {
+	_, ds := newInventory(t)
+	facets, err := ds.Facets(SearchRequest{Query: "game"}, "producer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facets) != 3 || facets[0].Value != "Nintendo" || facets[0].N != 2 {
+		t.Fatalf("facets = %v", facets)
+	}
+	// Facets compose with structured filters.
+	facets, err = ds.Facets(SearchRequest{Filters: []Filter{{Field: "instock", Op: "=", Value: "true"}}}, "producer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, f := range facets {
+		total += f.N
+	}
+	if total != 3 {
+		t.Fatalf("in-stock facet total = %d", total)
+	}
+	if _, err := ds.Facets(SearchRequest{}, "ghost"); err == nil {
+		t.Fatal("unknown facet field accepted")
+	}
+}
+
+func TestStatsTopValuesCapped(t *testing.T) {
+	s := New()
+	s.CreateTenant("t", "o")
+	ds, _ := s.CreateDataset("t", "o", Schema{Name: "d", Fields: []Field{{Name: "v"}}})
+	for i := 0; i < 20; i++ {
+		ds.Put(Record{"v": string(rune('a' + i%10))})
+	}
+	stats := ds.Stats()
+	if len(stats[0].TopValues) != 5 {
+		t.Fatalf("top values = %d", len(stats[0].TopValues))
+	}
+	if stats[0].Distinct != 10 {
+		t.Fatalf("distinct = %d", stats[0].Distinct)
+	}
+}

@@ -1,0 +1,230 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Common errors. ErrAccessDenied is returned whenever an actor
+// touches a tenant space without ownership or a grant.
+var (
+	ErrAccessDenied  = fmt.Errorf("store: access denied")
+	ErrNoSuchTenant  = fmt.Errorf("store: no such tenant")
+	ErrNoSuchDataset = fmt.Errorf("store: no such dataset")
+	ErrDatasetExists = fmt.Errorf("store: dataset already exists")
+)
+
+// Permission is the access level of a grant.
+type Permission string
+
+// Grant levels: readers can query, writers can also modify.
+const (
+	PermRead  Permission = "read"
+	PermWrite Permission = "write"
+)
+
+// ErrQuotaExceeded is returned when a tenant write would exceed its
+// record quota.
+var ErrQuotaExceeded = fmt.Errorf("store: tenant record quota exceeded")
+
+// tenant is one designer's private space.
+type tenant struct {
+	owner    string
+	datasets map[string]*Dataset
+	grants   map[string]Permission // actor -> permission
+	// quota bounds total records across the tenant's datasets
+	// (0 = unlimited). Hosted platforms meter designer storage.
+	quota int
+}
+
+// Store is the multi-tenant proprietary data store.
+type Store struct {
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{tenants: make(map[string]*tenant)}
+}
+
+// CreateTenant creates a private space owned by owner. Creating an
+// existing tenant is an error.
+func (s *Store) CreateTenant(id, owner string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[id]; ok {
+		return fmt.Errorf("store: tenant %q already exists", id)
+	}
+	s.tenants[id] = &tenant{
+		owner:    owner,
+		datasets: make(map[string]*Dataset),
+		grants:   make(map[string]Permission),
+	}
+	return nil
+}
+
+// SetQuota bounds the tenant's total record count (0 = unlimited).
+// Only the owner may set it (in production, the platform operator).
+func (s *Store) SetQuota(id, byActor string, records int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return ErrNoSuchTenant
+	}
+	if t.owner != byActor {
+		return ErrAccessDenied
+	}
+	t.quota = records
+	for _, ds := range t.datasets {
+		ds.setQuotaCheck(usageExcluding(t, ds), records)
+	}
+	return nil
+}
+
+// usageExcluding reports the tenant's record count across every
+// dataset except self. The excluded dataset adds its own (lock-held)
+// count inside Put, avoiding self-deadlock.
+func usageExcluding(t *tenant, self *Dataset) func() int {
+	return func() int {
+		total := 0
+		for _, ds := range t.datasets {
+			if ds != self {
+				total += ds.Len()
+			}
+		}
+		return total
+	}
+}
+
+// Grant gives actor the given permission on tenant id. Only the owner
+// may grant.
+func (s *Store) Grant(id, byActor, toActor string, perm Permission) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return ErrNoSuchTenant
+	}
+	if t.owner != byActor {
+		return ErrAccessDenied
+	}
+	t.grants[toActor] = perm
+	return nil
+}
+
+// Revoke removes actor's grant. Only the owner may revoke.
+func (s *Store) Revoke(id, byActor, fromActor string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return ErrNoSuchTenant
+	}
+	if t.owner != byActor {
+		return ErrAccessDenied
+	}
+	delete(t.grants, fromActor)
+	return nil
+}
+
+func (s *Store) access(id, actor string, need Permission) (*tenant, error) {
+	t, ok := s.tenants[id]
+	if !ok {
+		return nil, ErrNoSuchTenant
+	}
+	if t.owner == actor {
+		return t, nil
+	}
+	perm, ok := t.grants[actor]
+	if !ok {
+		return nil, ErrAccessDenied
+	}
+	if need == PermWrite && perm != PermWrite {
+		return nil, ErrAccessDenied
+	}
+	return t, nil
+}
+
+// CreateDataset creates a dataset in the tenant space.
+func (s *Store) CreateDataset(tenantID, actor string, schema Schema) (*Dataset, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.access(tenantID, actor, PermWrite)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := t.datasets[schema.Name]; ok {
+		return nil, ErrDatasetExists
+	}
+	ds := newDataset(schema)
+	t.datasets[schema.Name] = ds
+	if t.quota > 0 {
+		ds.setQuotaCheck(usageExcluding(t, ds), t.quota)
+	}
+	return ds, nil
+}
+
+// Dataset returns a dataset for reading or writing; access is checked
+// at the requested level.
+func (s *Store) Dataset(tenantID, actor, name string, need Permission) (*Dataset, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.access(tenantID, actor, need)
+	if err != nil {
+		return nil, err
+	}
+	ds, ok := t.datasets[name]
+	if !ok {
+		return nil, ErrNoSuchDataset
+	}
+	return ds, nil
+}
+
+// DropDataset removes a dataset.
+func (s *Store) DropDataset(tenantID, actor, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.access(tenantID, actor, PermWrite)
+	if err != nil {
+		return err
+	}
+	if _, ok := t.datasets[name]; !ok {
+		return ErrNoSuchDataset
+	}
+	delete(t.datasets, name)
+	return nil
+}
+
+// Datasets lists the dataset names visible to actor in the tenant.
+func (s *Store) Datasets(tenantID, actor string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.access(tenantID, actor, PermRead)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(t.datasets))
+	for name := range t.datasets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Tenants lists all tenant IDs (administrative; no data exposure).
+func (s *Store) Tenants() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tenants))
+	for id := range s.tenants {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,123 @@
+// Package structured implements the paper's future-work item
+// "supporting richer querying of structured data": a small query
+// language end users can type into a search box that mixes free text
+// with typed field predicates and sort directives, compiled onto the
+// store's structured search.
+//
+// Syntax (whitespace-separated clauses):
+//
+//	price:<30            numeric / string comparison (=,!=,<,<=,>,>=)
+//	producer:"Big Co"    quoted values may contain spaces
+//	instock:true         bare equality
+//	sort:price  sort:-price
+//	zelda adventure      everything else is free text
+package structured
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// Parsed is the compiled form of a structured query.
+type Parsed struct {
+	FreeText string
+	Filters  []store.Filter
+	OrderBy  string
+}
+
+// Parse compiles the query text. It never fails on free text; it
+// fails on malformed field clauses so the designer UI can explain.
+func Parse(query string) (Parsed, error) {
+	var p Parsed
+	var free []string
+	for _, tok := range splitClauses(query) {
+		colon := strings.IndexByte(tok, ':')
+		if colon <= 0 || colon == len(tok)-1 {
+			free = append(free, tok)
+			continue
+		}
+		field, rest := tok[:colon], tok[colon+1:]
+		if field == "sort" {
+			p.OrderBy = unquote(rest)
+			continue
+		}
+		op, value := splitOp(rest)
+		value = unquote(value)
+		if value == "" {
+			return Parsed{}, fmt.Errorf("structured: clause %q has empty value", tok)
+		}
+		p.Filters = append(p.Filters, store.Filter{Field: field, Op: op, Value: value})
+	}
+	p.FreeText = strings.Join(free, " ")
+	return p, nil
+}
+
+// splitClauses splits on spaces but keeps quoted spans together
+// (producer:"Big Co" stays one clause).
+func splitClauses(s string) []string {
+	var out []string
+	var b strings.Builder
+	inQuote := false
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+			b.WriteRune(r)
+		case r == ' ' && !inQuote:
+			flush()
+		default:
+			b.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+func splitOp(s string) (op, value string) {
+	switch {
+	case strings.HasPrefix(s, "<="):
+		return "<=", s[2:]
+	case strings.HasPrefix(s, ">="):
+		return ">=", s[2:]
+	case strings.HasPrefix(s, "!="):
+		return "!=", s[2:]
+	case strings.HasPrefix(s, "<"):
+		return "<", s[1:]
+	case strings.HasPrefix(s, ">"):
+		return ">", s[1:]
+	case strings.HasPrefix(s, "~"):
+		return "contains", s[1:]
+	default:
+		return "=", s
+	}
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// Apply parses the query and runs it against a dataset. Unknown
+// fields and malformed clauses surface as errors.
+func Apply(ds *store.Dataset, query string, limit int) ([]store.Hit, error) {
+	p, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Search(store.SearchRequest{
+		Query:   p.FreeText,
+		Filters: p.Filters,
+		OrderBy: p.OrderBy,
+		Limit:   limit,
+	})
+}

@@ -1,0 +1,150 @@
+package structured
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestParseFreeTextOnly(t *testing.T) {
+	p, err := Parse("zelda adventure game")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeText != "zelda adventure game" || len(p.Filters) != 0 || p.OrderBy != "" {
+		t.Fatalf("parsed = %+v", p)
+	}
+}
+
+func TestParseFilters(t *testing.T) {
+	p, err := Parse(`zelda price:<30 producer:"Big Co" instock:true rating:>=4 sku:!=G1 desc:~cover sort:-price`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeText != "zelda" {
+		t.Errorf("free text = %q", p.FreeText)
+	}
+	want := []store.Filter{
+		{Field: "price", Op: "<", Value: "30"},
+		{Field: "producer", Op: "=", Value: "Big Co"},
+		{Field: "instock", Op: "=", Value: "true"},
+		{Field: "rating", Op: ">=", Value: "4"},
+		{Field: "sku", Op: "!=", Value: "G1"},
+		{Field: "desc", Op: "contains", Value: "cover"},
+	}
+	if !reflect.DeepEqual(p.Filters, want) {
+		t.Fatalf("filters = %+v", p.Filters)
+	}
+	if p.OrderBy != "-price" {
+		t.Errorf("order = %q", p.OrderBy)
+	}
+}
+
+func TestParseQuotedSpacesStayTogether(t *testing.T) {
+	p, err := Parse(`producer:"Two Words Here" other`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Filters) != 1 || p.Filters[0].Value != "Two Words Here" {
+		t.Fatalf("filters = %+v", p.Filters)
+	}
+	if p.FreeText != "other" {
+		t.Errorf("free = %q", p.FreeText)
+	}
+}
+
+func TestParseEmptyValue(t *testing.T) {
+	if _, err := Parse(`price:<`); err == nil {
+		t.Fatal("empty comparison value accepted")
+	}
+}
+
+func TestParseColonEdgeCases(t *testing.T) {
+	// Leading/trailing colon tokens are treated as free text.
+	p, err := Parse(":weird trailing:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Filters) != 0 || p.FreeText != ":weird trailing:" {
+		t.Fatalf("parsed = %+v", p)
+	}
+}
+
+func invDataset(t testing.TB) *store.Dataset {
+	t.Helper()
+	s := store.New()
+	s.CreateTenant("t", "o")
+	ds, err := s.CreateDataset("t", "o", store.Schema{
+		Name: "inv", Key: "sku",
+		Fields: []store.Field{
+			{Name: "sku", Required: true},
+			{Name: "title", Searchable: true},
+			{Name: "producer"},
+			{Name: "price", Type: store.TypeNumber},
+			{Name: "instock", Type: store.TypeBool},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []store.Record{
+		{"sku": "G1", "title": "Zelda Legend", "producer": "Nintendo", "price": "49.99", "instock": "true"},
+		{"sku": "G2", "title": "Zelda Tracks", "producer": "Nintendo", "price": "29.99", "instock": "false"},
+		{"sku": "G3", "title": "Halo Wars", "producer": "Ensemble", "price": "19.99", "instock": "true"},
+	}
+	for _, r := range rows {
+		if _, err := ds.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+func TestApplyCombinesTextAndFilters(t *testing.T) {
+	ds := invDataset(t)
+	hits, err := Apply(ds, "zelda price:<40", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].ID != "G2" {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestApplySortDirective(t *testing.T) {
+	ds := invDataset(t)
+	hits, err := Apply(ds, "sort:-price", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 || hits[0].ID != "G1" || hits[2].ID != "G3" {
+		t.Fatalf("sorted = %v %v %v", hits[0].ID, hits[1].ID, hits[2].ID)
+	}
+}
+
+func TestApplyBoolFilter(t *testing.T) {
+	ds := invDataset(t)
+	hits, err := Apply(ds, "instock:true", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("instock hits = %d", len(hits))
+	}
+}
+
+func TestApplyUnknownFieldFails(t *testing.T) {
+	ds := invDataset(t)
+	if _, err := Apply(ds, "nope:<3", 10); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestApplyLimit(t *testing.T) {
+	ds := invDataset(t)
+	hits, err := Apply(ds, "producer:Nintendo", 1)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("limit: %v %v", hits, err)
+	}
+}

@@ -1,0 +1,58 @@
+package textproc
+
+// Analyzer turns raw text into index terms. Index-time and query-time
+// analysis must use the same Analyzer; the engine and the store each
+// hold one and pass it to internal/index.
+type Analyzer struct {
+	// KeepStopwords disables stopword removal. Catalog fields such as
+	// product titles often want stopwords kept ("The Last of Us").
+	KeepStopwords bool
+	// NoStem disables stemming, used for keyword/identifier fields.
+	NoStem bool
+	// Stopwords overrides DefaultStopwords when non-nil.
+	Stopwords map[string]bool
+}
+
+// DefaultAnalyzer is the analyzer used for free-text fields: lower
+// cased, stopworded, stemmed.
+var DefaultAnalyzer = &Analyzer{}
+
+// KeywordAnalyzer keeps every token verbatim (no stopwords removed,
+// no stemming); used for fields like URLs, SKUs and site names.
+var KeywordAnalyzer = &Analyzer{KeepStopwords: true, NoStem: true}
+
+// Analyze runs the full pipeline. Token positions are preserved from
+// tokenization even when stopwords are removed, so phrase queries see
+// the original gaps ("president of france" matches with a position gap
+// at "of").
+func (a *Analyzer) Analyze(text string) []Token {
+	if a == nil {
+		a = DefaultAnalyzer
+	}
+	toks := Tokenize(text)
+	stop := a.Stopwords
+	if stop == nil {
+		stop = DefaultStopwords
+	}
+	out := toks[:0]
+	for _, t := range toks {
+		if !a.KeepStopwords && stop[t.Term] {
+			continue
+		}
+		if !a.NoStem {
+			t.Term = Stem(t.Term)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// AnalyzeTerms returns just the terms of Analyze.
+func (a *Analyzer) AnalyzeTerms(text string) []string {
+	toks := a.Analyze(text)
+	terms := make([]string, len(toks))
+	for i, t := range toks {
+		terms[i] = t.Term
+	}
+	return terms
+}

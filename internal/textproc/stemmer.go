@@ -1,0 +1,115 @@
+package textproc
+
+import "strings"
+
+// Stem applies a light English suffix-stripping stemmer (a compact
+// variant of Porter steps 1a/1b/2) so that "reviews", "reviewed" and
+// "reviewing" collapse to a common form. It is intentionally
+// conservative: wrong merges hurt a search platform more than missed
+// merges, because proprietary catalogs contain many product names.
+func Stem(term string) string {
+	if len(term) <= 3 {
+		return term
+	}
+	t := term
+
+	// Step 1a: plurals.
+	switch {
+	case strings.HasSuffix(t, "sses"):
+		t = t[:len(t)-2]
+	case strings.HasSuffix(t, "ies"):
+		t = t[:len(t)-2]
+	case strings.HasSuffix(t, "ss"):
+		// keep
+	case strings.HasSuffix(t, "s") && !strings.HasSuffix(t, "us"):
+		t = t[:len(t)-1]
+	}
+
+	// Step 1b: -ed / -ing, only when a vowel remains in the stem.
+	switch {
+	case strings.HasSuffix(t, "eed"):
+		if measure(t[:len(t)-3]) > 0 {
+			t = t[:len(t)-1]
+		}
+	case strings.HasSuffix(t, "ed") && hasVowel(t[:len(t)-2]):
+		t = cleanup1b(t[:len(t)-2])
+	case strings.HasSuffix(t, "ing") && hasVowel(t[:len(t)-3]):
+		t = cleanup1b(t[:len(t)-3])
+	}
+
+	// Step 1c: terminal y -> i when a vowel precedes it.
+	if strings.HasSuffix(t, "y") && hasVowel(t[:len(t)-1]) {
+		t = t[:len(t)-1] + "i"
+	}
+
+	// A few common step-2 suffixes.
+	for _, p := range [...]struct{ from, to string }{
+		{"ational", "ate"},
+		{"tional", "tion"},
+		{"ization", "ize"},
+		{"fulness", "ful"},
+		{"ousness", "ous"},
+		{"iveness", "ive"},
+		{"biliti", "ble"},
+	} {
+		if strings.HasSuffix(t, p.from) && measure(t[:len(t)-len(p.from)]) > 0 {
+			t = t[:len(t)-len(p.from)] + p.to
+			break
+		}
+	}
+	return t
+}
+
+// cleanup1b restores the classic Porter post-1b fixes: "at"->"ate",
+// "bl"->"ble", "iz"->"ize", undouble most doubled consonants.
+func cleanup1b(t string) string {
+	switch {
+	case strings.HasSuffix(t, "at"), strings.HasSuffix(t, "bl"), strings.HasSuffix(t, "iz"):
+		return t + "e"
+	}
+	n := len(t)
+	if n >= 2 && t[n-1] == t[n-2] && isConsonant(t, n-1) {
+		switch t[n-1] {
+		case 'l', 's', 'z':
+			return t
+		}
+		return t[:n-1]
+	}
+	return t
+}
+
+func isConsonant(s string, i int) bool {
+	switch s[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(s, i-1)
+	}
+	return true
+}
+
+func hasVowel(s string) bool {
+	for i := range s {
+		if !isConsonant(s, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// measure counts vowel-consonant sequences (Porter's m).
+func measure(s string) int {
+	m := 0
+	prevVowel := false
+	for i := range s {
+		v := !isConsonant(s, i)
+		if prevVowel && !v {
+			m++
+		}
+		prevVowel = v
+	}
+	return m
+}

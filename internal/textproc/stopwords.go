@@ -1,0 +1,18 @@
+package textproc
+
+// DefaultStopwords is the stopword list applied by the default
+// analyzer. It mirrors the classic SMART short list; query-time and
+// index-time analysis must use the same list or phrase positions
+// drift.
+var DefaultStopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true,
+	"at": true, "be": true, "but": true, "by": true, "for": true,
+	"if": true, "in": true, "into": true, "is": true, "it": true,
+	"no": true, "not": true, "of": true, "on": true, "or": true,
+	"such": true, "that": true, "the": true, "their": true,
+	"then": true, "there": true, "these": true, "they": true,
+	"this": true, "to": true, "was": true, "will": true, "with": true,
+}
+
+// IsStopword reports whether term is in the default stopword list.
+func IsStopword(term string) bool { return DefaultStopwords[term] }

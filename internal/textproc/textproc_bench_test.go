@@ -1,0 +1,35 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchText = strings.Repeat("The Legend of Zelda is an adventure game with puzzles, exploration and the latest reviews from critics. ", 20)
+
+func BenchmarkTokenize(b *testing.B) {
+	b.SetBytes(int64(len(benchText)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if toks := Tokenize(benchText); len(toks) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	b.SetBytes(int64(len(benchText)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if toks := DefaultAnalyzer.Analyze(benchText); len(toks) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"reviews", "running", "relational", "exploration", "puzzles", "adventure"}
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

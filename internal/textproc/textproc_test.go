@@ -1,0 +1,209 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	toks := Tokenize("Hello, World! 42")
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3: %#v", len(toks), toks)
+	}
+	want := []string{"hello", "world", "42"}
+	for i, w := range want {
+		if toks[i].Term != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Term, w)
+		}
+		if toks[i].Position != i {
+			t.Errorf("token %d position = %d, want %d", i, toks[i].Position, i)
+		}
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "The Legend of Zelda"
+	for _, tok := range Tokenize(text) {
+		got := strings.ToLower(text[tok.Start:tok.End])
+		if got != tok.Term {
+			t.Errorf("offsets of %q give %q", tok.Term, got)
+		}
+	}
+}
+
+func TestTokenizeApostrophe(t *testing.T) {
+	toks := Tokenize("Ann's store")
+	if toks[0].Term != "anns" {
+		t.Errorf("got %q, want anns", toks[0].Term)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("empty text produced %d tokens", len(got))
+	}
+	if got := Tokenize("  ,.!  "); len(got) != 0 {
+		t.Errorf("punctuation-only text produced %d tokens", len(got))
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	toks := Tokenize("café Pokémon")
+	if len(toks) != 2 || toks[0].Term != "café" || toks[1].Term != "pokémon" {
+		t.Fatalf("unicode tokens wrong: %#v", toks)
+	}
+}
+
+func TestTokenizePropertyLowercaseNoSeparators(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok.Term == "" {
+				return false
+			}
+			for _, r := range tok.Term {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+				// Characters with no lowercase mapping (e.g.
+				// mathematical capitals) pass through ToLower
+				// unchanged; only a failed mapping is a bug.
+				if unicode.IsUpper(r) && unicode.ToLower(r) != r {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizePropertyPositionsMonotonic(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		for i, tok := range toks {
+			if tok.Position != i {
+				return false
+			}
+			if i > 0 && tok.Start < toks[i-1].End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"reviews":    "review",
+		"reviewed":   "review",
+		"reviewing":  "review",
+		"games":      "game",
+		"ponies":     "poni",
+		"caresses":   "caress",
+		"running":    "run",
+		"hopping":    "hop",
+		"relational": "relate",
+		"cat":        "cat", // too short to touch
+		"plus":       "plus",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemIdempotentOnShort(t *testing.T) {
+	for _, s := range []string{"a", "an", "of", "ign"} {
+		if Stem(s) != s {
+			t.Errorf("short word %q was stemmed to %q", s, Stem(s))
+		}
+	}
+}
+
+func TestStemVariantsCollapse(t *testing.T) {
+	variants := []string{"review", "reviews", "reviewed", "reviewing"}
+	base := Stem(variants[0])
+	for _, v := range variants[1:] {
+		if Stem(v) != base {
+			t.Errorf("Stem(%q) = %q, want %q", v, Stem(v), base)
+		}
+	}
+}
+
+func TestAnalyzerStopwords(t *testing.T) {
+	terms := DefaultAnalyzer.AnalyzeTerms("the legend of zelda")
+	if !reflect.DeepEqual(terms, []string{"legend", "zelda"}) {
+		t.Errorf("got %v", terms)
+	}
+}
+
+func TestAnalyzerPositionsPreserveGaps(t *testing.T) {
+	toks := DefaultAnalyzer.Analyze("legend of zelda")
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	if toks[1].Position-toks[0].Position != 2 {
+		t.Errorf("stopword gap lost: positions %d %d", toks[0].Position, toks[1].Position)
+	}
+}
+
+func TestKeywordAnalyzer(t *testing.T) {
+	terms := KeywordAnalyzer.AnalyzeTerms("The Running Games")
+	if !reflect.DeepEqual(terms, []string{"the", "running", "games"}) {
+		t.Errorf("keyword analyzer altered terms: %v", terms)
+	}
+}
+
+func TestAnalyzerCustomStopwords(t *testing.T) {
+	an := &Analyzer{Stopwords: map[string]bool{"zelda": true}, NoStem: true}
+	terms := an.AnalyzeTerms("legend of zelda")
+	if !reflect.DeepEqual(terms, []string{"legend", "of"}) {
+		t.Errorf("got %v", terms)
+	}
+}
+
+func TestNilAnalyzerDefaults(t *testing.T) {
+	var an *Analyzer
+	terms := an.AnalyzeTerms("the games")
+	if !reflect.DeepEqual(terms, []string{"game"}) {
+		t.Errorf("nil analyzer: got %v", terms)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	got := NGrams("abcd", 3)
+	if !reflect.DeepEqual(got, []string{"abc", "bcd"}) {
+		t.Errorf("got %v", got)
+	}
+	if got := NGrams("ab", 3); !reflect.DeepEqual(got, []string{"ab"}) {
+		t.Errorf("short: got %v", got)
+	}
+	if NGrams("abc", 0) != nil {
+		t.Error("n=0 should be nil")
+	}
+}
+
+func TestShingles(t *testing.T) {
+	got := Shingles([]string{"a", "b", "c"}, 2)
+	if !reflect.DeepEqual(got, []string{"a b", "b c"}) {
+		t.Errorf("got %v", got)
+	}
+	if got := Shingles([]string{"a"}, 2); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("short: got %v", got)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || IsStopword("zelda") {
+		t.Error("stopword classification wrong")
+	}
+}

@@ -1,0 +1,166 @@
+package webcorpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7})
+	b := Generate(Config{Seed: 7})
+	if len(a.Pages) != len(b.Pages) {
+		t.Fatalf("page counts differ: %d vs %d", len(a.Pages), len(b.Pages))
+	}
+	for i := range a.Pages {
+		if a.Pages[i].URL != b.Pages[i].URL || a.Pages[i].Title != b.Pages[i].Title {
+			t.Fatalf("page %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(Config{Seed: 1})
+	b := Generate(Config{Seed: 2})
+	same := 0
+	n := len(a.Pages)
+	if len(b.Pages) < n {
+		n = len(b.Pages)
+	}
+	for i := 0; i < n; i++ {
+		if a.Pages[i].Title == b.Pages[i].Title {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestPagesHaveAllVerticalsAndTopics(t *testing.T) {
+	c := Generate(Config{Seed: 3})
+	verts := map[Vertical]int{}
+	topics := map[Topic]int{}
+	for _, p := range c.Pages {
+		verts[p.Vertical]++
+		topics[p.Topic]++
+	}
+	for _, v := range Verticals {
+		if verts[v] == 0 {
+			t.Errorf("vertical %s has no pages", v)
+		}
+	}
+	for _, tp := range Topics {
+		if topics[tp] == 0 {
+			t.Errorf("topic %s has no pages", tp)
+		}
+	}
+}
+
+func TestURLsUnique(t *testing.T) {
+	c := Generate(Config{Seed: 4})
+	seen := make(map[string]bool, len(c.Pages))
+	for _, p := range c.Pages {
+		if seen[p.URL] {
+			t.Fatalf("duplicate URL %s", p.URL)
+		}
+		seen[p.URL] = true
+	}
+}
+
+func TestPageByURL(t *testing.T) {
+	c := Generate(Config{Seed: 5})
+	want := c.Pages[10]
+	got, ok := c.PageByURL(want.URL)
+	if !ok || got.Title != want.Title {
+		t.Fatalf("PageByURL failed: %v %v", got, ok)
+	}
+	if _, ok := c.PageByURL("http://nope.example/x"); ok {
+		t.Error("missing URL reported found")
+	}
+}
+
+func TestPagesBySite(t *testing.T) {
+	c := Generate(Config{Seed: 6})
+	pages := c.PagesBySite("ign.com")
+	if len(pages) == 0 {
+		t.Fatal("ign.com has no pages")
+	}
+	for _, p := range pages {
+		if p.Site != "ign.com" {
+			t.Fatalf("page %s attributed to ign.com", p.URL)
+		}
+	}
+}
+
+func TestSitesForTopicIncludesPaperSites(t *testing.T) {
+	sites := SitesForTopic(TopicGames)
+	want := []string{"ign.com", "gamespot.com", "teamxbox.com"}
+	for _, w := range want {
+		found := false
+		for _, s := range sites {
+			if s == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("paper site %s missing from games sites", w)
+		}
+	}
+}
+
+func TestEntitiesDeterministicAndUnique(t *testing.T) {
+	a := Entities(Config{Seed: 9}, TopicGames)
+	b := Entities(Config{Seed: 9}, TopicGames)
+	if len(a) != 60 {
+		t.Fatalf("default entity count = %d", len(a))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("entities not deterministic")
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate entity %q", a[i])
+		}
+		seen[a[i]] = true
+	}
+}
+
+func TestLinksPointInsideCorpus(t *testing.T) {
+	c := Generate(Config{Seed: 11})
+	checked := 0
+	for _, p := range c.Pages {
+		for _, l := range p.Links {
+			if _, ok := c.PageByURL(l); !ok {
+				t.Fatalf("dangling link %s on %s", l, p.URL)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no links generated")
+	}
+}
+
+func TestPageHTML(t *testing.T) {
+	c := Generate(Config{Seed: 12})
+	p := c.Pages[0]
+	html := p.HTML()
+	if !strings.Contains(html, "<title>"+p.Title+"</title>") {
+		t.Error("HTML missing title")
+	}
+	for _, l := range p.Links {
+		if !strings.Contains(html, l) {
+			t.Errorf("HTML missing link %s", l)
+		}
+	}
+}
+
+func TestBodyMentionsEntity(t *testing.T) {
+	c := Generate(Config{Seed: 13})
+	for _, p := range c.Pages[:50] {
+		if !strings.Contains(p.Body, p.Entity) {
+			t.Errorf("page %s body does not mention its entity %q", p.URL, p.Entity)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package webservice
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PricingService simulates the §II-B "real-time pricing and in-stock
+// service": an in-house 3rd-party service a designer keeps outside
+// Symphony and calls live at query time. It serves both REST (JSON)
+// and SOAP (XML) so both client paths are exercised.
+//
+// Prices drift on every read to make "real-time freshness"
+// observable in tests and demos. Latency and failure injection model
+// a flaky remote dependency.
+type PricingService struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	prices map[string]float64
+	stock  map[string]bool
+
+	// Latency is added to every request.
+	Latency time.Duration
+	// FailEvery makes every Nth request return HTTP 500 (0 disables).
+	FailEvery int
+	requests  int
+}
+
+// NewPricingService seeds prices for the given item titles.
+func NewPricingService(seed int64, titles []string) *PricingService {
+	rng := rand.New(rand.NewSource(seed))
+	p := &PricingService{
+		rng:    rng,
+		prices: make(map[string]float64, len(titles)),
+		stock:  make(map[string]bool, len(titles)),
+	}
+	for _, t := range titles {
+		p.prices[norm(t)] = 10 + rng.Float64()*50
+		p.stock[norm(t)] = rng.Intn(4) != 0
+	}
+	return p
+}
+
+func norm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// lookup returns (price, inStock, known) and applies drift.
+func (p *PricingService) lookup(title string) (float64, bool, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := norm(title)
+	price, ok := p.prices[k]
+	if !ok {
+		return 0, false, false
+	}
+	// drift +-2%
+	price *= 1 + (p.rng.Float64()-0.5)*0.04
+	p.prices[k] = price
+	return price, p.stock[k], true
+}
+
+func (p *PricingService) gate() error {
+	p.mu.Lock()
+	p.requests++
+	n := p.requests
+	fail := p.FailEvery
+	lat := p.Latency
+	p.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if fail > 0 && n%fail == 0 {
+		return fmt.Errorf("injected failure")
+	}
+	return nil
+}
+
+// Requests reports how many requests the service has handled.
+func (p *PricingService) Requests() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.requests
+}
+
+// ServeHTTP serves /price (REST JSON, param "title") and /soap (SOAP).
+func (p *PricingService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if err := p.gate(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	switch {
+	case strings.HasSuffix(r.URL.Path, "/soap"):
+		p.serveSOAP(w, r)
+	default:
+		p.serveREST(w, r)
+	}
+}
+
+func (p *PricingService) serveREST(w http.ResponseWriter, r *http.Request) {
+	title := r.URL.Query().Get("title")
+	price, inStock, ok := p.lookup(title)
+	if !ok {
+		fmt.Fprint(w, `[]`)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `[{"title":%q,"price":"%.2f","instock":"%t"}]`, title, price, inStock)
+}
+
+func (p *PricingService) serveSOAP(w http.ResponseWriter, r *http.Request) {
+	var env soapEnvelope
+	if err := xml.NewDecoder(r.Body).Decode(&env); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var title string
+	for _, prm := range env.Body.Params {
+		if prm.Name == "title" {
+			title = prm.Value
+		}
+	}
+	price, inStock, ok := p.lookup(title)
+	resp := soapEnvelope{}
+	if ok {
+		resp.Body.Items = []soapItem{{Fields: []soapParam{
+			{Name: "title", Value: title},
+			{Name: "price", Value: fmt.Sprintf("%.2f", price)},
+			{Name: "instock", Value: fmt.Sprintf("%t", inStock)},
+		}}}
+	}
+	w.Header().Set("Content-Type", "text/xml")
+	out, _ := xml.Marshal(resp)
+	w.Write(out)
+}

@@ -1,0 +1,67 @@
+package webservice
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRetryRecoversFromTransientFailure(t *testing.T) {
+	p, srv := newPricing(t, []string{"Zelda"})
+	p.FailEvery = 2 // every 2nd request 500s; first attempt of each pair succeeds
+	c := NewClient(srv.Client())
+	def := Definition{
+		Name: "p", Endpoint: srv.URL + "/price",
+		Params:  map[string]string{"title": "{title}"},
+		Retries: 2,
+	}
+	args := map[string]string{"title": "Zelda"}
+	// Issue several calls; with retries every call must succeed even
+	// though half the raw requests fail.
+	for i := 0; i < 6; i++ {
+		if _, err := c.Call(context.Background(), def, args); err != nil {
+			t.Fatalf("call %d failed despite retries: %v", i, err)
+		}
+	}
+	if c.Retries() == 0 {
+		t.Error("no retries recorded despite injected failures")
+	}
+}
+
+func TestRetryExhaustionReturnsError(t *testing.T) {
+	p, srv := newPricing(t, []string{"Zelda"})
+	p.FailEvery = 1 // hard down
+	c := NewClient(srv.Client())
+	def := Definition{
+		Name: "p", Endpoint: srv.URL + "/price",
+		Params:  map[string]string{"title": "{title}"},
+		Retries: 3,
+	}
+	if _, err := c.Call(context.Background(), def, map[string]string{"title": "Zelda"}); err == nil {
+		t.Fatal("hard-down service succeeded")
+	}
+	if got := c.Retries(); got != 4 {
+		t.Errorf("retries = %d, want 4 (1 initial + 3 retries)", got)
+	}
+}
+
+func TestRetryStopsWhenCallerContextDone(t *testing.T) {
+	p, srv := newPricing(t, []string{"Zelda"})
+	p.FailEvery = 1
+	p.Latency = 30 * time.Millisecond
+	c := NewClient(srv.Client())
+	def := Definition{
+		Name: "p", Endpoint: srv.URL + "/price",
+		Params:  map[string]string{"title": "{title}"},
+		Retries: 100,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Call(ctx, def, map[string]string{"title": "Zelda"}); err == nil {
+		t.Fatal("expected failure")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("retry loop ignored caller context")
+	}
+}

@@ -1,0 +1,112 @@
+// Package workload generates deterministic query streams for the
+// benchmark harness. Real search traffic is heavy-tailed, so the
+// generator draws queries Zipf-distributed over a vocabulary of
+// catalog entities and topical modifiers; benches replay the same
+// stream across configurations for a fair comparison.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/webcorpus"
+)
+
+// Config shapes a query stream.
+type Config struct {
+	Seed int64
+	// Topic selects the entity vocabulary (default games).
+	Topic webcorpus.Topic
+	// Entities bounds the vocabulary (default 50).
+	Entities int
+	// ZipfS is the skew parameter (>1; default 1.2). Larger means a
+	// heavier head.
+	ZipfS float64
+	// ModifierRate is the probability a query carries a modifier
+	// ("review", "trailer", ...). Default 0.5.
+	ModifierRate float64
+}
+
+var modifiers = []string{"review", "trailer", "news", "guide", "price", "screenshots"}
+
+// Stream is a reproducible query sequence.
+type Stream struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	entities []string
+	modRate  float64
+}
+
+// New builds a stream.
+func New(cfg Config) *Stream {
+	if cfg.Topic == "" {
+		cfg.Topic = webcorpus.TopicGames
+	}
+	if cfg.Entities <= 0 {
+		cfg.Entities = 50
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.ModifierRate == 0 {
+		cfg.ModifierRate = 0.5
+	}
+	ents := webcorpus.Entities(webcorpus.Config{Seed: cfg.Seed}, cfg.Topic)
+	if cfg.Entities < len(ents) {
+		ents = ents[:cfg.Entities]
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Stream{
+		rng:      rng,
+		zipf:     rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(ents)-1)),
+		entities: ents,
+		modRate:  cfg.ModifierRate,
+	}
+}
+
+// Next returns the next query in the stream.
+func (s *Stream) Next() string {
+	q := s.entities[int(s.zipf.Uint64())]
+	if s.rng.Float64() < s.modRate {
+		q += " " + modifiers[s.rng.Intn(len(modifiers))]
+	}
+	return q
+}
+
+// Take returns the next n queries.
+func (s *Stream) Take(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// ClickStream pairs queries with clicked sites for analytics and
+// Site Suggest benches: each query clicks one of the topical sites,
+// biased by a per-site preference so co-visitation structure exists.
+type ClickEvent struct {
+	Query string
+	Site  string
+	URL   string
+}
+
+// Clicks generates n click events over the topic's sites.
+func Clicks(cfg Config, n int) []ClickEvent {
+	if cfg.Topic == "" {
+		cfg.Topic = webcorpus.TopicGames
+	}
+	s := New(cfg)
+	sites := webcorpus.SitesForTopic(cfg.Topic)
+	out := make([]ClickEvent, n)
+	for i := range out {
+		q := s.Next()
+		site := sites[int(s.zipf.Uint64())%len(sites)]
+		out[i] = ClickEvent{
+			Query: q,
+			Site:  site,
+			URL:   fmt.Sprintf("http://%s/page-%d", site, i%97),
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/webcorpus"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	a := New(Config{Seed: 5}).Take(100)
+	b := New(Config{Seed: 5}).Take(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := New(Config{Seed: 6}).Take(100)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestStreamIsHeavyTailed(t *testing.T) {
+	s := New(Config{Seed: 7, ZipfS: 1.5, ModifierRate: -1}) // modifiers off via negative? keep default
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[s.Next()]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// The head query should dominate: far above the uniform share.
+	if max < 5000/len(counts)*3 {
+		t.Errorf("head count %d not heavy-tailed over %d distinct", max, len(counts))
+	}
+}
+
+func TestModifiersAppear(t *testing.T) {
+	s := New(Config{Seed: 8, ModifierRate: 1.0})
+	qs := s.Take(50)
+	for _, q := range qs {
+		found := false
+		for _, m := range modifiers {
+			if strings.HasSuffix(q, " "+m) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("query %q has no modifier at rate 1.0", q)
+		}
+	}
+}
+
+func TestQueriesUseTopicEntities(t *testing.T) {
+	s := New(Config{Seed: 9, Topic: webcorpus.TopicWine, ModifierRate: 0.0001})
+	ents := map[string]bool{}
+	for _, e := range webcorpus.Entities(webcorpus.Config{Seed: 9}, webcorpus.TopicWine) {
+		ents[e] = true
+	}
+	hits := 0
+	for _, q := range s.Take(100) {
+		base := q
+		for _, m := range modifiers {
+			base = strings.TrimSuffix(base, " "+m)
+		}
+		if ents[base] {
+			hits++
+		}
+	}
+	if hits < 90 {
+		t.Errorf("only %d/100 queries drawn from wine entities", hits)
+	}
+}
+
+func TestClicks(t *testing.T) {
+	evs := Clicks(Config{Seed: 10, Topic: webcorpus.TopicGames}, 500)
+	if len(evs) != 500 {
+		t.Fatal("wrong count")
+	}
+	gameSites := map[string]bool{}
+	for _, s := range webcorpus.SitesForTopic(webcorpus.TopicGames) {
+		gameSites[s] = true
+	}
+	for _, e := range evs {
+		if !gameSites[e.Site] {
+			t.Fatalf("click on off-topic site %s", e.Site)
+		}
+		if e.Query == "" || !strings.Contains(e.URL, e.Site) {
+			t.Fatalf("malformed event %+v", e)
+		}
+	}
+	// Determinism.
+	evs2 := Clicks(Config{Seed: 10, Topic: webcorpus.TopicGames}, 500)
+	for i := range evs {
+		if evs[i] != evs2[i] {
+			t.Fatal("click stream not deterministic")
+		}
+	}
+}
