@@ -18,6 +18,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/ads"
@@ -230,20 +231,99 @@ func BenchmarkIndexAdd(b *testing.B) {
 	}
 }
 
+// shardConfigs compares the pre-refactor single-lock layout
+// (WithShards(1)) against the default sharded fan-out.
+func shardConfigs() []struct {
+	name string
+	opts []index.Option
+} {
+	return []struct {
+		name string
+		opts []index.Option
+	}{
+		{"shards=1", []index.Option{index.WithShards(1)}},
+		{"shards=default", nil},
+	}
+}
+
 func BenchmarkQueryBM25(b *testing.B) {
 	for _, size := range []int{1000, 10000, 100000} {
-		ix := index.New()
-		if err := ix.AddBatch(synthDocs(size)); err != nil {
-			b.Fatal(err)
-		}
-		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				rs := ix.Search(index.MatchQuery{Text: "search platform review"}, index.SearchOptions{Limit: 10})
-				if len(rs) == 0 {
-					b.Fatal("no results")
-				}
+		for _, cfg := range shardConfigs() {
+			ix := index.New(cfg.opts...)
+			if err := ix.AddBatch(synthDocs(size)); err != nil {
+				b.Fatal(err)
 			}
+			b.Run(fmt.Sprintf("n=%d/%s", size, cfg.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rs := ix.Search(index.MatchQuery{Text: "search platform review"}, index.SearchOptions{Limit: 10})
+					if len(rs) == 0 {
+						b.Fatal("no results")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkQueryParallel measures query throughput with many
+// concurrent clients, the shape of hosted platform traffic. read-only
+// stresses lock-word contention on the shared index; read-write mixes
+// in document updates, where a single-lock index stalls every reader
+// behind each writer but a sharded one blocks only 1/N of the corpus.
+func BenchmarkQueryParallel(b *testing.B) {
+	docs := synthDocs(20000)
+	queries := []string{
+		"search platform review",
+		"wine vertical result",
+		"movie engine custom",
+		"designer symphony data",
+	}
+	for _, cfg := range shardConfigs() {
+		build := func(b *testing.B) *index.Index {
+			b.Helper()
+			ix := index.New(cfg.opts...)
+			if err := ix.AddBatch(docs); err != nil {
+				b.Fatal(err)
+			}
+			return ix
+		}
+		b.Run("read-only/"+cfg.name, func(b *testing.B) {
+			ix := build(b)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					rs := ix.Search(index.MatchQuery{Text: queries[i%len(queries)]}, index.SearchOptions{Limit: 10})
+					if len(rs) == 0 {
+						b.Error("no results")
+						return
+					}
+					i++
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+		})
+		b.Run("read-write/"+cfg.name, func(b *testing.B) {
+			ix := build(b)
+			var worker atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := worker.Add(1)
+				i := 0
+				for pb.Next() {
+					if i%8 == 7 {
+						ix.Add(index.Document{
+							ID:     fmt.Sprintf("hot-w%d-%d", w, i%64),
+							Fields: map[string]string{"body": "fresh review search platform update"},
+						})
+					} else {
+						ix.Search(index.MatchQuery{Text: queries[i%len(queries)]}, index.SearchOptions{Limit: 10})
+					}
+					i++
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
 		})
 	}
 }

@@ -1,7 +1,5 @@
 package index
 
-import "sort"
-
 // FacetCount is one stored-field value with its hit count.
 type FacetCount struct {
 	Value string
@@ -11,32 +9,17 @@ type FacetCount struct {
 // Facets counts the distinct values of a stored field across every
 // live document matching q (before pagination). Search applications
 // use this for the filter sidebar: producer counts next to inventory
-// results, site counts next to web results.
+// results, site counts next to web results. Each shard counts its own
+// matches in parallel; the per-shard maps are summed before sorting,
+// so counts are exact across shard boundaries.
 func (ix *Index) Facets(q Query, field string, filters map[string]string) []FacetCount {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	if q == nil {
 		q = AllQuery{}
 	}
-	counts := make(map[string]int)
-	for ord := range q.eval(ix) {
-		doc := ix.docs[ord]
-		if doc.ID == "" || !matchFilters(doc, filters) {
-			continue
-		}
-		if v := doc.Stored[field]; v != "" {
-			counts[v]++
-		}
-	}
-	out := make([]FacetCount, 0, len(counts))
-	for v, n := range counts {
-		out = append(out, FacetCount{Value: v, N: n})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].N != out[j].N {
-			return out[i].N > out[j].N
-		}
-		return out[i].Value < out[j].Value
+	st := ix.gatherStats(q)
+	parts := make([]map[string]int, len(ix.shards))
+	ix.eachShard(func(i int, s *shard) {
+		parts[i] = s.facets(q, st, field, filters)
 	})
-	return out
+	return mergeFacets(parts)
 }

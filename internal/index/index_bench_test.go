@@ -60,6 +60,31 @@ func BenchmarkSearchBool(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchMatchParallel drives concurrent searches against a
+// single-shard index and the default sharded fan-out.
+func BenchmarkSearchMatchParallel(b *testing.B) {
+	docs := benchDocs(5000)
+	for _, cfg := range []struct {
+		name string
+		opts []Option
+	}{
+		{"shards=1", []Option{WithShards(1)}},
+		{"shards=default", nil},
+	} {
+		ix := New(cfg.opts...)
+		if err := ix.AddBatch(docs); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(cfg.name, func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					ix.Search(MatchQuery{Text: "alpha review"}, SearchOptions{Limit: 10})
+				}
+			})
+		})
+	}
+}
+
 func BenchmarkDeleteAndCompact(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()

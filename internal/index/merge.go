@@ -1,0 +1,263 @@
+package index
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/textproc"
+)
+
+// This file holds the cross-shard machinery: global BM25 statistics
+// aggregation, the parallel fan-out helper, and the k-way merges that
+// combine per-shard partial results into one globally ranked answer.
+
+// fieldTerm keys the global document-frequency table.
+type fieldTerm struct {
+	field, term string
+}
+
+// searchStats carries the corpus-wide statistics one query evaluation
+// needs: live doc count, per-field average lengths, and document
+// frequencies for every term the query scores, all aggregated across
+// shards before evaluation begins. It also snapshots the scoring
+// configuration so a concurrent SetRanker cannot split one search
+// across two rankers, and caches query-text analysis so each shard
+// evaluates without re-running analyzers under its read lock.
+//
+// Stats are gathered with at most one shard lock held at a time, and
+// evaluation holds only the evaluating shard's lock, so no code path
+// ever waits on a second shard lock while holding a first — the
+// classic sharded-reader deadlock is structurally impossible.
+type searchStats struct {
+	live   int
+	ranker Ranker
+	k1, b  float64
+	avgLen map[string]float64
+	df     map[fieldTerm]int
+	// terms caches AnalyzeTerms output keyed by (field, raw text);
+	// toks caches full Analyze output (with positions) for phrases.
+	terms map[fieldTerm][]string
+	toks  map[fieldTerm][]textproc.Token
+}
+
+// analyzedTerms returns the cached analysis of raw text for field,
+// falling back to the shard's own analyzer on a cache miss.
+func (st *searchStats) analyzedTerms(fp *fieldPostings, field, raw string) []string {
+	if terms, ok := st.terms[fieldTerm{field, raw}]; ok {
+		return terms
+	}
+	return fp.opts.Analyzer.AnalyzeTerms(raw)
+}
+
+// analyzedToks is analyzedTerms for position-carrying tokens.
+func (st *searchStats) analyzedToks(fp *fieldPostings, field, raw string) []textproc.Token {
+	if toks, ok := st.toks[fieldTerm{field, raw}]; ok {
+		return toks
+	}
+	return fp.opts.Analyzer.Analyze(raw)
+}
+
+// gatherStats walks q to find every (field, term) pair it will score,
+// then makes one pass over the shards summing live counts, field
+// lengths and document frequencies. Integer sums are exact, so the
+// derived floats are bit-identical for any shard count.
+func (ix *Index) gatherStats(q Query) *searchStats {
+	st := &searchStats{
+		avgLen: make(map[string]float64),
+		df:     make(map[fieldTerm]int),
+		terms:  make(map[fieldTerm][]string),
+		toks:   make(map[fieldTerm][]textproc.Token),
+	}
+	st.ranker, st.k1, st.b = ix.scoringParams()
+	need := make(map[fieldTerm]bool)
+	ix.collectTerms(q, need, st)
+	if len(need) == 0 {
+		// Nothing scores by BM25 (AllQuery, PrefixQuery): skip the
+		// aggregation pass entirely.
+		return st
+	}
+	needFields := make(map[string]bool, len(need))
+	for ft := range need {
+		needFields[ft.field] = true
+	}
+	type lenAcc struct{ totalLen, docCount int }
+	fieldAcc := make(map[string]*lenAcc, len(needFields))
+	for _, s := range ix.shards {
+		s.mu.RLock()
+		st.live += s.live
+		for f, fp := range s.fields {
+			if !needFields[f] {
+				continue
+			}
+			acc := fieldAcc[f]
+			if acc == nil {
+				acc = &lenAcc{}
+				fieldAcc[f] = acc
+			}
+			acc.totalLen += fp.totalLen
+			acc.docCount += len(fp.docLen)
+		}
+		for ft := range need {
+			st.df[ft] += s.liveDFLocked(ft.field, ft.term)
+		}
+		s.mu.RUnlock()
+	}
+	for f, acc := range fieldAcc {
+		if acc.docCount > 0 {
+			st.avgLen[f] = float64(acc.totalLen) / float64(acc.docCount)
+		} else {
+			st.avgLen[f] = 1
+		}
+	}
+	return st
+}
+
+// collectTerms records every (field, analyzed term) pair q scores and
+// fills st's analysis caches so shard evaluation never re-runs an
+// analyzer under a shard lock. Analysis uses the index-level field
+// registry, which SetFieldOptions keeps in lockstep with every
+// shard's per-field options.
+func (ix *Index) collectTerms(q Query, need map[fieldTerm]bool, st *searchStats) {
+	switch t := q.(type) {
+	case MatchQuery:
+		fields := t.Fields
+		if len(fields) == 0 {
+			fields = ix.Fields()
+		}
+		rawTerms := strings.Fields(strings.ToLower(t.Text))
+		for _, field := range fields {
+			opts, ok := ix.fieldOpts(field)
+			if !ok {
+				continue
+			}
+			for _, raw := range rawTerms {
+				terms := opts.Analyzer.AnalyzeTerms(raw)
+				st.terms[fieldTerm{field, raw}] = terms
+				for _, term := range terms {
+					need[fieldTerm{field, term}] = true
+				}
+			}
+		}
+	case TermQuery:
+		opts, ok := ix.fieldOpts(t.Field)
+		if !ok {
+			return
+		}
+		terms := opts.Analyzer.AnalyzeTerms(t.Term)
+		st.terms[fieldTerm{t.Field, t.Term}] = terms
+		if len(terms) > 0 {
+			need[fieldTerm{t.Field, terms[0]}] = true
+		}
+	case PhraseQuery:
+		opts, ok := ix.fieldOpts(t.Field)
+		if !ok {
+			return
+		}
+		toks := opts.Analyzer.Analyze(t.Text)
+		st.toks[fieldTerm{t.Field, t.Text}] = toks
+		if len(toks) > 0 {
+			// Phrase scoring is anchored on the first term's BM25 score.
+			need[fieldTerm{t.Field, toks[0].Term}] = true
+		}
+	case BoolQuery:
+		for _, sub := range t.Must {
+			ix.collectTerms(sub, need, st)
+		}
+		for _, sub := range t.Should {
+			ix.collectTerms(sub, need, st)
+		}
+		for _, sub := range t.MustNot {
+			ix.collectTerms(sub, need, st)
+		}
+	}
+}
+
+// eachShard runs fn once per shard, in parallel when there is more
+// than one shard. fn must only take its own shard's lock.
+func (ix *Index) eachShard(fn func(i int, s *shard)) {
+	if len(ix.shards) == 1 {
+		fn(0, ix.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for i, s := range ix.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(i, s)
+		}()
+	}
+	wg.Wait()
+}
+
+// mergedHit pairs a result with the shard and ordinal it came from so
+// snippet generation can find the source text after the merge.
+type mergedHit struct {
+	s   *shard
+	ord int
+	res Result
+}
+
+// mergeHits k-way merges per-shard hit lists (each already sorted by
+// score desc, ID asc) into one globally ordered list. When cap > 0 the
+// merge stops after cap hits. Shard counts are small, so a linear scan
+// for the best head beats heap bookkeeping.
+func mergeHits(shards []*shard, parts [][]shardHit, cap int) []mergedHit {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if cap <= 0 || cap > total {
+		cap = total
+	}
+	out := make([]mergedHit, 0, cap)
+	heads := make([]int, len(parts))
+	for len(out) < cap {
+		best := -1
+		for i, p := range parts {
+			h := heads[i]
+			if h >= len(p) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			b := parts[best][heads[best]].res
+			c := p[h].res
+			if c.Score > b.Score || (c.Score == b.Score && c.ID < b.ID) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		hit := parts[best][heads[best]]
+		heads[best]++
+		out = append(out, mergedHit{s: shards[best], ord: hit.ord, res: hit.res})
+	}
+	return out
+}
+
+// mergeFacets sums per-shard facet count maps and returns them sorted
+// by count desc, value asc.
+func mergeFacets(parts []map[string]int) []FacetCount {
+	counts := make(map[string]int)
+	for _, p := range parts {
+		for v, n := range p {
+			counts[v] += n
+		}
+	}
+	out := make([]FacetCount, 0, len(counts))
+	for v, n := range counts {
+		out = append(out, FacetCount{Value: v, N: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}

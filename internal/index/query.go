@@ -1,7 +1,6 @@
 package index
 
 import (
-	"math"
 	"sort"
 	"strings"
 )
@@ -10,8 +9,9 @@ import (
 // evaluates to a set of matching ordinals with scores; composition is
 // by the usual boolean operators.
 type Query interface {
-	// eval returns ordinal -> score for live documents.
-	eval(ix *Index) map[int]float64
+	// eval returns shard-local ordinal -> score for live documents in
+	// s, scoring with the corpus-wide statistics in st.
+	eval(s *shard, st *searchStats) map[int]float64
 }
 
 // MatchQuery analyzes Text with each field's analyzer and matches
@@ -82,45 +82,42 @@ type SearchOptions struct {
 	Filters map[string]string
 }
 
-// Search evaluates q and returns ranked results.
+// Search evaluates q and returns ranked results. Evaluation runs in
+// two phases: corpus statistics are aggregated across shards (one
+// shard lock at a time), then every shard evaluates the query in its
+// own goroutine and the ranked partials are k-way merged. Ties break
+// on ascending ID, so ordering is deterministic for any shard count.
 func (ix *Index) Search(q Query, opts SearchOptions) []Result {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	if q == nil {
 		q = AllQuery{}
 	}
-	scores := q.eval(ix)
-	hits := make([]Result, 0, len(scores))
-	for ord, score := range scores {
-		doc := ix.docs[ord]
-		if doc.ID == "" {
-			continue
-		}
-		if !matchFilters(doc, opts.Filters) {
-			continue
-		}
-		hits = append(hits, Result{ID: doc.ID, Score: score, Stored: doc.Stored})
+	st := ix.gatherStats(q)
+	want := 0
+	if opts.Limit > 0 {
+		want = opts.Offset + opts.Limit
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].ID < hits[j].ID
+	parts := make([][]shardHit, len(ix.shards))
+	ix.eachShard(func(i int, s *shard) {
+		parts[i] = s.search(q, st, opts.Filters, want)
 	})
+	merged := mergeHits(ix.shards, parts, want)
 	if opts.Offset > 0 {
-		if opts.Offset >= len(hits) {
+		if opts.Offset >= len(merged) {
 			return nil
 		}
-		hits = hits[opts.Offset:]
+		merged = merged[opts.Offset:]
 	}
-	if opts.Limit > 0 && len(hits) > opts.Limit {
-		hits = hits[:opts.Limit]
+	if opts.Limit > 0 && len(merged) > opts.Limit {
+		merged = merged[:opts.Limit]
+	}
+	hits := make([]Result, len(merged))
+	for i, m := range merged {
+		hits[i] = m.res
 	}
 	if opts.SnippetField != "" {
-		terms := queryTerms(ix, q, opts.SnippetField)
-		for i := range hits {
-			ord := ix.byID[hits[i].ID]
-			text := ix.docs[ord].Fields[opts.SnippetField]
+		terms := ix.queryTerms(q, opts.SnippetField)
+		for i, m := range merged {
+			text := m.s.snippetText(m.ord, m.res.ID, opts.SnippetField)
 			hits[i].Snippet = makeSnippet(text, terms, 160)
 		}
 	}
@@ -129,17 +126,17 @@ func (ix *Index) Search(q Query, opts SearchOptions) []Result {
 
 // Count returns how many live documents match q with the filters.
 func (ix *Index) Count(q Query, filters map[string]string) int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	if q == nil {
 		q = AllQuery{}
 	}
+	st := ix.gatherStats(q)
+	counts := make([]int, len(ix.shards))
+	ix.eachShard(func(i int, s *shard) {
+		counts[i] = s.count(q, st, filters)
+	})
 	n := 0
-	for ord := range q.eval(ix) {
-		doc := ix.docs[ord]
-		if doc.ID != "" && matchFilters(doc, filters) {
-			n++
-		}
+	for _, c := range counts {
+		n += c
 	}
 	return n
 }
@@ -153,9 +150,9 @@ func matchFilters(doc Document, filters map[string]string) bool {
 	return true
 }
 
-func (AllQuery) eval(ix *Index) map[int]float64 {
-	out := make(map[int]float64, ix.live)
-	for ord, doc := range ix.docs {
+func (AllQuery) eval(s *shard, _ *searchStats) map[int]float64 {
+	out := make(map[int]float64, s.live)
+	for ord, doc := range s.docs {
 		if doc.ID != "" {
 			out[ord] = 1
 		}
@@ -163,22 +160,22 @@ func (AllQuery) eval(ix *Index) map[int]float64 {
 	return out
 }
 
-func (q TermQuery) eval(ix *Index) map[int]float64 {
-	fp := ix.fields[q.Field]
+func (q TermQuery) eval(s *shard, st *searchStats) map[int]float64 {
+	fp := s.fields[q.Field]
 	if fp == nil {
 		return nil
 	}
-	terms := fp.opts.Analyzer.AnalyzeTerms(q.Term)
+	terms := st.analyzedTerms(fp, q.Field, q.Term)
 	if len(terms) == 0 {
 		return nil
 	}
-	return ix.scoreTerm(q.Field, terms[0])
+	return s.scoreTerm(q.Field, terms[0], st)
 }
 
-func (q MatchQuery) eval(ix *Index) map[int]float64 {
+func (q MatchQuery) eval(s *shard, st *searchStats) map[int]float64 {
 	fields := q.Fields
 	if len(fields) == 0 {
-		for f := range ix.fields {
+		for f := range s.fields {
 			fields = append(fields, f)
 		}
 		sort.Strings(fields)
@@ -196,14 +193,14 @@ func (q MatchQuery) eval(ix *Index) map[int]float64 {
 	for _, raw := range rawTerms {
 		acc := make(termScores)
 		for _, field := range fields {
-			fp := ix.fields[field]
+			fp := s.fields[field]
 			if fp == nil {
 				continue
 			}
-			for _, t := range fp.opts.Analyzer.AnalyzeTerms(raw) {
-				for ord, s := range ix.scoreTerm(field, t) {
-					if s > acc[ord] {
-						acc[ord] = s // max across fields
+			for _, t := range st.analyzedTerms(fp, field, raw) {
+				for ord, sc := range s.scoreTerm(field, t, st) {
+					if sc > acc[ord] {
+						acc[ord] = sc // max across fields
 					}
 				}
 			}
@@ -214,8 +211,8 @@ func (q MatchQuery) eval(ix *Index) map[int]float64 {
 	if strings.EqualFold(q.Operator, "and") {
 		first := perTerm[0]
 	outer:
-		for ord, s := range first {
-			total := s
+		for ord, sc := range first {
+			total := sc
 			for _, ts := range perTerm[1:] {
 				s2, ok := ts[ord]
 				if !ok {
@@ -228,31 +225,31 @@ func (q MatchQuery) eval(ix *Index) map[int]float64 {
 		return out
 	}
 	for _, ts := range perTerm {
-		for ord, s := range ts {
-			out[ord] += s
+		for ord, sc := range ts {
+			out[ord] += sc
 		}
 	}
 	return out
 }
 
-func (q PhraseQuery) eval(ix *Index) map[int]float64 {
-	fp := ix.fields[q.Field]
+func (q PhraseQuery) eval(s *shard, st *searchStats) map[int]float64 {
+	fp := s.fields[q.Field]
 	if fp == nil {
 		return nil
 	}
-	toks := fp.opts.Analyzer.Analyze(q.Text)
+	toks := st.analyzedToks(fp, q.Field, q.Text)
 	if len(toks) == 0 {
 		return nil
 	}
 	if len(toks) == 1 {
-		return ix.scoreTerm(q.Field, toks[0].Term)
+		return s.scoreTerm(q.Field, toks[0].Term, st)
 	}
 	// Gather positions per doc for each term, honoring the analyzed
 	// position gaps (stopword holes count).
 	base := toks[0].Position
 	cand := make(map[int][]int) // doc -> positions of first term
 	for _, p := range fp.terms[toks[0].Term] {
-		if ix.docs[p.doc].ID != "" {
+		if s.docs[p.doc].ID != "" {
 			cand[p.doc] = p.positions
 		}
 	}
@@ -269,9 +266,9 @@ func (q PhraseQuery) eval(ix *Index) map[int]float64 {
 				posSet[pos] = true
 			}
 			var kept []int
-			for _, s := range starts {
-				if posSet[s+gap] {
-					kept = append(kept, s)
+			for _, start := range starts {
+				if posSet[start+gap] {
+					kept = append(kept, start)
 				}
 			}
 			if len(kept) > 0 {
@@ -285,14 +282,14 @@ func (q PhraseQuery) eval(ix *Index) map[int]float64 {
 	}
 	out := make(map[int]float64, len(cand))
 	for ord, starts := range cand {
-		base := ix.scoreTermDoc(q.Field, toks[0].Term, ord)
+		base := s.scoreTermDoc(q.Field, toks[0].Term, ord, st)
 		out[ord] = base * (1 + 0.5*float64(len(starts)))
 	}
 	return out
 }
 
-func (q PrefixQuery) eval(ix *Index) map[int]float64 {
-	fp := ix.fields[q.Field]
+func (q PrefixQuery) eval(s *shard, _ *searchStats) map[int]float64 {
+	fp := s.fields[q.Field]
 	if fp == nil {
 		return nil
 	}
@@ -303,7 +300,7 @@ func (q PrefixQuery) eval(ix *Index) map[int]float64 {
 			continue
 		}
 		for _, p := range list {
-			if ix.docs[p.doc].ID != "" {
+			if s.docs[p.doc].ID != "" {
 				out[p.doc] += 1
 			}
 		}
@@ -311,22 +308,22 @@ func (q PrefixQuery) eval(ix *Index) map[int]float64 {
 	return out
 }
 
-func (q BoolQuery) eval(ix *Index) map[int]float64 {
+func (q BoolQuery) eval(s *shard, st *searchStats) map[int]float64 {
 	var out map[int]float64
 	if len(q.Must) > 0 {
-		out = q.Must[0].eval(ix)
+		out = q.Must[0].eval(s, st)
 		for _, sub := range q.Must[1:] {
-			s2 := sub.eval(ix)
+			s2 := sub.eval(s, st)
 			merged := make(map[int]float64)
-			for ord, s := range out {
+			for ord, sc := range out {
 				if extra, ok := s2[ord]; ok {
-					merged[ord] = s + extra
+					merged[ord] = sc + extra
 				}
 			}
 			out = merged
 		}
 	} else {
-		out = AllQuery{}.eval(ix)
+		out = AllQuery{}.eval(s, st)
 		for ord := range out {
 			out[ord] = 0
 		}
@@ -334,16 +331,16 @@ func (q BoolQuery) eval(ix *Index) map[int]float64 {
 	if len(q.Should) > 0 {
 		any := make(map[int]float64)
 		for _, sub := range q.Should {
-			for ord, s := range sub.eval(ix) {
-				any[ord] += s
+			for ord, sc := range sub.eval(s, st) {
+				any[ord] += sc
 			}
 		}
 		if len(q.Must) == 0 {
 			// pure should: must match at least one
 			merged := make(map[int]float64)
-			for ord, s := range any {
+			for ord, sc := range any {
 				if _, ok := out[ord]; ok {
-					merged[ord] = s
+					merged[ord] = sc
 				}
 			}
 			out = merged
@@ -354,74 +351,21 @@ func (q BoolQuery) eval(ix *Index) map[int]float64 {
 		}
 	}
 	for _, sub := range q.MustNot {
-		for ord := range sub.eval(ix) {
+		for ord := range sub.eval(s, st) {
 			delete(out, ord)
 		}
 	}
 	return out
 }
 
-// scoreTerm computes BM25 scores for all live docs containing the
-// analyzed term in field.
-func (ix *Index) scoreTerm(field, term string) map[int]float64 {
-	fp := ix.fields[field]
-	if fp == nil {
-		return nil
-	}
-	list := fp.terms[term]
-	if len(list) == 0 {
-		return nil
-	}
-	df := 0
-	for _, p := range list {
-		if ix.docs[p.doc].ID != "" {
-			df++
-		}
-	}
-	if df == 0 {
-		return nil
-	}
-	idf := math.Log(1 + (float64(ix.live)-float64(df)+0.5)/(float64(df)+0.5))
-	avgLen := 1.0
-	if n := len(fp.docLen); n > 0 {
-		avgLen = float64(fp.totalLen) / float64(n)
-	}
-	boost := fp.opts.Boost
-	if boost == 0 {
-		boost = 1
-	}
-	out := make(map[int]float64, df)
-	for _, p := range list {
-		if ix.docs[p.doc].ID == "" {
-			continue
-		}
-		tf := float64(len(p.positions))
-		var score float64
-		switch ix.ranker {
-		case RankerTFIDF:
-			// Classic lnc-style TF-IDF with log tf damping and raw
-			// inverse document frequency, no length normalization.
-			score = (1 + math.Log(tf)) * math.Log(float64(ix.live+1)/float64(df))
-		default: // BM25
-			dl := float64(fp.docLen[p.doc])
-			denom := tf + ix.k1*(1-ix.b+ix.b*dl/avgLen)
-			score = idf * (tf * (ix.k1 + 1)) / denom
-		}
-		out[p.doc] = boost * score
-	}
-	return out
-}
-
-func (ix *Index) scoreTermDoc(field, term string, ord int) float64 {
-	scores := ix.scoreTerm(field, term)
-	return scores[ord]
-}
-
 // queryTerms extracts the raw match terms a query would highlight in
-// the given field.
-func queryTerms(ix *Index, q Query, field string) []string {
-	fp := ix.fields[field]
-	var an = fp.opts.Analyzer
+// the given field, analyzed with the field's registered analyzer.
+func (ix *Index) queryTerms(q Query, field string) []string {
+	opts, ok := ix.fieldOpts(field)
+	if !ok {
+		return nil
+	}
+	an := opts.Analyzer
 	var out []string
 	var walk func(Query)
 	walk = func(q Query) {
@@ -435,16 +379,14 @@ func queryTerms(ix *Index, q Query, field string) []string {
 		case PrefixQuery:
 			out = append(out, strings.ToLower(t.Prefix))
 		case BoolQuery:
-			for _, s := range t.Must {
-				walk(s)
+			for _, sub := range t.Must {
+				walk(sub)
 			}
-			for _, s := range t.Should {
-				walk(s)
+			for _, sub := range t.Should {
+				walk(sub)
 			}
 		}
 	}
-	if fp != nil {
-		walk(q)
-	}
+	walk(q)
 	return out
 }

@@ -1,0 +1,321 @@
+package index
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/textproc"
+)
+
+type posting struct {
+	doc       int   // internal ordinal, local to the shard
+	positions []int // term positions within the field
+}
+
+type fieldPostings struct {
+	// term -> postings ordered by doc ordinal
+	terms map[string][]posting
+	// total token count across live docs, for average length
+	totalLen int
+	// per-doc field length
+	docLen map[int]int
+	opts   FieldOptions
+}
+
+// shard is one independent slice of the index. It owns its mutex, its
+// postings, its doc table and its ordinal space; ordinals are never
+// meaningful across shards. No code path holds two shard locks at
+// once, so fan-out readers and single-shard writers cannot deadlock.
+// Lock ordering: a shard lock may wrap ix.cfg.RLock (fieldForLocked
+// reads the field registry), never the reverse — code holding
+// ix.cfg's write lock must not touch a shard lock.
+type shard struct {
+	mu sync.RWMutex
+	ix *Index
+
+	fields map[string]*fieldPostings
+	docs   []Document // by ordinal; deleted entries have ID ""
+	byID   map[string]int
+	live   int
+}
+
+func newShard(ix *Index) *shard {
+	return &shard{
+		ix:     ix,
+		fields: make(map[string]*fieldPostings),
+		byID:   make(map[string]int),
+	}
+}
+
+func (s *shard) setFieldOptions(field string, opts FieldOptions) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fieldForLocked(field).opts = opts
+}
+
+func (s *shard) fieldForLocked(field string) *fieldPostings {
+	fp, ok := s.fields[field]
+	if !ok {
+		fp = &fieldPostings{
+			terms:  make(map[string][]posting),
+			docLen: make(map[int]int),
+		}
+		if opts, ok := s.ix.fieldOpts(field); ok {
+			fp.opts = opts
+		}
+		s.fields[field] = fp
+	}
+	return fp
+}
+
+// add inserts doc using per-field tokens analyzed by the caller
+// outside the write lock.
+func (s *shard) add(doc Document, analyzed map[string][]textproc.Token) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ord, ok := s.byID[doc.ID]; ok {
+		s.deleteOrdLocked(ord)
+	}
+	ord := len(s.docs)
+	s.docs = append(s.docs, doc)
+	s.byID[doc.ID] = ord
+	s.live++
+	for field := range doc.Fields {
+		fp := s.fieldForLocked(field)
+		toks := analyzed[field]
+		fp.docLen[ord] = len(toks)
+		fp.totalLen += len(toks)
+		perTerm := make(map[string][]int)
+		for _, t := range toks {
+			perTerm[t.Term] = append(perTerm[t.Term], t.Position)
+		}
+		for term, positions := range perTerm {
+			fp.terms[term] = append(fp.terms[term], posting{doc: ord, positions: positions})
+		}
+	}
+}
+
+func (s *shard) delete(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ord, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	s.deleteOrdLocked(ord)
+	return true
+}
+
+// deleteOrdLocked tombstones a document ordinal. Postings are lazily
+// skipped at query time (posting lists may still reference the
+// ordinal) and fully dropped at Compact.
+func (s *shard) deleteOrdLocked(ord int) {
+	doc := s.docs[ord]
+	if doc.ID == "" {
+		return
+	}
+	delete(s.byID, doc.ID)
+	for field := range doc.Fields {
+		fp := s.fields[field]
+		if fp == nil {
+			continue
+		}
+		fp.totalLen -= fp.docLen[ord]
+		delete(fp.docLen, ord)
+	}
+	s.docs[ord] = Document{}
+	s.live--
+}
+
+func (s *shard) compact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, fp := range s.fields {
+		for term, list := range fp.terms {
+			kept := list[:0]
+			for _, p := range list {
+				if s.docs[p.doc].ID != "" {
+					kept = append(kept, p)
+				}
+			}
+			if len(kept) == 0 {
+				delete(fp.terms, term)
+			} else {
+				fp.terms[term] = kept
+			}
+		}
+	}
+}
+
+func (s *shard) lenLive() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.live
+}
+
+func (s *shard) get(id string) (Document, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ord, ok := s.byID[id]
+	if !ok {
+		return Document{}, false
+	}
+	return s.docs[ord], true
+}
+
+// docFreq counts live documents containing the analyzed term.
+func (s *shard) docFreq(field, term string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.liveDFLocked(field, term)
+}
+
+func (s *shard) liveDFLocked(field, term string) int {
+	fp := s.fields[field]
+	if fp == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range fp.terms[term] {
+		if s.docs[p.doc].ID != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// shardHit is one scored live document inside a shard, before the
+// cross-shard merge.
+type shardHit struct {
+	ord int
+	res Result
+}
+
+// search evaluates q against this shard only, using the globally
+// aggregated stats, and returns hits sorted by (score desc, ID asc).
+// When cap > 0 the list is truncated to cap entries: the global top
+// cap can only contain each shard's local top cap.
+func (s *shard) search(q Query, st *searchStats, filters map[string]string, cap int) []shardHit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	scores := q.eval(s, st)
+	hits := make([]shardHit, 0, len(scores))
+	for ord, score := range scores {
+		doc := s.docs[ord]
+		if doc.ID == "" {
+			continue
+		}
+		if !matchFilters(doc, filters) {
+			continue
+		}
+		hits = append(hits, shardHit{ord: ord, res: Result{ID: doc.ID, Score: score, Stored: doc.Stored}})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].res.Score != hits[j].res.Score {
+			return hits[i].res.Score > hits[j].res.Score
+		}
+		return hits[i].res.ID < hits[j].res.ID
+	})
+	if cap > 0 && len(hits) > cap {
+		hits = hits[:cap]
+	}
+	return hits
+}
+
+// count returns how many live documents in this shard match q with the
+// filters.
+func (s *shard) count(q Query, st *searchStats, filters map[string]string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for ord := range q.eval(s, st) {
+		doc := s.docs[ord]
+		if doc.ID != "" && matchFilters(doc, filters) {
+			n++
+		}
+	}
+	return n
+}
+
+// facets returns this shard's stored-field value counts for docs
+// matching q.
+func (s *shard) facets(q Query, st *searchStats, field string, filters map[string]string) map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	counts := make(map[string]int)
+	for ord := range q.eval(s, st) {
+		doc := s.docs[ord]
+		if doc.ID == "" || !matchFilters(doc, filters) {
+			continue
+		}
+		if v := doc.Stored[field]; v != "" {
+			counts[v]++
+		}
+	}
+	return counts
+}
+
+// snippetText returns the indexed text of field for the hit at ord,
+// re-checking that the ordinal still holds the same document.
+func (s *shard) snippetText(ord int, id, field string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ord >= len(s.docs) || s.docs[ord].ID != id {
+		return ""
+	}
+	return s.docs[ord].Fields[field]
+}
+
+// scoreTerm computes BM25 (or TF-IDF) scores for this shard's live
+// docs containing the analyzed term in field. Corpus-wide statistics
+// (live count, document frequency, average field length) come from st
+// so scores are identical regardless of shard count.
+func (s *shard) scoreTerm(field, term string, st *searchStats) map[int]float64 {
+	fp := s.fields[field]
+	if fp == nil {
+		return nil
+	}
+	list := fp.terms[term]
+	if len(list) == 0 {
+		return nil
+	}
+	df := st.df[fieldTerm{field, term}]
+	if df == 0 {
+		return nil
+	}
+	idf := math.Log(1 + (float64(st.live)-float64(df)+0.5)/(float64(df)+0.5))
+	avgLen := st.avgLen[field]
+	if avgLen == 0 {
+		avgLen = 1
+	}
+	boost := fp.opts.Boost
+	if boost == 0 {
+		boost = 1
+	}
+	out := make(map[int]float64, len(list))
+	for _, p := range list {
+		if s.docs[p.doc].ID == "" {
+			continue
+		}
+		tf := float64(len(p.positions))
+		var score float64
+		switch st.ranker {
+		case RankerTFIDF:
+			// Classic lnc-style TF-IDF with log tf damping and raw
+			// inverse document frequency, no length normalization.
+			score = (1 + math.Log(tf)) * math.Log(float64(st.live+1)/float64(df))
+		default: // BM25
+			dl := float64(fp.docLen[p.doc])
+			denom := tf + st.k1*(1-st.b+st.b*dl/avgLen)
+			score = idf * (tf * (st.k1 + 1)) / denom
+		}
+		out[p.doc] = boost * score
+	}
+	return out
+}
+
+func (s *shard) scoreTermDoc(field, term string, ord int, st *searchStats) float64 {
+	scores := s.scoreTerm(field, term, st)
+	return scores[ord]
+}

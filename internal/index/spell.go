@@ -8,56 +8,57 @@ import (
 
 // Spell correction: a search platform serving end users must survive
 // typos in queries. SuggestTerms proposes indexed terms close to a
-// misspelled one, using character-trigram candidate generation and
+// misspelled one, using character-bigram candidate generation and
 // Damerau-Levenshtein (distance ≤ 2) ranking weighted by document
 // frequency — more common terms are more likely intended.
 
 // SuggestTerms returns up to limit indexed terms within edit distance
 // 2 of term (post-analysis with the field's analyzer), most frequent
 // first. An exact indexed term returns nil: nothing to correct.
+// Candidate generation fans out across shards; per-shard document
+// frequencies for the same candidate term are summed before ranking.
 func (ix *Index) SuggestTerms(field, term string, limit int) []string {
 	if limit <= 0 {
 		limit = 3
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	fp := ix.fields[field]
-	if fp == nil {
+	opts, ok := ix.fieldOpts(field)
+	if !ok {
 		return nil
 	}
-	analyzed := fp.opts.Analyzer.AnalyzeTerms(term)
+	analyzed := opts.Analyzer.AnalyzeTerms(term)
 	if len(analyzed) == 0 {
 		return nil
 	}
 	target := analyzed[0]
-	if len(fp.terms[target]) > 0 {
-		return nil
-	}
 	targetGrams := gramSet(target)
+
+	parts := make([]map[string]candidate, len(ix.shards))
+	exact := make([]bool, len(ix.shards))
+	ix.eachShard(func(i int, s *shard) {
+		parts[i], exact[i] = s.suggestCandidates(field, target, targetGrams)
+	})
+	for _, e := range exact {
+		if e {
+			return nil
+		}
+	}
+	merged := make(map[string]candidate)
+	for _, p := range parts {
+		for t, c := range p {
+			m := merged[t]
+			m.dist = c.dist // identical in every shard for the same term
+			m.df += c.df
+			merged[t] = m
+		}
+	}
 	type cand struct {
 		term string
 		dist int
 		df   int
 	}
-	var cands []cand
-	for t, postings := range fp.terms {
-		// Cheap trigram prefilter before the edit-distance check.
-		if !gramsOverlap(targetGrams, t) {
-			continue
-		}
-		d := editDistance(target, t, 2)
-		if d < 0 {
-			continue
-		}
-		df := 0
-		for _, p := range postings {
-			if ix.docs[p.doc].ID != "" {
-				df++
-			}
-		}
-		if df > 0 {
-			cands = append(cands, cand{t, d, df})
-		}
+	cands := make([]cand, 0, len(merged))
+	for t, c := range merged {
+		cands = append(cands, cand{t, c.dist, c.df})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].dist != cands[j].dist {
@@ -76,6 +77,52 @@ func (ix *Index) SuggestTerms(field, term string, limit int) []string {
 		out[i] = c.term
 	}
 	return out
+}
+
+// candidate is one spell-correction candidate term's edit distance
+// and live document frequency within a shard.
+type candidate struct {
+	dist int
+	df   int
+}
+
+// suggestCandidates scans this shard's term dictionary for terms
+// within edit distance 2 of target, returning each candidate's edit
+// distance and live document frequency. The second return reports
+// whether the exact target term is present (postings may include
+// tombstones, matching the pre-sharding behaviour: an exact term
+// needs no correction).
+func (s *shard) suggestCandidates(field, target string, targetGrams map[string]bool) (map[string]candidate, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fp := s.fields[field]
+	if fp == nil {
+		return nil, false
+	}
+	if len(fp.terms[target]) > 0 {
+		return nil, true
+	}
+	out := make(map[string]candidate)
+	for t, postings := range fp.terms {
+		// Cheap bigram prefilter before the edit-distance check.
+		if !gramsOverlap(targetGrams, t) {
+			continue
+		}
+		d := editDistance(target, t, 2)
+		if d < 0 {
+			continue
+		}
+		df := 0
+		for _, p := range postings {
+			if s.docs[p.doc].ID != "" {
+				df++
+			}
+		}
+		if df > 0 {
+			out[t] = candidate{dist: d, df: df}
+		}
+	}
+	return out, false
 }
 
 // Bigrams (not trigrams) drive candidate generation: a transposition
