@@ -6,13 +6,25 @@
 //	/query?app=gamerqueen&q=...    execute an application
 //	/embed.js?app=gamerqueen       the designer's embed loader
 //	/click?app=...&url=...         logged click redirect
+//
+// With --data-dir the daemon is durable: designers' proprietary data
+// is restored from the directory on boot, checkpointed there
+// periodically in the background, and written one final time on
+// graceful shutdown (SIGINT/SIGTERM), so a kill/restart cycle loses
+// nothing that was checkpointed or acknowledged at shutdown.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/demo"
@@ -21,7 +33,12 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	seed := flag.Int64("seed", 1, "synthetic web seed")
+	dataDir := flag.String("data-dir", "", "directory for store snapshots (empty = not durable)")
+	checkpointEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period with --data-dir")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	base := "http://" + *addr
 	p := core.New(core.Config{Seed: *seed, ClickBase: base + "/click"})
@@ -37,7 +54,52 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("symphonyd: hosting %v\n", p.Registry.List())
-	fmt.Printf("symphonyd: try %s/query?app=gamerqueen&q=%s\n", base, "game")
-	log.Fatal(http.ListenAndServe(*addr, p.Serve(base)))
+	// Durability: demo seeding above defines the apps; the data dir
+	// holds the designers' data. Restoring after seeding replaces the
+	// freshly seeded records with the persisted state, so uploads and
+	// edits from before the restart survive it.
+	var cp *core.Checkpointer
+	if *dataDir != "" {
+		cp, err = p.NewCheckpointer(*dataDir, *checkpointEvery)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cp.Logf = log.Printf
+		restored, err := cp.RestoreLatest()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !restored {
+			log.Printf("symphonyd: no snapshot in %s, starting from seeded data", *dataDir)
+		}
+		cp.Start()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: p.Serve(base)}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("symphonyd: hosting %v\n", p.Registry.List())
+		fmt.Printf("symphonyd: try %s/query?app=gamerqueen&q=%s\n", base, "game")
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("symphonyd: shutting down")
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("symphonyd: shutdown: %v", err)
+	}
+	if cp != nil {
+		if err := cp.Close(); err != nil {
+			log.Fatalf("symphonyd: final checkpoint: %v", err)
+		}
+		log.Printf("symphonyd: final checkpoint written to %s", cp.Path())
+	}
 }

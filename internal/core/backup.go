@@ -15,9 +15,13 @@ import (
 // into a fresh platform (over the same corpus seed). Interaction logs
 // and ad state are operational, not configuration, and are excluded.
 
+// backupDoc version 2 carries the store as an opaque byte blob
+// (base64 in JSON) holding a framed store-format-v2 snapshot with
+// serialized indexes. Version 1 carried the store's legacy v1 JSON
+// document inline; RestoreBackup still reads it.
 type backupDoc struct {
 	Version int               `json:"version"`
-	Store   json.RawMessage   `json:"store"`
+	Store   []byte            `json:"store"`
 	Apps    []json.RawMessage `json:"apps"`
 }
 
@@ -27,7 +31,7 @@ func (p *Platform) Backup(w io.Writer) error {
 	if err := p.Store.Snapshot(&storeBuf); err != nil {
 		return fmt.Errorf("core: backup: %w", err)
 	}
-	doc := backupDoc{Version: 1, Store: storeBuf.Bytes()}
+	doc := backupDoc{Version: 2, Store: storeBuf.Bytes()}
 	for _, id := range p.Registry.List() {
 		a, _ := p.Registry.Get(id)
 		data, err := app.Marshal(a)
@@ -40,14 +44,29 @@ func (p *Platform) Backup(w io.Writer) error {
 }
 
 // RestoreBackup loads a backup into this platform, replacing the
-// store contents and re-publishing every application.
+// store contents and re-publishing every application. Both backup
+// versions restore: v1 embedded the store as raw JSON, v2 embeds a
+// framed binary snapshot; Store.Restore reads either store format.
 func (p *Platform) RestoreBackup(r io.Reader) error {
-	var doc backupDoc
-	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+	var raw struct {
+		Version int               `json:"version"`
+		Store   json.RawMessage   `json:"store"`
+		Apps    []json.RawMessage `json:"apps"`
+	}
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
 		return fmt.Errorf("core: restore: %w", err)
 	}
-	if doc.Version != 1 {
-		return fmt.Errorf("core: restore: unsupported backup version %d", doc.Version)
+	doc := backupDoc{Version: raw.Version, Apps: raw.Apps}
+	switch raw.Version {
+	case 1:
+		// v1 stored the snapshot JSON document inline.
+		doc.Store = raw.Store
+	case 2:
+		if err := json.Unmarshal(raw.Store, &doc.Store); err != nil {
+			return fmt.Errorf("core: restore: store blob: %w", err)
+		}
+	default:
+		return fmt.Errorf("core: restore: unsupported backup version %d", raw.Version)
 	}
 	if err := p.Store.Restore(bytes.NewReader(doc.Store)); err != nil {
 		return err

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Checkpointer periodically snapshots the platform's proprietary data
+// store into a data directory and restores it on boot — the daemon
+// side of the durability contract. Writes are atomic: each checkpoint
+// goes to a temp file in the same directory, is fsynced, then renamed
+// over the previous snapshot, so a crash mid-checkpoint leaves the
+// last good snapshot in place.
+//
+// The snapshot uses store format v2, whose per-dataset locking means
+// a running checkpoint does not block writers on other datasets.
+type Checkpointer struct {
+	p        *Platform
+	dir      string
+	interval time.Duration
+	// Logf reports checkpoint activity (default: silent).
+	Logf func(format string, args ...any)
+
+	mu   sync.Mutex // serializes Checkpoint calls
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCheckpointer prepares a checkpointer over dir, creating the
+// directory if needed. interval <= 0 disables the periodic loop
+// (Checkpoint can still be called explicitly, e.g. at shutdown).
+func (p *Platform) NewCheckpointer(dir string, interval time.Duration) (*Checkpointer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("core: checkpointer needs a data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: checkpointer: %w", err)
+	}
+	return &Checkpointer{p: p, dir: dir, interval: interval}, nil
+}
+
+// Path returns the snapshot file the checkpointer maintains.
+func (c *Checkpointer) Path() string {
+	return filepath.Join(c.dir, "store.snap")
+}
+
+// RestoreLatest loads the snapshot file into the platform's store if
+// one exists, reporting whether a restore happened. Old v1 snapshots
+// restore transparently; the next checkpoint rewrites them as v2.
+func (c *Checkpointer) RestoreLatest() (bool, error) {
+	f, err := os.Open(c.Path())
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("core: restore checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := c.p.Store.Restore(f); err != nil {
+		return false, fmt.Errorf("core: restore checkpoint %s: %w", c.Path(), err)
+	}
+	c.logf("restored store from %s", c.Path())
+	return true, nil
+}
+
+// Checkpoint writes one snapshot now: temp file, fsync, atomic
+// rename. Concurrent calls serialize.
+func (c *Checkpointer) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, err := os.CreateTemp(c.dir, "store-*.tmp")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := c.p.Store.Snapshot(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.Path()); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	// Fsync the directory too: the rename itself must survive power
+	// loss before the checkpoint counts as durable.
+	if d, err := os.Open(c.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	c.logf("checkpoint written to %s", c.Path())
+	return nil
+}
+
+// Start launches the periodic checkpoint loop. A checkpointer starts
+// at most once; Close stops it.
+func (c *Checkpointer) Start() {
+	if c.interval <= 0 || c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go func() {
+		defer close(c.done)
+		ticker := time.NewTicker(c.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := c.Checkpoint(); err != nil {
+					c.logf("checkpoint failed: %v", err)
+				}
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the periodic loop and writes a final checkpoint, so a
+// graceful shutdown never loses acknowledged writes.
+func (c *Checkpointer) Close() error {
+	if c.stop != nil {
+		close(c.stop)
+		<-c.done
+		c.stop, c.done = nil, nil
+	}
+	return c.Checkpoint()
+}
+
+func (c *Checkpointer) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func TestCheckpointRestoreCycle(t *testing.T) {
+	dir := t.TempDir()
+	p := New(Config{Seed: 1})
+	buildGamerQueen(t, p)
+
+	cp, err := p.NewCheckpointer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing on disk yet: boot of a fresh data dir restores nothing.
+	if restored, err := cp.RestoreLatest(); err != nil || restored {
+		t.Fatalf("RestoreLatest on empty dir = %v, %v", restored, err)
+	}
+	if err := cp.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "restarted" platform with freshly seeded data restores the
+	// persisted state over it, exactly like symphonyd boot.
+	p2 := New(Config{Seed: 1})
+	cp2, err := p2.NewCheckpointer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored, err := cp2.RestoreLatest(); err != nil || !restored {
+		t.Fatalf("RestoreLatest = %v, %v, want restore", restored, err)
+	}
+	ds, err := p2.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() == 0 {
+		t.Fatal("restored inventory is empty")
+	}
+	hits, err := ds.Search(store.SearchRequest{Query: "exciting", Limit: 3})
+	if err != nil || len(hits) == 0 {
+		t.Fatalf("restored search = %v, %v", hits, err)
+	}
+}
+
+func TestCheckpointAtomicRename(t *testing.T) {
+	dir := t.TempDir()
+	p := New(Config{Seed: 1})
+	buildGamerQueen(t, p)
+	cp, err := p.NewCheckpointer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "store.snap" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("data dir = %v, want exactly store.snap (no temp leftovers)", names)
+	}
+}
+
+func TestCheckpointPeriodicLoop(t *testing.T) {
+	dir := t.TempDir()
+	p := New(Config{Seed: 1})
+	buildGamerQueen(t, p)
+	cp, err := p.NewCheckpointer(dir, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(cp.Path()); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic checkpoint never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close wrote a final checkpoint; the file restores cleanly.
+	p2 := New(Config{Seed: 1})
+	cp2, err := p2.NewCheckpointer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored, err := cp2.RestoreLatest(); err != nil || !restored {
+		t.Fatalf("RestoreLatest after Close = %v, %v", restored, err)
+	}
+}
+
+func TestRestoreLatestRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	p := New(Config{Seed: 1})
+	buildGamerQueen(t, p)
+	cp, err := p.NewCheckpointer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "store.snap"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.RestoreLatest(); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	// The seeded store survives the failed restore untouched.
+	ds, err := p.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
+	if err != nil || ds.Len() == 0 {
+		t.Fatalf("store mutated by failed restore: %v, %v", ds, err)
+	}
+}

@@ -1,0 +1,68 @@
+package frameio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMagic(&buf, "MAGIC01\n"); err != nil {
+		t.Fatal(err)
+	}
+	frames := [][]byte{[]byte("first"), {}, []byte("third frame")}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	if err := ExpectMagic(r, "MAGIC01\n"); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if err := ExpectMagic(strings.NewReader("WRONG!!\n"), "MAGIC01\n"); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if err := ExpectMagic(strings.NewReader("MA"), "MAGIC01\n"); err == nil {
+		t.Fatal("short magic accepted")
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated mid-payload and mid-header are both errors, not EOF.
+	for _, cut := range []int{buf.Len() - 3, 4} {
+		if _, err := ReadFrame(bytes.NewReader(buf.Bytes()[:cut])); err == nil || err == io.EOF {
+			t.Fatalf("cut at %d: err = %v, want unexpected-EOF error", cut, err)
+		}
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversize frame length accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fillSequential(t testing.TB, ix *Index, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		err := ix.Add(Document{
+			ID:     fmt.Sprintf("doc%03d", i),
+			Fields: map[string]string{"body": fmt.Sprintf("common text item%d", i)},
+			Stored: map[string]string{"n": fmt.Sprint(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTombstoneRatio(t *testing.T) {
+	ix := New(WithShards(1))
+	if got := ix.TombstoneRatio(); got != 0 {
+		t.Fatalf("empty index ratio = %v", got)
+	}
+	fillSequential(t, ix, 10)
+	for i := 0; i < 4; i++ {
+		ix.Delete(fmt.Sprintf("doc%03d", i))
+	}
+	if got := ix.TombstoneRatio(); got != 0.4 {
+		t.Fatalf("ratio after 4/10 deletes = %v, want 0.4", got)
+	}
+	ix.Compact()
+	if got := ix.TombstoneRatio(); got != 0 {
+		t.Fatalf("ratio after compact = %v, want 0", got)
+	}
+	if ratios := ix.ShardTombstoneRatios(); len(ratios) != 1 || ratios[0] != 0 {
+		t.Fatalf("shard ratios = %v", ratios)
+	}
+}
+
+// TestAutoCompact: with WithAutoCompact(0.3), deleting past the
+// threshold compacts the affected shard automatically — the ratio
+// drops back and dead postings are gone — and queries stay correct
+// throughout.
+func TestAutoCompact(t *testing.T) {
+	ix := New(WithShards(1), WithAutoCompact(0.3))
+	fillSequential(t, ix, 10)
+
+	// Two deletes: 2/10 = 0.2 < 0.3, no compaction yet.
+	ix.Delete("doc000")
+	ix.Delete("doc001")
+	if got := ix.TombstoneRatio(); got != 0.2 {
+		t.Fatalf("ratio below threshold = %v, want 0.2 (2 dead, 8 live)", got)
+	}
+	// Third delete crosses the threshold (3/10 = 0.3): the shard
+	// compacts itself and the ratio resets.
+	ix.Delete("doc002")
+	if got := ix.TombstoneRatio(); got != 0 {
+		t.Fatalf("ratio after auto-compact = %v, want 0", got)
+	}
+	// Postings really were pruned: the common term's list holds only
+	// live docs.
+	s := ix.shards[0]
+	s.mu.RLock()
+	n := len(s.fields["body"].terms["common"])
+	s.mu.RUnlock()
+	if n != 7 {
+		t.Fatalf("postings for 'common' after auto-compact = %d, want 7", n)
+	}
+	if got := ix.Search(TermQuery{Field: "body", Term: "common"}, SearchOptions{}); len(got) != 7 {
+		t.Fatalf("search after auto-compact = %d hits, want 7", len(got))
+	}
+}
+
+// TestAutoCompactOnReplace: replacing a document tombstones the old
+// ordinal, which also counts toward the threshold.
+func TestAutoCompactOnReplace(t *testing.T) {
+	ix := New(WithShards(1), WithAutoCompact(0.5))
+	fillSequential(t, ix, 2)
+	// Replace both docs: each replacement kills one ordinal. After the
+	// second replace 2 dead / 2 live = 0.5 triggers compaction.
+	for i := 0; i < 2; i++ {
+		id := fmt.Sprintf("doc%03d", i)
+		if err := ix.Add(Document{ID: id, Fields: map[string]string{"body": "replaced text"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ix.TombstoneRatio(); got != 0 {
+		t.Fatalf("ratio after replacements = %v, want 0 (auto-compacted)", got)
+	}
+	if got := ix.Search(TermQuery{Field: "body", Term: "replaced"}, SearchOptions{}); len(got) != 2 {
+		t.Fatalf("search = %d hits, want 2", len(got))
+	}
+}
+
+// TestAutoCompactPerShard: only the shard crossing the threshold
+// compacts; a sibling shard's tombstones stay until it crosses too.
+func TestAutoCompactPerShard(t *testing.T) {
+	ix := New(WithShards(4), WithAutoCompact(0.9))
+	fillSequential(t, ix, 40)
+	// Delete every doc in exactly one shard: that shard hits ratio
+	// 1.0 ≥ 0.9 and compacts; others never cross.
+	victim := ix.shards[0]
+	var victimIDs []string
+	victim.mu.RLock()
+	for id := range victim.byID {
+		victimIDs = append(victimIDs, id)
+	}
+	victim.mu.RUnlock()
+	// Also one delete in some other shard, below its threshold.
+	otherDeleted := false
+	for i := 0; i < 40 && !otherDeleted; i++ {
+		id := fmt.Sprintf("doc%03d", i)
+		if ix.shardFor(id) != victim {
+			ix.Delete(id)
+			otherDeleted = true
+		}
+	}
+	for _, id := range victimIDs {
+		ix.Delete(id)
+	}
+	ratios := ix.ShardTombstoneRatios()
+	sawDirty := false
+	for i, s := range ix.shards {
+		if s == victim {
+			if ratios[i] != 0 {
+				t.Fatalf("victim shard ratio = %v, want 0 (auto-compacted)", ratios[i])
+			}
+			continue
+		}
+		if ratios[i] > 0 {
+			sawDirty = true
+		}
+	}
+	if !sawDirty {
+		t.Fatal("expected an uncompacted sibling shard with tombstones")
+	}
+}

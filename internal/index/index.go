@@ -63,7 +63,8 @@ const (
 type Option func(*indexConfig)
 
 type indexConfig struct {
-	shards int
+	shards      int
+	autoCompact float64
 }
 
 // WithShards sets the number of shards. Values below 1 are ignored.
@@ -77,9 +78,26 @@ func WithShards(n int) Option {
 	}
 }
 
+// WithAutoCompact makes each shard compact itself when its tombstone
+// ratio — tombstoned ordinals over (tombstoned + live) — reaches
+// ratio after a deletion. Compaction is per shard, so a delete-heavy
+// shard reclaims its postings without stalling the other shards'
+// readers. Ratios outside (0, 1] disable auto-compaction (the
+// default): callers then invoke Compact explicitly.
+func WithAutoCompact(ratio float64) Option {
+	return func(c *indexConfig) {
+		if ratio > 0 && ratio <= 1 {
+			c.autoCompact = ratio
+		}
+	}
+}
+
 // Index is a thread-safe sharded inverted index.
 type Index struct {
 	shards []*shard
+	// autoCompact is the per-shard tombstone ratio that triggers
+	// compaction after a delete; 0 disables. Immutable after New.
+	autoCompact float64
 
 	// cfg guards global, shard-independent state: the scoring
 	// configuration and the registry of known fields with their
@@ -102,7 +120,7 @@ func New(opts ...Option) *Index {
 	if c.shards < 1 {
 		c.shards = 1
 	}
-	ix := &Index{shards: make([]*shard, c.shards)}
+	ix := &Index{shards: make([]*shard, c.shards), autoCompact: c.autoCompact}
 	ix.cfg.k1 = 1.2
 	ix.cfg.b = 0.75
 	ix.cfg.fields = make(map[string]FieldOptions)
@@ -212,9 +230,38 @@ func (ix *Index) Delete(id string) bool {
 }
 
 // Compact rebuilds posting lists without tombstoned entries. Call it
-// after bulk deletions; queries work correctly either way.
+// after bulk deletions; queries work correctly either way. Indexes
+// built with WithAutoCompact schedule this per shard automatically.
 func (ix *Index) Compact() {
 	ix.eachShard(func(_ int, s *shard) { s.compact() })
+}
+
+// TombstoneRatio reports the fraction of uncompacted tombstoned
+// ordinals across the whole index: dead/(dead+live), 0 when empty.
+// Operators (and WithAutoCompact) use it to decide when compaction
+// is worth the write locks.
+func (ix *Index) TombstoneRatio() float64 {
+	dead, live := 0, 0
+	for _, s := range ix.shards {
+		s.mu.RLock()
+		dead += s.dead
+		live += s.live
+		s.mu.RUnlock()
+	}
+	if dead == 0 {
+		return 0
+	}
+	return float64(dead) / float64(dead+live)
+}
+
+// ShardTombstoneRatios reports each shard's tombstone ratio, for
+// observability of skewed deletion patterns.
+func (ix *Index) ShardTombstoneRatios() []float64 {
+	out := make([]float64, len(ix.shards))
+	for i, s := range ix.shards {
+		out[i] = s.tombstoneRatio()
+	}
+	return out
 }
 
 // Len returns the number of live documents.

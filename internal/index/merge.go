@@ -176,16 +176,22 @@ func (ix *Index) collectTerms(q Query, need map[fieldTerm]bool, st *searchStats)
 // eachShard runs fn once per shard, in parallel when there is more
 // than one shard. fn must only take its own shard's lock.
 func (ix *Index) eachShard(fn func(i int, s *shard)) {
-	if len(ix.shards) == 1 {
-		fn(0, ix.shards[0])
+	fanOut(len(ix.shards), func(i int) { fn(i, ix.shards[i]) })
+}
+
+// fanOut runs fn for 0..n-1, in parallel goroutines when n > 1. It is
+// the common fan-out for query evaluation and snapshot encode/decode.
+func fanOut(n int, fn func(i int)) {
+	if n == 1 {
+		fn(0)
 		return
 	}
 	var wg sync.WaitGroup
-	for i, s := range ix.shards {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fn(i, s)
+			fn(i)
 		}()
 	}
 	wg.Wait()

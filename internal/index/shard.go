@@ -38,6 +38,10 @@ type shard struct {
 	docs   []Document // by ordinal; deleted entries have ID ""
 	byID   map[string]int
 	live   int
+	// dead counts tombstoned ordinals whose postings have not been
+	// compacted away yet; compact resets it. The tombstone ratio
+	// dead/(dead+live) drives per-shard auto-compaction.
+	dead int
 }
 
 func newShard(ix *Index) *shard {
@@ -76,6 +80,7 @@ func (s *shard) add(doc Document, analyzed map[string][]textproc.Token) {
 	defer s.mu.Unlock()
 	if ord, ok := s.byID[doc.ID]; ok {
 		s.deleteOrdLocked(ord)
+		defer s.maybeCompactLocked()
 	}
 	ord := len(s.docs)
 	s.docs = append(s.docs, doc)
@@ -104,6 +109,7 @@ func (s *shard) delete(id string) bool {
 		return false
 	}
 	s.deleteOrdLocked(ord)
+	s.maybeCompactLocked()
 	return true
 }
 
@@ -126,11 +132,41 @@ func (s *shard) deleteOrdLocked(ord int) {
 	}
 	s.docs[ord] = Document{}
 	s.live--
+	s.dead++
+}
+
+// maybeCompactLocked compacts this shard when its tombstone ratio has
+// crossed the index's auto-compact threshold. Deletions call it so
+// delete-heavy shards reclaim postings without the whole-index
+// Compact other shards never needed.
+func (s *shard) maybeCompactLocked() {
+	t := s.ix.autoCompact
+	if t <= 0 || s.dead == 0 {
+		return
+	}
+	if float64(s.dead)/float64(s.dead+s.live) >= t {
+		s.compactLocked()
+	}
+}
+
+// tombstoneRatio reports dead/(dead+live) for this shard; 0 for an
+// empty shard.
+func (s *shard) tombstoneRatio() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.dead == 0 {
+		return 0
+	}
+	return float64(s.dead) / float64(s.dead+s.live)
 }
 
 func (s *shard) compact() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.compactLocked()
+}
+
+func (s *shard) compactLocked() {
 	for _, fp := range s.fields {
 		for term, list := range fp.terms {
 			kept := list[:0]
@@ -146,6 +182,7 @@ func (s *shard) compact() {
 			}
 		}
 	}
+	s.dead = 0
 }
 
 func (s *shard) lenLive() int {

@@ -1,21 +1,77 @@
 package store
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+
+	"repro/internal/frameio"
 )
 
-// Persistence: Symphony hosts the designers' data, so the store can
-// snapshot itself to a writer and restore from a reader. The format
-// is versioned JSON — records are strings end to end, so JSON is
-// lossless — and restoring rebuilds the full-text indexes from the
-// records rather than serializing postings.
+// Persistence: Symphony hosts the designers' proprietary data, so
+// durability is part of the platform contract. Two formats exist:
+//
+// Format v2 (written by Snapshot) is a streaming framed layout: the
+// magic string, a header frame naming every tenant (owner, grants,
+// quota, dataset names), then one frame per dataset in deterministic
+// (tenant, dataset) order. Dataset frames carry the records AND the
+// dataset's sharded full-text index serialized postings-for-postings
+// (see index.Snapshot), so Restore reattaches indexes instead of
+// reanalyzing every record. Frames are encoded by a worker pool, each
+// under its own dataset's read lock — a checkpoint never holds the
+// store-wide lock while encoding, so writers on other datasets are
+// not blocked. The price is per-dataset (not global) point-in-time
+// consistency, the usual contract for online checkpoints.
+//
+// Format v1 (written by SnapshotV1, read transparently by Restore) is
+// the legacy single-JSON-document layout; restoring it rebuilds the
+// indexes record by record.
+//
+// Restore for both formats builds the replacement tenant map
+// completely — validating schemas, records and index attachment —
+// before swapping it in, so a corrupt or truncated snapshot leaves
+// the target store unchanged.
 
-// snapshotVersion guards format evolution.
-const snapshotVersion = 1
+const (
+	snapshotVersionV1 = 1
+	snapshotVersionV2 = 2
+	// snapshotMagicV2 starts every v2 stream. v1 streams start with
+	// '{', so Restore can sniff the format from the first bytes.
+	snapshotMagicV2 = "SYMSNP2\n"
+)
 
+// PersistOption configures Snapshot and Restore.
+type PersistOption func(*persistOptions)
+
+type persistOptions struct {
+	workers int
+}
+
+// WithWorkers sets how many goroutines encode or decode dataset
+// frames (default: GOMAXPROCS). WithWorkers(1) is the serial
+// baseline used by the benchmarks.
+func WithWorkers(n int) PersistOption {
+	return func(o *persistOptions) {
+		if n > 0 {
+			o.workers = n
+		}
+	}
+}
+
+func applyPersistOptions(opts []PersistOption) persistOptions {
+	o := persistOptions{workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// v1 layout (also the legacy on-disk format).
 type snapshot struct {
 	Version int              `json:"version"`
 	Tenants []tenantSnapshot `json:"tenants"`
@@ -35,11 +91,193 @@ type datasetSnapshot struct {
 	NextID  int      `json:"nextId"`
 }
 
-// Snapshot serializes the whole store.
-func (s *Store) Snapshot(w io.Writer) error {
+// v2 layout.
+type v2Header struct {
+	Version int        `json:"version"`
+	Tenants []v2Tenant `json:"tenants"`
+}
+
+type v2Tenant struct {
+	ID       string                `json:"id"`
+	Owner    string                `json:"owner"`
+	Grants   map[string]Permission `json:"grants,omitempty"`
+	Quota    int                   `json:"quota,omitempty"`
+	Datasets []string              `json:"datasets,omitempty"`
+}
+
+// v2DatasetFrame is the JSON metadata part of a dataset frame. The
+// frame payload is the 8-byte big-endian metadata length, the
+// metadata JSON, then the dataset's serialized sharded index (an
+// index.Snapshot stream) as raw bytes — concatenated rather than
+// embedded so multi-megabyte postings avoid a base64 round trip.
+type v2DatasetFrame struct {
+	Tenant  string   `json:"tenant"`
+	Schema  Schema   `json:"schema"`
+	Order   []string `json:"order"`
+	Records []Record `json:"records"`
+	NextID  int      `json:"nextId"`
+}
+
+// splitDatasetFrame separates a dataset frame payload into its JSON
+// metadata and raw index stream.
+func splitDatasetFrame(payload []byte) (meta, index []byte, err error) {
+	if len(payload) < 8 {
+		return nil, nil, fmt.Errorf("dataset frame too short")
+	}
+	n := binary.BigEndian.Uint64(payload[:8])
+	if n > uint64(len(payload)-8) {
+		return nil, nil, fmt.Errorf("dataset frame metadata length %d exceeds payload", n)
+	}
+	return payload[8 : 8+n], payload[8+n:], nil
+}
+
+// datasetRef pins one dataset for a snapshot pass.
+type datasetRef struct {
+	tenant string
+	name   string
+	ds     *Dataset
+}
+
+// collect walks the store under its read lock and returns the tenant
+// metadata and dataset references in deterministic order. The store
+// lock is released before any dataset is encoded.
+func (s *Store) collect() ([]v2Tenant, []datasetRef) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	snap := snapshot{Version: snapshotVersion}
+	ids := make([]string, 0, len(s.tenants))
+	for id := range s.tenants {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var meta []v2Tenant
+	var refs []datasetRef
+	for _, id := range ids {
+		t := s.tenants[id]
+		// Deep-copy grants: the header is marshaled after this lock is
+		// released, and Grant/Revoke mutate the live map.
+		grants := make(map[string]Permission, len(t.grants))
+		for actor, perm := range t.grants {
+			grants[actor] = perm
+		}
+		vt := v2Tenant{ID: id, Owner: t.owner, Grants: grants, Quota: t.quota}
+		for name := range t.datasets {
+			vt.Datasets = append(vt.Datasets, name)
+		}
+		sort.Strings(vt.Datasets)
+		for _, name := range vt.Datasets {
+			refs = append(refs, datasetRef{tenant: id, name: name, ds: t.datasets[name]})
+		}
+		meta = append(meta, vt)
+	}
+	return meta, refs
+}
+
+// Snapshot serializes the whole store in format v2. Dataset frames
+// are encoded concurrently by a worker pool and written in
+// deterministic (tenant, dataset) order; only the frame being encoded
+// holds its dataset's read lock, so concurrent writers on other
+// datasets proceed during a checkpoint.
+func (s *Store) Snapshot(w io.Writer, opts ...PersistOption) error {
+	o := applyPersistOptions(opts)
+	meta, refs := s.collect()
+
+	if err := frameio.WriteMagic(w, snapshotMagicV2); err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(v2Header{Version: snapshotVersionV2, Tenants: meta})
+	if err != nil {
+		return err
+	}
+	if err := frameio.WriteFrame(w, hdr); err != nil {
+		return err
+	}
+
+	type frameResult struct {
+		buf  []byte
+		err  error
+		done chan struct{}
+	}
+	results := make([]frameResult, len(refs))
+	for i := range results {
+		results[i].done = make(chan struct{})
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < o.workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i].buf, results[i].err = refs[i].encodeFrame()
+				close(results[i].done)
+			}
+		}()
+	}
+	go func() {
+		for i := range refs {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	defer wg.Wait()
+
+	// Write frames in order as each becomes ready: the stream is
+	// deterministic even though encoding is concurrent.
+	for i := range refs {
+		<-results[i].done
+		if results[i].err != nil {
+			return fmt.Errorf("store: snapshot %s/%s: %w", refs[i].tenant, refs[i].name, results[i].err)
+		}
+		if err := frameio.WriteFrame(w, results[i].buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeFrame serializes one dataset under its own read lock.
+func (ref datasetRef) encodeFrame() ([]byte, error) {
+	ds := ref.ds
+	ds.mu.RLock()
+	frame := v2DatasetFrame{
+		Tenant: ref.tenant,
+		Schema: ds.schema,
+		Order:  append([]string(nil), ds.order...),
+		NextID: ds.nextID,
+	}
+	frame.Records = make([]Record, 0, len(ds.order))
+	for _, rid := range ds.order {
+		frame.Records = append(frame.Records, ds.records[rid])
+	}
+	meta, err := json.Marshal(frame)
+	if err != nil {
+		ds.mu.RUnlock()
+		return nil, err
+	}
+	payload := make([]byte, 8, 8+len(meta)+len(meta)/2)
+	binary.BigEndian.PutUint64(payload, uint64(len(meta)))
+	payload = append(payload, meta...)
+	// The index snapshot runs inside the dataset lock so records and
+	// postings in this frame agree with each other. Index shard locks
+	// nest inside the dataset lock; nothing takes them in the other
+	// order.
+	buf := bytes.NewBuffer(payload)
+	err = ds.ix.Snapshot(buf)
+	ds.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SnapshotV1 serializes the store in the legacy v1 single-document
+// JSON format, for compatibility tooling and the serial baseline
+// benchmark. It holds the store-wide lock for the whole pass, like
+// the seed implementation did.
+func (s *Store) SnapshotV1(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := snapshot{Version: snapshotVersionV1}
 	tenantIDs := make([]string, 0, len(s.tenants))
 	for id := range s.tenants {
 		tenantIDs = append(tenantIDs, id)
@@ -78,14 +316,182 @@ func (s *Store) Snapshot(w io.Writer) error {
 	return enc.Encode(snap)
 }
 
-// Restore replaces the store's contents from a snapshot, rebuilding
-// all indexes.
-func (s *Store) Restore(r io.Reader) error {
+// Restore replaces the store's contents from a snapshot in either
+// format: v2 streams (sniffed by magic) decode dataset frames
+// concurrently and reattach their serialized indexes; v1 documents
+// rebuild indexes from records. The replacement state is built and
+// validated completely before it is swapped in, so a failed restore
+// leaves the store unchanged.
+func (s *Store) Restore(r io.Reader, opts ...PersistOption) error {
+	// Sniff the format from the first bytes. A short stream is
+	// whatever of it we got — let the v1 JSON decoder report it.
+	prefix := make([]byte, len(snapshotMagicV2))
+	n, err := io.ReadFull(r, prefix)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return fmt.Errorf("store: restore: %w", err)
+	}
+	prefix = prefix[:n]
+	if string(prefix) == snapshotMagicV2 {
+		return s.restoreV2(r, applyPersistOptions(opts))
+	}
+	return s.restoreV1(io.MultiReader(bytes.NewReader(prefix), r))
+}
+
+func (s *Store) restoreV2(r io.Reader, o persistOptions) error {
+	hdrBytes, err := frameio.ReadFrame(r)
+	if err != nil {
+		return fmt.Errorf("store: restore v2 header: %w", err)
+	}
+	var hdr v2Header
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return fmt.Errorf("store: restore v2 header: %w", err)
+	}
+	if hdr.Version != snapshotVersionV2 {
+		return fmt.Errorf("store: restore: unsupported snapshot version %d", hdr.Version)
+	}
+
+	// Rebuild the expected frame sequence from the header, then read
+	// exactly that many frames.
+	type expect struct{ tenant, name string }
+	var expects []expect
+	tenants := make(map[string]*tenant, len(hdr.Tenants))
+	for _, vt := range hdr.Tenants {
+		if vt.ID == "" || vt.Owner == "" {
+			return fmt.Errorf("store: restore: tenant with empty id/owner")
+		}
+		if _, dup := tenants[vt.ID]; dup {
+			return fmt.Errorf("store: restore: duplicate tenant %q", vt.ID)
+		}
+		t := &tenant{
+			owner:    vt.Owner,
+			datasets: make(map[string]*Dataset, len(vt.Datasets)),
+			grants:   vt.Grants,
+			quota:    vt.Quota,
+		}
+		if t.grants == nil {
+			t.grants = make(map[string]Permission)
+		}
+		tenants[vt.ID] = t
+		for _, name := range vt.Datasets {
+			expects = append(expects, expect{tenant: vt.ID, name: name})
+		}
+	}
+	frames := make([][]byte, len(expects))
+	for i := range frames {
+		if frames[i], err = frameio.ReadFrame(r); err != nil {
+			return fmt.Errorf("store: restore %s/%s frame: %w", expects[i].tenant, expects[i].name, err)
+		}
+	}
+	if _, err := frameio.ReadFrame(r); err != io.EOF {
+		return fmt.Errorf("store: restore: trailing data after %d dataset frames", len(expects))
+	}
+
+	// Decode and rebuild datasets on a worker pool; each job is
+	// independent, so decode scales with the dataset count.
+	datasets := make([]*Dataset, len(expects))
+	errs := make([]error, len(expects))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < o.workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				datasets[i], errs[i] = decodeFrame(frames[i], expects[i].tenant, expects[i].name)
+			}
+		}()
+	}
+	for i := range frames {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("store: restore %s/%s: %w", expects[i].tenant, expects[i].name, err)
+		}
+	}
+
+	for i, e := range expects {
+		t := tenants[e.tenant]
+		if _, dup := t.datasets[e.name]; dup {
+			return fmt.Errorf("store: restore: duplicate dataset %s/%s", e.tenant, e.name)
+		}
+		t.datasets[e.name] = datasets[i]
+	}
+	for _, t := range tenants {
+		if t.quota > 0 {
+			for _, ds := range t.datasets {
+				ds.setQuotaCheck(usageExcluding(t, ds), t.quota)
+			}
+		}
+	}
+	s.mu.Lock()
+	s.tenants = tenants
+	s.mu.Unlock()
+	return nil
+}
+
+// decodeFrame rebuilds one dataset from its frame, reattaching the
+// serialized sharded index and cross-checking it against the records.
+func decodeFrame(payload []byte, wantTenant, wantName string) (*Dataset, error) {
+	meta, index, err := splitDatasetFrame(payload)
+	if err != nil {
+		return nil, err
+	}
+	var frame v2DatasetFrame
+	if err := json.Unmarshal(meta, &frame); err != nil {
+		return nil, err
+	}
+	if frame.Tenant != wantTenant || frame.Schema.Name != wantName {
+		return nil, fmt.Errorf("frame is %s/%s, header expects %s/%s",
+			frame.Tenant, frame.Schema.Name, wantTenant, wantName)
+	}
+	if err := frame.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	if len(frame.Order) != len(frame.Records) {
+		return nil, fmt.Errorf("order/record mismatch")
+	}
+	ds := newDataset(frame.Schema)
+	ds.nextID = frame.NextID
+	for i, rec := range frame.Records {
+		id := frame.Order[i]
+		if id == "" {
+			return nil, fmt.Errorf("empty record ID at position %d", i)
+		}
+		if _, dup := ds.records[id]; dup {
+			return nil, fmt.Errorf("duplicate record ID %q", id)
+		}
+		if err := checkRecord(ds.schema, rec); err != nil {
+			return nil, fmt.Errorf("record %s: %w", id, err)
+		}
+		cp := make(Record, len(rec))
+		for k, v := range rec {
+			cp[k] = v
+		}
+		ds.records[id] = cp
+		ds.order = append(ds.order, id)
+	}
+	// Reattach the serialized index; newDataset already registered
+	// the schema's field options, so boosts and analyzers line up.
+	if err := ds.ix.Restore(bytes.NewReader(index)); err != nil {
+		return nil, err
+	}
+	if got := ds.ix.Len(); got != len(ds.records) {
+		return nil, fmt.Errorf("restored index has %d live docs, dataset has %d records", got, len(ds.records))
+	}
+	return ds, nil
+}
+
+// restoreV1 reads the legacy single-document JSON format, rebuilding
+// full-text indexes from the records.
+func (s *Store) restoreV1(r io.Reader) error {
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("store: restore: %w", err)
 	}
-	if snap.Version != snapshotVersion {
+	if snap.Version != snapshotVersionV1 {
 		return fmt.Errorf("store: restore: unsupported snapshot version %d", snap.Version)
 	}
 	tenants := make(map[string]*tenant, len(snap.Tenants))

@@ -1,7 +1,6 @@
 package store
 
 import (
-	"bytes"
 	"fmt"
 	"testing"
 )
@@ -69,27 +68,9 @@ func BenchmarkSearchFiltered(b *testing.B) {
 	}
 }
 
-func BenchmarkSnapshotRestore(b *testing.B) {
-	s := New()
-	s.CreateTenant("t", "o")
-	ds, _ := s.CreateDataset("t", "o", Schema{
-		Name: "d", Key: "id",
-		Fields: []Field{{Name: "id", Required: true}, {Name: "title", Searchable: true}},
-	})
-	for i := 0; i < 2000; i++ {
-		ds.Put(Record{"id": fmt.Sprintf("r%d", i), "title": fmt.Sprintf("title %d", i)})
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var buf bytes.Buffer
-		if err := s.Snapshot(&buf); err != nil {
-			b.Fatal(err)
-		}
-		if err := New().Restore(&buf); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// Snapshot/restore benchmarks live in persist_bench_test.go: the
+// BenchmarkSnapshotRestore family compares serial v1 against the
+// parallel framed v2 format at several worker counts.
 
 func BenchmarkStats(b *testing.B) {
 	ds := benchDataset(b, 5000)
