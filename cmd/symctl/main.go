@@ -7,6 +7,7 @@
 // Usage:
 //
 //	symctl query -q "halo"            execute GamerQueen for a query
+//	symctl serp -q "halo"             engine results page: hits + total + site facets
 //	symctl config                     print the application JSON
 //	symctl snippet                    print the embed snippet
 //	symctl report                     traffic + revenue summary
@@ -28,6 +29,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/core"
 	"repro/internal/demo"
+	"repro/internal/engine"
 	"repro/internal/host"
 	"repro/internal/recommend"
 	"repro/internal/runtime"
@@ -81,6 +83,26 @@ func main() {
 					}
 				}
 			}
+		}
+	case "serp":
+		// A full engine results page through one statistics session:
+		// ranked hits, total count and the site facet sidebar share a
+		// single cross-shard df/avgLen aggregation.
+		text := *q
+		if text == "" {
+			text = sc.Titles[0] + " review"
+		}
+		page, err := p.Engine.SearchPage(engine.Request{Query: text, Limit: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d total hits for %q\n", page.Total, text)
+		for i, r := range page.Results {
+			fmt.Printf("  %2d. %.3f  %s\n", i+1, r.Score, r.URL)
+		}
+		fmt.Println("sites:")
+		for _, f := range page.SiteFacets {
+			fmt.Printf("  %4d  %s\n", f.N, f.Value)
 		}
 	case "config":
 		data, err := app.Marshal(sc.App)
@@ -210,6 +232,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: symctl {query|config|snippet|report|suggest|recommend|structured|snapshot|restore} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: symctl {query|serp|config|snippet|report|suggest|recommend|structured|snapshot|restore} [flags]")
 	os.Exit(2)
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/demo"
+	"repro/internal/engine"
 	"repro/internal/runtime"
 )
 
@@ -50,6 +51,19 @@ func main() {
 		}
 		// Customers click through to a review.
 		p.RecordClick("gamerqueen", "http://ign.com/web/some-review", customers[i%len(customers)])
+	}
+
+	// Ann previews how the crowd sees her niche on the general engine:
+	// one SearchPage call renders a full results page — ranked hits,
+	// total match count and the per-site facet sidebar — through one
+	// request-scoped statistics session instead of three index passes.
+	page, err := p.Engine.SearchPage(engine.Request{Query: sc.Titles[0] + " review", Limit: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nweb results page for %q: %d of %d total hits\n", sc.Titles[0]+" review", len(page.Results), page.Total)
+	for _, f := range page.SiteFacets[:min(3, len(page.SiteFacets))] {
+		fmt.Printf("  site facet: %-24s %d\n", f.Value, f.N)
 	}
 
 	// One customer clicks the sponsored listing: the advertiser is

@@ -111,14 +111,16 @@ func New(corpus *webcorpus.Corpus) *Engine {
 	return e
 }
 
-// Search runs a request against its vertical.
-func (e *Engine) Search(req Request) ([]Result, error) {
+// prepare normalizes the request and builds the index query it
+// retrieves with: free-text match over title/body plus the site
+// restriction, with the effective result limit resolved.
+func (e *Engine) prepare(req *Request) (*index.Index, index.Query, int, error) {
 	if req.Vertical == "" {
 		req.Vertical = webcorpus.VerticalWeb
 	}
 	ix, ok := e.perVert[req.Vertical]
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown vertical %q", req.Vertical)
+		return nil, nil, 0, fmt.Errorf("engine: unknown vertical %q", req.Vertical)
 	}
 	queryText := req.Query
 	if len(req.AddTerms) > 0 {
@@ -137,11 +139,12 @@ func (e *Engine) Search(req Request) ([]Result, error) {
 	if limit <= 0 {
 		limit = 10
 	}
-	// Over-fetch so quality/preference reordering has candidates. The
-	// candidate pool depends only on limit+offset so that paginated
-	// requests reorder a consistent set.
-	raw := ix.Search(q, index.SearchOptions{Limit: (limit + req.Offset) * 3, SnippetField: "body"})
+	return ix, q, limit, nil
+}
 
+// rerank applies the engine-level signals — site quality, URL
+// preference, news freshness — to raw index hits, then paginates.
+func (e *Engine) rerank(req Request, raw []index.Result, limit int) []Result {
 	prefer := make(map[string]bool, len(req.PreferURLs))
 	for _, u := range req.PreferURLs {
 		prefer[u] = true
@@ -177,17 +180,78 @@ func (e *Engine) Search(req Request) ([]Result, error) {
 	})
 	if req.Offset > 0 {
 		if req.Offset >= len(out) {
-			return nil, nil
+			return nil
 		}
 		out = out[req.Offset:]
 	}
 	if len(out) > limit {
 		out = out[:limit]
 	}
+	return out
+}
+
+func (e *Engine) logQuery(req Request) {
 	e.mu.Lock()
 	e.log = append(e.log, LogEntry{Query: req.Query, Vertical: req.Vertical})
 	e.mu.Unlock()
+}
+
+// Search runs a request against its vertical.
+func (e *Engine) Search(req Request) ([]Result, error) {
+	ix, q, limit, err := e.prepare(&req)
+	if err != nil {
+		return nil, err
+	}
+	// Over-fetch so quality/preference reordering has candidates. The
+	// candidate pool depends only on limit+offset so that paginated
+	// requests reorder a consistent set.
+	raw := ix.Search(q, index.SearchOptions{Limit: (limit + req.Offset) * 3, SnippetField: "body"})
+	out := e.rerank(req, raw, limit)
+	if out == nil && req.Offset > 0 {
+		// Offset past the last hit: no page and no log entry, matching
+		// the pre-refactor behaviour.
+		return nil, nil
+	}
+	e.logQuery(req)
 	return out, nil
+}
+
+// Page is one full results page: the ranked hits plus the aggregates
+// every results page shows around them — the total match count and
+// the per-site facet sidebar.
+type Page struct {
+	Results []Result
+	// Total counts every matching document, not just the page.
+	Total int
+	// SiteFacets counts matches per site, for the restriction sidebar.
+	SiteFacets []index.FacetCount
+}
+
+// SearchPage answers one end-user request in full: ranked results,
+// total hit count and site facets. All three run through one
+// index.Session, so the document frequencies and field statistics of
+// the shared query are aggregated across shards once, not three
+// times. Results are identical to calling Search, Count and Facets
+// separately.
+func (e *Engine) SearchPage(req Request) (Page, error) {
+	ix, q, limit, err := e.prepare(&req)
+	if err != nil {
+		return Page{}, err
+	}
+	sess := ix.Session()
+	raw := sess.Search(q, index.SearchOptions{Limit: (limit + req.Offset) * 3, SnippetField: "body"})
+	page := Page{
+		Results:    e.rerank(req, raw, limit),
+		Total:      sess.Count(q, nil),
+		SiteFacets: sess.Facets(q, "site", nil),
+	}
+	if page.Results == nil && req.Offset > 0 {
+		// Offset past the last hit: the aggregates still answer, but
+		// no log entry, matching Search on the same request.
+		return page, nil
+	}
+	e.logQuery(req)
+	return page, nil
 }
 
 func orQuery(qs []index.Query) index.Query {

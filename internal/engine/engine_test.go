@@ -197,3 +197,44 @@ func TestSearchDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestSearchPageMatchesSeparateCalls: the session-backed SearchPage
+// must return exactly what separate Search + per-call aggregation
+// would, while reusing one statistics pass.
+func TestSearchPageMatchesSeparateCalls(t *testing.T) {
+	e := newEngine(t)
+	req := Request{Query: "review", Limit: 5}
+	page, err := e.SearchPage(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := e.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Results) != len(plain) {
+		t.Fatalf("page has %d results, Search returned %d", len(page.Results), len(plain))
+	}
+	for i := range plain {
+		if page.Results[i].URL != plain[i].URL || page.Results[i].Score != plain[i].Score {
+			t.Fatalf("result %d: page %s@%v, search %s@%v",
+				i, page.Results[i].URL, page.Results[i].Score, plain[i].URL, plain[i].Score)
+		}
+	}
+	if page.Total < len(page.Results) {
+		t.Fatalf("total %d < page results %d", page.Total, len(page.Results))
+	}
+	sum := 0
+	for _, f := range page.SiteFacets {
+		if f.N <= 0 {
+			t.Fatalf("non-positive facet %v", f)
+		}
+		sum += f.N
+	}
+	if sum != page.Total {
+		t.Fatalf("site facet sum %d != total %d (every page stores its site)", sum, page.Total)
+	}
+	if _, err := e.SearchPage(Request{Query: "x", Vertical: "maps"}); err == nil {
+		t.Fatal("unknown vertical should error")
+	}
+}

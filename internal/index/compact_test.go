@@ -64,7 +64,7 @@ func TestAutoCompact(t *testing.T) {
 	// live docs.
 	s := ix.shards[0]
 	s.mu.RLock()
-	n := len(s.fields["body"].terms["common"])
+	n := s.fields["body"].terms["common"].n
 	s.mu.RUnlock()
 	if n != 7 {
 		t.Fatalf("postings for 'common' after auto-compact = %d, want 7", n)

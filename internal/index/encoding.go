@@ -1,0 +1,249 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Shared uvarint codec. The same primitives encode both the snapshot
+// format (persist.go) and the hot in-memory posting lists below, so
+// the on-disk and resident representations cannot drift: a posting
+// decoded from a snapshot re-encodes to identical bytes.
+
+// binWriter accumulates a uvarint binary payload.
+type binWriter struct{ buf []byte }
+
+func (w *binWriter) uvarint(x int) { w.buf = binary.AppendUvarint(w.buf, uint64(x)) }
+func (w *binWriter) str(s string)  { w.uvarint(len(s)); w.buf = append(w.buf, s...) }
+func (w *binWriter) strmap(m map[string]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.uvarint(len(keys))
+	for _, k := range keys {
+		w.str(k)
+		w.str(m[k])
+	}
+}
+
+// binReader decodes a uvarint binary payload with bounds checking.
+type binReader struct {
+	buf []byte
+	off int
+}
+
+var errShardPayload = fmt.Errorf("index: corrupt shard payload")
+
+func (r *binReader) uvarint() (int, error) {
+	x, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 || x > 1<<56 {
+		return 0, errShardPayload
+	}
+	r.off += n
+	return int(x), nil
+}
+
+// count reads an element count: every counted element occupies at
+// least one payload byte, so a count beyond the remaining bytes is
+// corruption, caught before it can size an allocation.
+func (r *binReader) count() (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > len(r.buf)-r.off {
+		return 0, errShardPayload
+	}
+	return n, nil
+}
+
+func (r *binReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		return "", errShardPayload
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+func (r *binReader) strmap() (map[string]string, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+// Block-compressed posting lists: the in-memory representation of one
+// (field, term)'s postings. Document ordinals are strictly increasing
+// per shard, so they delta+uvarint encode into a byte stream split
+// into blocks of postingBlockSize entries; each block's skip entry
+// records its first ordinal and byte offset, so point lookups (tfAt,
+// the phrase anchor scorer) decode one block instead of the whole
+// list.
+//
+// Scoring needs only (ordinal, term frequency); term positions —
+// needed by PhraseQuery alone — live in a separate byte stream that
+// scoring never touches, decoded lazily in lockstep with the doc
+// stream only when a phrase asks for them.
+const postingBlockSize = 128
+
+// blockMeta is the skip entry for one block of postings. (Position
+// blocks carry no skip offsets yet; phrase evaluation streams them
+// sequentially — see the ROADMAP's positional-skip follow-up.)
+type blockMeta struct {
+	firstDoc int // ordinal of the block's first posting
+	docOff   int // byte offset of the block in docTF
+}
+
+type postingList struct {
+	n       int // posting (document) count
+	lastDoc int // last appended ordinal, for delta appends
+	// docTF holds (docDelta, tf) uvarint pairs; a block's first entry
+	// encodes delta 0 relative to its skip entry's firstDoc, so blocks
+	// decode independently.
+	docTF []byte
+	// posBuf holds each posting's tf positions: first absolute, then
+	// deltas. Consumed only by phrase evaluation and persistence.
+	posBuf []byte
+	blocks []blockMeta
+}
+
+// appendPosting adds a posting for doc with the given term positions
+// (tf = len(positions)). Ordinals must arrive strictly increasing;
+// positions must be non-decreasing.
+func (l *postingList) appendPosting(doc int, positions []int) {
+	prev := l.lastDoc
+	if l.n%postingBlockSize == 0 {
+		l.blocks = append(l.blocks, blockMeta{firstDoc: doc, docOff: len(l.docTF)})
+		prev = doc
+	}
+	l.docTF = binary.AppendUvarint(l.docTF, uint64(doc-prev))
+	l.docTF = binary.AppendUvarint(l.docTF, uint64(len(positions)))
+	pp := 0
+	for i, p := range positions {
+		if i == 0 {
+			l.posBuf = binary.AppendUvarint(l.posBuf, uint64(p))
+		} else {
+			l.posBuf = binary.AppendUvarint(l.posBuf, uint64(p-pp))
+		}
+		pp = p
+	}
+	l.lastDoc = doc
+	l.n++
+}
+
+// postingIter streams (doc, tf) pairs out of a list. Positions are
+// not decoded; pair it with a positionIter when they are needed.
+type postingIter struct {
+	l   *postingList
+	i   int // index of the next posting
+	off int // byte offset of the next posting in docTF
+	doc int
+	tf  int
+}
+
+func (l *postingList) iter() postingIter { return postingIter{l: l} }
+
+func (it *postingIter) next() bool {
+	if it.i >= it.l.n {
+		return false
+	}
+	if it.i%postingBlockSize == 0 {
+		it.doc = it.l.blocks[it.i/postingBlockSize].firstDoc
+	}
+	delta, n := binary.Uvarint(it.l.docTF[it.off:])
+	it.off += n
+	it.doc += int(delta)
+	tf, n := binary.Uvarint(it.l.docTF[it.off:])
+	it.off += n
+	it.tf = int(tf)
+	it.i++
+	return true
+}
+
+// positionIter streams position runs out of posBuf. It must advance
+// in lockstep with a postingIter: for every posting, call exactly one
+// of read (tf positions, decoded) or skip (tf positions, scanned
+// without decoding).
+type positionIter struct {
+	buf []byte
+	off int
+}
+
+func (l *postingList) positions() positionIter { return positionIter{buf: l.posBuf} }
+
+func (p *positionIter) read(tf int, dst []int) []int {
+	dst = dst[:0]
+	cur := 0
+	for k := 0; k < tf; k++ {
+		d, n := binary.Uvarint(p.buf[p.off:])
+		p.off += n
+		if k == 0 {
+			cur = int(d)
+		} else {
+			cur += int(d)
+		}
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+func (p *positionIter) skip(tf int) {
+	for k := 0; k < tf; k++ {
+		for p.buf[p.off]&0x80 != 0 {
+			p.off++
+		}
+		p.off++
+	}
+}
+
+// tfAt returns the term frequency for ordinal doc, decoding only the
+// block that can contain it. ok is false when the list has no posting
+// for doc.
+func (l *postingList) tfAt(doc int) (tf int, ok bool) {
+	if l.n == 0 || doc < l.blocks[0].firstDoc || doc > l.lastDoc {
+		return 0, false
+	}
+	// Last block whose firstDoc <= doc.
+	b := sort.Search(len(l.blocks), func(i int) bool { return l.blocks[i].firstDoc > doc }) - 1
+	cur := l.blocks[b].firstDoc
+	off := l.blocks[b].docOff
+	end := b*postingBlockSize + postingBlockSize
+	if end > l.n {
+		end = l.n
+	}
+	for i := b * postingBlockSize; i < end; i++ {
+		delta, n := binary.Uvarint(l.docTF[off:])
+		off += n
+		cur += int(delta)
+		f, n := binary.Uvarint(l.docTF[off:])
+		off += n
+		if cur == doc {
+			return int(f), true
+		}
+		if cur > doc {
+			return 0, false
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,131 @@
+package index
+
+import "sync"
+
+// accum is the dense per-shard scratch one query node evaluates into:
+// a score slot per ordinal plus a membership flag (a match may carry
+// score 0 — e.g. a filter-only BoolQuery — so presence cannot be
+// inferred from the score). Ordinals are dense within a shard, so a
+// flat array replaces the per-node map[int]float64 the old evaluator
+// allocated; buffers recycle through a sync.Pool and steady-state
+// evaluation allocates nothing per query node.
+//
+// All combine operations preserve the reference evaluator's float
+// semantics exactly: per-ordinal additions happen in the same order
+// the map evaluator applied them, and every score is non-negative, so
+// `0 + x` on a fresh slot is bit-identical to the map's first insert.
+type accum struct {
+	scores []float64
+	seen   []bool
+}
+
+var accumPool = sync.Pool{New: func() any { return new(accum) }}
+
+// getAccum returns a zeroed accumulator with n slots.
+func getAccum(n int) *accum {
+	a := accumPool.Get().(*accum)
+	if cap(a.scores) < n {
+		a.scores = make([]float64, n)
+		a.seen = make([]bool, n)
+		return a
+	}
+	a.scores = a.scores[:n]
+	a.seen = a.seen[:n]
+	a.clear()
+	return a
+}
+
+func putAccum(a *accum) { accumPool.Put(a) }
+
+func (a *accum) clear() {
+	for i := range a.scores {
+		a.scores[i] = 0
+	}
+	for i := range a.seen {
+		a.seen[i] = false
+	}
+}
+
+// add accumulates a score contribution (sum semantics).
+func (a *accum) add(ord int, sc float64) {
+	a.scores[ord] += sc
+	a.seen[ord] = true
+}
+
+// mergeMax keeps the maximum contribution (disjunctive max across
+// fields). Membership follows the map evaluator exactly: a document
+// joins only when some contribution beats the slot's current value
+// (zero when untouched), so a non-positive score never creates a
+// match on its own.
+func (a *accum) mergeMax(ord int, sc float64) {
+	if sc > a.scores[ord] {
+		a.scores[ord] = sc
+		a.seen[ord] = true
+	}
+}
+
+// unionAdd folds b into a with OR semantics: every ordinal in b joins
+// a, scores summed.
+func (a *accum) unionAdd(b *accum) {
+	for i, seen := range b.seen {
+		if seen {
+			a.scores[i] += b.scores[i]
+			a.seen[i] = true
+		}
+	}
+}
+
+// intersectAdd keeps only ordinals present in both, summing scores —
+// AND / conjunctive-must semantics.
+func (a *accum) intersectAdd(b *accum) {
+	for i, seen := range a.seen {
+		if !seen {
+			continue
+		}
+		if b.seen[i] {
+			a.scores[i] += b.scores[i]
+		} else {
+			a.seen[i] = false
+			a.scores[i] = 0
+		}
+	}
+}
+
+// addSeen adds b's scores to ordinals already in a without changing
+// membership — Should contributions on top of a Must set. Slots b
+// never touched hold 0, matching the map evaluator's `+= any[ord]`
+// on a missing key.
+func (a *accum) addSeen(b *accum) {
+	for i, seen := range a.seen {
+		if seen {
+			a.scores[i] += b.scores[i]
+		}
+	}
+}
+
+// gate restricts a to ordinals present in b and replaces scores with
+// b's — pure-Should semantics: must match at least one, Should scores
+// win over the zeroed All base.
+func (a *accum) gate(b *accum) {
+	for i, seen := range a.seen {
+		if !seen {
+			continue
+		}
+		if b.seen[i] {
+			a.scores[i] = b.scores[i]
+		} else {
+			a.seen[i] = false
+			a.scores[i] = 0
+		}
+	}
+}
+
+// subtract removes b's ordinals from a — MustNot semantics.
+func (a *accum) subtract(b *accum) {
+	for i, seen := range b.seen {
+		if seen {
+			a.seen[i] = false
+			a.scores[i] = 0
+		}
+	}
+}

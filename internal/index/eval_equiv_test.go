@@ -1,0 +1,258 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestEvalEquivalence pins the iterator/accumulator evaluator, the
+// bounded top-k selection and the Session statistics cache to the
+// map-based reference evaluator: scores must be float-equal (==, no
+// tolerance) and orderings identical, for every query type, across
+// shard counts {1, 3, NumCPU}, with tombstones present, for both
+// rankers.
+
+// equivCorpus builds a corpus with shared/rare terms, phrases, field
+// boosts, facet values and a block-spanning ordinal range, then
+// deletes some documents so tombstoned postings stay in the lists.
+func equivCorpus(t testing.TB, shards int) *Index {
+	t.Helper()
+	ix := New(WithShards(shards))
+	ix.SetFieldOptions("title", FieldOptions{Boost: 2})
+	producers := []string{"Nintendo", "Ensemble", "Epic"}
+	for i := 0; i < 300; i++ {
+		body := fmt.Sprintf("shared corpus document number%d", i)
+		if i%3 == 0 {
+			body += " zelda adventure exploration"
+		}
+		if i%4 == 0 {
+			body += " halo strategy"
+		}
+		if i%7 == 0 {
+			body += " grand quest chronicle begins"
+		}
+		if i%2 == 0 {
+			body += strings.Repeat(" filler", i%11)
+		}
+		ix.Add(Document{
+			ID:     fmt.Sprintf("doc%03d", i),
+			Fields: map[string]string{"title": fmt.Sprintf("Title %d zelda", i%5), "body": body},
+			Stored: map[string]string{"producer": producers[i%len(producers)], "parity": fmt.Sprint(i % 2)},
+		})
+	}
+	// Tombstones without compaction: dead postings must be skipped
+	// identically by both evaluators.
+	for i := 0; i < 300; i += 13 {
+		ix.Delete(fmt.Sprintf("doc%03d", i))
+	}
+	return ix
+}
+
+func equivQueries() map[string]Query {
+	return map[string]Query{
+		"all":          AllQuery{},
+		"term":         TermQuery{Field: "body", Term: "adventure"},
+		"term-miss":    TermQuery{Field: "body", Term: "nosuchterm"},
+		"match-or":     MatchQuery{Text: "zelda strategy"},
+		"match-and":    MatchQuery{Text: "zelda halo", Operator: "and"},
+		"match-fields": MatchQuery{Fields: []string{"title"}, Text: "zelda"},
+		"phrase":       PhraseQuery{Field: "body", Text: "zelda adventure"},
+		"phrase-long":  PhraseQuery{Field: "body", Text: "grand quest chronicle"},
+		"phrase-one":   PhraseQuery{Field: "body", Text: "halo"},
+		"prefix":       PrefixQuery{Field: "body", Prefix: "numb"},
+		"prefix-wide":  PrefixQuery{Field: "body", Prefix: "f"},
+		"bool": BoolQuery{
+			Must:    []Query{MatchQuery{Text: "shared"}},
+			Should:  []Query{TermQuery{Field: "body", Term: "halo"}},
+			MustNot: []Query{TermQuery{Field: "body", Term: "number7"}},
+		},
+		"bool-musts": BoolQuery{
+			Must: []Query{MatchQuery{Text: "zelda"}, TermQuery{Field: "body", Term: "halo"}},
+		},
+		"bool-pure-should": BoolQuery{
+			Should: []Query{TermQuery{Field: "body", Term: "zelda"}, TermQuery{Field: "body", Term: "strategy"}},
+		},
+		"bool-nested": BoolQuery{
+			Must: []Query{BoolQuery{
+				Should: []Query{MatchQuery{Text: "zelda"}, PhraseQuery{Field: "body", Text: "halo strategy"}},
+			}},
+			MustNot: []Query{PrefixQuery{Field: "body", Prefix: "number1"}},
+		},
+	}
+}
+
+// mustEqualResults fails unless got and want are bit-identical hit
+// lists: same length, IDs, float-equal scores, same order.
+func mustEqualResults(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d hits, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+			t.Fatalf("%s hit %d: got %s@%v, want %s@%v",
+				label, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+}
+
+func TestEvalEquivalence(t *testing.T) {
+	shardCounts := []int{1, 3, runtime.NumCPU()}
+	for _, ranker := range []Ranker{RankerBM25, RankerTFIDF} {
+		for _, n := range shardCounts {
+			ix := equivCorpus(t, n)
+			ix.SetRanker(ranker)
+			for name, q := range equivQueries() {
+				label := fmt.Sprintf("ranker=%d shards=%d %s", ranker, n, name)
+				opts := []SearchOptions{
+					{},
+					{Limit: 10},
+					{Limit: 10, Offset: 7},
+					{Limit: 5, Filters: map[string]string{"producer": "Epic"}},
+					{Filters: map[string]string{"parity": "0"}},
+				}
+				for i, o := range opts {
+					mustEqualResults(t, fmt.Sprintf("%s opts%d", label, i),
+						ix.Search(q, o), refSearch(ix, q, o))
+				}
+				if got, want := ix.Count(q, nil), refCount(ix, q, nil); got != want {
+					t.Fatalf("%s: Count %d, want %d", label, got, want)
+				}
+				filt := map[string]string{"producer": "Nintendo"}
+				if got, want := ix.Count(q, filt), refCount(ix, q, filt); got != want {
+					t.Fatalf("%s: filtered Count %d, want %d", label, got, want)
+				}
+				gotF, wantF := ix.Facets(q, "producer", nil), refFacets(ix, q, "producer", nil)
+				if len(gotF) != len(wantF) {
+					t.Fatalf("%s: %d facets, want %d", label, len(gotF), len(wantF))
+				}
+				for i := range wantF {
+					if gotF[i] != wantF[i] {
+						t.Fatalf("%s facet %d: got %v, want %v", label, i, gotF[i], wantF[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSessionEquivalence: queries through a Session — whose second
+// and later stats lookups come from the request cache — must return
+// bit-identical results to direct Index calls, in any order and with
+// overlapping terms.
+func TestSessionEquivalence(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		ix := equivCorpus(t, n)
+		sess := ix.Session()
+		for name, q := range equivQueries() {
+			label := fmt.Sprintf("shards=%d %s", n, name)
+			// Same query three ways through one session: Search warms
+			// the cache, Count and Facets must reuse it exactly.
+			mustEqualResults(t, label, sess.Search(q, SearchOptions{Limit: 10}), ix.Search(q, SearchOptions{Limit: 10}))
+			if got, want := sess.Count(q, nil), ix.Count(q, nil); got != want {
+				t.Fatalf("%s: session Count %d, want %d", label, got, want)
+			}
+			gotF, wantF := sess.Facets(q, "producer", nil), ix.Facets(q, "producer", nil)
+			if len(gotF) != len(wantF) {
+				t.Fatalf("%s: session %d facets, want %d", label, len(gotF), len(wantF))
+			}
+			for i := range wantF {
+				if gotF[i] != wantF[i] {
+					t.Fatalf("%s session facet %d: got %v, want %v", label, i, gotF[i], wantF[i])
+				}
+			}
+		}
+		// Repeating the full suite on the same warmed session must not
+		// drift: everything now comes from the cache.
+		for name, q := range equivQueries() {
+			mustEqualResults(t, fmt.Sprintf("shards=%d %s warm", n, name),
+				sess.Search(q, SearchOptions{Limit: 10}), ix.Search(q, SearchOptions{Limit: 10}))
+		}
+	}
+}
+
+// TestEvalEquivalenceFuzz builds randomized corpora (random vocab,
+// doc lengths, deletions) and compares randomized queries against the
+// reference evaluator across shard counts.
+func TestEvalEquivalenceFuzz(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		vocabN := 30 + rng.Intn(50)
+		vocab := make([]string, vocabN)
+		for i := range vocab {
+			vocab[i] = fmt.Sprintf("term%c%d", 'a'+i%5, i)
+		}
+		nDocs := 100 + rng.Intn(200)
+		type spec struct {
+			id     string
+			title  string
+			body   string
+			facet  string
+			delete bool
+		}
+		specs := make([]spec, nDocs)
+		for i := range specs {
+			var b strings.Builder
+			for w, wn := 0, 3+rng.Intn(25); w < wn; w++ {
+				b.WriteString(vocab[rng.Intn(vocabN)])
+				b.WriteByte(' ')
+			}
+			specs[i] = spec{
+				id:     fmt.Sprintf("d%04d", i),
+				title:  vocab[rng.Intn(vocabN)] + " " + vocab[rng.Intn(vocabN)],
+				body:   b.String(),
+				facet:  fmt.Sprint(rng.Intn(4)),
+				delete: rng.Intn(10) == 0,
+			}
+		}
+		randTerm := func() string { return vocab[rng.Intn(vocabN)] }
+		queries := make([]Query, 0, 20)
+		for i := 0; i < 20; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				queries = append(queries, TermQuery{Field: "body", Term: randTerm()})
+			case 1:
+				queries = append(queries, MatchQuery{Text: randTerm() + " " + randTerm()})
+			case 2:
+				queries = append(queries, MatchQuery{Text: randTerm() + " " + randTerm(), Operator: "and"})
+			case 3:
+				queries = append(queries, PhraseQuery{Field: "body", Text: randTerm() + " " + randTerm()})
+			case 4:
+				queries = append(queries, PrefixQuery{Field: "body", Prefix: "term" + string(rune('a'+rng.Intn(5)))})
+			case 5:
+				queries = append(queries, BoolQuery{
+					Must:    []Query{MatchQuery{Text: randTerm()}},
+					Should:  []Query{TermQuery{Field: "title", Term: randTerm()}},
+					MustNot: []Query{TermQuery{Field: "body", Term: randTerm()}},
+				})
+			}
+		}
+		for _, n := range []int{1, 3, runtime.NumCPU()} {
+			ix := New(WithShards(n))
+			ix.SetFieldOptions("title", FieldOptions{Boost: 1.5})
+			for _, sp := range specs {
+				ix.Add(Document{
+					ID:     sp.id,
+					Fields: map[string]string{"title": sp.title, "body": sp.body},
+					Stored: map[string]string{"facet": sp.facet},
+				})
+			}
+			for _, sp := range specs {
+				if sp.delete {
+					ix.Delete(sp.id)
+				}
+			}
+			for qi, q := range queries {
+				label := fmt.Sprintf("seed=%d shards=%d q%d(%T)", seed, n, qi, q)
+				mustEqualResults(t, label, ix.Search(q, SearchOptions{}), refSearch(ix, q, SearchOptions{}))
+				mustEqualResults(t, label+" top5", ix.Search(q, SearchOptions{Limit: 5}), refSearch(ix, q, SearchOptions{Limit: 5}))
+				if got, want := ix.Count(q, nil), refCount(ix, q, nil); got != want {
+					t.Fatalf("%s: Count %d, want %d", label, got, want)
+				}
+			}
+		}
+	}
+}

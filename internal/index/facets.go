@@ -16,7 +16,10 @@ func (ix *Index) Facets(q Query, field string, filters map[string]string) []Face
 	if q == nil {
 		q = AllQuery{}
 	}
-	st := ix.gatherStats(q)
+	return ix.facetsWith(ix.gatherStats(q), q, field, filters)
+}
+
+func (ix *Index) facetsWith(st *searchStats, q Query, field string, filters map[string]string) []FacetCount {
 	parts := make([]map[string]int, len(ix.shards))
 	ix.eachShard(func(i int, s *shard) {
 		parts[i] = s.facets(q, st, field, filters)

@@ -41,6 +41,15 @@ type searchStats struct {
 	toks  map[fieldTerm][]textproc.Token
 }
 
+func newSearchStats() *searchStats {
+	return &searchStats{
+		avgLen: make(map[string]float64),
+		df:     make(map[fieldTerm]int),
+		terms:  make(map[fieldTerm][]string),
+		toks:   make(map[fieldTerm][]textproc.Token),
+	}
+}
+
 // analyzedTerms returns the cached analysis of raw text for field,
 // falling back to the shard's own analyzer on a cache miss.
 func (st *searchStats) analyzedTerms(fp *fieldPostings, field, raw string) []string {
@@ -63,12 +72,7 @@ func (st *searchStats) analyzedToks(fp *fieldPostings, field, raw string) []text
 // lengths and document frequencies. Integer sums are exact, so the
 // derived floats are bit-identical for any shard count.
 func (ix *Index) gatherStats(q Query) *searchStats {
-	st := &searchStats{
-		avgLen: make(map[string]float64),
-		df:     make(map[fieldTerm]int),
-		terms:  make(map[fieldTerm][]string),
-		toks:   make(map[fieldTerm][]textproc.Token),
-	}
+	st := newSearchStats()
 	st.ranker, st.k1, st.b = ix.scoringParams()
 	need := make(map[fieldTerm]bool)
 	ix.collectTerms(q, need, st)
@@ -81,11 +85,29 @@ func (ix *Index) gatherStats(q Query) *searchStats {
 	for ft := range need {
 		needFields[ft.field] = true
 	}
+	live, avgLen, df := ix.aggregateStats(needFields, need)
+	st.live = live
+	for f, v := range avgLen {
+		st.avgLen[f] = v
+	}
+	for ft, n := range df {
+		st.df[ft] = n
+	}
+	return st
+}
+
+// aggregateStats makes one pass over the shards — one shard lock at a
+// time, never nested — summing the live doc count, the requested
+// fields' total lengths and doc counts, and the requested terms'
+// document frequencies. avgLen has an entry only for fields some
+// shard actually carries, mirroring the scoring fallback to 1.
+func (ix *Index) aggregateStats(needFields map[string]bool, needTerms map[fieldTerm]bool) (live int, avgLen map[string]float64, df map[fieldTerm]int) {
 	type lenAcc struct{ totalLen, docCount int }
 	fieldAcc := make(map[string]*lenAcc, len(needFields))
+	df = make(map[fieldTerm]int, len(needTerms))
 	for _, s := range ix.shards {
 		s.mu.RLock()
-		st.live += s.live
+		live += s.live
 		for f, fp := range s.fields {
 			if !needFields[f] {
 				continue
@@ -96,28 +118,31 @@ func (ix *Index) gatherStats(q Query) *searchStats {
 				fieldAcc[f] = acc
 			}
 			acc.totalLen += fp.totalLen
-			acc.docCount += len(fp.docLen)
+			acc.docCount += fp.docCount
 		}
-		for ft := range need {
-			st.df[ft] += s.liveDFLocked(ft.field, ft.term)
+		for ft := range needTerms {
+			df[ft] += s.liveDFLocked(ft.field, ft.term)
 		}
 		s.mu.RUnlock()
 	}
+	avgLen = make(map[string]float64, len(fieldAcc))
 	for f, acc := range fieldAcc {
 		if acc.docCount > 0 {
-			st.avgLen[f] = float64(acc.totalLen) / float64(acc.docCount)
+			avgLen[f] = float64(acc.totalLen) / float64(acc.docCount)
 		} else {
-			st.avgLen[f] = 1
+			avgLen[f] = 1
 		}
 	}
-	return st
+	return live, avgLen, df
 }
 
 // collectTerms records every (field, analyzed term) pair q scores and
 // fills st's analysis caches so shard evaluation never re-runs an
-// analyzer under a shard lock. Analysis uses the index-level field
-// registry, which SetFieldOptions keeps in lockstep with every
-// shard's per-field options.
+// analyzer under a shard lock. Pre-seeded cache entries (a Session
+// reusing a previous query's analysis) are honored instead of
+// re-analyzing. Analysis uses the index-level field registry, which
+// SetFieldOptions keeps in lockstep with every shard's per-field
+// options.
 func (ix *Index) collectTerms(q Query, need map[fieldTerm]bool, st *searchStats) {
 	switch t := q.(type) {
 	case MatchQuery:
@@ -132,8 +157,12 @@ func (ix *Index) collectTerms(q Query, need map[fieldTerm]bool, st *searchStats)
 				continue
 			}
 			for _, raw := range rawTerms {
-				terms := opts.Analyzer.AnalyzeTerms(raw)
-				st.terms[fieldTerm{field, raw}] = terms
+				key := fieldTerm{field, raw}
+				terms, ok := st.terms[key]
+				if !ok {
+					terms = opts.Analyzer.AnalyzeTerms(raw)
+					st.terms[key] = terms
+				}
 				for _, term := range terms {
 					need[fieldTerm{field, term}] = true
 				}
@@ -144,8 +173,12 @@ func (ix *Index) collectTerms(q Query, need map[fieldTerm]bool, st *searchStats)
 		if !ok {
 			return
 		}
-		terms := opts.Analyzer.AnalyzeTerms(t.Term)
-		st.terms[fieldTerm{t.Field, t.Term}] = terms
+		key := fieldTerm{t.Field, t.Term}
+		terms, ok := st.terms[key]
+		if !ok {
+			terms = opts.Analyzer.AnalyzeTerms(t.Term)
+			st.terms[key] = terms
+		}
 		if len(terms) > 0 {
 			need[fieldTerm{t.Field, terms[0]}] = true
 		}
@@ -154,8 +187,12 @@ func (ix *Index) collectTerms(q Query, need map[fieldTerm]bool, st *searchStats)
 		if !ok {
 			return
 		}
-		toks := opts.Analyzer.Analyze(t.Text)
-		st.toks[fieldTerm{t.Field, t.Text}] = toks
+		key := fieldTerm{t.Field, t.Text}
+		toks, ok := st.toks[key]
+		if !ok {
+			toks = opts.Analyzer.Analyze(t.Text)
+			st.toks[key] = toks
+		}
 		if len(toks) > 0 {
 			// Phrase scoring is anchored on the first term's BM25 score.
 			need[fieldTerm{t.Field, toks[0].Term}] = true

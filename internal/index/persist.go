@@ -2,7 +2,6 @@ package index
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,6 +17,11 @@ import (
 // configuration, then one frame per shard — so Snapshot can encode
 // shards concurrently and still write a deterministic byte stream,
 // and Restore can hand whole shard payloads to a decoding pool.
+//
+// The uvarint codec lives in encoding.go and is shared with the
+// in-memory posting lists: snapshot encode streams postings straight
+// out of the block-compressed resident representation, and decode
+// appends straight back into it, with no intermediate slices.
 //
 // BM25 statistics need no separate persistence: queries aggregate
 // live counts, field lengths and document frequencies across shards
@@ -61,88 +65,6 @@ type indexHeader struct {
 // Map keys are sorted wherever maps are walked, so identical state
 // encodes to identical bytes.
 
-// binWriter accumulates the binary shard payload.
-type binWriter struct{ buf []byte }
-
-func (w *binWriter) uvarint(x int) { w.buf = binary.AppendUvarint(w.buf, uint64(x)) }
-func (w *binWriter) str(s string)  { w.uvarint(len(s)); w.buf = append(w.buf, s...) }
-func (w *binWriter) strmap(m map[string]string) {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	w.uvarint(len(keys))
-	for _, k := range keys {
-		w.str(k)
-		w.str(m[k])
-	}
-}
-
-// binReader decodes a binary shard payload with bounds checking.
-type binReader struct {
-	buf []byte
-	off int
-}
-
-var errShardPayload = fmt.Errorf("index: corrupt shard payload")
-
-func (r *binReader) uvarint() (int, error) {
-	x, n := binary.Uvarint(r.buf[r.off:])
-	if n <= 0 || x > 1<<56 {
-		return 0, errShardPayload
-	}
-	r.off += n
-	return int(x), nil
-}
-
-// count reads an element count: every counted element occupies at
-// least one payload byte, so a count beyond the remaining bytes is
-// corruption, caught before it can size an allocation.
-func (r *binReader) count() (int, error) {
-	n, err := r.uvarint()
-	if err != nil {
-		return 0, err
-	}
-	if n > len(r.buf)-r.off {
-		return 0, errShardPayload
-	}
-	return n, nil
-}
-
-func (r *binReader) str() (string, error) {
-	n, err := r.uvarint()
-	if err != nil {
-		return "", err
-	}
-	if n < 0 || r.off+n > len(r.buf) {
-		return "", errShardPayload
-	}
-	s := string(r.buf[r.off : r.off+n])
-	r.off += n
-	return s, nil
-}
-
-func (r *binReader) strmap() (map[string]string, error) {
-	n, err := r.count()
-	if err != nil {
-		return nil, err
-	}
-	m := make(map[string]string, n)
-	for i := 0; i < n; i++ {
-		k, err := r.str()
-		if err != nil {
-			return nil, err
-		}
-		v, err := r.str()
-		if err != nil {
-			return nil, err
-		}
-		m[k] = v
-	}
-	return m, nil
-}
-
 // SnapshotShard serializes shard i to w. The shard's read lock is
 // held while encoding; other shards stay fully available.
 func (ix *Index) SnapshotShard(i int, w io.Writer) error {
@@ -170,34 +92,41 @@ func (ix *Index) SnapshotShard(i int, w io.Writer) error {
 	}
 	sort.Strings(names)
 	bw.uvarint(len(names))
+	var positions []int
 	for _, name := range names {
 		fp := s.fields[name]
 		bw.str(name)
 		bw.uvarint(fp.totalLen)
-		ords := make([]int, 0, len(fp.docLen))
-		for ord := range fp.docLen {
-			ords = append(ords, ord)
+		// A live ordinal carries the field exactly when the document
+		// lists it, so the dense length table serializes as the same
+		// sorted (ord, len) pairs the map representation produced.
+		ords := make([]int, 0, fp.docCount)
+		for ord := range s.docs {
+			if s.docs[ord].ID == "" {
+				continue
+			}
+			if _, ok := s.docs[ord].Fields[name]; ok {
+				ords = append(ords, ord)
+			}
 		}
-		sort.Ints(ords)
 		bw.uvarint(len(ords))
 		for _, ord := range ords {
 			bw.uvarint(ord)
-			bw.uvarint(fp.docLen[ord])
+			bw.uvarint(fp.lenAt(ord))
 		}
-		terms := make([]string, 0, len(fp.terms))
-		for term := range fp.terms {
-			terms = append(terms, term)
-		}
-		sort.Strings(terms)
+		terms := fp.sortedTerms()
 		bw.uvarint(len(terms))
 		for _, term := range terms {
 			list := fp.terms[term]
 			bw.str(term)
-			bw.uvarint(len(list))
-			for _, p := range list {
-				bw.uvarint(p.doc)
-				bw.uvarint(len(p.positions))
-				for _, pos := range p.positions {
+			bw.uvarint(list.n)
+			it := list.iter()
+			pi := list.positions()
+			for it.next() {
+				bw.uvarint(it.doc)
+				bw.uvarint(it.tf)
+				positions = pi.read(it.tf, positions)
+				for _, pos := range positions {
 					bw.uvarint(pos)
 				}
 			}
@@ -286,14 +215,15 @@ func (ix *Index) decodeShard(r io.Reader, optsFor func(string) (FieldOptions, bo
 	if err != nil {
 		return fail(err)
 	}
+	var positions []int
 	for i := 0; i < nFields; i++ {
 		name, err := br.str()
 		if err != nil {
 			return fail(err)
 		}
 		fp := &fieldPostings{
-			terms:  make(map[string][]posting),
-			docLen: make(map[int]int),
+			terms:  make(map[string]*postingList),
+			docLen: make([]int, nDocs),
 		}
 		if fp.totalLen, err = br.uvarint(); err != nil {
 			return fail(err)
@@ -307,49 +237,73 @@ func (ix *Index) decodeShard(r io.Reader, optsFor func(string) (FieldOptions, bo
 			if err != nil {
 				return fail(err)
 			}
-			if ord >= len(s.docs) {
-				return fail(fmt.Errorf("field %q doc length for ordinal %d of %d", name, ord, len(s.docs)))
+			if ord >= nDocs {
+				return fail(fmt.Errorf("field %q doc length for ordinal %d of %d", name, ord, nDocs))
 			}
 			if fp.docLen[ord], err = br.uvarint(); err != nil {
 				return fail(err)
 			}
 		}
+		fp.docCount = nLens
 		nTerms, err := br.count()
 		if err != nil {
 			return fail(err)
 		}
+		dict := make([]string, 0, nTerms)
 		for j := 0; j < nTerms; j++ {
 			term, err := br.str()
 			if err != nil {
 				return fail(err)
 			}
+			dict = append(dict, term)
 			nPostings, err := br.count()
 			if err != nil {
 				return fail(err)
 			}
-			list := make([]posting, nPostings)
-			for k := range list {
+			list := &postingList{}
+			prevDoc := -1
+			for k := 0; k < nPostings; k++ {
 				doc, err := br.uvarint()
 				if err != nil {
 					return fail(err)
 				}
-				if doc >= len(s.docs) {
-					return fail(fmt.Errorf("field %q term %q posting ordinal %d of %d", name, term, doc, len(s.docs)))
+				if doc >= nDocs {
+					return fail(fmt.Errorf("field %q term %q posting ordinal %d of %d", name, term, doc, nDocs))
 				}
+				// Delta encoding requires the ordinal invariant the
+				// writer guarantees; a violation is corruption.
+				if doc <= prevDoc {
+					return fail(fmt.Errorf("field %q term %q postings out of order at ordinal %d", name, term, doc))
+				}
+				prevDoc = doc
 				nPos, err := br.count()
 				if err != nil {
 					return fail(err)
 				}
-				positions := make([]int, nPos)
-				for m := range positions {
-					if positions[m], err = br.uvarint(); err != nil {
+				positions = positions[:0]
+				prevPos := -1
+				for m := 0; m < nPos; m++ {
+					pos, err := br.uvarint()
+					if err != nil {
 						return fail(err)
 					}
+					if pos < prevPos {
+						return fail(fmt.Errorf("field %q term %q positions out of order in ordinal %d", name, term, doc))
+					}
+					prevPos = pos
+					positions = append(positions, pos)
 				}
-				list[k] = posting{doc: doc, positions: positions}
+				list.appendPosting(doc, positions)
 			}
 			fp.terms[term] = list
 		}
+		// The snapshot writes terms sorted, so the dictionary cache
+		// comes for free on restore.
+		sortedDict := dict
+		if !sort.StringsAreSorted(sortedDict) {
+			return fail(fmt.Errorf("field %q term dictionary out of order", name))
+		}
+		fp.dict.Store(&sortedDict)
 		if opts, ok := optsFor(name); ok {
 			fp.opts = opts
 		}

@@ -9,9 +9,10 @@ import (
 // evaluates to a set of matching ordinals with scores; composition is
 // by the usual boolean operators.
 type Query interface {
-	// eval returns shard-local ordinal -> score for live documents in
-	// s, scoring with the corpus-wide statistics in st.
-	eval(s *shard, st *searchStats) map[int]float64
+	// eval scores this node's live matches in s into out, which the
+	// caller supplies zeroed and sized to the shard's ordinal space.
+	// Corpus-wide statistics come from st.
+	eval(s *shard, st *searchStats, out *accum)
 }
 
 // MatchQuery analyzes Text with each field's analyzer and matches
@@ -91,7 +92,10 @@ func (ix *Index) Search(q Query, opts SearchOptions) []Result {
 	if q == nil {
 		q = AllQuery{}
 	}
-	st := ix.gatherStats(q)
+	return ix.searchWith(ix.gatherStats(q), q, opts)
+}
+
+func (ix *Index) searchWith(st *searchStats, q Query, opts SearchOptions) []Result {
 	want := 0
 	if opts.Limit > 0 {
 		want = opts.Offset + opts.Limit
@@ -129,7 +133,10 @@ func (ix *Index) Count(q Query, filters map[string]string) int {
 	if q == nil {
 		q = AllQuery{}
 	}
-	st := ix.gatherStats(q)
+	return ix.countWith(ix.gatherStats(q), q, filters)
+}
+
+func (ix *Index) countWith(st *searchStats, q Query, filters map[string]string) int {
 	counts := make([]int, len(ix.shards))
 	ix.eachShard(func(i int, s *shard) {
 		counts[i] = s.count(q, st, filters)
@@ -150,212 +157,237 @@ func matchFilters(doc Document, filters map[string]string) bool {
 	return true
 }
 
-func (AllQuery) eval(s *shard, _ *searchStats) map[int]float64 {
-	out := make(map[int]float64, s.live)
-	for ord, doc := range s.docs {
-		if doc.ID != "" {
-			out[ord] = 1
+func (AllQuery) eval(s *shard, _ *searchStats, out *accum) {
+	for ord := range s.docs {
+		if s.docs[ord].ID != "" {
+			out.scores[ord] = 1
+			out.seen[ord] = true
 		}
 	}
-	return out
 }
 
-func (q TermQuery) eval(s *shard, st *searchStats) map[int]float64 {
+func (q TermQuery) eval(s *shard, st *searchStats, out *accum) {
 	fp := s.fields[q.Field]
 	if fp == nil {
-		return nil
+		return
 	}
 	terms := st.analyzedTerms(fp, q.Field, q.Term)
 	if len(terms) == 0 {
-		return nil
+		return
 	}
-	return s.scoreTerm(q.Field, terms[0], st)
+	s.scoreTermInto(fp, q.Field, terms[0], st, out, false)
 }
 
-func (q MatchQuery) eval(s *shard, st *searchStats) map[int]float64 {
+func (q MatchQuery) eval(s *shard, st *searchStats, out *accum) {
 	fields := q.Fields
 	if len(fields) == 0 {
+		fields = make([]string, 0, len(s.fields))
 		for f := range s.fields {
 			fields = append(fields, f)
 		}
 		sort.Strings(fields)
 	}
-	// Evaluate per term across fields so "and" semantics can require
-	// each term somewhere.
-	type termScores = map[int]float64
-	var perTerm []termScores
-	// Terms may analyze differently per field; use the union keyed by
-	// the source token text before analysis.
+	// Terms may analyze differently per field; evaluate per raw token
+	// (union keyed by pre-analysis text) so "and" semantics can
+	// require each term somewhere, taking the max across fields.
 	rawTerms := strings.Fields(strings.ToLower(q.Text))
 	if len(rawTerms) == 0 {
-		return nil
+		return
 	}
-	for _, raw := range rawTerms {
-		acc := make(termScores)
+	and := strings.EqualFold(q.Operator, "and")
+	var tmp *accum
+	for i, raw := range rawTerms {
+		dst := out
+		if i > 0 {
+			if tmp == nil {
+				tmp = getAccum(len(s.docs))
+			} else {
+				tmp.clear()
+			}
+			dst = tmp
+		}
 		for _, field := range fields {
 			fp := s.fields[field]
 			if fp == nil {
 				continue
 			}
 			for _, t := range st.analyzedTerms(fp, field, raw) {
-				for ord, sc := range s.scoreTerm(field, t, st) {
-					if sc > acc[ord] {
-						acc[ord] = sc // max across fields
-					}
-				}
+				s.scoreTermInto(fp, field, t, st, dst, true)
 			}
 		}
-		perTerm = append(perTerm, acc)
-	}
-	out := make(map[int]float64)
-	if strings.EqualFold(q.Operator, "and") {
-		first := perTerm[0]
-	outer:
-		for ord, sc := range first {
-			total := sc
-			for _, ts := range perTerm[1:] {
-				s2, ok := ts[ord]
-				if !ok {
-					continue outer
-				}
-				total += s2
-			}
-			out[ord] = total
+		if i == 0 {
+			continue
 		}
-		return out
-	}
-	for _, ts := range perTerm {
-		for ord, sc := range ts {
-			out[ord] += sc
+		if and {
+			out.intersectAdd(tmp)
+		} else {
+			out.unionAdd(tmp)
 		}
 	}
-	return out
+	if tmp != nil {
+		putAccum(tmp)
+	}
 }
 
-func (q PhraseQuery) eval(s *shard, st *searchStats) map[int]float64 {
+func (q PhraseQuery) eval(s *shard, st *searchStats, out *accum) {
 	fp := s.fields[q.Field]
 	if fp == nil {
-		return nil
+		return
 	}
 	toks := st.analyzedToks(fp, q.Field, q.Text)
 	if len(toks) == 0 {
-		return nil
+		return
 	}
 	if len(toks) == 1 {
-		return s.scoreTerm(q.Field, toks[0].Term, st)
+		s.scoreTermInto(fp, q.Field, toks[0].Term, st, out, false)
+		return
 	}
 	// Gather positions per doc for each term, honoring the analyzed
-	// position gaps (stopword holes count).
+	// position gaps (stopword holes count). Only this query type pays
+	// for position decoding.
 	base := toks[0].Position
-	cand := make(map[int][]int) // doc -> positions of first term
-	for _, p := range fp.terms[toks[0].Term] {
-		if s.docs[p.doc].ID != "" {
-			cand[p.doc] = p.positions
-		}
+	first := fp.terms[toks[0].Term]
+	if first == nil {
+		return
 	}
+	cand := make(map[int][]int, first.n) // doc -> surviving start positions
+	it := first.iter()
+	pi := first.positions()
+	for it.next() {
+		if s.docs[it.doc].ID == "" {
+			pi.skip(it.tf)
+			continue
+		}
+		cand[it.doc] = pi.read(it.tf, nil)
+	}
+	var scratch []int
 	for _, tok := range toks[1:] {
 		gap := tok.Position - base
-		next := make(map[int][]int)
-		for _, p := range fp.terms[tok.Term] {
-			starts, ok := cand[p.doc]
-			if !ok {
+		list := fp.terms[tok.Term]
+		if list == nil {
+			return
+		}
+		next := make(map[int][]int, len(cand))
+		it := list.iter()
+		pi := list.positions()
+		for it.next() {
+			starts, ok := cand[it.doc]
+			if !ok || s.docs[it.doc].ID == "" {
+				pi.skip(it.tf)
 				continue
 			}
-			posSet := make(map[int]bool, len(p.positions))
-			for _, pos := range p.positions {
-				posSet[pos] = true
-			}
-			var kept []int
+			scratch = pi.read(it.tf, scratch)
+			// Both position runs ascend, so a two-pointer sweep
+			// replaces the per-doc position set of the old evaluator.
+			kept := starts[:0]
+			j := 0
 			for _, start := range starts {
-				if posSet[start+gap] {
+				wantPos := start + gap
+				for j < len(scratch) && scratch[j] < wantPos {
+					j++
+				}
+				if j < len(scratch) && scratch[j] == wantPos {
 					kept = append(kept, start)
 				}
 			}
 			if len(kept) > 0 {
-				next[p.doc] = kept
+				next[it.doc] = kept
 			}
 		}
 		cand = next
 		if len(cand) == 0 {
-			return nil
+			return
 		}
 	}
-	out := make(map[int]float64, len(cand))
-	for ord, starts := range cand {
-		base := s.scoreTermDoc(q.Field, toks[0].Term, ord, st)
-		out[ord] = base * (1 + 0.5*float64(len(starts)))
+	// One scorer for the anchor term; per candidate only the (tf,
+	// docLen) lookup and the formula itself run.
+	sc, ok := s.scorerFor(fp, q.Field, toks[0].Term, st)
+	if !ok {
+		return
 	}
-	return out
+	for ord, starts := range cand {
+		var base float64
+		if tf, ok := first.tfAt(ord); ok {
+			base = sc.score(float64(tf), fp.lenAt(ord))
+		}
+		out.scores[ord] = base * (1 + 0.5*float64(len(starts)))
+		out.seen[ord] = true
+	}
 }
 
-func (q PrefixQuery) eval(s *shard, _ *searchStats) map[int]float64 {
+func (q PrefixQuery) eval(s *shard, _ *searchStats, out *accum) {
 	fp := s.fields[q.Field]
 	if fp == nil {
-		return nil
+		return
 	}
 	prefix := strings.ToLower(q.Prefix)
-	out := make(map[int]float64)
-	for term, list := range fp.terms {
-		if !strings.HasPrefix(term, prefix) {
-			continue
-		}
-		for _, p := range list {
-			if s.docs[p.doc].ID != "" {
-				out[p.doc] += 1
+	// The sorted term dictionary turns the full term-map scan of the
+	// old evaluator into a binary-search range scan.
+	dict := fp.sortedTerms()
+	i := sort.SearchStrings(dict, prefix)
+	for ; i < len(dict) && strings.HasPrefix(dict[i], prefix); i++ {
+		it := fp.terms[dict[i]].iter()
+		for it.next() {
+			if s.docs[it.doc].ID != "" {
+				out.add(it.doc, 1)
 			}
 		}
 	}
-	return out
 }
 
-func (q BoolQuery) eval(s *shard, st *searchStats) map[int]float64 {
-	var out map[int]float64
+func (q BoolQuery) eval(s *shard, st *searchStats, out *accum) {
+	n := len(s.docs)
 	if len(q.Must) > 0 {
-		out = q.Must[0].eval(s, st)
-		for _, sub := range q.Must[1:] {
-			s2 := sub.eval(s, st)
-			merged := make(map[int]float64)
-			for ord, sc := range out {
-				if extra, ok := s2[ord]; ok {
-					merged[ord] = sc + extra
+		q.Must[0].eval(s, st, out)
+		if len(q.Must) > 1 {
+			tmp := getAccum(n)
+			for i, sub := range q.Must[1:] {
+				if i > 0 {
+					tmp.clear()
 				}
+				sub.eval(s, st, tmp)
+				out.intersectAdd(tmp)
 			}
-			out = merged
+			putAccum(tmp)
 		}
 	} else {
-		out = AllQuery{}.eval(s, st)
-		for ord := range out {
-			out[ord] = 0
+		// No Must: start from every live doc at score 0 (browse base).
+		for ord := range s.docs {
+			if s.docs[ord].ID != "" {
+				out.seen[ord] = true
+			}
 		}
 	}
 	if len(q.Should) > 0 {
-		any := make(map[int]float64)
-		for _, sub := range q.Should {
-			for ord, sc := range sub.eval(s, st) {
-				any[ord] += sc
+		any := getAccum(n)
+		tmp := getAccum(n)
+		for i, sub := range q.Should {
+			if i > 0 {
+				tmp.clear()
 			}
+			sub.eval(s, st, tmp)
+			any.unionAdd(tmp)
 		}
 		if len(q.Must) == 0 {
-			// pure should: must match at least one
-			merged := make(map[int]float64)
-			for ord, sc := range any {
-				if _, ok := out[ord]; ok {
-					merged[ord] = sc
-				}
-			}
-			out = merged
+			// Pure should: must match at least one.
+			out.gate(any)
 		} else {
-			for ord := range out {
-				out[ord] += any[ord]
+			out.addSeen(any)
+		}
+		putAccum(tmp)
+		putAccum(any)
+	}
+	if len(q.MustNot) > 0 {
+		tmp := getAccum(n)
+		for i, sub := range q.MustNot {
+			if i > 0 {
+				tmp.clear()
 			}
+			sub.eval(s, st, tmp)
+			out.subtract(tmp)
 		}
+		putAccum(tmp)
 	}
-	for _, sub := range q.MustNot {
-		for ord := range sub.eval(s, st) {
-			delete(out, ord)
-		}
-	}
-	return out
 }
 
 // queryTerms extracts the raw match terms a query would highlight in

@@ -1,0 +1,151 @@
+package index
+
+import (
+	"sync"
+
+	"repro/internal/textproc"
+)
+
+// Session is a request-scoped statistics cache. One end-user request
+// typically hits the index several times with overlapping terms —
+// ranked hits, a total count, a facet sidebar, often for the same
+// query — and each call re-aggregated document frequencies and field
+// lengths across every shard. A Session remembers what one request
+// already aggregated (live count, per-field average lengths, per-term
+// document frequencies, query-text analysis) so the second and later
+// calls reuse it, taking zero shard locks when nothing new is needed.
+//
+// Statistics are cached as of first use, which is exactly the point:
+// the queries of one request see one consistent statistics snapshot.
+// Do not reuse a Session across requests on a mutating index — create
+// one per request; creation is cheap.
+//
+// A Session is safe for concurrent use: the cache is mutex-guarded
+// and each query evaluates against its own private searchStats copy.
+type Session struct {
+	ix *Index
+
+	mu     sync.Mutex
+	ranker Ranker
+	k1, b  float64
+
+	liveOK bool
+	live   int
+	// avgLen caches per-field average lengths; avgLenOK marks fields
+	// aggregated already (a field absent from every shard caches 0,
+	// which scoring treats as 1 — same as the uncached lookup miss).
+	avgLen   map[string]float64
+	avgLenOK map[string]bool
+	// df caches document frequencies; dfOK marks aggregated terms
+	// (df 0 is a valid cached value).
+	df   map[fieldTerm]int
+	dfOK map[fieldTerm]bool
+	// terms/toks cache query-text analysis keyed by (field, raw).
+	terms map[fieldTerm][]string
+	toks  map[fieldTerm][]textproc.Token
+}
+
+// Session returns a new request-scoped statistics cache over the
+// index. The scoring configuration is snapshotted here so every query
+// of the request scores under one ranker.
+func (ix *Index) Session() *Session {
+	sess := &Session{
+		ix:       ix,
+		avgLen:   make(map[string]float64),
+		avgLenOK: make(map[string]bool),
+		df:       make(map[fieldTerm]int),
+		dfOK:     make(map[fieldTerm]bool),
+		terms:    make(map[fieldTerm][]string),
+		toks:     make(map[fieldTerm][]textproc.Token),
+	}
+	sess.ranker, sess.k1, sess.b = ix.scoringParams()
+	return sess
+}
+
+// statsFor assembles the searchStats q needs, aggregating across
+// shards only what this session has not seen yet. The returned stats
+// hold private copies of the cached maps' relevant entries, so
+// concurrent session queries never share mutable state.
+func (sess *Session) statsFor(q Query) *searchStats {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	st := newSearchStats()
+	st.ranker, st.k1, st.b = sess.ranker, sess.k1, sess.b
+	// Seed the analysis caches so collectTerms skips re-analysis of
+	// raw text this session has already processed.
+	for k, v := range sess.terms {
+		st.terms[k] = v
+	}
+	for k, v := range sess.toks {
+		st.toks[k] = v
+	}
+	need := make(map[fieldTerm]bool)
+	sess.ix.collectTerms(q, need, st)
+	for k, v := range st.terms {
+		sess.terms[k] = v
+	}
+	for k, v := range st.toks {
+		sess.toks[k] = v
+	}
+	if len(need) == 0 {
+		// Nothing scores by BM25: same fast path as Index.gatherStats.
+		return st
+	}
+	missingTerms := make(map[fieldTerm]bool)
+	missingFields := make(map[string]bool)
+	for ft := range need {
+		if !sess.dfOK[ft] {
+			missingTerms[ft] = true
+		}
+		if !sess.avgLenOK[ft.field] {
+			missingFields[ft.field] = true
+		}
+	}
+	if len(missingTerms) > 0 || len(missingFields) > 0 || !sess.liveOK {
+		live, avgLen, df := sess.ix.aggregateStats(missingFields, missingTerms)
+		if !sess.liveOK {
+			sess.live = live
+			sess.liveOK = true
+		}
+		for f := range missingFields {
+			sess.avgLen[f] = avgLen[f] // 0 when absent from every shard
+			sess.avgLenOK[f] = true
+		}
+		for ft := range missingTerms {
+			sess.df[ft] = df[ft]
+			sess.dfOK[ft] = true
+		}
+	}
+	st.live = sess.live
+	for ft := range need {
+		st.df[ft] = sess.df[ft]
+		if v := sess.avgLen[ft.field]; v != 0 {
+			st.avgLen[ft.field] = v
+		}
+	}
+	return st
+}
+
+// Search is Index.Search evaluated under this session's statistics.
+func (sess *Session) Search(q Query, opts SearchOptions) []Result {
+	if q == nil {
+		q = AllQuery{}
+	}
+	return sess.ix.searchWith(sess.statsFor(q), q, opts)
+}
+
+// Count is Index.Count evaluated under this session's statistics.
+func (sess *Session) Count(q Query, filters map[string]string) int {
+	if q == nil {
+		q = AllQuery{}
+	}
+	return sess.ix.countWith(sess.statsFor(q), q, filters)
+}
+
+// Facets is Index.Facets evaluated under this session's statistics.
+func (sess *Session) Facets(q Query, field string, filters map[string]string) []FacetCount {
+	if q == nil {
+		q = AllQuery{}
+	}
+	return sess.ix.facetsWith(sess.statsFor(q), q, field, filters)
+}

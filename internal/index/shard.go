@@ -4,23 +4,60 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/textproc"
 )
 
-type posting struct {
-	doc       int   // internal ordinal, local to the shard
-	positions []int // term positions within the field
-}
-
 type fieldPostings struct {
-	// term -> postings ordered by doc ordinal
-	terms map[string][]posting
+	// term -> block-compressed postings ordered by doc ordinal
+	terms map[string]*postingList
 	// total token count across live docs, for average length
 	totalLen int
-	// per-doc field length
-	docLen map[int]int
-	opts   FieldOptions
+	// per-ordinal field length, dense (0 = absent or empty); docCount
+	// tracks how many live ordinals carry the field, the denominator
+	// of the BM25 average length.
+	docLen   []int
+	docCount int
+	opts     FieldOptions
+	// dict caches the sorted term dictionary for prefix scans and
+	// spell candidates. Writers holding the shard write lock
+	// invalidate it (Store nil); readers holding the read lock rebuild
+	// and cache it on demand — concurrent rebuilds are benign.
+	dict atomic.Pointer[[]string]
+}
+
+// sortedTerms returns the field's term dictionary in sorted order,
+// rebuilding the cache if a writer invalidated it. Callers must hold
+// the shard lock (read or write).
+func (fp *fieldPostings) sortedTerms() []string {
+	if p := fp.dict.Load(); p != nil {
+		return *p
+	}
+	terms := make([]string, 0, len(fp.terms))
+	for t := range fp.terms {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	fp.dict.Store(&terms)
+	return terms
+}
+
+func (fp *fieldPostings) setDocLen(ord, n int) {
+	for len(fp.docLen) <= ord {
+		// append, not a sized make: amortized doubling keeps a corpus
+		// build linear.
+		fp.docLen = append(fp.docLen, 0)
+	}
+	fp.docLen[ord] = n
+	fp.docCount++
+}
+
+func (fp *fieldPostings) lenAt(ord int) int {
+	if ord < len(fp.docLen) {
+		return fp.docLen[ord]
+	}
+	return 0
 }
 
 // shard is one independent slice of the index. It owns its mutex, its
@@ -62,8 +99,7 @@ func (s *shard) fieldForLocked(field string) *fieldPostings {
 	fp, ok := s.fields[field]
 	if !ok {
 		fp = &fieldPostings{
-			terms:  make(map[string][]posting),
-			docLen: make(map[int]int),
+			terms: make(map[string]*postingList),
 		}
 		if opts, ok := s.ix.fieldOpts(field); ok {
 			fp.opts = opts
@@ -74,7 +110,9 @@ func (s *shard) fieldForLocked(field string) *fieldPostings {
 }
 
 // add inserts doc using per-field tokens analyzed by the caller
-// outside the write lock.
+// outside the write lock. Ordinals grow monotonically, so postings
+// always append in increasing doc order — the invariant the
+// delta-encoded lists rely on.
 func (s *shard) add(doc Document, analyzed map[string][]textproc.Token) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -89,14 +127,20 @@ func (s *shard) add(doc Document, analyzed map[string][]textproc.Token) {
 	for field := range doc.Fields {
 		fp := s.fieldForLocked(field)
 		toks := analyzed[field]
-		fp.docLen[ord] = len(toks)
+		fp.setDocLen(ord, len(toks))
 		fp.totalLen += len(toks)
 		perTerm := make(map[string][]int)
 		for _, t := range toks {
 			perTerm[t.Term] = append(perTerm[t.Term], t.Position)
 		}
 		for term, positions := range perTerm {
-			fp.terms[term] = append(fp.terms[term], posting{doc: ord, positions: positions})
+			list := fp.terms[term]
+			if list == nil {
+				list = &postingList{}
+				fp.terms[term] = list
+				fp.dict.Store(nil)
+			}
+			list.appendPosting(ord, positions)
 		}
 	}
 }
@@ -127,8 +171,11 @@ func (s *shard) deleteOrdLocked(ord int) {
 		if fp == nil {
 			continue
 		}
-		fp.totalLen -= fp.docLen[ord]
-		delete(fp.docLen, ord)
+		fp.totalLen -= fp.lenAt(ord)
+		if ord < len(fp.docLen) {
+			fp.docLen[ord] = 0
+		}
+		fp.docCount--
 	}
 	s.docs[ord] = Document{}
 	s.live--
@@ -166,20 +213,44 @@ func (s *shard) compact() {
 	s.compactLocked()
 }
 
+// compactLocked rebuilds every posting list without tombstoned
+// ordinals, re-encoding the surviving postings (ordinals are stable,
+// so deltas stay valid and positions carry over unchanged).
 func (s *shard) compactLocked() {
+	var positions []int
 	for _, fp := range s.fields {
+		removedTerm := false
 		for term, list := range fp.terms {
-			kept := list[:0]
-			for _, p := range list {
-				if s.docs[p.doc].ID != "" {
-					kept = append(kept, p)
+			diedHere := 0
+			it := list.iter()
+			for it.next() {
+				if s.docs[it.doc].ID == "" {
+					diedHere++
 				}
 			}
-			if len(kept) == 0 {
-				delete(fp.terms, term)
-			} else {
-				fp.terms[term] = kept
+			if diedHere == 0 {
+				continue
 			}
+			if diedHere == list.n {
+				delete(fp.terms, term)
+				removedTerm = true
+				continue
+			}
+			kept := &postingList{}
+			it = list.iter()
+			pi := list.positions()
+			for it.next() {
+				if s.docs[it.doc].ID == "" {
+					pi.skip(it.tf)
+					continue
+				}
+				positions = pi.read(it.tf, positions)
+				kept.appendPosting(it.doc, positions)
+			}
+			fp.terms[term] = kept
+		}
+		if removedTerm {
+			fp.dict.Store(nil)
 		}
 	}
 	s.dead = 0
@@ -213,9 +284,14 @@ func (s *shard) liveDFLocked(field, term string) int {
 	if fp == nil {
 		return 0
 	}
+	list := fp.terms[term]
+	if list == nil {
+		return 0
+	}
 	n := 0
-	for _, p := range fp.terms[term] {
-		if s.docs[p.doc].ID != "" {
+	it := list.iter()
+	for it.next() {
+		if s.docs[it.doc].ID != "" {
 			n++
 		}
 	}
@@ -231,22 +307,28 @@ type shardHit struct {
 
 // search evaluates q against this shard only, using the globally
 // aggregated stats, and returns hits sorted by (score desc, ID asc).
-// When cap > 0 the list is truncated to cap entries: the global top
-// cap can only contain each shard's local top cap.
-func (s *shard) search(q Query, st *searchStats, filters map[string]string, cap int) []shardHit {
+// When k > 0 a bounded min-heap selects the shard-local top k during
+// the scan — the global top k can only contain each shard's local top
+// k — instead of sorting every match.
+func (s *shard) search(q Query, st *searchStats, filters map[string]string, k int) []shardHit {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	scores := q.eval(s, st)
-	hits := make([]shardHit, 0, len(scores))
-	for ord, score := range scores {
+	acc := getAccum(len(s.docs))
+	defer putAccum(acc)
+	q.eval(s, st, acc)
+	if k > 0 {
+		return s.topKLocked(acc, filters, k)
+	}
+	var hits []shardHit
+	for ord, seen := range acc.seen {
+		if !seen {
+			continue
+		}
 		doc := s.docs[ord]
-		if doc.ID == "" {
+		if doc.ID == "" || !matchFilters(doc, filters) {
 			continue
 		}
-		if !matchFilters(doc, filters) {
-			continue
-		}
-		hits = append(hits, shardHit{ord: ord, res: Result{ID: doc.ID, Score: score, Stored: doc.Stored}})
+		hits = append(hits, shardHit{ord: ord, res: Result{ID: doc.ID, Score: acc.scores[ord], Stored: doc.Stored}})
 	}
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].res.Score != hits[j].res.Score {
@@ -254,10 +336,89 @@ func (s *shard) search(q Query, st *searchStats, filters map[string]string, cap 
 		}
 		return hits[i].res.ID < hits[j].res.ID
 	})
-	if cap > 0 && len(hits) > cap {
-		hits = hits[:cap]
-	}
 	return hits
+}
+
+// topKLocked selects the k best (score desc, ID asc) matching hits
+// with a bounded min-heap: the heap root is the worst retained hit,
+// and candidates that cannot beat it are rejected before a Result is
+// even built. (score, ID) is a total order — IDs are unique — so the
+// selected set and final sort are identical to sorting every match
+// and truncating.
+func (s *shard) topKLocked(acc *accum, filters map[string]string, k int) []shardHit {
+	h := make([]shardHit, 0, k)
+	// ranksBelow reports whether (sc, id) orders after the heap root,
+	// i.e. is a worse hit.
+	ranksBelow := func(sc float64, id string) bool {
+		return sc < h[0].res.Score || (sc == h[0].res.Score && id > h[0].res.ID)
+	}
+	for ord, seen := range acc.seen {
+		if !seen {
+			continue
+		}
+		doc := s.docs[ord]
+		if doc.ID == "" {
+			continue
+		}
+		sc := acc.scores[ord]
+		if len(h) == k && ranksBelow(sc, doc.ID) {
+			continue
+		}
+		if !matchFilters(doc, filters) {
+			continue
+		}
+		hit := shardHit{ord: ord, res: Result{ID: doc.ID, Score: sc, Stored: doc.Stored}}
+		if len(h) < k {
+			h = append(h, hit)
+			siftUp(h, len(h)-1)
+			continue
+		}
+		h[0] = hit
+		siftDown(h, 0)
+	}
+	sort.Slice(h, func(i, j int) bool {
+		if h[i].res.Score != h[j].res.Score {
+			return h[i].res.Score > h[j].res.Score
+		}
+		return h[i].res.ID < h[j].res.ID
+	})
+	return h
+}
+
+// heapLess orders the worst hit first (min-heap on the search order).
+func heapLess(a, b shardHit) bool {
+	if a.res.Score != b.res.Score {
+		return a.res.Score < b.res.Score
+	}
+	return a.res.ID > b.res.ID
+}
+
+func siftUp(h []shardHit, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []shardHit, i int) {
+	for {
+		least := i
+		if l := 2*i + 1; l < len(h) && heapLess(h[l], h[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < len(h) && heapLess(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }
 
 // count returns how many live documents in this shard match q with the
@@ -265,10 +426,15 @@ func (s *shard) search(q Query, st *searchStats, filters map[string]string, cap 
 func (s *shard) count(q Query, st *searchStats, filters map[string]string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	acc := getAccum(len(s.docs))
+	defer putAccum(acc)
+	q.eval(s, st, acc)
 	n := 0
-	for ord := range q.eval(s, st) {
-		doc := s.docs[ord]
-		if doc.ID != "" && matchFilters(doc, filters) {
+	for ord, seen := range acc.seen {
+		if !seen {
+			continue
+		}
+		if doc := s.docs[ord]; doc.ID != "" && matchFilters(doc, filters) {
 			n++
 		}
 	}
@@ -280,8 +446,14 @@ func (s *shard) count(q Query, st *searchStats, filters map[string]string) int {
 func (s *shard) facets(q Query, st *searchStats, field string, filters map[string]string) map[string]int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	acc := getAccum(len(s.docs))
+	defer putAccum(acc)
+	q.eval(s, st, acc)
 	counts := make(map[string]int)
-	for ord := range q.eval(s, st) {
+	for ord, seen := range acc.seen {
+		if !seen {
+			continue
+		}
 		doc := s.docs[ord]
 		if doc.ID == "" || !matchFilters(doc, filters) {
 			continue
@@ -304,55 +476,81 @@ func (s *shard) snippetText(ord int, id, field string) string {
 	return s.docs[ord].Fields[field]
 }
 
-// scoreTerm computes BM25 (or TF-IDF) scores for this shard's live
-// docs containing the analyzed term in field. Corpus-wide statistics
+// termScorer holds the per-(field, term) constants of the scoring
+// formula, hoisted out of the per-posting loop. Corpus-wide inputs
 // (live count, document frequency, average field length) come from st
 // so scores are identical regardless of shard count.
-func (s *shard) scoreTerm(field, term string, st *searchStats) map[int]float64 {
-	fp := s.fields[field]
-	if fp == nil {
-		return nil
-	}
-	list := fp.terms[term]
-	if len(list) == 0 {
-		return nil
-	}
-	df := st.df[fieldTerm{field, term}]
-	if df == 0 {
-		return nil
-	}
-	idf := math.Log(1 + (float64(st.live)-float64(df)+0.5)/(float64(df)+0.5))
-	avgLen := st.avgLen[field]
-	if avgLen == 0 {
-		avgLen = 1
-	}
-	boost := fp.opts.Boost
-	if boost == 0 {
-		boost = 1
-	}
-	out := make(map[int]float64, len(list))
-	for _, p := range list {
-		if s.docs[p.doc].ID == "" {
-			continue
-		}
-		tf := float64(len(p.positions))
-		var score float64
-		switch st.ranker {
-		case RankerTFIDF:
-			// Classic lnc-style TF-IDF with log tf damping and raw
-			// inverse document frequency, no length normalization.
-			score = (1 + math.Log(tf)) * math.Log(float64(st.live+1)/float64(df))
-		default: // BM25
-			dl := float64(fp.docLen[p.doc])
-			denom := tf + st.k1*(1-st.b+st.b*dl/avgLen)
-			score = idf * (tf * (st.k1 + 1)) / denom
-		}
-		out[p.doc] = boost * score
-	}
-	return out
+type termScorer struct {
+	ranker   Ranker
+	k1, b    float64
+	idf      float64
+	tfidfIDF float64
+	avgLen   float64
+	boost    float64
 }
 
-func (s *shard) scoreTermDoc(field, term string, ord int, st *searchStats) float64 {
-	scores := s.scoreTerm(field, term, st)
-	return scores[ord]
+// scorerFor resolves the scoring constants for (field, term), or
+// ok=false when the term scores nothing (unknown term, df 0).
+func (s *shard) scorerFor(fp *fieldPostings, field, term string, st *searchStats) (termScorer, bool) {
+	df := st.df[fieldTerm{field, term}]
+	if df == 0 {
+		return termScorer{}, false
+	}
+	sc := termScorer{ranker: st.ranker, k1: st.k1, b: st.b}
+	sc.idf = math.Log(1 + (float64(st.live)-float64(df)+0.5)/(float64(df)+0.5))
+	if st.ranker == RankerTFIDF {
+		sc.tfidfIDF = math.Log(float64(st.live+1) / float64(df))
+	}
+	sc.avgLen = st.avgLen[field]
+	if sc.avgLen == 0 {
+		sc.avgLen = 1
+	}
+	sc.boost = fp.opts.Boost
+	if sc.boost == 0 {
+		sc.boost = 1
+	}
+	return sc, true
+}
+
+// score computes one document's contribution, bit-identical to the
+// pre-iterator map evaluator's formula.
+func (sc *termScorer) score(tf float64, docLen int) float64 {
+	var score float64
+	switch sc.ranker {
+	case RankerTFIDF:
+		// Classic lnc-style TF-IDF with log tf damping and raw
+		// inverse document frequency, no length normalization.
+		score = (1 + math.Log(tf)) * sc.tfidfIDF
+	default: // BM25
+		dl := float64(docLen)
+		denom := tf + sc.k1*(1-sc.b+sc.b*dl/sc.avgLen)
+		score = sc.idf * (tf * (sc.k1 + 1)) / denom
+	}
+	return sc.boost * score
+}
+
+// scoreTermInto scores every live posting of (field, term) into out,
+// decoding only the (doc, tf) stream — positions stay untouched. max
+// selects disjunctive-max accumulation (across fields) over sum.
+func (s *shard) scoreTermInto(fp *fieldPostings, field, term string, st *searchStats, out *accum, max bool) {
+	list := fp.terms[term]
+	if list == nil || list.n == 0 {
+		return
+	}
+	sc, ok := s.scorerFor(fp, field, term, st)
+	if !ok {
+		return
+	}
+	it := list.iter()
+	for it.next() {
+		if s.docs[it.doc].ID == "" {
+			continue
+		}
+		v := sc.score(float64(it.tf), fp.lenAt(it.doc))
+		if max {
+			out.mergeMax(it.doc, v)
+		} else {
+			out.add(it.doc, v)
+		}
+	}
 }

@@ -99,11 +99,13 @@ func (s *shard) suggestCandidates(field, target string, targetGrams map[string]b
 	if fp == nil {
 		return nil, false
 	}
-	if len(fp.terms[target]) > 0 {
+	if list := fp.terms[target]; list != nil && list.n > 0 {
 		return nil, true
 	}
 	out := make(map[string]candidate)
-	for t, postings := range fp.terms {
+	// Walk the cached sorted dictionary (shared with prefix scans):
+	// slice iteration is cheaper than a map walk and deterministic.
+	for _, t := range fp.sortedTerms() {
 		// Cheap bigram prefilter before the edit-distance check.
 		if !gramsOverlap(targetGrams, t) {
 			continue
@@ -113,8 +115,9 @@ func (s *shard) suggestCandidates(field, target string, targetGrams map[string]b
 			continue
 		}
 		df := 0
-		for _, p := range postings {
-			if s.docs[p.doc].ID != "" {
+		it := fp.terms[t].iter()
+		for it.next() {
+			if s.docs[it.doc].ID != "" {
 				df++
 			}
 		}
