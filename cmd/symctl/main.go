@@ -16,6 +16,8 @@
 //	symctl structured -q "price:<30"  structured query over inventory
 //	symctl snapshot -o store.snap     write a durable store snapshot
 //	symctl restore -i store.snap      restore a snapshot and summarize
+//	symctl reshard <tenant> <dataset> <n>  reshard a dataset index online
+//	symctl status                     per-dataset shard layout
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/app"
@@ -192,6 +195,34 @@ func main() {
 		} else {
 			fmt.Printf("wrote %s snapshot to %s\n", format, *out)
 		}
+	case "reshard":
+		// symctl reshard <tenant> <dataset> <n>: drive an online shard
+		// migration by hand. symctl acts as Ann, so the usual write
+		// grant rules apply.
+		args := fs.Args()
+		if len(args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: symctl reshard <tenant> <dataset> <n>")
+			os.Exit(2)
+		}
+		n, err := strconv.Atoi(args[2])
+		if err != nil || n < 1 {
+			log.Fatalf("symctl: shard count %q must be a positive integer", args[2])
+		}
+		ds, err := p.Store.Dataset(args[0], "ann", args[1], store.PermWrite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("before: %d shards (ring gen %d), %d records\n", ds.NumShards(), ds.RingGen(), ds.Len())
+		if err := p.Store.Reshard(args[0], "ann", args[1], n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("after:  %d shards (ring gen %d), %d records\n", ds.NumShards(), ds.RingGen(), ds.Len())
+	case "status":
+		fmt.Printf("%-12s %-12s %8s %7s %8s %10s\n", "TENANT", "DATASET", "RECORDS", "SHARDS", "RING-GEN", "TOMBSTONE")
+		for _, st := range p.Store.Status() {
+			fmt.Printf("%-12s %-12s %8d %7d %8d %9.2f%%\n",
+				st.Tenant, st.Dataset, st.Records, st.Shards, st.RingGen, 100*st.TombstoneRatio)
+		}
 	case "restore":
 		f, err := os.Open(*in)
 		if err != nil {
@@ -232,6 +263,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: symctl {query|serp|config|snippet|report|suggest|recommend|structured|snapshot|restore} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: symctl {query|serp|config|snippet|report|suggest|recommend|structured|snapshot|restore|reshard|status} [flags]")
 	os.Exit(2)
 }

@@ -9,13 +9,23 @@
 //
 // With --data-dir the daemon is durable: designers' proprietary data
 // is restored from the directory on boot, checkpointed there
-// periodically in the background, and written one final time on
-// graceful shutdown (SIGINT/SIGTERM), so a kill/restart cycle loses
-// nothing that was checkpointed or acknowledged at shutdown.
+// periodically in the background (incrementally: only datasets
+// mutated since the previous checkpoint are re-encoded), and written
+// one final time on graceful shutdown (SIGINT/SIGTERM), so a
+// kill/restart cycle loses nothing that was checkpointed or
+// acknowledged at shutdown.
+//
+// --shards controls dataset index parallelism: "auto" (default, one
+// shard per CPU) or a fixed count. Snapshots written under another
+// layout reshard to the target on restore, so a checkpoint from a
+// small box serves at full fan-out here. /statusz reports each
+// dataset's shard count, ring generation and tombstone ratio as
+// JSON, so operators can watch reshard progress.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,6 +33,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -30,18 +42,37 @@ import (
 	"repro/internal/demo"
 )
 
+// parseShards turns --shards auto|N into a core.Config.ShardTarget
+// (0 = auto).
+func parseShards(v string) (int, error) {
+	if v == "" || v == "auto" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("symphonyd: --shards must be \"auto\" or a positive integer, got %q", v)
+	}
+	return n, nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	seed := flag.Int64("seed", 1, "synthetic web seed")
 	dataDir := flag.String("data-dir", "", "directory for store snapshots (empty = not durable)")
 	checkpointEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period with --data-dir")
+	shards := flag.String("shards", "auto", "dataset index shard count: \"auto\" (one per CPU) or N")
 	flag.Parse()
+
+	shardTarget, err := parseShards(*shards)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	base := "http://" + *addr
-	p := core.New(core.Config{Seed: *seed, ClickBase: base + "/click"})
+	p := core.New(core.Config{Seed: *seed, ClickBase: base + "/click", ShardTarget: shardTarget})
 	gq, err := demo.GamerQueen(p, *seed, 10)
 	if err != nil {
 		log.Fatal(err)
@@ -75,7 +106,28 @@ func main() {
 		cp.Start()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: p.Serve(base)}
+	// /statusz: operator view of every dataset's index layout (shard
+	// count, ring generation, tombstone ratio, in-flight reshards),
+	// refreshed per request so reshard progress is visible live.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		target := "auto"
+		if shardTarget > 0 {
+			target = strconv.Itoa(shardTarget)
+		}
+		if err := enc.Encode(map[string]any{
+			"shardTarget": target,
+			"gomaxprocs":  runtime.GOMAXPROCS(0),
+			"datasets":    p.Store.Status(),
+		}); err != nil {
+			log.Printf("symphonyd: statusz: %v", err)
+		}
+	})
+	mux.Handle("/", p.Serve(base))
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Printf("symphonyd: hosting %v\n", p.Registry.List())

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -127,5 +129,119 @@ func TestRestoreLatestRejectsCorrupt(t *testing.T) {
 	ds, err := p.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
 	if err != nil || ds.Len() == 0 {
 		t.Fatalf("store mutated by failed restore: %v, %v", ds, err)
+	}
+}
+
+// TestCheckpointIncremental pins the dirty-tracking contract at the
+// daemon level: a checkpoint after no mutations reuses every dataset
+// frame, and a checkpoint after mutating one dataset re-encodes
+// exactly that one.
+func TestCheckpointIncremental(t *testing.T) {
+	dir := t.TempDir()
+	p := New(Config{Seed: 1})
+	buildGamerQueen(t, p)
+	cp, err := p.NewCheckpointer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	cp.Logf = func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}
+	last := func() string { return logs[len(logs)-1] }
+
+	if err := cp.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(last(), "0 reused") {
+		t.Fatalf("first checkpoint log = %q, want everything encoded", last())
+	}
+	if err := cp.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(last(), "(0 frames re-encoded") {
+		t.Fatalf("clean checkpoint log = %q, want all frames reused", last())
+	}
+
+	ds, err := p.Store.Dataset("gamerqueen", "ann", "inventory", store.PermWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Put(store.Record{"sku": "G99", "title": "Fresh Game", "producer": "Studio9",
+		"description": "a fresh game", "image": "http://img.example/99.png", "detailurl": "http://gamerqueen.example/g/99"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(last(), "(1 frames re-encoded") {
+		t.Fatalf("dirty checkpoint log = %q, want exactly one frame re-encoded", last())
+	}
+
+	// The incremental file is a complete snapshot: it restores whole.
+	p2 := New(Config{Seed: 1})
+	cp2, err := p2.NewCheckpointer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored, err := cp2.RestoreLatest(); err != nil || !restored {
+		t.Fatalf("RestoreLatest = %v, %v", restored, err)
+	}
+	ds2, err := p2.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Len() != ds.Len() {
+		t.Fatalf("restored Len = %d, want %d", ds2.Len(), ds.Len())
+	}
+}
+
+// TestCheckpointRestoreAppliesShardTarget: a checkpoint written by a
+// platform with one shard layout restores on a platform configured
+// for another, and the datasets come up resharded to the new target.
+func TestCheckpointRestoreAppliesShardTarget(t *testing.T) {
+	dir := t.TempDir()
+	narrow := New(Config{Seed: 1, ShardTarget: 2})
+	buildGamerQueen(t, narrow)
+	cp, err := narrow.NewCheckpointer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	wide := New(Config{Seed: 1, ShardTarget: 6})
+	buildGamerQueen(t, wide)
+	cp2, err := wide.NewCheckpointer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	cp2.Logf = func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}
+	if restored, err := cp2.RestoreLatest(); err != nil || !restored {
+		t.Fatalf("RestoreLatest = %v, %v", restored, err)
+	}
+	ds, err := wide.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.NumShards(); got != 6 {
+		t.Fatalf("restored dataset shards = %d, want configured 6 (snapshot had 2)", got)
+	}
+	sawTransition := false
+	for _, l := range logs {
+		if strings.Contains(l, "gamerqueen/inventory") && strings.Contains(l, "6 shards") {
+			sawTransition = true
+		}
+	}
+	if !sawTransition {
+		t.Fatalf("restore did not log the shard transition: %q", logs)
+	}
+	hits, err := ds.Search(store.SearchRequest{Query: "exciting", Limit: 3})
+	if err != nil || len(hits) == 0 {
+		t.Fatalf("post-reshard search = %v, %v", hits, err)
 	}
 }

@@ -40,6 +40,12 @@ type Config struct {
 	ClickBase string
 	// SupplementalParallelism is forwarded to the executor.
 	SupplementalParallelism int
+	// ShardTarget fixes the full-text index shard count for every
+	// store dataset (0 = auto: one shard per CPU). The target is
+	// re-applied when a checkpoint is restored — snapshots written
+	// under another layout reshard to it on load — so durability
+	// layout never caps query fan-out on the serving machine.
+	ShardTarget int
 }
 
 // Platform is a fully wired Symphony instance.
@@ -74,7 +80,7 @@ func NewWithCorpus(cfg Config, corpus *webcorpus.Corpus) *Platform {
 	p := &Platform{
 		Corpus:   corpus,
 		Engine:   engine.New(corpus),
-		Store:    store.New(),
+		Store:    store.New(store.WithShardTarget(cfg.ShardTarget)),
 		Services: webservice.NewClient(cfg.HTTPClient),
 		Ads:      ads.NewService(),
 		Log:      analytics.NewLog(),

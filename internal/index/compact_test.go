@@ -62,7 +62,7 @@ func TestAutoCompact(t *testing.T) {
 	}
 	// Postings really were pruned: the common term's list holds only
 	// live docs.
-	s := ix.shards[0]
+	s := ix.ring.Load().shards[0]
 	s.mu.RLock()
 	n := s.fields["body"].terms["common"].n
 	s.mu.RUnlock()
@@ -102,7 +102,8 @@ func TestAutoCompactPerShard(t *testing.T) {
 	fillSequential(t, ix, 40)
 	// Delete every doc in exactly one shard: that shard hits ratio
 	// 1.0 ≥ 0.9 and compacts; others never cross.
-	victim := ix.shards[0]
+	r := ix.ring.Load()
+	victim := r.shards[0]
 	var victimIDs []string
 	victim.mu.RLock()
 	for id := range victim.byID {
@@ -113,7 +114,7 @@ func TestAutoCompactPerShard(t *testing.T) {
 	otherDeleted := false
 	for i := 0; i < 40 && !otherDeleted; i++ {
 		id := fmt.Sprintf("doc%03d", i)
-		if ix.shardFor(id) != victim {
+		if r.shardFor(id) != victim {
 			ix.Delete(id)
 			otherDeleted = true
 		}
@@ -123,7 +124,7 @@ func TestAutoCompactPerShard(t *testing.T) {
 	}
 	ratios := ix.ShardTombstoneRatios()
 	sawDirty := false
-	for i, s := range ix.shards {
+	for i, s := range r.shards {
 		if s == victim {
 			if ratios[i] != 0 {
 				t.Fatalf("victim shard ratio = %v, want 0 (auto-compacted)", ratios[i])

@@ -20,16 +20,17 @@ func refSearch(ix *Index, q Query, opts SearchOptions) []Result {
 	if q == nil {
 		q = AllQuery{}
 	}
-	st := ix.gatherStats(q)
+	r := ix.ring.Load()
+	st := ix.gatherStats(r, q)
 	want := 0
 	if opts.Limit > 0 {
 		want = opts.Offset + opts.Limit
 	}
-	parts := make([][]shardHit, len(ix.shards))
-	ix.eachShard(func(i int, s *shard) {
+	parts := make([][]shardHit, len(r.shards))
+	eachShard(r, func(i int, s *shard) {
 		parts[i] = refSearchShard(s, q, st, opts.Filters, want)
 	})
-	merged := mergeHits(ix.shards, parts, want)
+	merged := mergeHits(r.shards, parts, want)
 	if opts.Offset > 0 {
 		if opts.Offset >= len(merged) {
 			return nil
@@ -50,9 +51,10 @@ func refCount(ix *Index, q Query, filters map[string]string) int {
 	if q == nil {
 		q = AllQuery{}
 	}
-	st := ix.gatherStats(q)
+	r := ix.ring.Load()
+	st := ix.gatherStats(r, q)
 	n := 0
-	for _, s := range ix.shards {
+	for _, s := range r.shards {
 		s.mu.RLock()
 		for ord := range refEval(q, s, st) {
 			doc := s.docs[ord]
@@ -69,9 +71,10 @@ func refFacets(ix *Index, q Query, field string, filters map[string]string) []Fa
 	if q == nil {
 		q = AllQuery{}
 	}
-	st := ix.gatherStats(q)
-	parts := make([]map[string]int, 0, len(ix.shards))
-	for _, s := range ix.shards {
+	r := ix.ring.Load()
+	st := ix.gatherStats(r, q)
+	parts := make([]map[string]int, 0, len(r.shards))
+	for _, s := range r.shards {
 		s.mu.RLock()
 		counts := make(map[string]int)
 		for ord := range refEval(q, s, st) {

@@ -16,12 +16,13 @@ func (ix *Index) Facets(q Query, field string, filters map[string]string) []Face
 	if q == nil {
 		q = AllQuery{}
 	}
-	return ix.facetsWith(ix.gatherStats(q), q, field, filters)
+	r := ix.ring.Load()
+	return ix.facetsWith(r, ix.gatherStats(r, q), q, field, filters)
 }
 
-func (ix *Index) facetsWith(st *searchStats, q Query, field string, filters map[string]string) []FacetCount {
-	parts := make([]map[string]int, len(ix.shards))
-	ix.eachShard(func(i int, s *shard) {
+func (ix *Index) facetsWith(r *ring, st *searchStats, q Query, field string, filters map[string]string) []FacetCount {
+	parts := make([]map[string]int, len(r.shards))
+	eachShard(r, func(i int, s *shard) {
 		parts[i] = s.facets(q, st, field, filters)
 	})
 	return mergeFacets(parts)

@@ -15,6 +15,14 @@
 // matching the paper's read-heavy hosted execution model where the
 // platform index is the shared hot path for every published app.
 //
+// The shard set itself is a live property: every operation routes
+// through an immutable ring descriptor held behind an atomic pointer,
+// and Reshard (reshard.go) rebuilds the ring toward a new shard count
+// copy-on-write while readers keep using the old one. Restore decodes
+// a snapshot into the layout it was written with and then reshards to
+// the configured count, so durability layout no longer pins runtime
+// parallelism.
+//
 // BM25 stays globally correct: corpus statistics (live doc count,
 // per-field total lengths, document frequencies) are aggregated across
 // shards before evaluation, so scores are bit-identical for any shard
@@ -27,6 +35,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/textproc"
 )
@@ -92,12 +101,61 @@ func WithAutoCompact(ratio float64) Option {
 	}
 }
 
+// ring is one immutable generation of the shard layout. All routing
+// (shardFor), fan-out and statistics aggregation for a single
+// operation read one ring, loaded once from the index's atomic
+// pointer, so an operation can never see half of an old layout and
+// half of a new one. Reshard builds a fresh ring and swaps the
+// pointer; rings are never mutated after publication (shard *contents*
+// keep their own locks — the ring only fixes which shards exist).
+type ring struct {
+	// gen increments on every layout change (Reshard, Restore). It is
+	// the natural invalidation stamp for caches keyed to a layout.
+	gen    uint64
+	shards []*shard
+}
+
+// shardFor routes a document ID to its owning shard in this ring.
+func (r *ring) shardFor(id string) *shard {
+	if len(r.shards) == 1 {
+		return r.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return r.shards[h.Sum32()%uint32(len(r.shards))]
+}
+
 // Index is a thread-safe sharded inverted index.
 type Index struct {
-	shards []*shard
+	// ring is the current shard layout. Readers load it once per
+	// operation and never block on layout changes.
+	ring atomic.Pointer[ring]
+	// target is the configured shard count (WithShards, defaulting to
+	// GOMAXPROCS). Restore honors it by resharding after decoding a
+	// snapshot written under a different layout; Reshard updates it.
+	// Written only under reshardMu.
+	target int
 	// autoCompact is the per-shard tombstone ratio that triggers
 	// compaction after a delete; 0 disables. Immutable after New.
 	autoCompact float64
+
+	// wgate orders writers against ring swaps: Add, Delete and
+	// SetFieldOptions hold it shared for the whole route-and-apply,
+	// and Reshard's commit holds it exclusively while it replays the
+	// write journal and swaps the ring. Readers never touch it, so
+	// queries stay non-blocking through a migration. The shared
+	// acquisition is a deliberate tax on writers: it is a handful of
+	// atomic ops against the text analysis and shard-map work every
+	// write already does, and it keeps the lost-write argument a
+	// two-line invariant (no writer is mid-apply at swap time) rather
+	// than a route-revalidation retry loop.
+	wgate sync.RWMutex
+	// reshardMu serializes Reshard calls (one migration at a time).
+	reshardMu sync.Mutex
+	// mig, when non-nil, is the active migration. Writers load it
+	// under their shard's write lock and journal every applied op so
+	// the commit replay cannot lose a write. See reshard.go.
+	mig atomic.Pointer[migration]
 
 	// cfg guards global, shard-independent state: the scoring
 	// configuration and the registry of known fields with their
@@ -120,28 +178,28 @@ func New(opts ...Option) *Index {
 	if c.shards < 1 {
 		c.shards = 1
 	}
-	ix := &Index{shards: make([]*shard, c.shards), autoCompact: c.autoCompact}
+	ix := &Index{target: c.shards, autoCompact: c.autoCompact}
 	ix.cfg.k1 = 1.2
 	ix.cfg.b = 0.75
 	ix.cfg.fields = make(map[string]FieldOptions)
-	for i := range ix.shards {
-		ix.shards[i] = newShard(ix)
+	shards := make([]*shard, c.shards)
+	for i := range shards {
+		shards[i] = newShard(ix)
 	}
+	ix.ring.Store(&ring{gen: 1, shards: shards})
 	return ix
 }
 
-// NumShards reports how many shards the index was built with.
-func (ix *Index) NumShards() int { return len(ix.shards) }
+// NumShards reports how many shards the index currently has. Unlike
+// the original construction-time property, this is live: Reshard and
+// Restore change it.
+func (ix *Index) NumShards() int { return len(ix.ring.Load().shards) }
 
-// shardFor routes a document ID to its owning shard.
-func (ix *Index) shardFor(id string) *shard {
-	if len(ix.shards) == 1 {
-		return ix.shards[0]
-	}
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return ix.shards[h.Sum32()%uint32(len(ix.shards))]
-}
+// RingGen reports the current ring generation. It increments on every
+// layout change (Reshard, Restore), so it serves as an invalidation
+// stamp for layout-scoped caches and as operator-visible evidence
+// that a reshard completed.
+func (ix *Index) RingGen() uint64 { return ix.ring.Load().gen }
 
 // SetRanker switches the scoring function. Safe to call at any time;
 // it affects subsequent searches only.
@@ -154,11 +212,17 @@ func (ix *Index) SetRanker(r Ranker) {
 // SetFieldOptions configures analysis and boost for a field. It must
 // be called before documents containing the field are added; changing
 // analyzers after indexing would desynchronize query analysis.
+//
+// It holds the write gate shared so a concurrent Reshard cannot swap
+// the ring mid-update: the registry write below is re-applied to the
+// staging shards at commit, so options land on whichever ring wins.
 func (ix *Index) SetFieldOptions(field string, opts FieldOptions) {
+	ix.wgate.RLock()
+	defer ix.wgate.RUnlock()
 	ix.cfg.Lock()
 	ix.cfg.fields[field] = opts
 	ix.cfg.Unlock()
-	for _, s := range ix.shards {
+	for _, s := range ix.ring.Load().shards {
 		s.setFieldOptions(field, opts)
 	}
 }
@@ -198,7 +262,10 @@ func (ix *Index) scoringParams() (Ranker, float64, float64) {
 // Add indexes doc, replacing any existing document with the same ID.
 // Text analysis — the expensive part of indexing — runs before the
 // shard write lock is taken, so concurrent readers are only blocked
-// for the map updates themselves.
+// for the map updates themselves. The write gate (held shared) orders
+// the routing decision against ring swaps: a write routed on the old
+// ring is journaled by the shard (see shard.add) and replayed into
+// the new ring before the swap, so no document is lost to a reshard.
 func (ix *Index) Add(doc Document) error {
 	if doc.ID == "" {
 		return fmt.Errorf("index: document has empty ID")
@@ -209,7 +276,9 @@ func (ix *Index) Add(doc Document) error {
 		opts, _ := ix.fieldOpts(field)
 		analyzed[field] = opts.Analyzer.Analyze(text)
 	}
-	ix.shardFor(doc.ID).add(doc, analyzed)
+	ix.wgate.RLock()
+	defer ix.wgate.RUnlock()
+	ix.ring.Load().shardFor(doc.ID).add(doc, analyzed)
 	return nil
 }
 
@@ -224,16 +293,20 @@ func (ix *Index) AddBatch(docs []Document) error {
 }
 
 // Delete removes the document with the given ID. It reports whether a
-// document was removed.
+// document was removed. Like Add, it holds the write gate shared so
+// the delete is journaled and replayed across an in-flight reshard.
 func (ix *Index) Delete(id string) bool {
-	return ix.shardFor(id).delete(id)
+	ix.wgate.RLock()
+	defer ix.wgate.RUnlock()
+	return ix.ring.Load().shardFor(id).delete(id)
 }
 
 // Compact rebuilds posting lists without tombstoned entries. Call it
 // after bulk deletions; queries work correctly either way. Indexes
 // built with WithAutoCompact schedule this per shard automatically.
 func (ix *Index) Compact() {
-	ix.eachShard(func(_ int, s *shard) { s.compact() })
+	r := ix.ring.Load()
+	eachShard(r, func(_ int, s *shard) { s.compact() })
 }
 
 // TombstoneRatio reports the fraction of uncompacted tombstoned
@@ -242,7 +315,7 @@ func (ix *Index) Compact() {
 // is worth the write locks.
 func (ix *Index) TombstoneRatio() float64 {
 	dead, live := 0, 0
-	for _, s := range ix.shards {
+	for _, s := range ix.ring.Load().shards {
 		s.mu.RLock()
 		dead += s.dead
 		live += s.live
@@ -257,8 +330,9 @@ func (ix *Index) TombstoneRatio() float64 {
 // ShardTombstoneRatios reports each shard's tombstone ratio, for
 // observability of skewed deletion patterns.
 func (ix *Index) ShardTombstoneRatios() []float64 {
-	out := make([]float64, len(ix.shards))
-	for i, s := range ix.shards {
+	shards := ix.ring.Load().shards
+	out := make([]float64, len(shards))
+	for i, s := range shards {
 		out[i] = s.tombstoneRatio()
 	}
 	return out
@@ -267,7 +341,7 @@ func (ix *Index) ShardTombstoneRatios() []float64 {
 // Len returns the number of live documents.
 func (ix *Index) Len() int {
 	n := 0
-	for _, s := range ix.shards {
+	for _, s := range ix.ring.Load().shards {
 		n += s.lenLive()
 	}
 	return n
@@ -275,7 +349,7 @@ func (ix *Index) Len() int {
 
 // Get returns the stored document for id.
 func (ix *Index) Get(id string) (Document, bool) {
-	return ix.shardFor(id).get(id)
+	return ix.ring.Load().shardFor(id).get(id)
 }
 
 // Fields returns the names of all indexed fields, sorted.
@@ -301,8 +375,9 @@ func (ix *Index) DocFreq(field, term string) int {
 	if len(terms) == 0 {
 		return 0
 	}
-	dfs := make([]int, len(ix.shards))
-	ix.eachShard(func(i int, s *shard) { dfs[i] = s.docFreq(field, terms[0]) })
+	r := ix.ring.Load()
+	dfs := make([]int, len(r.shards))
+	eachShard(r, func(i int, s *shard) { dfs[i] = s.docFreq(field, terms[0]) })
 	n := 0
 	for _, df := range dfs {
 		n += df

@@ -68,10 +68,12 @@ func (st *searchStats) analyzedToks(fp *fieldPostings, field, raw string) []text
 }
 
 // gatherStats walks q to find every (field, term) pair it will score,
-// then makes one pass over the shards summing live counts, field
+// then makes one pass over r's shards summing live counts, field
 // lengths and document frequencies. Integer sums are exact, so the
-// derived floats are bit-identical for any shard count.
-func (ix *Index) gatherStats(q Query) *searchStats {
+// derived floats are bit-identical for any shard count. The ring is
+// supplied by the caller so statistics and evaluation read the same
+// layout generation even if a reshard swaps rings mid-request.
+func (ix *Index) gatherStats(r *ring, q Query) *searchStats {
 	st := newSearchStats()
 	st.ranker, st.k1, st.b = ix.scoringParams()
 	need := make(map[fieldTerm]bool)
@@ -85,7 +87,7 @@ func (ix *Index) gatherStats(q Query) *searchStats {
 	for ft := range need {
 		needFields[ft.field] = true
 	}
-	live, avgLen, df := ix.aggregateStats(needFields, need)
+	live, avgLen, df := aggregateStats(r, needFields, need)
 	st.live = live
 	for f, v := range avgLen {
 		st.avgLen[f] = v
@@ -96,16 +98,16 @@ func (ix *Index) gatherStats(q Query) *searchStats {
 	return st
 }
 
-// aggregateStats makes one pass over the shards — one shard lock at a
-// time, never nested — summing the live doc count, the requested
-// fields' total lengths and doc counts, and the requested terms'
-// document frequencies. avgLen has an entry only for fields some
-// shard actually carries, mirroring the scoring fallback to 1.
-func (ix *Index) aggregateStats(needFields map[string]bool, needTerms map[fieldTerm]bool) (live int, avgLen map[string]float64, df map[fieldTerm]int) {
+// aggregateStats makes one pass over the ring's shards — one shard
+// lock at a time, never nested — summing the live doc count, the
+// requested fields' total lengths and doc counts, and the requested
+// terms' document frequencies. avgLen has an entry only for fields
+// some shard actually carries, mirroring the scoring fallback to 1.
+func aggregateStats(r *ring, needFields map[string]bool, needTerms map[fieldTerm]bool) (live int, avgLen map[string]float64, df map[fieldTerm]int) {
 	type lenAcc struct{ totalLen, docCount int }
 	fieldAcc := make(map[string]*lenAcc, len(needFields))
 	df = make(map[fieldTerm]int, len(needTerms))
-	for _, s := range ix.shards {
+	for _, s := range r.shards {
 		s.mu.RLock()
 		live += s.live
 		for f, fp := range s.fields {
@@ -210,10 +212,11 @@ func (ix *Index) collectTerms(q Query, need map[fieldTerm]bool, st *searchStats)
 	}
 }
 
-// eachShard runs fn once per shard, in parallel when there is more
-// than one shard. fn must only take its own shard's lock.
-func (ix *Index) eachShard(fn func(i int, s *shard)) {
-	fanOut(len(ix.shards), func(i int) { fn(i, ix.shards[i]) })
+// eachShard runs fn once per shard of the ring, in parallel when
+// there is more than one shard. fn must only take its own shard's
+// lock.
+func eachShard(r *ring, fn func(i int, s *shard)) {
+	fanOut(len(r.shards), func(i int) { fn(i, r.shards[i]) })
 }
 
 // fanOut runs fn for 0..n-1, in parallel goroutines when n > 1. It is

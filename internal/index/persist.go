@@ -65,13 +65,19 @@ type indexHeader struct {
 // Map keys are sorted wherever maps are walked, so identical state
 // encodes to identical bytes.
 
-// SnapshotShard serializes shard i to w. The shard's read lock is
-// held while encoding; other shards stay fully available.
+// SnapshotShard serializes shard i of the current ring to w. The
+// shard's read lock is held while encoding; other shards stay fully
+// available.
 func (ix *Index) SnapshotShard(i int, w io.Writer) error {
-	if i < 0 || i >= len(ix.shards) {
-		return fmt.Errorf("index: snapshot shard %d of %d", i, len(ix.shards))
+	shards := ix.ring.Load().shards
+	if i < 0 || i >= len(shards) {
+		return fmt.Errorf("index: snapshot shard %d of %d", i, len(shards))
 	}
-	s := ix.shards[i]
+	return shards[i].snapshot(w)
+}
+
+// snapshot serializes this shard under its read lock.
+func (s *shard) snapshot(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	bw := &binWriter{}
@@ -140,9 +146,12 @@ func (ix *Index) SnapshotShard(i int, w io.Writer) error {
 // stream, rebuilding the ID table and revalidating ordinal
 // references. Field options come from the index registry, so boosts
 // and analyzers configured on the index apply to the restored shard.
+// Like Restore, it must not run concurrently with a Reshard: it
+// swaps one shard's contents in place within the current ring.
 func (ix *Index) RestoreShard(i int, r io.Reader) error {
-	if i < 0 || i >= len(ix.shards) {
-		return fmt.Errorf("index: restore shard %d of %d", i, len(ix.shards))
+	shards := ix.ring.Load().shards
+	if i < 0 || i >= len(shards) {
+		return fmt.Errorf("index: restore shard %d of %d", i, len(shards))
 	}
 	fresh, err := ix.decodeShard(r, ix.fieldOpts)
 	if err != nil {
@@ -153,7 +162,7 @@ func (ix *Index) RestoreShard(i int, r io.Reader) error {
 	for field := range fresh.fields {
 		ix.ensureField(field)
 	}
-	s := ix.shards[i]
+	s := shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.docs, s.byID, s.live, s.dead, s.fields = fresh.docs, fresh.byID, fresh.live, fresh.dead, fresh.fields
@@ -320,9 +329,10 @@ func (ix *Index) decodeShard(r io.Reader, optsFor func(string) (FieldOptions, bo
 // Shard frames are encoded concurrently (each under its own read
 // lock) and written in shard order, so the output is deterministic.
 func (ix *Index) Snapshot(w io.Writer) error {
+	r := ix.ring.Load()
 	hdr := indexHeader{
 		Version: indexSnapshotVersion,
-		Shards:  len(ix.shards),
+		Shards:  len(r.shards),
 		Boosts:  make(map[string]float64),
 	}
 	ix.cfg.RLock()
@@ -343,12 +353,12 @@ func (ix *Index) Snapshot(w io.Writer) error {
 	if err := frameio.WriteFrame(w, hdrBytes); err != nil {
 		return err
 	}
-	bufs := make([]bytes.Buffer, len(ix.shards))
-	errs := make([]error, len(ix.shards))
-	ix.eachShard(func(i int, _ *shard) {
-		errs[i] = ix.SnapshotShard(i, &bufs[i])
+	bufs := make([]bytes.Buffer, len(r.shards))
+	errs := make([]error, len(r.shards))
+	eachShard(r, func(i int, s *shard) {
+		errs[i] = s.snapshot(&bufs[i])
 	})
-	for i := range ix.shards {
+	for i := range r.shards {
 		if errs[i] != nil {
 			return fmt.Errorf("index: snapshot shard %d: %w", i, errs[i])
 		}
@@ -360,9 +370,14 @@ func (ix *Index) Snapshot(w io.Writer) error {
 }
 
 // Restore replaces the index contents from a Snapshot stream. The
-// shard layout adopts the snapshot's shard count (document routing
-// hashes by ID mod shard count, so postings only make sense under the
-// count they were written with); shard frames decode concurrently.
+// snapshot's shard layout no longer pins the index: frames decode
+// concurrently into the layout they were written with (document
+// routing hashes by ID mod shard count, so postings only make sense
+// under the count they were written with), and the index then
+// reshards to its configured shard count (WithShards, default
+// GOMAXPROCS) when the two differ. A checkpoint taken on a 4-core
+// box therefore restores to full fan-out on a 64-core one, with
+// rankings bit-identical to a fresh build at the configured count.
 // Restore builds the new shards completely before installing them, so
 // a corrupt or truncated snapshot leaves the index unchanged.
 //
@@ -434,6 +449,14 @@ func (ix *Index) Restore(r io.Reader) error {
 		ix.cfg.fields[f] = opts
 	}
 	ix.cfg.Unlock()
-	ix.shards = shards
+	old := ix.ring.Load()
+	ix.ring.Store(&ring{gen: old.gen + 1, shards: shards})
+	// Durability layout is decoupled from runtime parallelism: honor
+	// the configured shard count, not the snapshot's. The index is
+	// quiesced here (Restore's contract), so the reshard's journal
+	// stays empty and this is a pure rehash.
+	if hdr.Shards != ix.target {
+		return ix.Reshard(ix.target)
+	}
 	return nil
 }

@@ -88,23 +88,26 @@ type SearchOptions struct {
 // shard lock at a time), then every shard evaluates the query in its
 // own goroutine and the ranked partials are k-way merged. Ties break
 // on ascending ID, so ordering is deterministic for any shard count.
+// The ring is loaded once, so statistics and evaluation see one
+// consistent shard layout even while a Reshard is migrating.
 func (ix *Index) Search(q Query, opts SearchOptions) []Result {
 	if q == nil {
 		q = AllQuery{}
 	}
-	return ix.searchWith(ix.gatherStats(q), q, opts)
+	r := ix.ring.Load()
+	return ix.searchWith(r, ix.gatherStats(r, q), q, opts)
 }
 
-func (ix *Index) searchWith(st *searchStats, q Query, opts SearchOptions) []Result {
+func (ix *Index) searchWith(r *ring, st *searchStats, q Query, opts SearchOptions) []Result {
 	want := 0
 	if opts.Limit > 0 {
 		want = opts.Offset + opts.Limit
 	}
-	parts := make([][]shardHit, len(ix.shards))
-	ix.eachShard(func(i int, s *shard) {
+	parts := make([][]shardHit, len(r.shards))
+	eachShard(r, func(i int, s *shard) {
 		parts[i] = s.search(q, st, opts.Filters, want)
 	})
-	merged := mergeHits(ix.shards, parts, want)
+	merged := mergeHits(r.shards, parts, want)
 	if opts.Offset > 0 {
 		if opts.Offset >= len(merged) {
 			return nil
@@ -133,12 +136,13 @@ func (ix *Index) Count(q Query, filters map[string]string) int {
 	if q == nil {
 		q = AllQuery{}
 	}
-	return ix.countWith(ix.gatherStats(q), q, filters)
+	r := ix.ring.Load()
+	return ix.countWith(r, ix.gatherStats(r, q), q, filters)
 }
 
-func (ix *Index) countWith(st *searchStats, q Query, filters map[string]string) int {
-	counts := make([]int, len(ix.shards))
-	ix.eachShard(func(i int, s *shard) {
+func (ix *Index) countWith(r *ring, st *searchStats, q Query, filters map[string]string) int {
+	counts := make([]int, len(r.shards))
+	eachShard(r, func(i int, s *shard) {
 		counts[i] = s.count(q, st, filters)
 	})
 	n := 0

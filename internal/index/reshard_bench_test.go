@@ -1,0 +1,100 @@
+package index
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// BenchmarkReshard measures the two costs of an online shard
+// migration over the 12k-doc Zipf corpus shared with BenchmarkQuery:
+// migration throughput (docs moved per second, the operator-facing
+// cost model) and query latency while a reshard is in flight (the
+// reader-side guarantee: non-blocking, so p50 should stay close to
+// the steady-state BenchmarkQuery numbers). Results are tracked in
+// BENCH_reshard.json and uploaded per PR by CI next to the
+// BenchmarkQuery family.
+func BenchmarkReshard(b *testing.B) {
+	b.Run("migrate-2to4", func(b *testing.B) {
+		ix := New(WithShards(2))
+		ix.SetFieldOptions("title", FieldOptions{Boost: 2})
+		if err := ix.AddBatch(queryBenchCorpus(queryBenchDocs)); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		targets := [2]int{4, 2}
+		for i := 0; i < b.N; i++ {
+			if err := ix.Reshard(targets[i%2]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(queryBenchDocs)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+	})
+
+	// query-during-reshard: search latency while a migration loop runs
+	// in the background. ns/op is the mean; the p50-ns metric is the
+	// median of per-op wall times, the number an operator would watch
+	// on a latency dashboard during a reshard.
+	b.Run("query-during-reshard", func(b *testing.B) {
+		ix := New(WithShards(2))
+		ix.SetFieldOptions("title", FieldOptions{Boost: 2})
+		if err := ix.AddBatch(queryBenchCorpus(queryBenchDocs)); err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		done := make(chan int)
+		go func() {
+			cycles := 0
+			targets := [2]int{4, 2}
+			for {
+				select {
+				case <-stop:
+					done <- cycles
+					return
+				default:
+				}
+				if err := ix.Reshard(targets[cycles%2]); err != nil {
+					panic(err)
+				}
+				cycles++
+			}
+		}()
+		q := MatchQuery{Text: "w0001 w0007 saga"}
+		lat := make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if rs := ix.Search(q, SearchOptions{Limit: 10}); len(rs) == 0 {
+				b.Fatal("no hits")
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		b.StopTimer()
+		close(stop)
+		cycles := <-done
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds()), "p50-ns")
+		b.ReportMetric(float64(cycles), "reshards")
+	})
+
+	// query-steady: the same query with no migration running, built at
+	// the same shard count, as the in-flight comparison baseline.
+	b.Run("query-steady", func(b *testing.B) {
+		ix := New(WithShards(2))
+		ix.SetFieldOptions("title", FieldOptions{Boost: 2})
+		if err := ix.AddBatch(queryBenchCorpus(queryBenchDocs)); err != nil {
+			b.Fatal(err)
+		}
+		q := MatchQuery{Text: "w0001 w0007 saga"}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rs := ix.Search(q, SearchOptions{Limit: 10}); len(rs) == 0 {
+				b.Fatal("no hits")
+			}
+		}
+	})
+}

@@ -22,8 +22,16 @@ import (
 //
 // A Session is safe for concurrent use: the cache is mutex-guarded
 // and each query evaluates against its own private searchStats copy.
+//
+// A Session pins the shard ring it was created on: every query of the
+// request aggregates and evaluates against one layout generation, so
+// an online Reshard mid-request cannot mix statistics from one layout
+// with evaluation on another. (The pinned ring's shards remain fully
+// valid after a swap — they just stop receiving new writes, which is
+// exactly the request-scoped snapshot contract.)
 type Session struct {
 	ix *Index
+	r  *ring
 
 	mu     sync.Mutex
 	ranker Ranker
@@ -51,6 +59,7 @@ type Session struct {
 func (ix *Index) Session() *Session {
 	sess := &Session{
 		ix:       ix,
+		r:        ix.ring.Load(),
 		avgLen:   make(map[string]float64),
 		avgLenOK: make(map[string]bool),
 		df:       make(map[fieldTerm]int),
@@ -102,7 +111,7 @@ func (sess *Session) statsFor(q Query) *searchStats {
 		}
 	}
 	if len(missingTerms) > 0 || len(missingFields) > 0 || !sess.liveOK {
-		live, avgLen, df := sess.ix.aggregateStats(missingFields, missingTerms)
+		live, avgLen, df := aggregateStats(sess.r, missingFields, missingTerms)
 		if !sess.liveOK {
 			sess.live = live
 			sess.liveOK = true
@@ -126,12 +135,16 @@ func (sess *Session) statsFor(q Query) *searchStats {
 	return st
 }
 
+// RingGen reports the ring generation this session is pinned to,
+// the invalidation key for holding sessions across requests.
+func (sess *Session) RingGen() uint64 { return sess.r.gen }
+
 // Search is Index.Search evaluated under this session's statistics.
 func (sess *Session) Search(q Query, opts SearchOptions) []Result {
 	if q == nil {
 		q = AllQuery{}
 	}
-	return sess.ix.searchWith(sess.statsFor(q), q, opts)
+	return sess.ix.searchWith(sess.r, sess.statsFor(q), q, opts)
 }
 
 // Count is Index.Count evaluated under this session's statistics.
@@ -139,7 +152,7 @@ func (sess *Session) Count(q Query, filters map[string]string) int {
 	if q == nil {
 		q = AllQuery{}
 	}
-	return sess.ix.countWith(sess.statsFor(q), q, filters)
+	return sess.ix.countWith(sess.r, sess.statsFor(q), q, filters)
 }
 
 // Facets is Index.Facets evaluated under this session's statistics.
@@ -147,5 +160,5 @@ func (sess *Session) Facets(q Query, field string, filters map[string]string) []
 	if q == nil {
 		q = AllQuery{}
 	}
-	return sess.ix.facetsWith(sess.statsFor(q), q, field, filters)
+	return sess.ix.facetsWith(sess.r, sess.statsFor(q), q, field, filters)
 }

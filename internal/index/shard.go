@@ -110,12 +110,35 @@ func (s *shard) fieldForLocked(field string) *fieldPostings {
 }
 
 // add inserts doc using per-field tokens analyzed by the caller
-// outside the write lock. Ordinals grow monotonically, so postings
-// always append in increasing doc order — the invariant the
-// delta-encoded lists rely on.
+// outside the write lock. While a migration is active, the applied op
+// is journaled under this shard's write lock, so journal order agrees
+// with apply order for any single document ID (same ID, same shard,
+// same lock) and the commit replay converges on the same final state.
+// The migration pointer is loaded inside the lock: if this add ran
+// after the migration's copy pass visited the shard, the load is
+// guaranteed to observe the active migration and journal the op.
 func (s *shard) add(doc Document, analyzed map[string][]textproc.Token) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.addLocked(doc, analyzed)
+	if m := s.ix.mig.Load(); m != nil {
+		m.journalAdd(doc, analyzed)
+	}
+}
+
+// addStaging is add without the journal hook, for migration staging
+// shards and journal replay — both feed the ring being built, which
+// must not journal into itself.
+func (s *shard) addStaging(doc Document, analyzed map[string][]textproc.Token) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addLocked(doc, analyzed)
+}
+
+// addLocked inserts doc under an already-held write lock. Ordinals
+// grow monotonically, so postings always append in increasing doc
+// order — the invariant the delta-encoded lists rely on.
+func (s *shard) addLocked(doc Document, analyzed map[string][]textproc.Token) {
 	if ord, ok := s.byID[doc.ID]; ok {
 		s.deleteOrdLocked(ord)
 		defer s.maybeCompactLocked()
@@ -148,6 +171,26 @@ func (s *shard) add(doc Document, analyzed map[string][]textproc.Token) {
 func (s *shard) delete(id string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.deleteByIDLocked(id) {
+		return false
+	}
+	// A delete of a document this shard never held is a no-op on both
+	// rings, so only applied deletes are journaled.
+	if m := s.ix.mig.Load(); m != nil {
+		m.journalDelete(id)
+	}
+	return true
+}
+
+// deleteStaging is delete without the journal hook, for replay into
+// migration staging shards.
+func (s *shard) deleteStaging(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deleteByIDLocked(id)
+}
+
+func (s *shard) deleteByIDLocked(id string) bool {
 	ord, ok := s.byID[id]
 	if !ok {
 		return false

@@ -140,10 +140,11 @@ func TestCrossShardFacetsSummation(t *testing.T) {
 // search, facets and document-frequency stats.
 func TestDeleteCompactNonZeroShard(t *testing.T) {
 	ix := New(WithShards(4))
+	r := ix.ring.Load()
 	victim := ""
 	for i := 0; i < 32 && victim == ""; i++ {
 		id := fmt.Sprintf("pick%d", i)
-		if ix.shardFor(id) != ix.shards[0] {
+		if r.shardFor(id) != r.shards[0] {
 			victim = id
 		}
 	}

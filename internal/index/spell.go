@@ -32,9 +32,10 @@ func (ix *Index) SuggestTerms(field, term string, limit int) []string {
 	target := analyzed[0]
 	targetGrams := gramSet(target)
 
-	parts := make([]map[string]candidate, len(ix.shards))
-	exact := make([]bool, len(ix.shards))
-	ix.eachShard(func(i int, s *shard) {
+	r := ix.ring.Load()
+	parts := make([]map[string]candidate, len(r.shards))
+	exact := make([]bool, len(r.shards))
+	eachShard(r, func(i int, s *shard) {
 		parts[i], exact[i] = s.suggestCandidates(field, target, targetGrams)
 	})
 	for _, e := range exact {

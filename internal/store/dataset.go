@@ -20,6 +20,12 @@ type Dataset struct {
 	order   []string // insertion order of IDs, for stable listing
 	nextID  int
 	ix      *index.Index
+	// ver counts mutations (puts, deletes, reshards) for dirty
+	// tracking: incremental checkpoints re-encode a dataset's frame
+	// only when its version moved since the cached encode. Guarded by
+	// mu — bumped under the write lock, read under the read lock, so
+	// a version observed while encoding is consistent with the bytes.
+	ver uint64
 
 	// Tenant quota enforcement, wired by the store: usage reports
 	// records across the tenant, quota is the ceiling (0 = none).
@@ -35,11 +41,19 @@ func (d *Dataset) setQuotaCheck(usage func() int, quota int) {
 	d.quota = quota
 }
 
-func newDataset(schema Schema) *Dataset {
+// newDataset builds a dataset whose index has shardTarget shards
+// (0 = the index default, one per CPU).
+func newDataset(schema Schema, shardTarget int) *Dataset {
+	var ix *index.Index
+	if shardTarget > 0 {
+		ix = index.New(index.WithShards(shardTarget))
+	} else {
+		ix = index.New()
+	}
 	ds := &Dataset{
 		schema:  schema,
 		records: make(map[string]Record),
-		ix:      index.New(),
+		ix:      ix,
 	}
 	for _, f := range schema.Fields {
 		if f.Searchable {
@@ -99,6 +113,7 @@ func (d *Dataset) Put(rec Record) (string, error) {
 		cp[k] = v
 	}
 	d.records[id] = cp
+	d.ver++
 	return id, d.reindexLocked(id, cp)
 }
 
@@ -145,8 +160,61 @@ func (d *Dataset) Delete(id string) bool {
 		}
 	}
 	d.ix.Delete(id)
+	d.ver++
 	return true
 }
+
+// Version reports the dataset's mutation counter. A checkpoint frame
+// cached at version v can be reused verbatim while Version still
+// returns v — the dirty-tracking contract behind incremental
+// checkpoints.
+func (d *Dataset) Version() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.ver
+}
+
+// Reshard rebuilds the dataset's full-text index to n shards online,
+// taking only this dataset's locks: reads proceed throughout, writes
+// proceed except on the index shard currently being copied and
+// during the final journal-replay window (see index.Reshard), and
+// every other dataset is untouched. The version is bumped on both sides
+// of the ring swap so a checkpoint frame encoded concurrently with
+// the migration can never be cached as current. No-op and invalid
+// reshards skip the bumps: they change nothing, so they must not
+// dirty the dataset for incremental checkpoints.
+func (d *Dataset) Reshard(n int) error {
+	if n < 1 || n == d.ix.NumShards() {
+		return d.ix.Reshard(n) // validates / no-ops without dirtying
+	}
+	d.bumpVersion()
+	if err := d.ix.Reshard(n); err != nil {
+		return err
+	}
+	d.bumpVersion()
+	return nil
+}
+
+func (d *Dataset) bumpVersion() {
+	d.mu.Lock()
+	d.ver++
+	d.mu.Unlock()
+}
+
+// NumShards reports the dataset index's current shard count.
+func (d *Dataset) NumShards() int { return d.ix.NumShards() }
+
+// RingGen reports the dataset index's ring generation — it increments
+// on every completed reshard, so operators can watch progress.
+func (d *Dataset) RingGen() uint64 { return d.ix.RingGen() }
+
+// TombstoneRatio reports the dataset index's uncompacted tombstone
+// fraction.
+func (d *Dataset) TombstoneRatio() float64 { return d.ix.TombstoneRatio() }
+
+// Resharding reports whether a shard migration is in flight on the
+// dataset's index.
+func (d *Dataset) Resharding() bool { return d.ix.Resharding() }
 
 // Len returns the record count.
 func (d *Dataset) Len() int {

@@ -50,6 +50,7 @@ type PersistOption func(*persistOptions)
 
 type persistOptions struct {
 	workers int
+	cache   *FrameCache
 }
 
 // WithWorkers sets how many goroutines encode or decode dataset
@@ -61,6 +62,79 @@ func WithWorkers(n int) PersistOption {
 			o.workers = n
 		}
 	}
+}
+
+// WithFrameCache makes Snapshot incremental: dataset frames whose
+// dataset version has not moved since the cached encode are written
+// from the cache instead of re-encoded — only datasets mutated since
+// the last checkpoint pay serialization (the dominant snapshot cost;
+// the v2 frame layout already isolates datasets, so the stream stays
+// byte-compatible). Pass the same cache to every periodic checkpoint
+// of one store; the cache prunes itself to the datasets seen in the
+// latest pass, so dropped datasets do not pin memory. The cost is
+// residency: the cache holds roughly one snapshot's worth of encoded
+// frames for as long as it lives — memory traded for the skipped
+// re-encodes.
+func WithFrameCache(c *FrameCache) PersistOption {
+	return func(o *persistOptions) { o.cache = c }
+}
+
+// FrameCache holds encoded dataset frames keyed by dataset identity
+// and version, shared across the checkpoints of one store. Safe for
+// concurrent use by the encode worker pool.
+type FrameCache struct {
+	mu     sync.Mutex
+	frames map[*Dataset]cachedFrame
+	hits   uint64
+	misses uint64
+}
+
+type cachedFrame struct {
+	version uint64
+	payload []byte
+}
+
+// NewFrameCache returns an empty frame cache.
+func NewFrameCache() *FrameCache {
+	return &FrameCache{frames: make(map[*Dataset]cachedFrame)}
+}
+
+func (c *FrameCache) get(ds *Dataset, version uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cf, ok := c.frames[ds]
+	if !ok || cf.version != version {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return cf.payload, true
+}
+
+func (c *FrameCache) put(ds *Dataset, version uint64, payload []byte) {
+	c.mu.Lock()
+	c.frames[ds] = cachedFrame{version: version, payload: payload}
+	c.mu.Unlock()
+}
+
+// retain drops cache entries for datasets absent from the latest
+// snapshot pass (dropped datasets, dropped tenants).
+func (c *FrameCache) retain(live map[*Dataset]bool) {
+	c.mu.Lock()
+	for ds := range c.frames {
+		if !live[ds] {
+			delete(c.frames, ds)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Stats reports cumulative cache hits (frames reused) and misses
+// (frames encoded) across all snapshots using this cache.
+func (c *FrameCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
 }
 
 func applyPersistOptions(opts []PersistOption) persistOptions {
@@ -208,7 +282,7 @@ func (s *Store) Snapshot(w io.Writer, opts ...PersistOption) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i].buf, results[i].err = refs[i].encodeFrame()
+				results[i].buf, results[i].err = refs[i].encodeFrame(o.cache)
 				close(results[i].done)
 			}
 		}()
@@ -232,13 +306,31 @@ func (s *Store) Snapshot(w io.Writer, opts ...PersistOption) error {
 			return err
 		}
 	}
+	if o.cache != nil {
+		live := make(map[*Dataset]bool, len(refs))
+		for _, ref := range refs {
+			live[ref.ds] = true
+		}
+		o.cache.retain(live)
+	}
 	return nil
 }
 
-// encodeFrame serializes one dataset under its own read lock.
-func (ref datasetRef) encodeFrame() ([]byte, error) {
+// encodeFrame serializes one dataset under its own read lock, or
+// reuses the cached frame when the dataset's version has not moved
+// since it was encoded. The version is read under the same read lock
+// that covers the encode, so a cached (version, payload) pair always
+// agrees with itself.
+func (ref datasetRef) encodeFrame(cache *FrameCache) ([]byte, error) {
 	ds := ref.ds
 	ds.mu.RLock()
+	if cache != nil {
+		if payload, ok := cache.get(ds, ds.ver); ok {
+			ds.mu.RUnlock()
+			return payload, nil
+		}
+	}
+	version := ds.ver
 	frame := v2DatasetFrame{
 		Tenant: ref.tenant,
 		Schema: ds.schema,
@@ -266,6 +358,9 @@ func (ref datasetRef) encodeFrame() ([]byte, error) {
 	ds.mu.RUnlock()
 	if err != nil {
 		return nil, err
+	}
+	if cache != nil {
+		cache.put(ds, version, buf.Bytes())
 	}
 	return buf.Bytes(), nil
 }
@@ -397,7 +492,7 @@ func (s *Store) restoreV2(r io.Reader, o persistOptions) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				datasets[i], errs[i] = decodeFrame(frames[i], expects[i].tenant, expects[i].name)
+				datasets[i], errs[i] = decodeFrame(frames[i], expects[i].tenant, expects[i].name, s.shardTarget)
 			}
 		}()
 	}
@@ -434,7 +529,10 @@ func (s *Store) restoreV2(r io.Reader, o persistOptions) error {
 
 // decodeFrame rebuilds one dataset from its frame, reattaching the
 // serialized sharded index and cross-checking it against the records.
-func decodeFrame(payload []byte, wantTenant, wantName string) (*Dataset, error) {
+// The index restore decodes the snapshot's shard layout and then
+// reshards to the dataset's configured target, so checkpoint layout
+// never caps query fan-out on the restoring machine.
+func decodeFrame(payload []byte, wantTenant, wantName string, shardTarget int) (*Dataset, error) {
 	meta, index, err := splitDatasetFrame(payload)
 	if err != nil {
 		return nil, err
@@ -453,7 +551,7 @@ func decodeFrame(payload []byte, wantTenant, wantName string) (*Dataset, error) 
 	if len(frame.Order) != len(frame.Records) {
 		return nil, fmt.Errorf("order/record mismatch")
 	}
-	ds := newDataset(frame.Schema)
+	ds := newDataset(frame.Schema, shardTarget)
 	ds.nextID = frame.NextID
 	for i, rec := range frame.Records {
 		id := frame.Order[i]
@@ -514,7 +612,7 @@ func (s *Store) restoreV1(r io.Reader) error {
 			if len(dsnap.Order) != len(dsnap.Records) {
 				return fmt.Errorf("store: restore tenant %s dataset %s: order/record mismatch", ts.ID, dsnap.Schema.Name)
 			}
-			ds := newDataset(dsnap.Schema)
+			ds := newDataset(dsnap.Schema, s.shardTarget)
 			ds.nextID = dsnap.NextID
 			for i, rec := range dsnap.Records {
 				id := dsnap.Order[i]

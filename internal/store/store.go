@@ -42,11 +42,33 @@ type tenant struct {
 type Store struct {
 	mu      sync.RWMutex
 	tenants map[string]*tenant
+	// shardTarget is the index shard count for datasets (0 = one per
+	// CPU). Restores honor it too: a snapshot written under another
+	// layout reshards to this target on load.
+	shardTarget int
+}
+
+// Option configures a Store at construction time.
+type Option func(*Store)
+
+// WithShardTarget sets the full-text index shard count for every
+// dataset the store creates or restores (0 = auto, one per CPU).
+// Individual datasets can still be resharded online afterwards.
+func WithShardTarget(n int) Option {
+	return func(s *Store) {
+		if n >= 0 {
+			s.shardTarget = n
+		}
+	}
 }
 
 // New returns an empty store.
-func New() *Store {
-	return &Store{tenants: make(map[string]*tenant)}
+func New(opts ...Option) *Store {
+	s := &Store{tenants: make(map[string]*tenant)}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // CreateTenant creates a private space owned by owner. Creating an
@@ -162,7 +184,7 @@ func (s *Store) CreateDataset(tenantID, actor string, schema Schema) (*Dataset, 
 	if _, ok := t.datasets[schema.Name]; ok {
 		return nil, ErrDatasetExists
 	}
-	ds := newDataset(schema)
+	ds := newDataset(schema, s.shardTarget)
 	t.datasets[schema.Name] = ds
 	if t.quota > 0 {
 		ds.setQuotaCheck(usageExcluding(t, ds), t.quota)
@@ -226,5 +248,68 @@ func (s *Store) Tenants() []string {
 		out = append(out, id)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Reshard rebuilds one dataset's full-text index to n shards online.
+// Access is checked at write level; the migration itself takes only
+// that dataset's locks, so every other tenant and dataset is
+// untouched while it runs.
+func (s *Store) Reshard(tenantID, actor, name string, n int) error {
+	ds, err := s.Dataset(tenantID, actor, name, PermWrite)
+	if err != nil {
+		return err
+	}
+	return ds.Reshard(n)
+}
+
+// DatasetStatus is the operator-facing view of one dataset's index
+// layout: shard count, ring generation (increments per completed
+// reshard), tombstone ratio and whether a migration is in flight.
+type DatasetStatus struct {
+	Tenant         string  `json:"tenant"`
+	Dataset        string  `json:"dataset"`
+	Records        int     `json:"records"`
+	Shards         int     `json:"shards"`
+	RingGen        uint64  `json:"ringGen"`
+	TombstoneRatio float64 `json:"tombstoneRatio"`
+	Resharding     bool    `json:"resharding,omitempty"`
+}
+
+// Status reports every dataset's shard layout in deterministic
+// (tenant, dataset) order. Administrative like Tenants: layout
+// metadata only, no record exposure. The store lock is released
+// before any dataset is inspected.
+func (s *Store) Status() []DatasetStatus {
+	s.mu.RLock()
+	type ref struct {
+		tenant, name string
+		ds           *Dataset
+	}
+	refs := make([]ref, 0)
+	for id, t := range s.tenants {
+		for name, ds := range t.datasets {
+			refs = append(refs, ref{tenant: id, name: name, ds: ds})
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].tenant != refs[j].tenant {
+			return refs[i].tenant < refs[j].tenant
+		}
+		return refs[i].name < refs[j].name
+	})
+	out := make([]DatasetStatus, len(refs))
+	for i, r := range refs {
+		out[i] = DatasetStatus{
+			Tenant:         r.tenant,
+			Dataset:        r.name,
+			Records:        r.ds.Len(),
+			Shards:         r.ds.NumShards(),
+			RingGen:        r.ds.RingGen(),
+			TombstoneRatio: r.ds.TombstoneRatio(),
+			Resharding:     r.ds.Resharding(),
+		}
+	}
 	return out
 }
