@@ -80,7 +80,7 @@ func BenchmarkTableI(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := baselines.RenderTableI(systems); err != nil {
+		if _, err := baselines.RenderTableI(context.Background(), systems); err != nil {
 			b.Fatal(err)
 		}
 	}

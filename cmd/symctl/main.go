@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -53,7 +54,20 @@ func main() {
 	out := fs.String("o", "store.snap", "snapshot output path (snapshot)")
 	in := fs.String("i", "store.snap", "snapshot input path (restore)")
 	legacy := fs.Bool("v1", false, "write the legacy v1 snapshot format (snapshot)")
+	timeout := fs.Duration("timeout", 0, "overall command deadline (0 = none); Ctrl-C always cancels")
 	fs.Parse(os.Args[2:])
+
+	// Every subcommand runs under one context: SIGINT cancels it, and
+	// --timeout adds a deadline. Long operations (serp, snapshot,
+	// restore, reshard) abort mid-flight instead of running to
+	// completion after the operator gives up.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	p := core.New(core.Config{Seed: *seed})
 	sc, err := demo.GamerQueen(p, *seed, 10)
@@ -68,7 +82,7 @@ func main() {
 		if text == "" {
 			text = sc.Titles[0]
 		}
-		resp, err := p.Query(context.Background(), "gamerqueen", runtime.Query{Text: text})
+		resp, err := p.Query(ctx, "gamerqueen", runtime.Query{Text: text})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -95,7 +109,7 @@ func main() {
 		if text == "" {
 			text = sc.Titles[0] + " review"
 		}
-		page, err := p.Engine.SearchPage(engine.Request{Query: text, Limit: 10})
+		page, err := p.Engine.Query(ctx, engine.Request{Query: text, Limit: 10})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -119,7 +133,7 @@ func main() {
 	case "report":
 		// Generate a little traffic first so the report is non-empty.
 		for _, t := range sc.Titles[:3] {
-			if _, err := p.Query(context.Background(), "gamerqueen", runtime.Query{Text: t}); err != nil {
+			if _, err := p.Query(ctx, "gamerqueen", runtime.Query{Text: t}); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -140,11 +154,11 @@ func main() {
 			fmt.Printf("%.3f  %s\n", sg.Score, sg.Site)
 		}
 	case "recommend":
-		ds, err := p.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
+		ds, err := p.Store.DatasetContext(ctx, "gamerqueen", "ann", "inventory", store.PermRead)
 		if err != nil {
 			log.Fatal(err)
 		}
-		recs, err := recommend.SupplementalSites(p.Engine, ds, recommend.Options{
+		recs, err := recommend.SupplementalSites(ctx, p.Engine, ds, recommend.Options{
 			DriveField: "title", ProbeSuffix: "review", Limit: 5,
 		})
 		if err != nil {
@@ -178,7 +192,7 @@ func main() {
 		if *legacy {
 			err = p.Store.SnapshotV1(f)
 		} else {
-			err = p.Store.Snapshot(f)
+			err = p.Store.SnapshotContext(ctx, f)
 		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
@@ -208,12 +222,12 @@ func main() {
 		if err != nil || n < 1 {
 			log.Fatalf("symctl: shard count %q must be a positive integer", args[2])
 		}
-		ds, err := p.Store.Dataset(args[0], "ann", args[1], store.PermWrite)
+		ds, err := p.Store.DatasetContext(ctx, args[0], "ann", args[1], store.PermWrite)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("before: %d shards (ring gen %d), %d records\n", ds.NumShards(), ds.RingGen(), ds.Len())
-		if err := p.Store.Reshard(args[0], "ann", args[1], n); err != nil {
+		if err := p.Store.ReshardContext(ctx, args[0], "ann", args[1], n); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("after:  %d shards (ring gen %d), %d records\n", ds.NumShards(), ds.RingGen(), ds.Len())
@@ -228,7 +242,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		err = p.Store.Restore(f)
+		err = p.Store.RestoreContext(ctx, f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
@@ -252,8 +266,8 @@ func main() {
 			}
 		}
 		// Prove the restored indexes answer queries without reindexing.
-		if ds, err := p.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead); err == nil {
-			if hits, err := ds.Search(store.SearchRequest{Query: "adventure", Limit: 3}); err == nil {
+		if ds, err := p.Store.DatasetContext(ctx, "gamerqueen", "ann", "inventory", store.PermRead); err == nil {
+			if hits, err := ds.SearchContext(ctx, store.SearchRequest{Query: "adventure", Limit: 3}); err == nil {
 				fmt.Printf("  sample search 'adventure': %d hits\n", len(hits))
 			}
 		}

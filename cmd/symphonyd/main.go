@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/demo"
+	"repro/internal/host"
 )
 
 // parseShards turns --shards auto|N into a core.Config.ShardTarget
@@ -61,6 +62,10 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for store snapshots (empty = not durable)")
 	checkpointEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period with --data-dir")
 	shards := flag.String("shards", "auto", "dataset index shard count: \"auto\" (one per CPU) or N")
+	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "per-query execution deadline (0 = unbounded)")
+	tenantSlots := flag.Int("tenant-slots", 4, "concurrent queries allowed per tenant")
+	tenantQueue := flag.Int("tenant-queue", 8, "queued queries allowed per tenant beyond the slots (0 = shed immediately)")
+	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds hint on shed (429) responses")
 	flag.Parse()
 
 	shardTarget, err := parseShards(*shards)
@@ -96,7 +101,7 @@ func main() {
 			log.Fatal(err)
 		}
 		cp.Logf = log.Printf
-		restored, err := cp.RestoreLatest()
+		restored, err := cp.RestoreLatestContext(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -106,9 +111,19 @@ func main() {
 		cp.Start()
 	}
 
+	// Admission control: per-tenant concurrency quotas with a bounded
+	// deadline-aware wait queue. One hot tenant saturates its own
+	// slots and queue; everyone else's latency is unaffected.
+	admission := host.NewAdmissionController(host.AdmissionConfig{
+		Slots:             *tenantSlots,
+		Queue:             *tenantQueue,
+		RetryAfterSeconds: *retryAfter,
+	})
+
 	// /statusz: operator view of every dataset's index layout (shard
-	// count, ring generation, tombstone ratio, in-flight reshards),
-	// refreshed per request so reshard progress is visible live.
+	// count, ring generation, tombstone ratio, in-flight reshards)
+	// plus the admission counters, refreshed per request so reshard
+	// progress and load shedding are visible live.
 	mux := http.NewServeMux()
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -119,14 +134,19 @@ func main() {
 			target = strconv.Itoa(shardTarget)
 		}
 		if err := enc.Encode(map[string]any{
-			"shardTarget": target,
-			"gomaxprocs":  runtime.GOMAXPROCS(0),
-			"datasets":    p.Store.Status(),
+			"shardTarget":  target,
+			"gomaxprocs":   runtime.GOMAXPROCS(0),
+			"datasets":     p.Store.Status(),
+			"admission":    admission.Stats(),
+			"queryTimeout": queryTimeout.String(),
 		}); err != nil {
 			log.Printf("symphonyd: statusz: %v", err)
 		}
 	})
-	mux.Handle("/", p.Serve(base))
+	mux.Handle("/", p.ServeWith(base, core.ServeOptions{
+		QueryTimeout: *queryTimeout,
+		Admission:    admission,
+	}))
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() {
@@ -149,7 +169,10 @@ func main() {
 		log.Printf("symphonyd: shutdown: %v", err)
 	}
 	if cp != nil {
-		if err := cp.Close(); err != nil {
+		// The final checkpoint shares the shutdown grace period: if it
+		// cannot finish in time it aborts and the previous checkpoint
+		// stays good, instead of the daemon hanging past its deadline.
+		if err := cp.CloseContext(shutdownCtx); err != nil {
 			log.Fatalf("symphonyd: final checkpoint: %v", err)
 		}
 		log.Printf("symphonyd: final checkpoint written to %s", cp.Path())

@@ -6,9 +6,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/baselines"
@@ -19,12 +22,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic web seed")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	p := core.New(core.Config{Seed: *seed})
 	systems, err := baselines.AllSystems(p)
 	if err != nil {
 		log.Fatal(err)
 	}
-	table, err := baselines.RenderTableI(systems)
+	table, err := baselines.RenderTableI(ctx, systems)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +43,7 @@ func main() {
 	expected := baselines.ExpectedTableI()
 	failures := 0
 	for _, s := range systems {
-		row, err := baselines.Probe(s)
+		row, err := baselines.Probe(ctx, s)
 		if err != nil {
 			log.Fatal(err)
 		}

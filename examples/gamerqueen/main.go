@@ -54,10 +54,10 @@ func main() {
 	}
 
 	// Ann previews how the crowd sees her niche on the general engine:
-	// one SearchPage call renders a full results page — ranked hits,
-	// total match count and the per-site facet sidebar — through one
+	// one Query call renders a full results page — ranked hits, total
+	// match count and the per-site facet sidebar — through one
 	// request-scoped statistics session instead of three index passes.
-	page, err := p.Engine.SearchPage(engine.Request{Query: sc.Titles[0] + " review", Limit: 5})
+	page, err := p.Engine.Query(context.Background(), engine.Request{Query: sc.Titles[0] + " review", Limit: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

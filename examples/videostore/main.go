@@ -22,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	p := core.New(core.Config{Seed: 1})
 	sc, err := demo.VideoStore(p, 1, 10)
 	if err != nil {
@@ -30,7 +31,7 @@ func main() {
 	defer sc.Close()
 
 	// Browse with trailer + news supplementals.
-	resp, err := p.Query(context.Background(), "videostore", runtime.Query{Text: sc.Titles[0]})
+	resp, err := p.Query(ctx, "videostore", runtime.Query{Text: sc.Titles[0]})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func main() {
 		}
 	}
 	fmt.Printf("\ncrawled %d pages from imdb.example into dataset %q\n", ds.Len(), "moviepages")
-	hits, err := ds.Search(store.SearchRequest{Query: "review", Limit: 3})
+	hits, err := ds.SearchContext(ctx, store.SearchRequest{Query: "review", Limit: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,11 +79,11 @@ func main() {
 
 	// Recommend supplemental sites for the movie catalog (§IV future
 	// work, built here).
-	catalog, err := p.Store.Dataset("videostore", "victor", "catalog", store.PermRead)
+	catalog, err := p.Store.DatasetContext(ctx, "videostore", "victor", "catalog", store.PermRead)
 	if err != nil {
 		log.Fatal(err)
 	}
-	recs, err := recommend.SupplementalSites(p.Engine, catalog, recommend.Options{
+	recs, err := recommend.SupplementalSites(ctx, p.Engine, catalog, recommend.Options{
 		DriveField: "title", ProbeSuffix: "review", Limit: 5,
 	})
 	if err != nil {

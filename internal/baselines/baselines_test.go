@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -20,7 +21,7 @@ func TestProbeSymphony(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	row, err := Probe(sym)
+	row, err := Probe(context.Background(), sym)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestProbeBaselines(t *testing.T) {
 	}
 	got := map[string]Row{}
 	for _, s := range systems {
-		row, err := Probe(s)
+		row, err := Probe(context.Background(), s)
 		if err != nil {
 			t.Fatalf("probe %s: %v", s.Name(), err)
 		}
@@ -96,7 +97,7 @@ func TestProbeBaselines(t *testing.T) {
 func TestRollyoRequiresSites(t *testing.T) {
 	p := platform(t)
 	r := NewRollyo(p.Engine)
-	if _, err := r.Search("anything", nil, 5); err == nil {
+	if _, err := r.Search(context.Background(), "anything", nil, 5); err == nil {
 		t.Fatal("rollyo searched without a searchroll")
 	}
 }
@@ -108,7 +109,7 @@ func TestGoogleBaseUploadSearchable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := gb.SearchProprietary("widget", 5)
+	hits, err := gb.SearchProprietary(context.Background(), "widget", 5)
 	if err != nil || len(hits) != 1 {
 		t.Fatalf("hits = %v, %v", hits, err)
 	}
@@ -123,7 +124,7 @@ func TestRenderTableI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	table, err := RenderTableI(systems)
+	table, err := RenderTableI(context.Background(), systems)
 	if err != nil {
 		t.Fatal(err)
 	}

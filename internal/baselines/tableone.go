@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -35,8 +36,8 @@ func (s *Symphony) Name() string { return "symphony" }
 func (s *Symphony) SearchAPI() string { return "Bing" }
 
 // Search implements System.
-func (s *Symphony) Search(q string, sites []string, limit int) ([]engine.Result, error) {
-	return s.Platform.Engine.Search(engine.Request{Query: q, Sites: sites, Limit: limit})
+func (s *Symphony) Search(ctx context.Context, q string, sites []string, limit int) ([]engine.Result, error) {
+	return s.Platform.Engine.Search(ctx, engine.Request{Query: q, Sites: sites, Limit: limit})
 }
 
 // UploadProprietary implements System.
@@ -52,18 +53,18 @@ func (s *Symphony) UploadProprietary(format ingest.Format, r io.Reader) error {
 }
 
 // SearchProprietary implements System.
-func (s *Symphony) SearchProprietary(q string, limit int) ([]store.Hit, error) {
+func (s *Symphony) SearchProprietary(ctx context.Context, q string, limit int) ([]store.Hit, error) {
 	names, err := s.Platform.Store.Datasets("symphony-probe", "designer")
 	if err != nil {
 		return nil, err
 	}
 	var out []store.Hit
 	for _, n := range names {
-		ds, err := s.Platform.Store.Dataset("symphony-probe", "designer", n, store.PermRead)
+		ds, err := s.Platform.Store.DatasetContext(ctx, "symphony-probe", "designer", n, store.PermRead)
 		if err != nil {
 			return nil, err
 		}
-		hits, err := ds.Search(store.SearchRequest{Query: q, Limit: limit})
+		hits, err := ds.SearchContext(ctx, store.SearchRequest{Query: q, Limit: limit})
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +130,8 @@ func sampleUpload(format ingest.Format) io.Reader {
 }
 
 // Probe exercises each capability of a system and summarizes it.
-func Probe(s System) (Row, error) {
+// Cancelling ctx aborts the live search probes.
+func Probe(ctx context.Context, s System) (Row, error) {
 	row := Row{
 		System:       s.Name(),
 		SearchAPI:    s.SearchAPI(),
@@ -138,7 +140,7 @@ func Probe(s System) (Row, error) {
 		Deployment:   s.Deployment(),
 	}
 	// Custom sites: does a site-restricted search stay restricted?
-	rs, err := s.Search("review", []string{"ign.com", "gamespot.com"}, 10)
+	rs, err := s.Search(ctx, "review", []string{"ign.com", "gamespot.com"}, 10)
 	if err == nil {
 		row.CustomSites = true
 		for _, r := range rs {
@@ -155,7 +157,7 @@ func Probe(s System) (Row, error) {
 		}
 	}
 	if len(row.UploadFormats) > 0 {
-		hits, err := s.SearchProprietary("probe", 10)
+		hits, err := s.SearchProprietary(ctx, "probe", 10)
 		if err != nil {
 			return row, fmt.Errorf("%s: uploaded data not searchable: %v", s.Name(), err)
 		}
@@ -189,10 +191,10 @@ func AllSystems(p *core.Platform) ([]System, error) {
 
 // RenderTableI probes all systems and renders the comparison matrix
 // in the paper's row order.
-func RenderTableI(systems []System) (string, error) {
+func RenderTableI(ctx context.Context, systems []System) (string, error) {
 	rows := make([]Row, 0, len(systems))
 	for _, s := range systems {
-		row, err := Probe(s)
+		row, err := Probe(ctx, s)
 		if err != nil {
 			return "", err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -57,10 +58,11 @@ func (c *Checkpointer) Path() string {
 	return filepath.Join(c.dir, "store.snap")
 }
 
-// RestoreLatest loads the snapshot file into the platform's store if
-// one exists, reporting whether a restore happened. Old v1 snapshots
-// restore transparently; the next checkpoint rewrites them as v2.
-func (c *Checkpointer) RestoreLatest() (bool, error) {
+// RestoreLatestContext loads the snapshot file into the platform's
+// store if one exists, reporting whether a restore happened. Old v1
+// snapshots restore transparently; the next checkpoint rewrites them
+// as v2. Cancelling ctx aborts the load with the store unchanged.
+func (c *Checkpointer) RestoreLatestContext(ctx context.Context) (bool, error) {
 	f, err := os.Open(c.Path())
 	if os.IsNotExist(err) {
 		return false, nil
@@ -69,7 +71,7 @@ func (c *Checkpointer) RestoreLatest() (bool, error) {
 		return false, fmt.Errorf("core: restore checkpoint: %w", err)
 	}
 	defer f.Close()
-	if err := c.p.Store.Restore(f); err != nil {
+	if err := c.p.Store.RestoreContext(ctx, f); err != nil {
 		return false, fmt.Errorf("core: restore checkpoint %s: %w", c.Path(), err)
 	}
 	c.logf("restored store from %s", c.Path())
@@ -84,11 +86,13 @@ func (c *Checkpointer) RestoreLatest() (bool, error) {
 	return true, nil
 }
 
-// Checkpoint writes one snapshot now: temp file, fsync, atomic
+// CheckpointContext writes one snapshot now: temp file, fsync, atomic
 // rename. Concurrent calls serialize. Only datasets mutated since
 // the previous checkpoint are re-encoded; clean ones reuse their
 // cached frames (the file is still a complete snapshot either way).
-func (c *Checkpointer) Checkpoint() error {
+// Cancelling ctx abandons the temp file; the previous snapshot stays
+// good (the atomic-rename contract is what makes aborting safe).
+func (c *Checkpointer) CheckpointContext(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	f, err := os.CreateTemp(c.dir, "store-*.tmp")
@@ -102,7 +106,7 @@ func (c *Checkpointer) Checkpoint() error {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 	hits0, misses0 := c.cache.Stats()
-	if err := c.p.Store.Snapshot(f, store.WithFrameCache(c.cache)); err != nil {
+	if err := c.p.Store.SnapshotContext(ctx, f, store.WithFrameCache(c.cache)); err != nil {
 		return fail(err)
 	}
 	hits1, misses1 := c.cache.Stats()
@@ -143,7 +147,7 @@ func (c *Checkpointer) Start() {
 		for {
 			select {
 			case <-ticker.C:
-				if err := c.Checkpoint(); err != nil {
+				if err := c.CheckpointContext(context.Background()); err != nil {
 					c.logf("checkpoint failed: %v", err)
 				}
 			case <-c.stop:
@@ -153,15 +157,39 @@ func (c *Checkpointer) Start() {
 	}()
 }
 
-// Close stops the periodic loop and writes a final checkpoint, so a
-// graceful shutdown never loses acknowledged writes.
-func (c *Checkpointer) Close() error {
+// CloseContext stops the periodic loop and writes a final checkpoint,
+// so a graceful shutdown never loses acknowledged writes. ctx bounds
+// the final snapshot: a daemon given a shutdown deadline stops
+// encoding mid-pass and keeps the previous checkpoint instead of
+// hanging past its grace period.
+func (c *Checkpointer) CloseContext(ctx context.Context) error {
 	if c.stop != nil {
 		close(c.stop)
 		<-c.done
 		c.stop, c.done = nil, nil
 	}
-	return c.Checkpoint()
+	return c.CheckpointContext(ctx)
+}
+
+// Checkpoint writes one snapshot without a deadline.
+//
+// Deprecated: use CheckpointContext.
+func (c *Checkpointer) Checkpoint() error {
+	return c.CheckpointContext(context.Background())
+}
+
+// RestoreLatest loads the latest snapshot without a deadline.
+//
+// Deprecated: use RestoreLatestContext.
+func (c *Checkpointer) RestoreLatest() (bool, error) {
+	return c.RestoreLatestContext(context.Background())
+}
+
+// Close shuts down with an unbounded final checkpoint.
+//
+// Deprecated: use CloseContext.
+func (c *Checkpointer) Close() error {
+	return c.CloseContext(context.Background())
 }
 
 func (c *Checkpointer) logf(format string, args ...any) {

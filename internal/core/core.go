@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/ads"
 	"repro/internal/analytics"
@@ -188,14 +189,36 @@ func (p *Platform) SiteSuggest(seeds []string, limit int) []sitesuggest.Suggesti
 	return sitesuggest.Build(p.Engine.Log()).Suggest(seeds, limit)
 }
 
+// ServeOptions configures the serving layer's quality of service.
+type ServeOptions struct {
+	// QueryTimeout caps each query's execution (0 = unbounded). A
+	// query over the deadline is cancelled mid-evaluation and
+	// answered 504.
+	QueryTimeout time.Duration
+	// Admission bounds per-tenant concurrency when non-nil; shed
+	// requests get 429 + Retry-After.
+	Admission *host.AdmissionController
+	// Limiter meters per-app offered load when non-nil.
+	Limiter *host.RateLimiter
+}
+
 // Serve returns an HTTP handler hosting all published applications,
 // with the designer admin API mounted under /admin/.
 func (p *Platform) Serve(baseURL string) http.Handler {
+	return p.ServeWith(baseURL, ServeOptions{})
+}
+
+// ServeWith is Serve with explicit QoS: per-query deadlines,
+// per-tenant admission control and per-app rate limiting.
+func (p *Platform) ServeWith(baseURL string, opts ServeOptions) http.Handler {
 	srv := &host.Server{
-		Registry: p.Registry,
-		Executor: p.Executor,
-		Log:      p.Log,
-		BaseURL:  baseURL,
+		Registry:     p.Registry,
+		Executor:     p.Executor,
+		Log:          p.Log,
+		BaseURL:      baseURL,
+		Limiter:      opts.Limiter,
+		Admission:    opts.Admission,
+		QueryTimeout: opts.QueryTimeout,
 	}
 	admin := &host.Admin{
 		Registry: p.Registry,

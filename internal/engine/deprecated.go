@@ -1,0 +1,21 @@
+// Deprecated pre-context entry points, kept for one release so
+// downstream callers can migrate at their own pace. Everything here
+// delegates to the context-first API with context.Background(); the
+// ctx-gate (scripts/ctxgate.sh) exempts this file, so additions here
+// do not need a context parameter — but nothing new should be added.
+package engine
+
+import "context"
+
+// Page is the former name of Response.
+//
+// Deprecated: use Response.
+type Page = Response
+
+// SearchPage answers a request in full without cancellation.
+//
+// Deprecated: use Query.
+func (e *Engine) SearchPage(req Request) (Page, error) {
+	req.ResultsOnly = false
+	return e.Query(context.Background(), req)
+}

@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -36,6 +37,11 @@ type Request struct {
 	PreferURLs []string
 	Limit      int
 	Offset     int
+	// ResultsOnly skips the page aggregates (total count, site
+	// facets), leaving Response.Total and Response.SiteFacets zero.
+	// The Search convenience view sets it so callers that only want
+	// ranked hits never pay for counting and faceting.
+	ResultsOnly bool
 }
 
 // Result is one engine hit.
@@ -196,62 +202,79 @@ func (e *Engine) logQuery(req Request) {
 	e.mu.Unlock()
 }
 
-// Search runs a request against its vertical.
-func (e *Engine) Search(req Request) ([]Result, error) {
+// Response is the single answer shape of the engine: the ranked hits
+// plus, unless the request opted out, the aggregates every results
+// page shows around them — the total match count and the per-site
+// facet sidebar.
+type Response struct {
+	Results []Result
+	// Total counts every matching document, not just the page. Zero
+	// when the request set ResultsOnly.
+	Total int
+	// SiteFacets counts matches per site, for the restriction sidebar.
+	// Nil when the request set ResultsOnly.
+	SiteFacets []index.FacetCount
+	Stats      Stats
+}
+
+// Stats reports how the engine answered a request.
+type Stats struct {
+	// Candidates is how many raw index hits entered reranking, before
+	// quality/preference reordering and pagination.
+	Candidates int
+}
+
+// Query answers one end-user request in full: ranked results and,
+// unless req.ResultsOnly is set, total hit count and site facets.
+// Everything runs through one index.Session, so the document
+// frequencies and field statistics of the shared query are aggregated
+// across shards once, not three times. Cancelling ctx aborts the
+// index evaluation within one posting block and returns ctx.Err().
+func (e *Engine) Query(ctx context.Context, req Request) (Response, error) {
 	ix, q, limit, err := e.prepare(&req)
 	if err != nil {
-		return nil, err
+		return Response{}, err
 	}
+	sess := ix.Session()
 	// Over-fetch so quality/preference reordering has candidates. The
 	// candidate pool depends only on limit+offset so that paginated
 	// requests reorder a consistent set.
-	raw := ix.Search(q, index.SearchOptions{Limit: (limit + req.Offset) * 3, SnippetField: "body"})
-	out := e.rerank(req, raw, limit)
-	if out == nil && req.Offset > 0 {
-		// Offset past the last hit: no page and no log entry, matching
-		// the pre-refactor behaviour.
-		return nil, nil
-	}
-	e.logQuery(req)
-	return out, nil
-}
-
-// Page is one full results page: the ranked hits plus the aggregates
-// every results page shows around them — the total match count and
-// the per-site facet sidebar.
-type Page struct {
-	Results []Result
-	// Total counts every matching document, not just the page.
-	Total int
-	// SiteFacets counts matches per site, for the restriction sidebar.
-	SiteFacets []index.FacetCount
-}
-
-// SearchPage answers one end-user request in full: ranked results,
-// total hit count and site facets. All three run through one
-// index.Session, so the document frequencies and field statistics of
-// the shared query are aggregated across shards once, not three
-// times. Results are identical to calling Search, Count and Facets
-// separately.
-func (e *Engine) SearchPage(req Request) (Page, error) {
-	ix, q, limit, err := e.prepare(&req)
+	raw, err := sess.SearchContext(ctx, q, index.SearchOptions{Limit: (limit + req.Offset) * 3, SnippetField: "body"})
 	if err != nil {
-		return Page{}, err
+		return Response{}, err
 	}
-	sess := ix.Session()
-	raw := sess.Search(q, index.SearchOptions{Limit: (limit + req.Offset) * 3, SnippetField: "body"})
-	page := Page{
-		Results:    e.rerank(req, raw, limit),
-		Total:      sess.Count(q, nil),
-		SiteFacets: sess.Facets(q, "site", nil),
+	resp := Response{
+		Results: e.rerank(req, raw, limit),
+		Stats:   Stats{Candidates: len(raw)},
 	}
-	if page.Results == nil && req.Offset > 0 {
+	if !req.ResultsOnly {
+		if resp.Total, err = sess.CountContext(ctx, q, nil); err != nil {
+			return Response{}, err
+		}
+		if resp.SiteFacets, err = sess.FacetsContext(ctx, q, "site", nil); err != nil {
+			return Response{}, err
+		}
+	}
+	if resp.Results == nil && req.Offset > 0 {
 		// Offset past the last hit: the aggregates still answer, but
-		// no log entry, matching Search on the same request.
-		return page, nil
+		// no log entry, matching the pre-redesign behaviour of both
+		// Search and SearchPage.
+		return resp, nil
 	}
 	e.logQuery(req)
-	return page, nil
+	return resp, nil
+}
+
+// Search runs a request against its vertical and returns only the
+// ranked hits. It is a thin view over Query with ResultsOnly set, so
+// the aggregate work (count, facets) is skipped.
+func (e *Engine) Search(ctx context.Context, req Request) ([]Result, error) {
+	req.ResultsOnly = true
+	resp, err := e.Query(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 func orQuery(qs []index.Query) index.Query {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/webcorpus"
@@ -16,7 +17,7 @@ func BenchmarkEngineWebSearch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Search(Request{Query: "review guide", Limit: 10}); err != nil {
+		if _, err := e.Search(context.Background(), Request{Query: "review guide", Limit: 10}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -27,7 +28,7 @@ func BenchmarkEngineSiteRestricted(b *testing.B) {
 	sites := []string{"ign.com", "gamespot.com", "teamxbox.com"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Search(Request{Query: "review", Sites: sites, Limit: 10}); err != nil {
+		if _, err := e.Search(context.Background(), Request{Query: "review", Sites: sites, Limit: 10}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -37,7 +38,7 @@ func BenchmarkEngineNewsFreshness(b *testing.B) {
 	e := benchEngine(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Search(Request{Query: "announcement news", Vertical: webcorpus.VerticalNews, Limit: 10}); err != nil {
+		if _, err := e.Search(context.Background(), Request{Query: "announcement news", Vertical: webcorpus.VerticalNews, Limit: 10}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -32,7 +34,7 @@ func TestAllVerticalsIndexed(t *testing.T) {
 func TestSearchFindsEntity(t *testing.T) {
 	e := newEngine(t)
 	entity := testCorpus.Pages[0].Entity
-	rs, err := e.Search(Request{Query: entity, Vertical: testCorpus.Pages[0].Vertical})
+	rs, err := e.Search(context.Background(), Request{Query: entity, Vertical: testCorpus.Pages[0].Vertical})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestSearchFindsEntity(t *testing.T) {
 
 func TestDefaultVerticalIsWeb(t *testing.T) {
 	e := newEngine(t)
-	rs, err := e.Search(Request{Query: "review"})
+	rs, err := e.Search(context.Background(), Request{Query: "review"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +67,7 @@ func TestDefaultVerticalIsWeb(t *testing.T) {
 
 func TestUnknownVertical(t *testing.T) {
 	e := newEngine(t)
-	if _, err := e.Search(Request{Query: "x", Vertical: "maps"}); err == nil {
+	if _, err := e.Search(context.Background(), Request{Query: "x", Vertical: "maps"}); err == nil {
 		t.Fatal("unknown vertical accepted")
 	}
 }
@@ -74,7 +76,7 @@ func TestSiteRestriction(t *testing.T) {
 	e := newEngine(t)
 	sites := []string{"ign.com", "gamespot.com", "teamxbox.com"}
 	entity := gameEntity(t)
-	rs, err := e.Search(Request{Query: entity, Sites: sites, Limit: 20})
+	rs, err := e.Search(context.Background(), Request{Query: entity, Sites: sites, Limit: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,8 +108,8 @@ func gameEntity(t testing.TB) string {
 func TestQueryAugmentation(t *testing.T) {
 	e := newEngine(t)
 	entity := gameEntity(t)
-	plain, _ := e.Search(Request{Query: entity, Limit: 10})
-	augmented, _ := e.Search(Request{Query: entity, AddTerms: []string{"review"}, Limit: 10})
+	plain, _ := e.Search(context.Background(), Request{Query: entity, Limit: 10})
+	augmented, _ := e.Search(context.Background(), Request{Query: entity, AddTerms: []string{"review"}, Limit: 10})
 	if len(plain) == 0 || len(augmented) == 0 {
 		t.Skip("not enough results to compare")
 	}
@@ -127,14 +129,14 @@ func TestQueryAugmentation(t *testing.T) {
 func TestPreferURLsReorders(t *testing.T) {
 	e := newEngine(t)
 	entity := gameEntity(t)
-	base, _ := e.Search(Request{Query: entity, Limit: 10})
+	base, _ := e.Search(context.Background(), Request{Query: entity, Limit: 10})
 	if len(base) < 2 {
 		t.Skip("need at least 2 results")
 	}
 	// Prefer the last result; it should move to the front (its score
 	// is multiplied well past the leader's).
 	target := base[len(base)-1].URL
-	re, _ := e.Search(Request{Query: entity, Limit: 10, PreferURLs: []string{target}})
+	re, _ := e.Search(context.Background(), Request{Query: entity, Limit: 10, PreferURLs: []string{target}})
 	if re[0].URL != target {
 		t.Errorf("preferred URL %s not first (got %s)", target, re[0].URL)
 	}
@@ -142,8 +144,8 @@ func TestPreferURLsReorders(t *testing.T) {
 
 func TestPagination(t *testing.T) {
 	e := newEngine(t)
-	all, _ := e.Search(Request{Query: "review", Limit: 10})
-	p2, _ := e.Search(Request{Query: "review", Limit: 5, Offset: 5})
+	all, _ := e.Search(context.Background(), Request{Query: "review", Limit: 10})
+	p2, _ := e.Search(context.Background(), Request{Query: "review", Limit: 5, Offset: 5})
 	if len(all) != 10 || len(p2) != 5 {
 		t.Fatalf("sizes %d %d", len(all), len(p2))
 	}
@@ -154,7 +156,7 @@ func TestPagination(t *testing.T) {
 
 func TestNewsFreshness(t *testing.T) {
 	e := newEngine(t)
-	rs, err := e.Search(Request{Query: "announcement news", Vertical: webcorpus.VerticalNews, Limit: 20})
+	rs, err := e.Search(context.Background(), Request{Query: "announcement news", Vertical: webcorpus.VerticalNews, Limit: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +172,7 @@ func TestNewsFreshness(t *testing.T) {
 
 func TestQueryLogRecords(t *testing.T) {
 	e := newEngine(t)
-	e.Search(Request{Query: "zelda"})
+	e.Search(context.Background(), Request{Query: "zelda"})
 	e.RecordClick("zelda", "http://ign.com/web/some-page-1")
 	log := e.Log()
 	if len(log) != 2 {
@@ -186,8 +188,8 @@ func TestQueryLogRecords(t *testing.T) {
 
 func TestSearchDeterministic(t *testing.T) {
 	e := newEngine(t)
-	a, _ := e.Search(Request{Query: "review guide", Limit: 10})
-	b, _ := e.Search(Request{Query: "review guide", Limit: 10})
+	a, _ := e.Search(context.Background(), Request{Query: "review guide", Limit: 10})
+	b, _ := e.Search(context.Background(), Request{Query: "review guide", Limit: 10})
 	if len(a) != len(b) {
 		t.Fatal("result counts differ")
 	}
@@ -208,7 +210,7 @@ func TestSearchPageMatchesSeparateCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := e.Search(req)
+	plain, err := e.Search(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,5 +238,23 @@ func TestSearchPageMatchesSeparateCalls(t *testing.T) {
 	}
 	if _, err := e.SearchPage(Request{Query: "x", Vertical: "maps"}); err == nil {
 		t.Fatal("unknown vertical should error")
+	}
+}
+
+func TestQueryCancelledContext(t *testing.T) {
+	e := newEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Query(ctx, Request{Query: testCorpus.Pages[0].Entity}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Query under cancelled ctx = %v, want context.Canceled", err)
+	}
+	// The deprecated wrapper has no deadline to hit: it must still
+	// answer in full.
+	page, err := e.SearchPage(Request{Query: testCorpus.Pages[0].Entity, Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total == 0 {
+		t.Fatal("SearchPage returned no hits")
 	}
 }

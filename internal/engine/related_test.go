@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/webcorpus"
@@ -10,7 +11,7 @@ func TestRelatedQueries(t *testing.T) {
 	e := New(webcorpus.Generate(webcorpus.Config{Seed: 61, PagesPerSite: 4}))
 	issue := func(q string, times int) {
 		for i := 0; i < times; i++ {
-			e.Search(Request{Query: q})
+			e.Search(context.Background(), Request{Query: q})
 		}
 	}
 	issue("zelda walkthrough", 4)
@@ -34,8 +35,8 @@ func TestRelatedQueries(t *testing.T) {
 
 func TestRelatedQueriesExcludesSelf(t *testing.T) {
 	e := New(webcorpus.Generate(webcorpus.Config{Seed: 62, PagesPerSite: 4}))
-	e.Search(Request{Query: "halo review"})
-	e.Search(Request{Query: "halo trailer"})
+	e.Search(context.Background(), Request{Query: "halo review"})
+	e.Search(context.Background(), Request{Query: "halo trailer"})
 	for _, r := range e.RelatedQueries("Halo Review", 5) {
 		if r == "halo review" {
 			t.Fatal("query suggested itself")
@@ -45,7 +46,7 @@ func TestRelatedQueriesExcludesSelf(t *testing.T) {
 
 func TestRelatedQueriesStemMatch(t *testing.T) {
 	e := New(webcorpus.Generate(webcorpus.Config{Seed: 63, PagesPerSite: 4}))
-	e.Search(Request{Query: "game reviews"})
+	e.Search(context.Background(), Request{Query: "game reviews"})
 	rel := e.RelatedQueries("best review", 5)
 	if len(rel) != 1 || rel[0] != "game reviews" {
 		t.Fatalf("stemmed relation missed: %v", rel)

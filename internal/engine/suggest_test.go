@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -12,7 +13,7 @@ func suggestEngine(t testing.TB) *Engine {
 	e := New(webcorpus.Generate(webcorpus.Config{Seed: 51, PagesPerSite: 4}))
 	issue := func(q string, times int) {
 		for i := 0; i < times; i++ {
-			if _, err := e.Search(Request{Query: q}); err != nil {
+			if _, err := e.Search(context.Background(), Request{Query: q}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -65,7 +66,7 @@ func TestSuggestSeesNewQueries(t *testing.T) {
 	if got := e.Suggest("wine", 5); len(got) != 0 {
 		t.Fatalf("unexpected suggestions %v", got)
 	}
-	e.Search(Request{Query: "wine tasting"})
+	e.Search(context.Background(), Request{Query: "wine tasting"})
 	got := e.Suggest("wine", 5)
 	if len(got) != 1 || got[0] != "wine tasting" {
 		t.Fatalf("new query not suggested: %v", got)
@@ -75,7 +76,7 @@ func TestSuggestSeesNewQueries(t *testing.T) {
 func TestSuggestDefaultLimit(t *testing.T) {
 	e := New(webcorpus.Generate(webcorpus.Config{Seed: 52, PagesPerSite: 4}))
 	for i := 0; i < 10; i++ {
-		e.Search(Request{Query: "common prefix " + string(rune('a'+i))})
+		e.Search(context.Background(), Request{Query: "common prefix " + string(rune('a'+i))})
 	}
 	if got := e.Suggest("common", 0); len(got) != 5 {
 		t.Fatalf("default limit = %d", len(got))

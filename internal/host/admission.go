@@ -1,0 +1,186 @@
+package host
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// ErrShed is returned by Acquire when a tenant's concurrency slots and
+// wait queue are both full. The serving layer maps it to 429 with a
+// Retry-After hint.
+var ErrShed = fmt.Errorf("host: tenant over concurrency quota, request shed")
+
+// AdmissionConfig sizes the per-tenant admission controller.
+//
+// The rate limiter (RateLimiter) bounds *offered* load per app over
+// time; admission control bounds *concurrent* work per tenant at each
+// instant, which is what actually protects latency when queries have
+// wildly different costs. The two compose: a burst that passes the
+// token bucket still waits for a concurrency slot.
+type AdmissionConfig struct {
+	// Slots is the default number of in-flight queries per tenant
+	// (minimum 1; 0 means DefaultSlots).
+	Slots int
+	// Queue is how many requests per tenant may wait for a slot
+	// beyond the in-flight set; the queue is deadline-aware, so a
+	// waiter whose ctx expires leaves immediately. 0 means no
+	// queueing: over-quota requests are shed at once.
+	Queue int
+	// TenantSlots overrides Slots for specific tenants (the knob a
+	// platform operator turns for a paying designer).
+	TenantSlots map[string]int
+	// RetryAfterSeconds is the Retry-After hint sent with 429
+	// responses (0 means DefaultRetryAfterSeconds).
+	RetryAfterSeconds int
+}
+
+// Admission defaults.
+const (
+	DefaultSlots             = 4
+	DefaultRetryAfterSeconds = 1
+)
+
+// AdmissionStats is a point-in-time counter snapshot, exported on the
+// daemon's /statusz page.
+type AdmissionStats struct {
+	Admitted int64 `json:"admitted"`
+	Queued   int64 `json:"queued"`   // admissions that waited in queue first
+	Shed     int64 `json:"shed"`     // rejected: slots and queue both full
+	Expired  int64 `json:"expired"`  // left the queue because ctx ended
+	Waiting  int   `json:"waiting"`  // currently queued across tenants
+	InFlight int   `json:"inFlight"` // currently admitted across tenants
+}
+
+// AdmissionController enforces per-tenant concurrency quotas with a
+// bounded, deadline-aware wait queue per tenant.
+type AdmissionController struct {
+	cfg AdmissionConfig
+
+	mu    sync.Mutex
+	gates map[string]*tenantGate
+
+	admitted int64
+	queued   int64
+	shed     int64
+	expired  int64
+}
+
+// tenantGate is one tenant's semaphore. sem is buffered to the
+// tenant's slot quota; holding a token = one in-flight query.
+type tenantGate struct {
+	sem     chan struct{}
+	waiting int // guarded by the controller mutex
+}
+
+// NewAdmissionController builds a controller from cfg, applying
+// defaults for zero fields.
+func NewAdmissionController(cfg AdmissionConfig) *AdmissionController {
+	if cfg.Slots <= 0 {
+		cfg.Slots = DefaultSlots
+	}
+	if cfg.Queue < 0 {
+		cfg.Queue = 0
+	}
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = DefaultRetryAfterSeconds
+	}
+	return &AdmissionController{cfg: cfg, gates: make(map[string]*tenantGate)}
+}
+
+// RetryAfterSeconds is the hint the serving layer attaches to shed
+// responses.
+func (ac *AdmissionController) RetryAfterSeconds() int { return ac.cfg.RetryAfterSeconds }
+
+func (ac *AdmissionController) gate(tenant string) *tenantGate {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	g, ok := ac.gates[tenant]
+	if !ok {
+		n := ac.cfg.Slots
+		if over, ok := ac.cfg.TenantSlots[tenant]; ok && over > 0 {
+			n = over
+		}
+		g = &tenantGate{sem: make(chan struct{}, n)}
+		ac.gates[tenant] = g
+	}
+	return g
+}
+
+// Acquire admits one query for tenant, blocking in the tenant's wait
+// queue while its slots are full. It returns a release function that
+// MUST be called exactly once when the query finishes. Errors:
+// ErrShed when slots and queue are both full, or ctx.Err() when the
+// caller's deadline lands while queued.
+func (ac *AdmissionController) Acquire(ctx context.Context, tenant string) (release func(), err error) {
+	g := ac.gate(tenant)
+	rel := func() { <-g.sem }
+
+	// Fast path: a free slot admits without queueing.
+	select {
+	case g.sem <- struct{}{}:
+		ac.count(&ac.admitted)
+		return rel, nil
+	default:
+	}
+
+	// Slow path: join the bounded wait queue, or shed.
+	ac.mu.Lock()
+	if g.waiting >= ac.cfg.Queue {
+		ac.shed++
+		ac.mu.Unlock()
+		return nil, ErrShed
+	}
+	g.waiting++
+	ac.mu.Unlock()
+
+	select {
+	case g.sem <- struct{}{}:
+		ac.mu.Lock()
+		g.waiting--
+		ac.admitted++
+		ac.queued++
+		ac.mu.Unlock()
+		return rel, nil
+	case <-ctx.Done():
+		ac.mu.Lock()
+		g.waiting--
+		ac.expired++
+		ac.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Waiting reports how many requests are queued for tenant right now
+// (tests use it to sequence queue scenarios deterministically).
+func (ac *AdmissionController) Waiting(tenant string) int {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if g, ok := ac.gates[tenant]; ok {
+		return g.waiting
+	}
+	return 0
+}
+
+func (ac *AdmissionController) count(field *int64) {
+	ac.mu.Lock()
+	*field++
+	ac.mu.Unlock()
+}
+
+// Stats snapshots the controller's counters.
+func (ac *AdmissionController) Stats() AdmissionStats {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	st := AdmissionStats{
+		Admitted: ac.admitted,
+		Queued:   ac.queued,
+		Shed:     ac.shed,
+		Expired:  ac.expired,
+	}
+	for _, g := range ac.gates {
+		st.Waiting += g.waiting
+		st.InFlight += len(g.sem)
+	}
+	return st
+}

@@ -11,12 +11,14 @@ import (
 	"context"
 	"encoding/json"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/analytics"
 	"repro/internal/app"
@@ -88,6 +90,65 @@ type Server struct {
 	// Limiter meters per-app query load when non-nil; over-limit
 	// queries get 429.
 	Limiter *RateLimiter
+	// Admission bounds per-tenant concurrency when non-nil: requests
+	// over quota wait in a bounded queue or are shed with 429 +
+	// Retry-After.
+	Admission *AdmissionController
+	// QueryTimeout caps each query's execution when positive; a query
+	// that exceeds it is cancelled mid-evaluation and answered 504.
+	QueryTimeout time.Duration
+}
+
+// queryContext derives the execution context for one request: the
+// client's own context (so a dropped connection cancels the query)
+// plus the server's per-query deadline.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if s.QueryTimeout > 0 {
+		return context.WithTimeout(ctx, s.QueryTimeout)
+	}
+	return ctx, func() {}
+}
+
+// admit passes the request through admission control. It writes the
+// error response and returns a nil release when the request should
+// not proceed. Tenancy is the app's data tenant so that all of one
+// designer's apps share a quota; apps without proprietary data fall
+// back to the app ID.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, a *app.Application) (release func(), ok bool) {
+	if s.Admission == nil {
+		return func() {}, true
+	}
+	tenant := a.Tenant
+	if tenant == "" {
+		tenant = a.ID
+	}
+	rel, err := s.Admission.Acquire(ctx, tenant)
+	switch {
+	case err == nil:
+		return rel, true
+	case errors.Is(err, ErrShed):
+		w.Header().Set("Retry-After", strconv.Itoa(s.Admission.RetryAfterSeconds()))
+		http.Error(w, "tenant over concurrency quota", http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "timed out waiting for admission", http.StatusGatewayTimeout)
+	default:
+		// Client went away while queued; any status works, nobody is
+		// listening.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	}
+	return nil, false
+}
+
+// writeQueryError maps an execution error to a status: deadline and
+// cancellation become 504 (the query was cut off, not broken), all
+// else 500.
+func writeQueryError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
 }
 
 // Handler returns the HTTP mux serving:
@@ -117,9 +178,16 @@ func (s *Server) handleRSS(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown application", http.StatusNotFound)
 		return
 	}
-	resp, err := s.Executor.Execute(context.Background(), a, runtime.Query{Text: r.URL.Query().Get("q")})
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	rel, ok := s.admit(ctx, w, a)
+	if !ok {
+		return
+	}
+	resp, err := s.Executor.Execute(ctx, a, runtime.Query{Text: r.URL.Query().Get("q")})
+	rel()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeQueryError(w, err)
 		return
 	}
 	type rssItem struct {
@@ -194,9 +262,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if prefer := r.URL.Query().Get("prefer"); prefer != "" {
 		q.Profile = &runtime.CustomerProfile{PreferTerms: []string{prefer}}
 	}
-	resp, err := s.Executor.Execute(context.Background(), a, q)
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	rel, ok := s.admit(ctx, w, a)
+	if !ok {
+		return
+	}
+	resp, err := s.Executor.Execute(ctx, a, q)
+	rel()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeQueryError(w, err)
 		return
 	}
 	if r.URL.Query().Get("format") == "json" {

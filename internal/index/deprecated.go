@@ -1,0 +1,66 @@
+package index
+
+// Legacy non-context entrypoints, kept for one release while callers
+// migrate to the ctx-first API. Each delegates with a background
+// context, which can never be cancelled, so the error return of the
+// canonical method is statically nil and safely dropped here. This
+// file doubles as the allowlist for the CI context-gate: every
+// exported method in this package that lacks a context.Context first
+// parameter must live here.
+
+import "context"
+
+// Search evaluates q without cancellation.
+//
+// Deprecated: use SearchContext.
+func (ix *Index) Search(q Query, opts SearchOptions) []Result {
+	res, _ := ix.SearchContext(context.Background(), q, opts)
+	return res
+}
+
+// Count counts q's matches without cancellation.
+//
+// Deprecated: use CountContext.
+func (ix *Index) Count(q Query, filters map[string]string) int {
+	n, _ := ix.CountContext(context.Background(), q, filters)
+	return n
+}
+
+// Facets counts facet values without cancellation.
+//
+// Deprecated: use FacetsContext.
+func (ix *Index) Facets(q Query, field string, filters map[string]string) []FacetCount {
+	fc, _ := ix.FacetsContext(context.Background(), q, field, filters)
+	return fc
+}
+
+// Reshard migrates to n shards without cancellation.
+//
+// Deprecated: use ReshardContext.
+func (ix *Index) Reshard(n int) error {
+	return ix.ReshardContext(context.Background(), n)
+}
+
+// Search is Session.SearchContext without cancellation.
+//
+// Deprecated: use Session.SearchContext.
+func (sess *Session) Search(q Query, opts SearchOptions) []Result {
+	res, _ := sess.SearchContext(context.Background(), q, opts)
+	return res
+}
+
+// Count is Session.CountContext without cancellation.
+//
+// Deprecated: use Session.CountContext.
+func (sess *Session) Count(q Query, filters map[string]string) int {
+	n, _ := sess.CountContext(context.Background(), q, filters)
+	return n
+}
+
+// Facets is Session.FacetsContext without cancellation.
+//
+// Deprecated: use Session.FacetsContext.
+func (sess *Session) Facets(q Query, field string, filters map[string]string) []FacetCount {
+	fc, _ := sess.FacetsContext(context.Background(), q, field, filters)
+	return fc
+}

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"math"
 	"sort"
 	"strings"
@@ -21,7 +22,7 @@ func refSearch(ix *Index, q Query, opts SearchOptions) []Result {
 		q = AllQuery{}
 	}
 	r := ix.ring.Load()
-	st := ix.gatherStats(r, q)
+	st := ix.gatherStats(context.Background(), r, q)
 	want := 0
 	if opts.Limit > 0 {
 		want = opts.Offset + opts.Limit
@@ -52,7 +53,7 @@ func refCount(ix *Index, q Query, filters map[string]string) int {
 		q = AllQuery{}
 	}
 	r := ix.ring.Load()
-	st := ix.gatherStats(r, q)
+	st := ix.gatherStats(context.Background(), r, q)
 	n := 0
 	for _, s := range r.shards {
 		s.mu.RLock()
@@ -72,7 +73,7 @@ func refFacets(ix *Index, q Query, field string, filters map[string]string) []Fa
 		q = AllQuery{}
 	}
 	r := ix.ring.Load()
-	st := ix.gatherStats(r, q)
+	st := ix.gatherStats(context.Background(), r, q)
 	parts := make([]map[string]int, 0, len(r.shards))
 	for _, s := range r.shards {
 		s.mu.RLock()

@@ -1,29 +1,39 @@
 package index
 
+import "context"
+
 // FacetCount is one stored-field value with its hit count.
 type FacetCount struct {
 	Value string
 	N     int
 }
 
-// Facets counts the distinct values of a stored field across every
-// live document matching q (before pagination). Search applications
-// use this for the filter sidebar: producer counts next to inventory
-// results, site counts next to web results. Each shard counts its own
-// matches in parallel; the per-shard maps are summed before sorting,
-// so counts are exact across shard boundaries.
-func (ix *Index) Facets(q Query, field string, filters map[string]string) []FacetCount {
+// FacetsContext counts the distinct values of a stored field across
+// every live document matching q (before pagination). Search
+// applications use this for the filter sidebar: producer counts next
+// to inventory results, site counts next to web results. Each shard
+// counts its own matches in parallel; the per-shard maps are summed
+// before sorting, so counts are exact across shard boundaries.
+// Cancelling ctx stops evaluation within one posting block per shard
+// and returns ctx.Err().
+func (ix *Index) FacetsContext(ctx context.Context, q Query, field string, filters map[string]string) ([]FacetCount, error) {
 	if q == nil {
 		q = AllQuery{}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := ix.ring.Load()
-	return ix.facetsWith(r, ix.gatherStats(r, q), q, field, filters)
+	return ix.facetsWith(ctx, r, ix.gatherStats(ctx, r, q), q, field, filters)
 }
 
-func (ix *Index) facetsWith(r *ring, st *searchStats, q Query, field string, filters map[string]string) []FacetCount {
+func (ix *Index) facetsWith(ctx context.Context, r *ring, st *searchStats, q Query, field string, filters map[string]string) ([]FacetCount, error) {
 	parts := make([]map[string]int, len(r.shards))
 	eachShard(r, func(i int, s *shard) {
-		parts[i] = s.facets(q, st, field, filters)
+		parts[i] = s.facets(ctx, q, st, field, filters)
 	})
-	return mergeFacets(parts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return mergeFacets(parts), nil
 }

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -39,6 +40,31 @@ type searchStats struct {
 	// toks caches full Analyze output (with positions) for phrases.
 	terms map[fieldTerm][]string
 	toks  map[fieldTerm][]textproc.Token
+	// done, when non-nil, is the request context's Done channel. The
+	// evaluation loops poll it once per posting block (cancelStride),
+	// so a cancelled query stops scoring within one block boundary
+	// instead of burning CPU to the end of every posting list. A nil
+	// channel (background context) costs one nil check per block.
+	done <-chan struct{}
+}
+
+// cancelStride is how many postings an evaluation loop scores between
+// cancellation polls. It equals the posting block size, so the pinned
+// contract is "a cancelled query stops within one block".
+const cancelStride = postingBlockSize
+
+// canceled reports whether the request driving this evaluation has
+// been cancelled. It never blocks.
+func (st *searchStats) canceled() bool {
+	if st.done == nil {
+		return false
+	}
+	select {
+	case <-st.done:
+		return true
+	default:
+		return false
+	}
 }
 
 func newSearchStats() *searchStats {
@@ -72,9 +98,12 @@ func (st *searchStats) analyzedToks(fp *fieldPostings, field, raw string) []text
 // lengths and document frequencies. Integer sums are exact, so the
 // derived floats are bit-identical for any shard count. The ring is
 // supplied by the caller so statistics and evaluation read the same
-// layout generation even if a reshard swaps rings mid-request.
-func (ix *Index) gatherStats(r *ring, q Query) *searchStats {
+// layout generation even if a reshard swaps rings mid-request. The
+// context's Done channel is carried into the stats so every
+// evaluation loop downstream can poll for cancellation.
+func (ix *Index) gatherStats(ctx context.Context, r *ring, q Query) *searchStats {
 	st := newSearchStats()
+	st.done = ctx.Done()
 	st.ranker, st.k1, st.b = ix.scoringParams()
 	need := make(map[fieldTerm]bool)
 	ix.collectTerms(q, need, st)

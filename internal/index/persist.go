@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -456,7 +457,7 @@ func (ix *Index) Restore(r io.Reader) error {
 	// quiesced here (Restore's contract), so the reshard's journal
 	// stays empty and this is a pure rehash.
 	if hdr.Shards != ix.target {
-		return ix.Reshard(ix.target)
+		return ix.ReshardContext(context.Background(), ix.target)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"sort"
 	"strings"
 )
@@ -83,34 +84,44 @@ type SearchOptions struct {
 	Filters map[string]string
 }
 
-// Search evaluates q and returns ranked results. Evaluation runs in
-// two phases: corpus statistics are aggregated across shards (one
-// shard lock at a time), then every shard evaluates the query in its
-// own goroutine and the ranked partials are k-way merged. Ties break
-// on ascending ID, so ordering is deterministic for any shard count.
-// The ring is loaded once, so statistics and evaluation see one
-// consistent shard layout even while a Reshard is migrating.
-func (ix *Index) Search(q Query, opts SearchOptions) []Result {
+// SearchContext evaluates q and returns ranked results. Evaluation
+// runs in two phases: corpus statistics are aggregated across shards
+// (one shard lock at a time), then every shard evaluates the query in
+// its own goroutine and the ranked partials are k-way merged. Ties
+// break on ascending ID, so ordering is deterministic for any shard
+// count. The ring is loaded once, so statistics and evaluation see
+// one consistent shard layout even while a Reshard is migrating.
+//
+// Cancelling ctx stops evaluation within one posting block per shard
+// and returns ctx.Err(); partial results are discarded, never
+// returned.
+func (ix *Index) SearchContext(ctx context.Context, q Query, opts SearchOptions) ([]Result, error) {
 	if q == nil {
 		q = AllQuery{}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := ix.ring.Load()
-	return ix.searchWith(r, ix.gatherStats(r, q), q, opts)
+	return ix.searchWith(ctx, r, ix.gatherStats(ctx, r, q), q, opts)
 }
 
-func (ix *Index) searchWith(r *ring, st *searchStats, q Query, opts SearchOptions) []Result {
+func (ix *Index) searchWith(ctx context.Context, r *ring, st *searchStats, q Query, opts SearchOptions) ([]Result, error) {
 	want := 0
 	if opts.Limit > 0 {
 		want = opts.Offset + opts.Limit
 	}
 	parts := make([][]shardHit, len(r.shards))
 	eachShard(r, func(i int, s *shard) {
-		parts[i] = s.search(q, st, opts.Filters, want)
+		parts[i] = s.search(ctx, q, st, opts.Filters, want)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	merged := mergeHits(r.shards, parts, want)
 	if opts.Offset > 0 {
 		if opts.Offset >= len(merged) {
-			return nil
+			return nil, nil
 		}
 		merged = merged[opts.Offset:]
 	}
@@ -128,28 +139,35 @@ func (ix *Index) searchWith(r *ring, st *searchStats, q Query, opts SearchOption
 			hits[i].Snippet = makeSnippet(text, terms, 160)
 		}
 	}
-	return hits
+	return hits, nil
 }
 
-// Count returns how many live documents match q with the filters.
-func (ix *Index) Count(q Query, filters map[string]string) int {
+// CountContext returns how many live documents match q with the
+// filters, honoring ctx like SearchContext.
+func (ix *Index) CountContext(ctx context.Context, q Query, filters map[string]string) (int, error) {
 	if q == nil {
 		q = AllQuery{}
 	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	r := ix.ring.Load()
-	return ix.countWith(r, ix.gatherStats(r, q), q, filters)
+	return ix.countWith(ctx, r, ix.gatherStats(ctx, r, q), q, filters)
 }
 
-func (ix *Index) countWith(r *ring, st *searchStats, q Query, filters map[string]string) int {
+func (ix *Index) countWith(ctx context.Context, r *ring, st *searchStats, q Query, filters map[string]string) (int, error) {
 	counts := make([]int, len(r.shards))
 	eachShard(r, func(i int, s *shard) {
-		counts[i] = s.count(q, st, filters)
+		counts[i] = s.count(ctx, q, st, filters)
 	})
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	n := 0
 	for _, c := range counts {
 		n += c
 	}
-	return n
+	return n, nil
 }
 
 func matchFilters(doc Document, filters map[string]string) bool {
@@ -161,8 +179,12 @@ func matchFilters(doc Document, filters map[string]string) bool {
 	return true
 }
 
-func (AllQuery) eval(s *shard, _ *searchStats, out *accum) {
+func (AllQuery) eval(s *shard, st *searchStats, out *accum) {
+	n := 0
 	for ord := range s.docs {
+		if n++; n&(cancelStride-1) == 0 && st.canceled() {
+			return
+		}
 		if s.docs[ord].ID != "" {
 			out.scores[ord] = 1
 			out.seen[ord] = true
@@ -257,7 +279,11 @@ func (q PhraseQuery) eval(s *shard, st *searchStats, out *accum) {
 	cand := make(map[int][]int, first.n) // doc -> surviving start positions
 	it := first.iter()
 	pi := first.positions()
+	nc := 0
 	for it.next() {
+		if nc++; nc&(cancelStride-1) == 0 && st.canceled() {
+			return
+		}
 		if s.docs[it.doc].ID == "" {
 			pi.skip(it.tf)
 			continue
@@ -275,6 +301,9 @@ func (q PhraseQuery) eval(s *shard, st *searchStats, out *accum) {
 		it := list.iter()
 		pi := list.positions()
 		for it.next() {
+			if nc++; nc&(cancelStride-1) == 0 && st.canceled() {
+				return
+			}
 			starts, ok := cand[it.doc]
 			if !ok || s.docs[it.doc].ID == "" {
 				pi.skip(it.tf)
@@ -319,7 +348,7 @@ func (q PhraseQuery) eval(s *shard, st *searchStats, out *accum) {
 	}
 }
 
-func (q PrefixQuery) eval(s *shard, _ *searchStats, out *accum) {
+func (q PrefixQuery) eval(s *shard, st *searchStats, out *accum) {
 	fp := s.fields[q.Field]
 	if fp == nil {
 		return
@@ -329,9 +358,13 @@ func (q PrefixQuery) eval(s *shard, _ *searchStats, out *accum) {
 	// old evaluator into a binary-search range scan.
 	dict := fp.sortedTerms()
 	i := sort.SearchStrings(dict, prefix)
+	n := 0
 	for ; i < len(dict) && strings.HasPrefix(dict[i], prefix); i++ {
 		it := fp.terms[dict[i]].iter()
 		for it.next() {
+			if n++; n&(cancelStride-1) == 0 && st.canceled() {
+				return
+			}
 			if s.docs[it.doc].ID != "" {
 				out.add(it.doc, 1)
 			}

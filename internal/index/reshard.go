@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -75,24 +76,33 @@ func (m *migration) journalDelete(id string) {
 // Resharding reports whether a shard-count migration is in flight.
 func (ix *Index) Resharding() bool { return ix.mig.Load() != nil }
 
-// Reshard rebuilds the index to n shards online. Readers are never
-// blocked: queries run against the old ring throughout the migration
-// and against the new ring after the atomic swap, with bit-identical
-// scores either way. Writers stay live on every shard except the one
-// currently being copied (whose writes queue behind the copy's read
-// lock), and all writers pause for the commit window while the
-// journal — sized by the write traffic that arrived during the copy
-// — is replayed. Concurrent Reshard calls serialize; resharding to
-// the current count is a no-op.
-func (ix *Index) Reshard(n int) error {
+// ReshardContext rebuilds the index to n shards online. Readers are
+// never blocked: queries run against the old ring throughout the
+// migration and against the new ring after the atomic swap, with
+// bit-identical scores either way. Writers stay live on every shard
+// except the one currently being copied (whose writes queue behind
+// the copy's read lock), and all writers pause for the commit window
+// while the journal — sized by the write traffic that arrived during
+// the copy — is replayed. Concurrent reshard calls serialize;
+// resharding to the current count is a no-op.
+//
+// Cancelling ctx aborts the migration between shard copies: the
+// staging ring is dropped, the live ring and the recorded target
+// shard count are left exactly as before, and ctx.Err() is returned.
+// An abort never loses a write — writers only ever applied ops to the
+// live ring; the journal that dies with the migration held copies.
+func (ix *Index) ReshardContext(ctx context.Context, n int) error {
 	if n < 1 {
 		return fmt.Errorf("index: reshard to %d shards", n)
 	}
 	ix.reshardMu.Lock()
 	defer ix.reshardMu.Unlock()
-	ix.target = n
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	old := ix.ring.Load()
 	if len(old.shards) == n {
+		ix.target = n
 		return nil
 	}
 
@@ -108,13 +118,26 @@ func (ix *Index) Reshard(n int) error {
 	ix.mig.Store(m)
 
 	// Copy one source shard at a time while readers and writers keep
-	// using the old ring.
+	// using the old ring, checking for cancellation between shards —
+	// each copy holds a read lock, so mid-shard aborts would buy
+	// little and complicate the journal contract.
 	for _, src := range old.shards {
+		if err := ctx.Err(); err != nil {
+			ix.mig.Store(nil)
+			return err
+		}
 		migrateShard(src, staging)
 	}
+	if err := ctx.Err(); err != nil {
+		ix.mig.Store(nil)
+		return err
+	}
 
-	// Commit: exclude writers, replay the journal, swap.
+	// Commit: exclude writers, replay the journal, swap. The target
+	// count is recorded only here, so an aborted reshard leaves no
+	// trace.
 	ix.wgate.Lock()
+	ix.target = n
 	m.mu.Lock() // writers are drained; taken for the race detector's benefit
 	ops := m.ops
 	m.mu.Unlock()

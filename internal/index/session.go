@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/textproc"
@@ -74,11 +75,13 @@ func (ix *Index) Session() *Session {
 // statsFor assembles the searchStats q needs, aggregating across
 // shards only what this session has not seen yet. The returned stats
 // hold private copies of the cached maps' relevant entries, so
-// concurrent session queries never share mutable state.
-func (sess *Session) statsFor(q Query) *searchStats {
+// concurrent session queries never share mutable state — including
+// the cancellation channel, which is per-call, not per-session.
+func (sess *Session) statsFor(ctx context.Context, q Query) *searchStats {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	st := newSearchStats()
+	st.done = ctx.Done()
 	st.ranker, st.k1, st.b = sess.ranker, sess.k1, sess.b
 	// Seed the analysis caches so collectTerms skips re-analysis of
 	// raw text this session has already processed.
@@ -139,26 +142,38 @@ func (sess *Session) statsFor(q Query) *searchStats {
 // the invalidation key for holding sessions across requests.
 func (sess *Session) RingGen() uint64 { return sess.r.gen }
 
-// Search is Index.Search evaluated under this session's statistics.
-func (sess *Session) Search(q Query, opts SearchOptions) []Result {
+// SearchContext is Index.SearchContext evaluated under this session's
+// statistics.
+func (sess *Session) SearchContext(ctx context.Context, q Query, opts SearchOptions) ([]Result, error) {
 	if q == nil {
 		q = AllQuery{}
 	}
-	return sess.ix.searchWith(sess.r, sess.statsFor(q), q, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sess.ix.searchWith(ctx, sess.r, sess.statsFor(ctx, q), q, opts)
 }
 
-// Count is Index.Count evaluated under this session's statistics.
-func (sess *Session) Count(q Query, filters map[string]string) int {
+// CountContext is Index.CountContext evaluated under this session's
+// statistics.
+func (sess *Session) CountContext(ctx context.Context, q Query, filters map[string]string) (int, error) {
 	if q == nil {
 		q = AllQuery{}
 	}
-	return sess.ix.countWith(sess.r, sess.statsFor(q), q, filters)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return sess.ix.countWith(ctx, sess.r, sess.statsFor(ctx, q), q, filters)
 }
 
-// Facets is Index.Facets evaluated under this session's statistics.
-func (sess *Session) Facets(q Query, field string, filters map[string]string) []FacetCount {
+// FacetsContext is Index.FacetsContext evaluated under this session's
+// statistics.
+func (sess *Session) FacetsContext(ctx context.Context, q Query, field string, filters map[string]string) ([]FacetCount, error) {
 	if q == nil {
 		q = AllQuery{}
 	}
-	return sess.ix.facetsWith(sess.r, sess.statsFor(q), q, field, filters)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sess.ix.facetsWith(ctx, sess.r, sess.statsFor(ctx, q), q, field, filters)
 }

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -353,12 +354,22 @@ type shardHit struct {
 // When k > 0 a bounded min-heap selects the shard-local top k during
 // the scan — the global top k can only contain each shard's local top
 // k — instead of sorting every match.
-func (s *shard) search(q Query, st *searchStats, filters map[string]string, k int) []shardHit {
+//
+// A cancelled ctx skips the shard entirely; cancellation mid-eval is
+// caught by the stride polls inside the eval loops, and the caller
+// (searchWith) discards every partial once any poll has fired.
+func (s *shard) search(ctx context.Context, q Query, st *searchStats, filters map[string]string, k int) []shardHit {
+	if ctx.Err() != nil {
+		return nil
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	acc := getAccum(len(s.docs))
 	defer putAccum(acc)
 	q.eval(s, st, acc)
+	if st.canceled() {
+		return nil
+	}
 	if k > 0 {
 		return s.topKLocked(acc, filters, k)
 	}
@@ -466,7 +477,10 @@ func siftDown(h []shardHit, i int) {
 
 // count returns how many live documents in this shard match q with the
 // filters.
-func (s *shard) count(q Query, st *searchStats, filters map[string]string) int {
+func (s *shard) count(ctx context.Context, q Query, st *searchStats, filters map[string]string) int {
+	if ctx.Err() != nil {
+		return 0
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	acc := getAccum(len(s.docs))
@@ -486,7 +500,10 @@ func (s *shard) count(q Query, st *searchStats, filters map[string]string) int {
 
 // facets returns this shard's stored-field value counts for docs
 // matching q.
-func (s *shard) facets(q Query, st *searchStats, field string, filters map[string]string) map[string]int {
+func (s *shard) facets(ctx context.Context, q Query, st *searchStats, field string, filters map[string]string) map[string]int {
+	if ctx.Err() != nil {
+		return nil
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	acc := getAccum(len(s.docs))
@@ -585,7 +602,11 @@ func (s *shard) scoreTermInto(fp *fieldPostings, field, term string, st *searchS
 		return
 	}
 	it := list.iter()
+	n := 0
 	for it.next() {
+		if n++; n&(cancelStride-1) == 0 && st.canceled() {
+			return
+		}
 		if s.docs[it.doc].ID == "" {
 			continue
 		}

@@ -11,6 +11,7 @@
 package recommend
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/engine"
@@ -46,7 +47,7 @@ type Options struct {
 
 // SupplementalSites recommends restriction sites for supplementing
 // the dataset's content.
-func SupplementalSites(e *engine.Engine, ds *store.Dataset, opts Options) ([]SiteScore, error) {
+func SupplementalSites(ctx context.Context, e *engine.Engine, ds *store.Dataset, opts Options) ([]SiteScore, error) {
 	if opts.SampleSize <= 0 {
 		opts.SampleSize = 10
 	}
@@ -69,7 +70,7 @@ func SupplementalSites(e *engine.Engine, ds *store.Dataset, opts Options) ([]Sit
 		if opts.ProbeSuffix != "" {
 			query += " " + opts.ProbeSuffix
 		}
-		rs, err := e.Search(engine.Request{
+		rs, err := e.Search(ctx, engine.Request{
 			Query:    query,
 			Vertical: webcorpus.VerticalWeb,
 			Limit:    opts.PerProbe,

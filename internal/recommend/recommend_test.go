@@ -1,6 +1,7 @@
 package recommend
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -37,7 +38,7 @@ func gameInventory(t testing.TB) *store.Dataset {
 
 func TestRecommendsGameSites(t *testing.T) {
 	ds := gameInventory(t)
-	recs, err := SupplementalSites(eng, ds, Options{DriveField: "title", ProbeSuffix: "review", Limit: 5})
+	recs, err := SupplementalSites(context.Background(), eng, ds, Options{DriveField: "title", ProbeSuffix: "review", Limit: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestRecommendsGameSites(t *testing.T) {
 
 func TestScoresDescendAndLimit(t *testing.T) {
 	ds := gameInventory(t)
-	recs, err := SupplementalSites(eng, ds, Options{DriveField: "title", Limit: 3})
+	recs, err := SupplementalSites(context.Background(), eng, ds, Options{DriveField: "title", Limit: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestEmptyDriveFieldYieldsNothing(t *testing.T) {
 	s.CreateTenant("t", "o")
 	ds, _ := s.CreateDataset("t", "o", store.Schema{Name: "d", Fields: []store.Field{{Name: "x"}}})
 	ds.Put(store.Record{"x": ""})
-	recs, err := SupplementalSites(eng, ds, Options{DriveField: "x"})
+	recs, err := SupplementalSites(context.Background(), eng, ds, Options{DriveField: "x"})
 	if err != nil || recs != nil {
 		t.Fatalf("recs = %v, %v", recs, err)
 	}
@@ -93,7 +94,7 @@ func TestEmptyDriveFieldYieldsNothing(t *testing.T) {
 
 func TestSuggesterBlendBoosts(t *testing.T) {
 	ds := gameInventory(t)
-	base, err := SupplementalSites(eng, ds, Options{DriveField: "title", ProbeSuffix: "review", Limit: 10})
+	base, err := SupplementalSites(context.Background(), eng, ds, Options{DriveField: "title", ProbeSuffix: "review", Limit: 10})
 	if err != nil || len(base) < 2 {
 		t.Skip("not enough base recommendations")
 	}
@@ -108,7 +109,7 @@ func TestSuggesterBlendBoosts(t *testing.T) {
 		)
 	}
 	sug := sitesuggest.Build(log)
-	blended, err := SupplementalSites(eng, ds, Options{
+	blended, err := SupplementalSites(context.Background(), eng, ds, Options{
 		DriveField: "title", ProbeSuffix: "review", Limit: 10, Suggester: sug,
 	})
 	if err != nil {

@@ -130,6 +130,13 @@ func (x *Executor) Execute(ctx context.Context, a *app.Application, q Query) (*R
 	if a == nil {
 		return nil, fmt.Errorf("runtime: nil application")
 	}
+	// Cancellation is the caller giving up, not a partial outage: fail
+	// the page instead of rendering a degraded one, so the serving
+	// layer can map it to a timeout status. Per-source degradation
+	// below stays reserved for genuine source failures.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	trace := &Trace{}
 	trace.add("receive", fmt.Sprintf("query %q forwarded to Symphony", q.Text), 0, 0, nil)
 
@@ -153,6 +160,11 @@ func (x *Executor) Execute(ctx context.Context, a *app.Application, q Query) (*R
 		}
 		resp.Blocks = append(resp.Blocks, *block)
 		blocks = append(blocks, block.HTML)
+	}
+	if err := ctx.Err(); err != nil {
+		// The deadline landed mid-page: every remaining source failed
+		// with the same cancellation, so the partial page is garbage.
+		return nil, err
 	}
 	stageStart := time.Now()
 	resp.HTML = render.Page(a.ID, blocks)

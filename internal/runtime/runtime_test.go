@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"strings"
@@ -368,22 +369,17 @@ func TestDidYouMeanRetriesPrimary(t *testing.T) {
 	}
 }
 
-func TestContextCancellationDegrades(t *testing.T) {
-	// A canceled context fails the web-service supplemental (its HTTP
-	// call honors ctx) but the page still renders with the healthy
-	// in-process sources.
+func TestContextCancellationFailsFast(t *testing.T) {
+	// Every source now honors ctx, so cancellation is the caller
+	// giving up rather than a partial outage: the executor fails the
+	// page instead of rendering a degraded one, letting the serving
+	// layer map it to a timeout status.
 	f := newFixture(t, 0)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	resp, err := f.exec.Execute(ctx, f.app, Query{Text: f.titles[0]})
-	if err != nil {
-		t.Fatalf("canceled ctx failed the page: %v", err)
-	}
-	if len(resp.Blocks) == 0 || len(resp.Blocks[0].Items) == 0 {
-		t.Fatal("primary results lost under canceled context")
-	}
-	if len(resp.Blocks[0].SupplementalByItem[0]["pricing"]) != 0 {
-		t.Error("service call succeeded under canceled context")
+	_, err := f.exec.Execute(ctx, f.app, Query{Text: f.titles[0]})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -74,8 +74,8 @@ func (s *StoreSource) Name() string { return s.SourceName }
 func (s *StoreSource) Kind() string { return "proprietary" }
 
 // Search implements Source.
-func (s *StoreSource) Search(_ context.Context, req Request) ([]Item, error) {
-	hits, err := s.Dataset.Search(store.SearchRequest{
+func (s *StoreSource) Search(ctx context.Context, req Request) ([]Item, error) {
+	hits, err := s.Dataset.SearchContext(ctx, store.SearchRequest{
 		Query:   req.Query,
 		Fields:  s.SearchFields,
 		Filters: s.Filters,
@@ -124,7 +124,7 @@ func (s *EngineSource) Kind() string {
 }
 
 // Search implements Source.
-func (s *EngineSource) Search(_ context.Context, req Request) ([]Item, error) {
+func (s *EngineSource) Search(ctx context.Context, req Request) ([]Item, error) {
 	query := req.Query
 	if s.QueryTemplate != "" {
 		// A supplemental query with no driving data is skipped: firing
@@ -138,7 +138,7 @@ func (s *EngineSource) Search(_ context.Context, req Request) ([]Item, error) {
 	if strings.TrimSpace(query) == "" {
 		return nil, nil
 	}
-	rs, err := s.Engine.Search(engine.Request{
+	rs, err := s.Engine.Search(ctx, engine.Request{
 		Query:      query,
 		Vertical:   s.Vertical,
 		Sites:      s.Sites,

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -183,12 +184,15 @@ func (d *Dataset) Version() uint64 {
 // the migration can never be cached as current. No-op and invalid
 // reshards skip the bumps: they change nothing, so they must not
 // dirty the dataset for incremental checkpoints.
-func (d *Dataset) Reshard(n int) error {
+func (d *Dataset) ReshardContext(ctx context.Context, n int) error {
 	if n < 1 || n == d.ix.NumShards() {
-		return d.ix.Reshard(n) // validates / no-ops without dirtying
+		return d.ix.ReshardContext(ctx, n) // validates / no-ops without dirtying
 	}
 	d.bumpVersion()
-	if err := d.ix.Reshard(n); err != nil {
+	if err := d.ix.ReshardContext(ctx, n); err != nil {
+		// Both aborted and failed migrations leave the live ring
+		// unchanged, but the version already moved; the extra bump
+		// just re-encodes one frame on the next checkpoint.
 		return err
 	}
 	d.bumpVersion()
@@ -279,8 +283,9 @@ type Hit struct {
 	Record Record
 }
 
-// Search runs the request.
-func (d *Dataset) Search(req SearchRequest) ([]Hit, error) {
+// SearchContext runs the request. Cancelling ctx stops the index
+// evaluation within one posting block and returns ctx.Err().
+func (d *Dataset) SearchContext(ctx context.Context, req SearchRequest) ([]Hit, error) {
 	fields := req.Fields
 	if len(fields) == 0 {
 		fields = d.schema.SearchableFields()
@@ -311,7 +316,10 @@ func (d *Dataset) Search(req SearchRequest) ([]Hit, error) {
 	defer d.mu.RUnlock()
 	// Fetch everything matching; structured filters and ordering are
 	// applied here where types are known.
-	raw := d.ix.Search(q, index.SearchOptions{})
+	raw, err := d.ix.SearchContext(ctx, q, index.SearchOptions{})
+	if err != nil {
+		return nil, err
+	}
 	hits := make([]Hit, 0, len(raw))
 	for _, r := range raw {
 		rec := d.records[r.ID]
@@ -346,14 +354,14 @@ func (d *Dataset) Search(req SearchRequest) ([]Hit, error) {
 	return hits, nil
 }
 
-// Facets counts the values of field across records matching the
-// request's query and filters — the designer's filter sidebar
+// FacetsContext counts the values of field across records matching
+// the request's query and filters — the designer's filter sidebar
 // (e.g. producer counts next to inventory results).
-func (d *Dataset) Facets(req SearchRequest, field string) ([]index.FacetCount, error) {
+func (d *Dataset) FacetsContext(ctx context.Context, req SearchRequest, field string) ([]index.FacetCount, error) {
 	if _, ok := d.schema.Field(field); !ok {
 		return nil, fmt.Errorf("store: unknown facet field %q", field)
 	}
-	hits, err := d.Search(SearchRequest{
+	hits, err := d.SearchContext(ctx, SearchRequest{
 		Query:   req.Query,
 		Fields:  req.Fields,
 		Filters: req.Filters,

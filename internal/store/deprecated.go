@@ -1,0 +1,62 @@
+package store
+
+// Legacy non-context entrypoints, kept for one release while callers
+// migrate to the ctx-first API. Each delegates with a background
+// context. This file doubles as the allowlist for the CI context-gate
+// over new exported methods.
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/index"
+)
+
+// Dataset looks up a dataset without cancellation.
+//
+// Deprecated: use DatasetContext.
+func (s *Store) Dataset(tenantID, actor, name string, need Permission) (*Dataset, error) {
+	return s.DatasetContext(context.Background(), tenantID, actor, name, need)
+}
+
+// Reshard reshards a dataset without cancellation.
+//
+// Deprecated: use ReshardContext.
+func (s *Store) Reshard(tenantID, actor, name string, n int) error {
+	return s.ReshardContext(context.Background(), tenantID, actor, name, n)
+}
+
+// Snapshot serializes the store without cancellation.
+//
+// Deprecated: use SnapshotContext.
+func (s *Store) Snapshot(w io.Writer, opts ...PersistOption) error {
+	return s.SnapshotContext(context.Background(), w, opts...)
+}
+
+// Restore loads a snapshot without cancellation.
+//
+// Deprecated: use RestoreContext.
+func (s *Store) Restore(r io.Reader, opts ...PersistOption) error {
+	return s.RestoreContext(context.Background(), r, opts...)
+}
+
+// Search runs a dataset query without cancellation.
+//
+// Deprecated: use SearchContext.
+func (d *Dataset) Search(req SearchRequest) ([]Hit, error) {
+	return d.SearchContext(context.Background(), req)
+}
+
+// Facets counts facet values without cancellation.
+//
+// Deprecated: use FacetsContext.
+func (d *Dataset) Facets(req SearchRequest, field string) ([]index.FacetCount, error) {
+	return d.FacetsContext(context.Background(), req, field)
+}
+
+// Reshard migrates the dataset's index without cancellation.
+//
+// Deprecated: use ReshardContext.
+func (d *Dataset) Reshard(n int) error {
+	return d.ReshardContext(context.Background(), n)
+}

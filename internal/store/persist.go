@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -246,12 +247,18 @@ func (s *Store) collect() ([]v2Tenant, []datasetRef) {
 	return meta, refs
 }
 
-// Snapshot serializes the whole store in format v2. Dataset frames
-// are encoded concurrently by a worker pool and written in
+// SnapshotContext serializes the whole store in format v2. Dataset
+// frames are encoded concurrently by a worker pool and written in
 // deterministic (tenant, dataset) order; only the frame being encoded
 // holds its dataset's read lock, so concurrent writers on other
-// datasets proceed during a checkpoint.
-func (s *Store) Snapshot(w io.Writer, opts ...PersistOption) error {
+// datasets proceed during a checkpoint. Cancellation is checked
+// between dataset frames: a cancelled snapshot stops encoding, leaves
+// a truncated (unloadable, by design — Restore validates) stream and
+// returns ctx.Err().
+func (s *Store) SnapshotContext(ctx context.Context, w io.Writer, opts ...PersistOption) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	o := applyPersistOptions(opts)
 	meta, refs := s.collect()
 
@@ -288,17 +295,28 @@ func (s *Store) Snapshot(w io.Writer, opts ...PersistOption) error {
 		}()
 	}
 	go func() {
+		defer close(jobs)
 		for i := range refs {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				// Undispatched frames stay un-encoded; the writer loop
+				// below bails out on the same signal, so it never waits
+				// on a done channel that will not close.
+				return
+			}
 		}
-		close(jobs)
 	}()
 	defer wg.Wait()
 
 	// Write frames in order as each becomes ready: the stream is
 	// deterministic even though encoding is concurrent.
 	for i := range refs {
-		<-results[i].done
+		select {
+		case <-results[i].done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 		if results[i].err != nil {
 			return fmt.Errorf("store: snapshot %s/%s: %w", refs[i].tenant, refs[i].name, results[i].err)
 		}
@@ -411,13 +429,17 @@ func (s *Store) SnapshotV1(w io.Writer) error {
 	return enc.Encode(snap)
 }
 
-// Restore replaces the store's contents from a snapshot in either
-// format: v2 streams (sniffed by magic) decode dataset frames
+// RestoreContext replaces the store's contents from a snapshot in
+// either format: v2 streams (sniffed by magic) decode dataset frames
 // concurrently and reattach their serialized indexes; v1 documents
 // rebuild indexes from records. The replacement state is built and
-// validated completely before it is swapped in, so a failed restore
-// leaves the store unchanged.
-func (s *Store) Restore(r io.Reader, opts ...PersistOption) error {
+// validated completely before it is swapped in, so a failed restore —
+// including a cancelled one — leaves the store unchanged.
+// Cancellation is checked between dataset frames.
+func (s *Store) RestoreContext(ctx context.Context, r io.Reader, opts ...PersistOption) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	// Sniff the format from the first bytes. A short stream is
 	// whatever of it we got — let the v1 JSON decoder report it.
 	prefix := make([]byte, len(snapshotMagicV2))
@@ -427,12 +449,12 @@ func (s *Store) Restore(r io.Reader, opts ...PersistOption) error {
 	}
 	prefix = prefix[:n]
 	if string(prefix) == snapshotMagicV2 {
-		return s.restoreV2(r, applyPersistOptions(opts))
+		return s.restoreV2(ctx, r, applyPersistOptions(opts))
 	}
 	return s.restoreV1(io.MultiReader(bytes.NewReader(prefix), r))
 }
 
-func (s *Store) restoreV2(r io.Reader, o persistOptions) error {
+func (s *Store) restoreV2(ctx context.Context, r io.Reader, o persistOptions) error {
 	hdrBytes, err := frameio.ReadFrame(r)
 	if err != nil {
 		return fmt.Errorf("store: restore v2 header: %w", err)
@@ -473,6 +495,9 @@ func (s *Store) restoreV2(r io.Reader, o persistOptions) error {
 	}
 	frames := make([][]byte, len(expects))
 	for i := range frames {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if frames[i], err = frameio.ReadFrame(r); err != nil {
 			return fmt.Errorf("store: restore %s/%s frame: %w", expects[i].tenant, expects[i].name, err)
 		}
@@ -483,6 +508,9 @@ func (s *Store) restoreV2(r io.Reader, o persistOptions) error {
 
 	// Decode and rebuild datasets on a worker pool; each job is
 	// independent, so decode scales with the dataset count.
+	// Cancellation stops dispatch between frames; already-dispatched
+	// decodes finish (they only build private state) and the whole
+	// restore returns without touching the store.
 	datasets := make([]*Dataset, len(expects))
 	errs := make([]error, len(expects))
 	jobs := make(chan int)
@@ -496,15 +524,26 @@ func (s *Store) restoreV2(r io.Reader, o persistOptions) error {
 			}
 		}()
 	}
+	dispatched := len(frames)
 	for i := range frames {
+		if ctx.Err() != nil {
+			dispatched = i
+			break
+		}
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+	if dispatched < len(frames) {
+		return ctx.Err()
+	}
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("store: restore %s/%s: %w", expects[i].tenant, expects[i].name, err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 
 	for i, e := range expects {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -192,9 +193,14 @@ func (s *Store) CreateDataset(tenantID, actor string, schema Schema) (*Dataset, 
 	return ds, nil
 }
 
-// Dataset returns a dataset for reading or writing; access is checked
-// at the requested level.
-func (s *Store) Dataset(tenantID, actor, name string, need Permission) (*Dataset, error) {
+// DatasetContext returns a dataset for reading or writing; access is
+// checked at the requested level. The lookup itself is cheap, but it
+// honors an already-cancelled ctx so a request that timed out in an
+// admission queue fails before touching tenant state.
+func (s *Store) DatasetContext(ctx context.Context, tenantID, actor, name string, need Permission) (*Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	t, err := s.access(tenantID, actor, need)
@@ -251,16 +257,17 @@ func (s *Store) Tenants() []string {
 	return out
 }
 
-// Reshard rebuilds one dataset's full-text index to n shards online.
-// Access is checked at write level; the migration itself takes only
-// that dataset's locks, so every other tenant and dataset is
-// untouched while it runs.
-func (s *Store) Reshard(tenantID, actor, name string, n int) error {
-	ds, err := s.Dataset(tenantID, actor, name, PermWrite)
+// ReshardContext rebuilds one dataset's full-text index to n shards
+// online. Access is checked at write level; the migration itself
+// takes only that dataset's locks, so every other tenant and dataset
+// is untouched while it runs. Cancelling ctx aborts the migration
+// between shard copies, leaving the live index unchanged.
+func (s *Store) ReshardContext(ctx context.Context, tenantID, actor, name string, n int) error {
+	ds, err := s.DatasetContext(ctx, tenantID, actor, name, PermWrite)
 	if err != nil {
 		return err
 	}
-	return ds.Reshard(n)
+	return ds.ReshardContext(ctx, n)
 }
 
 // DatasetStatus is the operator-facing view of one dataset's index

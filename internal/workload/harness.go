@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Class is one tenant class in a closed-loop serving benchmark: a set
+// of workers replaying a Zipf query stream against one hosted app.
+// Offered load is closed-loop — each worker issues its next request
+// only after the previous one completes — so concurrency, not an open
+// arrival rate, is the knob (matching how embedded search widgets
+// actually drive a hosted platform: one in-flight query per visitor).
+type Class struct {
+	// Name keys the class in the report ("light", "heavy", ...).
+	Name string
+	// App is the published application to query.
+	App string
+	// Workers is the closed-loop concurrency.
+	Workers int
+	// Requests is the total request budget across the class's workers.
+	Requests int
+	// Seed drives this class's query stream (offset per worker so
+	// workers do not replay identical sequences in lockstep).
+	Seed int64
+	// ShedBackoff is how long a worker pauses after a 429 before
+	// retrying. Zero means no pause: a shed storm from a greedy
+	// client. Well-behaved clients honor Retry-After; a bench client
+	// uses a small fixed pause so the run finishes.
+	ShedBackoff time.Duration
+	// Think is the mean pause between consecutive requests of one
+	// worker, independent of outcome — the time a real visitor spends
+	// reading a results page. Zero means the worker re-requests
+	// immediately. Workers stagger their start across one think
+	// interval and jitter each pause by ±50% (deterministically, from
+	// Seed), so a large worker pool models independent visitors
+	// instead of a phase-locked arrival wave.
+	Think time.Duration
+}
+
+// ClassReport summarizes one class's outcomes. Latency percentiles
+// cover successful (200) requests only: a shed 429 in microseconds
+// must not flatter the latency distribution.
+type ClassReport struct {
+	Class    string  `json:"class"`
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`     // 429: admission control
+	Deadline int     `json:"deadline"` // 504: query or queue timeout
+	Errors   int     `json:"errors"`   // anything else
+	P50Ms    float64 `json:"p50Ms"`
+	P95Ms    float64 `json:"p95Ms"`
+	P99Ms    float64 `json:"p99Ms"`
+	MeanMs   float64 `json:"meanMs"`
+	// QPS is completed requests (any status) per wall second: the
+	// class's achieved closed-loop throughput.
+	QPS float64 `json:"qps"`
+}
+
+// Report is one harness run.
+type Report struct {
+	Classes []ClassReport `json:"classes"`
+	WallMs  float64       `json:"wallMs"`
+}
+
+// HarnessConfig shapes one closed-loop run against a serving endpoint.
+type HarnessConfig struct {
+	// BaseURL is the serving host, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Classes run concurrently; the run ends when every class
+	// exhausts its request budget (or ctx ends).
+	Classes []Class
+	// Client overrides the HTTP client (nil = a fresh one with
+	// per-class connection reuse).
+	Client *http.Client
+}
+
+// Run drives every class against the endpoint and reports per-class
+// latency and outcome counts. Cancelling ctx stops workers at their
+// next request boundary; the report covers what completed.
+func Run(ctx context.Context, cfg HarnessConfig) (Report, error) {
+	if cfg.BaseURL == "" {
+		return Report{}, fmt.Errorf("workload: harness needs a BaseURL")
+	}
+	if len(cfg.Classes) == 0 {
+		return Report{}, fmt.Errorf("workload: harness needs at least one class")
+	}
+	client := cfg.Client
+	if client == nil {
+		// The default transport keeps only two idle connections per
+		// host; a few hundred closed-loop workers would then redial on
+		// nearly every request and the connection churn — not the
+		// server — would dominate tail latency. Size the pool to the
+		// worker count.
+		workers := 0
+		for _, c := range cfg.Classes {
+			if c.Workers > 0 {
+				workers += c.Workers
+			} else {
+				workers++
+			}
+		}
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        workers,
+			MaxIdleConnsPerHost: workers,
+		}}
+	}
+
+	type sample struct {
+		status int
+		d      time.Duration
+	}
+	results := make([][]sample, len(cfg.Classes))
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for ci := range cfg.Classes {
+		c := cfg.Classes[ci]
+		if c.Workers <= 0 {
+			c.Workers = 1
+		}
+		mu := &sync.Mutex{}
+		// Workers draw from one shared budget so Requests bounds the
+		// class exactly regardless of worker count.
+		budget := c.Requests
+		take := func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if budget <= 0 {
+				return false
+			}
+			budget--
+			return true
+		}
+		var cmu sync.Mutex
+		for w := 0; w < c.Workers; w++ {
+			wg.Add(1)
+			stream := New(Config{Seed: c.Seed + int64(w)*7919})
+			jitter := rand.New(rand.NewSource(c.Seed + int64(w)*104729))
+			stagger := time.Duration(0)
+			if c.Think > 0 && c.Workers > 1 {
+				stagger = c.Think * time.Duration(w) / time.Duration(c.Workers)
+			}
+			go func(ci int, c Class, stream *Stream, jitter *rand.Rand, stagger time.Duration) {
+				defer wg.Done()
+				if stagger > 0 {
+					select {
+					case <-time.After(stagger):
+					case <-ctx.Done():
+						return
+					}
+				}
+				for take() {
+					if ctx.Err() != nil {
+						return
+					}
+					q := stream.Next()
+					u := fmt.Sprintf("%s/query?app=%s&q=%s", cfg.BaseURL,
+						url.QueryEscape(c.App), url.QueryEscape(q))
+					t0 := time.Now()
+					req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+					if err != nil {
+						continue
+					}
+					resp, err := client.Do(req)
+					d := time.Since(t0)
+					status := 0
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						status = resp.StatusCode
+					}
+					cmu.Lock()
+					results[ci] = append(results[ci], sample{status: status, d: d})
+					cmu.Unlock()
+					pause := c.Think
+					if pause > 0 {
+						// ±50% jitter keeps a worker pool from
+						// re-synchronizing into arrival waves.
+						pause = pause/2 + time.Duration(jitter.Int63n(int64(pause)))
+					}
+					if status == http.StatusTooManyRequests {
+						pause += c.ShedBackoff
+					}
+					if pause > 0 {
+						select {
+						case <-time.After(pause):
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+			}(ci, c, stream, jitter, stagger)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := Report{WallMs: float64(wall.Microseconds()) / 1000}
+	for ci, c := range cfg.Classes {
+		cr := ClassReport{Class: c.Name, Requests: len(results[ci])}
+		var okLat []time.Duration
+		var sum time.Duration
+		for _, s := range results[ci] {
+			switch s.status {
+			case http.StatusOK:
+				cr.OK++
+				okLat = append(okLat, s.d)
+				sum += s.d
+			case http.StatusTooManyRequests:
+				cr.Shed++
+			case http.StatusGatewayTimeout:
+				cr.Deadline++
+			default:
+				cr.Errors++
+			}
+		}
+		if len(okLat) > 0 {
+			sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+			cr.P50Ms = ms(percentile(okLat, 0.50))
+			cr.P95Ms = ms(percentile(okLat, 0.95))
+			cr.P99Ms = ms(percentile(okLat, 0.99))
+			cr.MeanMs = ms(sum / time.Duration(len(okLat)))
+		}
+		if wall > 0 {
+			cr.QPS = float64(cr.Requests) / wall.Seconds()
+		}
+		rep.Classes = append(rep.Classes, cr)
+	}
+	return rep, nil
+}
+
+// percentile returns the p-quantile of sorted latencies by
+// nearest-rank.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// ClassByName finds a class report.
+func (r Report) ClassByName(name string) (ClassReport, bool) {
+	for _, c := range r.Classes {
+		if c.Class == name {
+			return c, true
+		}
+	}
+	return ClassReport{}, false
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHarnessClosedLoop(t *testing.T) {
+	var hits int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&hits, 1)
+		switch r.URL.Query().Get("app") {
+		case "ok":
+			w.Write([]byte("<div/>"))
+		case "shed":
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+		case "slow":
+			http.Error(w, "deadline", http.StatusGatewayTimeout)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), HarnessConfig{
+		BaseURL: srv.URL,
+		Classes: []Class{
+			{Name: "good", App: "ok", Workers: 3, Requests: 30, Seed: 1},
+			{Name: "throttled", App: "shed", Workers: 2, Requests: 10, Seed: 2},
+			{Name: "timingout", App: "slow", Workers: 1, Requests: 5, Seed: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, ok := rep.ClassByName("good")
+	if !ok || good.OK != 30 || good.Shed != 0 {
+		t.Fatalf("good = %+v", good)
+	}
+	if good.P50Ms <= 0 || good.P99Ms < good.P50Ms {
+		t.Fatalf("good percentiles = %+v", good)
+	}
+	throttled, _ := rep.ClassByName("throttled")
+	if throttled.Shed != 10 || throttled.OK != 0 {
+		t.Fatalf("throttled = %+v", throttled)
+	}
+	slow, _ := rep.ClassByName("timingout")
+	if slow.Deadline != 5 {
+		t.Fatalf("timingout = %+v", slow)
+	}
+	if got := atomic.LoadInt64(&hits); got != 45 {
+		t.Fatalf("total requests = %d, want 45 (budgets are exact)", got)
+	}
+	if rep.WallMs <= 0 {
+		t.Fatal("no wall time measured")
+	}
+}
+
+func TestHarnessRespectsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, HarnessConfig{
+		BaseURL: srv.URL,
+		Classes: []Class{{Name: "c", App: "ok", Workers: 2, Requests: 1000, Seed: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pre-cancelled ctx stops workers at the first request boundary;
+	// at most one sample per worker slips through as an error.
+	if c, _ := rep.ClassByName("c"); c.OK > 0 {
+		t.Fatalf("cancelled run completed requests: %+v", c)
+	}
+}
+
+func TestHarnessValidation(t *testing.T) {
+	if _, err := Run(context.Background(), HarnessConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Run(context.Background(), HarnessConfig{BaseURL: "http://x"}); err == nil {
+		t.Fatal("no classes accepted")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(lat, 0.50); got != 5 {
+		t.Fatalf("p50 = %d", got)
+	}
+	if got := percentile(lat, 0.99); got != 10 {
+		t.Fatalf("p99 = %d", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %d", got)
+	}
+}

@@ -1,0 +1,60 @@
+#!/bin/sh
+# ctxgate: the context-first API gate for the query-path packages.
+#
+# Every exported function or method in internal/engine, internal/store
+# and internal/index either takes `ctx context.Context` as its first
+# parameter or is grandfathered in scripts/ctxgate_allow.txt (the
+# pre-redesign constructor/accessor surface that has no blocking work
+# to cancel). deprecated.go files are exempt wholesale: they are the
+# compatibility wrappers the redesign deliberately kept.
+#
+# A NEW exported entry point without ctx therefore fails CI until it
+# either gains the parameter or is consciously added to the allowlist
+# in the same review.
+#
+#   scripts/ctxgate.sh            check (exit 1 on violations)
+#   scripts/ctxgate.sh --update   regenerate the allowlist
+set -eu
+
+cd "$(dirname "$0")/.."
+allow=scripts/ctxgate_allow.txt
+
+# Exported func/method declarations whose first parameter is not ctx,
+# as "path:Name". Receiver and parameter list are stripped; generic
+# type parameters on funcs keep the name intact because we cut at the
+# first '(' or '['.
+offenders() {
+    for dir in internal/engine internal/store internal/index; do
+        for f in "$dir"/*.go; do
+            case "$f" in
+            *_test.go | */deprecated.go) continue ;;
+            esac
+            # "func Name(" or "func (r *Recv) Name(" with an exported
+            # Name; then drop lines whose first param is ctx.
+            grep -nE '^func (\([^)]*\) )?[A-Z][A-Za-z0-9_]*[([]' "$f" |
+                grep -vE '[([]ctx context\.Context' |
+                sed -E "s|^([0-9]+):func (\([^)]*\) )?([A-Z][A-Za-z0-9_]*).*|$f:\3|"
+        done
+    done | sort -u
+}
+
+if [ "${1:-}" = "--update" ]; then
+    offenders >"$allow"
+    echo "ctxgate: allowlist regenerated with $(wc -l <"$allow") entries"
+    exit 0
+fi
+
+if [ ! -f "$allow" ]; then
+    echo "ctxgate: missing $allow (run scripts/ctxgate.sh --update once)" >&2
+    exit 1
+fi
+
+new=$(offenders | comm -13 "$allow" - || true)
+if [ -n "$new" ]; then
+    echo "ctxgate: new exported entry points without a ctx first parameter:" >&2
+    echo "$new" | sed 's/^/  /' >&2
+    echo "ctxgate: thread context.Context through (see README: Serving & QoS)," >&2
+    echo "ctxgate: or append to $allow if there is genuinely nothing to cancel." >&2
+    exit 1
+fi
+echo "ctxgate: ok"
