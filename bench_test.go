@@ -256,7 +256,7 @@ func BenchmarkQueryBM25(b *testing.B) {
 			b.Run(fmt.Sprintf("n=%d/%s", size, cfg.name), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					rs := ix.Search(index.MatchQuery{Text: "search platform review"}, index.SearchOptions{Limit: 10})
+					rs := mustSearch(ix, index.MatchQuery{Text: "search platform review"}, index.SearchOptions{Limit: 10})
 					if len(rs) == 0 {
 						b.Fatal("no results")
 					}
@@ -294,7 +294,7 @@ func BenchmarkQueryParallel(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				i := 0
 				for pb.Next() {
-					rs := ix.Search(index.MatchQuery{Text: queries[i%len(queries)]}, index.SearchOptions{Limit: 10})
+					rs := mustSearch(ix, index.MatchQuery{Text: queries[i%len(queries)]}, index.SearchOptions{Limit: 10})
 					if len(rs) == 0 {
 						b.Error("no results")
 						return
@@ -318,7 +318,7 @@ func BenchmarkQueryParallel(b *testing.B) {
 							Fields: map[string]string{"body": "fresh review search platform update"},
 						})
 					} else {
-						ix.Search(index.MatchQuery{Text: queries[i%len(queries)]}, index.SearchOptions{Limit: 10})
+						mustSearch(ix, index.MatchQuery{Text: queries[i%len(queries)]}, index.SearchOptions{Limit: 10})
 					}
 					i++
 				}
@@ -335,7 +335,7 @@ func BenchmarkQueryPhrase(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix.Search(index.PhraseQuery{Field: "body", Text: "search platform"}, index.SearchOptions{Limit: 10})
+		mustSearch(ix, index.PhraseQuery{Field: "body", Text: "search platform"}, index.SearchOptions{Limit: 10})
 	}
 }
 
@@ -505,12 +505,12 @@ func BenchmarkSnippets(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			ix.Search(index.MatchQuery{Text: "search platform"}, index.SearchOptions{Limit: 10})
+			mustSearch(ix, index.MatchQuery{Text: "search platform"}, index.SearchOptions{Limit: 10})
 		}
 	})
 	b.Run("on", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			ix.Search(index.MatchQuery{Text: "search platform"}, index.SearchOptions{Limit: 10, SnippetField: "body"})
+			mustSearch(ix, index.MatchQuery{Text: "search platform"}, index.SearchOptions{Limit: 10, SnippetField: "body"})
 		}
 	})
 }
@@ -528,7 +528,7 @@ func BenchmarkRankers(b *testing.B) {
 		ix.SetRanker(r.ranker)
 		b.Run(r.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if rs := ix.Search(index.MatchQuery{Text: "search platform review"}, index.SearchOptions{Limit: 10}); len(rs) == 0 {
+				if rs := mustSearch(ix, index.MatchQuery{Text: "search platform review"}, index.SearchOptions{Limit: 10}); len(rs) == 0 {
 					b.Fatal("no results")
 				}
 			}
@@ -559,4 +559,14 @@ func BenchmarkServiceCache(b *testing.B) {
 			}
 		})
 	}
+}
+
+// mustSearch keeps the benchmark bodies on the ctx-first API without
+// per-iteration error plumbing; queries here never carry a deadline.
+func mustSearch(ix *index.Index, q index.Query, opts index.SearchOptions) []index.Result {
+	rs, err := ix.SearchContext(context.Background(), q, opts)
+	if err != nil {
+		panic(err)
+	}
+	return rs
 }

@@ -169,7 +169,7 @@ func main() {
 			fmt.Printf("  %.3f (%d probe hits)  %s\n", r.Score, r.Hits, r.Site)
 		}
 	case "structured":
-		ds, err := p.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
+		ds, err := p.Store.DatasetContext(ctx, "gamerqueen", "ann", "inventory", store.PermRead)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func main() {
 		if text == "" {
 			text = "sort:title"
 		}
-		hits, err := structured.Apply(ds, text, 10)
+		hits, err := structured.Apply(ctx, ds, text, 10)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -258,7 +258,7 @@ func main() {
 			}
 			fmt.Printf("  tenant %s:\n", tenant)
 			for _, name := range names {
-				ds, err := p.Store.Dataset(tenant, "ann", name, store.PermRead)
+				ds, err := p.Store.DatasetContext(ctx, tenant, "ann", name, store.PermRead)
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -21,6 +21,12 @@
 // small box serves at full fan-out here. /statusz reports each
 // dataset's shard count, ring generation and tombstone ratio as
 // JSON, so operators can watch reshard progress.
+//
+// --cache-mb sizes the shared cross-request result cache (default
+// 64 MB, 0 disables). Repeated queries against unchanged data — the
+// common case for a published app's landing page — are answered from
+// the cache; any write to an index invalidates its entries by
+// generation stamp. /statusz reports hit/miss/eviction counters.
 package main
 
 import (
@@ -62,6 +68,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for store snapshots (empty = not durable)")
 	checkpointEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period with --data-dir")
 	shards := flag.String("shards", "auto", "dataset index shard count: \"auto\" (one per CPU) or N")
+	cacheMB := flag.Int("cache-mb", 64, "shared cross-request result cache size in MB (0 = disabled)")
 	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "per-query execution deadline (0 = unbounded)")
 	tenantSlots := flag.Int("tenant-slots", 4, "concurrent queries allowed per tenant")
 	tenantQueue := flag.Int("tenant-queue", 8, "queued queries allowed per tenant beyond the slots (0 = shed immediately)")
@@ -77,7 +84,7 @@ func main() {
 	defer stop()
 
 	base := "http://" + *addr
-	p := core.New(core.Config{Seed: *seed, ClickBase: base + "/click", ShardTarget: shardTarget})
+	p := core.New(core.Config{Seed: *seed, ClickBase: base + "/click", ShardTarget: shardTarget, CacheMB: *cacheMB})
 	gq, err := demo.GamerQueen(p, *seed, 10)
 	if err != nil {
 		log.Fatal(err)
@@ -133,12 +140,17 @@ func main() {
 		if shardTarget > 0 {
 			target = strconv.Itoa(shardTarget)
 		}
+		var cacheStats any
+		if p.Cache != nil {
+			cacheStats = p.Cache.Stats()
+		}
 		if err := enc.Encode(map[string]any{
 			"shardTarget":  target,
 			"gomaxprocs":   runtime.GOMAXPROCS(0),
 			"datasets":     p.Store.Status(),
 			"admission":    admission.Stats(),
 			"queryTimeout": queryTimeout.String(),
+			"cache":        cacheStats,
 		}); err != nil {
 			log.Printf("symphonyd: statusz: %v", err)
 		}

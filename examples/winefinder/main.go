@@ -41,11 +41,11 @@ func main() {
 	}
 
 	// Richer structured querying over her cellar (future work §IV).
-	ds, err := p.Store.Dataset("winefinder", "claire", "cellar", store.PermRead)
+	ds, err := p.Store.DatasetContext(context.Background(), "winefinder", "claire", "cellar", store.PermRead)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hits, err := structured.Apply(ds, "rating:>=95 sort:-rating", 5)
+	hits, err := structured.Apply(context.Background(), ds, "rating:>=95 sort:-rating", 5)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,10 +26,12 @@ type backupDoc struct {
 	Apps    []json.RawMessage `json:"apps"`
 }
 
-// Backup serializes designers' durable state to w.
+// Backup serializes designers' durable state to w. It is an
+// operator-invoked batch job without a request context, so the
+// snapshot runs uncancellable.
 func (p *Platform) Backup(w io.Writer) error {
 	var storeBuf bytes.Buffer
-	if err := p.Store.Snapshot(&storeBuf); err != nil {
+	if err := p.Store.SnapshotContext(context.Background(), &storeBuf); err != nil {
 		return fmt.Errorf("core: backup: %w", err)
 	}
 	doc := backupDoc{Version: 2, Store: storeBuf.Bytes()}
@@ -46,7 +49,7 @@ func (p *Platform) Backup(w io.Writer) error {
 // RestoreBackup loads a backup into this platform, replacing the
 // store contents and re-publishing every application. Both backup
 // versions restore: v1 embedded the store as raw JSON, v2 embeds a
-// framed binary snapshot; Store.Restore reads either store format.
+// framed binary snapshot; the store's restore reads either format.
 func (p *Platform) RestoreBackup(r io.Reader) error {
 	var raw struct {
 		Version int               `json:"version"`
@@ -68,7 +71,7 @@ func (p *Platform) RestoreBackup(r io.Reader) error {
 	default:
 		return fmt.Errorf("core: restore: unsupported backup version %d", raw.Version)
 	}
-	if err := p.Store.Restore(bytes.NewReader(doc.Store)); err != nil {
+	if err := p.Store.RestoreContext(context.Background(), bytes.NewReader(doc.Store)); err != nil {
 		return err
 	}
 	for _, raw := range doc.Apps {

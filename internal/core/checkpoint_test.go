@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -38,14 +39,14 @@ func TestCheckpointRestoreCycle(t *testing.T) {
 	if restored, err := cp2.RestoreLatest(); err != nil || !restored {
 		t.Fatalf("RestoreLatest = %v, %v, want restore", restored, err)
 	}
-	ds, err := p2.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
+	ds, err := p2.Store.DatasetContext(context.Background(), "gamerqueen", "ann", "inventory", store.PermRead)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ds.Len() == 0 {
 		t.Fatal("restored inventory is empty")
 	}
-	hits, err := ds.Search(store.SearchRequest{Query: "exciting", Limit: 3})
+	hits, err := ds.SearchContext(context.Background(), store.SearchRequest{Query: "exciting", Limit: 3})
 	if err != nil || len(hits) == 0 {
 		t.Fatalf("restored search = %v, %v", hits, err)
 	}
@@ -126,7 +127,7 @@ func TestRestoreLatestRejectsCorrupt(t *testing.T) {
 		t.Fatal("corrupt checkpoint accepted")
 	}
 	// The seeded store survives the failed restore untouched.
-	ds, err := p.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
+	ds, err := p.Store.DatasetContext(context.Background(), "gamerqueen", "ann", "inventory", store.PermRead)
 	if err != nil || ds.Len() == 0 {
 		t.Fatalf("store mutated by failed restore: %v, %v", ds, err)
 	}
@@ -163,7 +164,7 @@ func TestCheckpointIncremental(t *testing.T) {
 		t.Fatalf("clean checkpoint log = %q, want all frames reused", last())
 	}
 
-	ds, err := p.Store.Dataset("gamerqueen", "ann", "inventory", store.PermWrite)
+	ds, err := p.Store.DatasetContext(context.Background(), "gamerqueen", "ann", "inventory", store.PermWrite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestCheckpointIncremental(t *testing.T) {
 	if restored, err := cp2.RestoreLatest(); err != nil || !restored {
 		t.Fatalf("RestoreLatest = %v, %v", restored, err)
 	}
-	ds2, err := p2.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
+	ds2, err := p2.Store.DatasetContext(context.Background(), "gamerqueen", "ann", "inventory", store.PermRead)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestCheckpointRestoreAppliesShardTarget(t *testing.T) {
 	if restored, err := cp2.RestoreLatest(); err != nil || !restored {
 		t.Fatalf("RestoreLatest = %v, %v", restored, err)
 	}
-	ds, err := wide.Store.Dataset("gamerqueen", "ann", "inventory", store.PermRead)
+	ds, err := wide.Store.DatasetContext(context.Background(), "gamerqueen", "ann", "inventory", store.PermRead)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestCheckpointRestoreAppliesShardTarget(t *testing.T) {
 	if !sawTransition {
 		t.Fatalf("restore did not log the shard transition: %q", logs)
 	}
-	hits, err := ds.Search(store.SearchRequest{Query: "exciting", Limit: 3})
+	hits, err := ds.SearchContext(context.Background(), store.SearchRequest{Query: "exciting", Limit: 3})
 	if err != nil || len(hits) == 0 {
 		t.Fatalf("post-reshard search = %v, %v", hits, err)
 	}

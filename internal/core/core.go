@@ -18,6 +18,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/engine"
 	"repro/internal/host"
+	"repro/internal/index"
 	"repro/internal/ingest"
 	"repro/internal/publish"
 	"repro/internal/runtime"
@@ -47,13 +48,22 @@ type Config struct {
 	// under another layout reshard to it on load — so durability
 	// layout never caps query fan-out on the serving machine.
 	ShardTarget int
+	// CacheMB sizes the shared cross-request result cache attached to
+	// every engine vertical and store dataset, in megabytes. Zero
+	// disables caching (the default — tests and one-shot tools skip
+	// the memory). Entries are stamped with each index's mutation era,
+	// so a hit can never serve data from before a write.
+	CacheMB int
 }
 
 // Platform is a fully wired Symphony instance.
 type Platform struct {
-	Corpus   *webcorpus.Corpus
-	Engine   *engine.Engine
-	Store    *store.Store
+	Corpus *webcorpus.Corpus
+	Engine *engine.Engine
+	Store  *store.Store
+	// Cache is the shared cross-request result cache (nil when
+	// Config.CacheMB was zero). Exposed for operator stats.
+	Cache    *index.Cache
 	Uploader *ingest.Uploader
 	Services *webservice.Client
 	Ads      *ads.Service
@@ -78,16 +88,22 @@ func New(cfg Config) *Platform {
 // NewWithCorpus builds a platform over an existing corpus (shared by
 // benchmarks to avoid regenerating the web per run).
 func NewWithCorpus(cfg Config, corpus *webcorpus.Corpus) *Platform {
+	var cache *index.Cache
+	if cfg.CacheMB > 0 {
+		cache = index.NewCache(int64(cfg.CacheMB) << 20)
+	}
 	p := &Platform{
 		Corpus:   corpus,
+		Cache:    cache,
 		Engine:   engine.New(corpus),
-		Store:    store.New(store.WithShardTarget(cfg.ShardTarget)),
+		Store:    store.New(store.WithShardTarget(cfg.ShardTarget), store.WithCache(cache)),
 		Services: webservice.NewClient(cfg.HTTPClient),
 		Ads:      ads.NewService(),
 		Log:      analytics.NewLog(),
 		Registry: host.NewRegistry(),
 		Facebook: publish.NewSocialPlatform("facebook"),
 	}
+	p.Engine.AttachCache(cache)
 	p.Uploader = &ingest.Uploader{Store: p.Store, Client: cfg.HTTPClient}
 	p.Executor = &runtime.Executor{
 		Store:                   p.Store,

@@ -305,6 +305,19 @@ func (e *Engine) Log() []LogEntry {
 	return out
 }
 
+// AttachCache connects every vertical's index to a shared
+// cross-request cache (see index.Cache). Each vertical gets its own
+// key namespace; nil is a no-op so callers can pass an unconfigured
+// cache straight through.
+func (e *Engine) AttachCache(c *index.Cache) {
+	if c == nil {
+		return
+	}
+	for _, ix := range e.perVert {
+		ix.AttachCache(c)
+	}
+}
+
 // Corpus exposes the underlying synthetic web (used by the crawler
 // substrate and tests).
 func (e *Engine) Corpus() *webcorpus.Corpus { return e.corpus }

@@ -200,13 +200,13 @@ func TestSearchDeterministic(t *testing.T) {
 	}
 }
 
-// TestSearchPageMatchesSeparateCalls: the session-backed SearchPage
-// must return exactly what separate Search + per-call aggregation
-// would, while reusing one statistics pass.
-func TestSearchPageMatchesSeparateCalls(t *testing.T) {
+// TestQueryMatchesSeparateCalls: the session-backed Query must
+// return exactly what separate Search + per-call aggregation would,
+// while reusing one statistics pass.
+func TestQueryMatchesSeparateCalls(t *testing.T) {
 	e := newEngine(t)
 	req := Request{Query: "review", Limit: 5}
-	page, err := e.SearchPage(req)
+	page, err := e.Query(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestSearchPageMatchesSeparateCalls(t *testing.T) {
 	if sum != page.Total {
 		t.Fatalf("site facet sum %d != total %d (every page stores its site)", sum, page.Total)
 	}
-	if _, err := e.SearchPage(Request{Query: "x", Vertical: "maps"}); err == nil {
+	if _, err := e.Query(context.Background(), Request{Query: "x", Vertical: "maps"}); err == nil {
 		t.Fatal("unknown vertical should error")
 	}
 }
@@ -248,13 +248,13 @@ func TestQueryCancelledContext(t *testing.T) {
 	if _, err := e.Query(ctx, Request{Query: testCorpus.Pages[0].Entity}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Query under cancelled ctx = %v, want context.Canceled", err)
 	}
-	// The deprecated wrapper has no deadline to hit: it must still
-	// answer in full.
-	page, err := e.SearchPage(Request{Query: testCorpus.Pages[0].Entity, Limit: 3})
+	// A fresh background context has no deadline to hit: the same
+	// request must still answer in full.
+	page, err := e.Query(context.Background(), Request{Query: testCorpus.Pages[0].Entity, Limit: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if page.Total == 0 {
-		t.Fatal("SearchPage returned no hits")
+		t.Fatal("Query returned no hits")
 	}
 }

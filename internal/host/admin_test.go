@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -62,7 +63,7 @@ func TestAdminUpload(t *testing.T) {
 	if !strings.Contains(body, `"Loaded":2`) {
 		t.Errorf("report = %s", body)
 	}
-	ds, err := st.Dataset("shop", "ann", "catalog", store.PermRead)
+	ds, err := st.DatasetContext(context.Background(), "shop", "ann", "catalog", store.PermRead)
 	if err != nil || ds.Len() != 2 {
 		t.Fatalf("dataset after upload: %v %v", ds, err)
 	}

@@ -69,7 +69,7 @@ func TestAutoCompact(t *testing.T) {
 	if n != 7 {
 		t.Fatalf("postings for 'common' after auto-compact = %d, want 7", n)
 	}
-	if got := ix.Search(TermQuery{Field: "body", Term: "common"}, SearchOptions{}); len(got) != 7 {
+	if got := ix.mustSearch(TermQuery{Field: "body", Term: "common"}, SearchOptions{}); len(got) != 7 {
 		t.Fatalf("search after auto-compact = %d hits, want 7", len(got))
 	}
 }
@@ -90,7 +90,7 @@ func TestAutoCompactOnReplace(t *testing.T) {
 	if got := ix.TombstoneRatio(); got != 0 {
 		t.Fatalf("ratio after replacements = %v, want 0 (auto-compacted)", got)
 	}
-	if got := ix.Search(TermQuery{Field: "body", Term: "replaced"}, SearchOptions{}); len(got) != 2 {
+	if got := ix.mustSearch(TermQuery{Field: "body", Term: "replaced"}, SearchOptions{}); len(got) != 2 {
 		t.Fatalf("search = %d hits, want 2", len(got))
 	}
 }

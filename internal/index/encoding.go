@@ -107,17 +107,27 @@ func (r *binReader) strmap() (map[string]string, error) {
 // stream only when a phrase asks for them.
 const postingBlockSize = 128
 
-// blockMeta is the skip entry for one block of postings. (Position
-// blocks carry no skip offsets yet; phrase evaluation streams them
-// sequentially — see the ROADMAP's positional-skip follow-up.)
+// blockMeta is the skip entry for one block of postings. Besides the
+// decode anchors (first ordinal, byte offsets into both streams) it
+// carries the block's maximum term frequency — the input to the
+// Block-Max early-exit bound: a ranker's per-(field,term) scorer turns
+// maxTF into an upper bound on any document's score inside the block,
+// so the top-k loop can skip the whole block without decoding it when
+// that bound cannot beat the running threshold. posOff is the byte
+// offset of the block's first position run, so phrase evaluation
+// seeks straight to a candidate block's positions instead of
+// length-walking every run before it.
 type blockMeta struct {
 	firstDoc int // ordinal of the block's first posting
 	docOff   int // byte offset of the block in docTF
+	posOff   int // byte offset of the block's first position run in posBuf
+	maxTF    int // maximum term frequency within the block
 }
 
 type postingList struct {
 	n       int // posting (document) count
 	lastDoc int // last appended ordinal, for delta appends
+	maxTF   int // maximum term frequency across the whole list
 	// docTF holds (docDelta, tf) uvarint pairs; a block's first entry
 	// encodes delta 0 relative to its skip entry's firstDoc, so blocks
 	// decode independently.
@@ -134,7 +144,7 @@ type postingList struct {
 func (l *postingList) appendPosting(doc int, positions []int) {
 	prev := l.lastDoc
 	if l.n%postingBlockSize == 0 {
-		l.blocks = append(l.blocks, blockMeta{firstDoc: doc, docOff: len(l.docTF)})
+		l.blocks = append(l.blocks, blockMeta{firstDoc: doc, docOff: len(l.docTF), posOff: len(l.posBuf)})
 		prev = doc
 	}
 	l.docTF = binary.AppendUvarint(l.docTF, uint64(doc-prev))
@@ -148,8 +158,46 @@ func (l *postingList) appendPosting(doc int, positions []int) {
 		}
 		pp = p
 	}
+	if tf := len(positions); tf > 0 {
+		b := &l.blocks[len(l.blocks)-1]
+		if tf > b.maxTF {
+			b.maxTF = tf
+		}
+		if tf > l.maxTF {
+			l.maxTF = tf
+		}
+	}
 	l.lastDoc = doc
 	l.n++
+}
+
+// numBlocks returns the number of posting blocks in the list.
+func (l *postingList) numBlocks() int { return len(l.blocks) }
+
+// blockEnd returns the index one past the last posting of block b.
+func (l *postingList) blockEnd(b int) int {
+	end := (b + 1) * postingBlockSize
+	if end > l.n {
+		end = l.n
+	}
+	return end
+}
+
+// blockLastDoc returns the last document ordinal covered by block b:
+// lastDoc for the final block, one less than the next block's first
+// ordinal otherwise. (The true last ordinal of a non-final block is
+// not recorded, but any doc beyond this bound lives in a later
+// block, which is all the skip logic needs.)
+func (l *postingList) blockLastDoc(b int) int {
+	if b+1 < len(l.blocks) {
+		return l.blocks[b+1].firstDoc - 1
+	}
+	return l.lastDoc
+}
+
+// blockFor returns the index of the last block whose firstDoc <= doc.
+func (l *postingList) blockFor(doc int) int {
+	return sort.Search(len(l.blocks), func(i int) bool { return l.blocks[i].firstDoc > doc }) - 1
 }
 
 // postingIter streams (doc, tf) pairs out of a list. Positions are

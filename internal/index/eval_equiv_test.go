@@ -105,33 +105,38 @@ func TestEvalEquivalence(t *testing.T) {
 		for _, n := range shardCounts {
 			ix := equivCorpus(t, n)
 			ix.SetRanker(ranker)
-			for name, q := range equivQueries() {
-				label := fmt.Sprintf("ranker=%d shards=%d %s", ranker, n, name)
-				opts := []SearchOptions{
-					{},
-					{Limit: 10},
-					{Limit: 10, Offset: 7},
-					{Limit: 5, Filters: map[string]string{"producer": "Epic"}},
-					{Filters: map[string]string{"parity": "0"}},
-				}
-				for i, o := range opts {
-					mustEqualResults(t, fmt.Sprintf("%s opts%d", label, i),
-						ix.Search(q, o), refSearch(ix, q, o))
-				}
-				if got, want := ix.Count(q, nil), refCount(ix, q, nil); got != want {
-					t.Fatalf("%s: Count %d, want %d", label, got, want)
-				}
-				filt := map[string]string{"producer": "Nintendo"}
-				if got, want := ix.Count(q, filt), refCount(ix, q, filt); got != want {
-					t.Fatalf("%s: filtered Count %d, want %d", label, got, want)
-				}
-				gotF, wantF := ix.Facets(q, "producer", nil), refFacets(ix, q, "producer", nil)
-				if len(gotF) != len(wantF) {
-					t.Fatalf("%s: %d facets, want %d", label, len(gotF), len(wantF))
-				}
-				for i := range wantF {
-					if gotF[i] != wantF[i] {
-						t.Fatalf("%s facet %d: got %v, want %v", label, i, gotF[i], wantF[i])
+			for _, force := range []bool{false, true} {
+				// force=true pins the block-max evaluator on even for the
+				// dense disjunctions the density fallback would hand back.
+				ix.wandDenseForce.Store(force)
+				for name, q := range equivQueries() {
+					label := fmt.Sprintf("ranker=%d shards=%d force=%v %s", ranker, n, force, name)
+					opts := []SearchOptions{
+						{},
+						{Limit: 10},
+						{Limit: 10, Offset: 7},
+						{Limit: 5, Filters: map[string]string{"producer": "Epic"}},
+						{Filters: map[string]string{"parity": "0"}},
+					}
+					for i, o := range opts {
+						mustEqualResults(t, fmt.Sprintf("%s opts%d", label, i),
+							ix.mustSearch(q, o), refSearch(ix, q, o))
+					}
+					if got, want := ix.mustCount(q, nil), refCount(ix, q, nil); got != want {
+						t.Fatalf("%s: Count %d, want %d", label, got, want)
+					}
+					filt := map[string]string{"producer": "Nintendo"}
+					if got, want := ix.mustCount(q, filt), refCount(ix, q, filt); got != want {
+						t.Fatalf("%s: filtered Count %d, want %d", label, got, want)
+					}
+					gotF, wantF := ix.mustFacets(q, "producer", nil), refFacets(ix, q, "producer", nil)
+					if len(gotF) != len(wantF) {
+						t.Fatalf("%s: %d facets, want %d", label, len(gotF), len(wantF))
+					}
+					for i := range wantF {
+						if gotF[i] != wantF[i] {
+							t.Fatalf("%s facet %d: got %v, want %v", label, i, gotF[i], wantF[i])
+						}
 					}
 				}
 			}
@@ -151,11 +156,11 @@ func TestSessionEquivalence(t *testing.T) {
 			label := fmt.Sprintf("shards=%d %s", n, name)
 			// Same query three ways through one session: Search warms
 			// the cache, Count and Facets must reuse it exactly.
-			mustEqualResults(t, label, sess.Search(q, SearchOptions{Limit: 10}), ix.Search(q, SearchOptions{Limit: 10}))
-			if got, want := sess.Count(q, nil), ix.Count(q, nil); got != want {
+			mustEqualResults(t, label, sess.mustSearch(q, SearchOptions{Limit: 10}), ix.mustSearch(q, SearchOptions{Limit: 10}))
+			if got, want := sess.mustCount(q, nil), ix.mustCount(q, nil); got != want {
 				t.Fatalf("%s: session Count %d, want %d", label, got, want)
 			}
-			gotF, wantF := sess.Facets(q, "producer", nil), ix.Facets(q, "producer", nil)
+			gotF, wantF := sess.mustFacets(q, "producer", nil), ix.mustFacets(q, "producer", nil)
 			if len(gotF) != len(wantF) {
 				t.Fatalf("%s: session %d facets, want %d", label, len(gotF), len(wantF))
 			}
@@ -169,14 +174,15 @@ func TestSessionEquivalence(t *testing.T) {
 		// drift: everything now comes from the cache.
 		for name, q := range equivQueries() {
 			mustEqualResults(t, fmt.Sprintf("shards=%d %s warm", n, name),
-				sess.Search(q, SearchOptions{Limit: 10}), ix.Search(q, SearchOptions{Limit: 10}))
+				sess.mustSearch(q, SearchOptions{Limit: 10}), ix.mustSearch(q, SearchOptions{Limit: 10}))
 		}
 	}
 }
 
 // TestEvalEquivalenceFuzz builds randomized corpora (random vocab,
 // doc lengths, deletions) and compares randomized queries against the
-// reference evaluator across shard counts.
+// reference evaluator across shard counts, with block-max early exit
+// on and off, and with the shared cross-request cache cold and warm.
 func TestEvalEquivalenceFuzz(t *testing.T) {
 	for seed := int64(1); seed <= 4; seed++ {
 		rng := rand.New(rand.NewSource(seed))
@@ -245,13 +251,36 @@ func TestEvalEquivalenceFuzz(t *testing.T) {
 					ix.Delete(sp.id)
 				}
 			}
-			for qi, q := range queries {
-				label := fmt.Sprintf("seed=%d shards=%d q%d(%T)", seed, n, qi, q)
-				mustEqualResults(t, label, ix.Search(q, SearchOptions{}), refSearch(ix, q, SearchOptions{}))
-				mustEqualResults(t, label+" top5", ix.Search(q, SearchOptions{Limit: 5}), refSearch(ix, q, SearchOptions{Limit: 5}))
-				if got, want := ix.Count(q, nil), refCount(ix, q, nil); got != want {
-					t.Fatalf("%s: Count %d, want %d", label, got, want)
+			// The full matrix: block-max early exit on and off, then
+			// with a shared cache attached — the first pass fills it,
+			// the second is answered from it. Every cell must be
+			// bit-identical to the reference evaluator.
+			runAll := func(stage string) {
+				for qi, q := range queries {
+					label := fmt.Sprintf("seed=%d shards=%d %s q%d(%T)", seed, n, stage, qi, q)
+					mustEqualResults(t, label, ix.mustSearch(q, SearchOptions{}), refSearch(ix, q, SearchOptions{}))
+					mustEqualResults(t, label+" top5", ix.mustSearch(q, SearchOptions{Limit: 5}), refSearch(ix, q, SearchOptions{Limit: 5}))
+					if got, want := ix.mustCount(q, nil), refCount(ix, q, nil); got != want {
+						t.Fatalf("%s: Count %d, want %d", label, got, want)
+					}
 				}
+			}
+			runAll("early-exit")
+			// Fuzz corpora are tiny and dense, so the density fallback
+			// routes most disjunctions to the accumulator; forcing the
+			// block-max evaluator keeps WAND itself under fuzz.
+			ix.wandDenseForce.Store(true)
+			runAll("wand-forced")
+			ix.wandDenseForce.Store(false)
+			ix.SetEarlyExit(false)
+			runAll("exhaustive")
+			ix.SetEarlyExit(true)
+			c := NewCache(8 << 20)
+			ix.AttachCache(c)
+			runAll("cache-cold")
+			runAll("cache-warm")
+			if st := c.Stats(); st.Hits == 0 {
+				t.Fatalf("seed=%d shards=%d: warm pass never hit the cache: %+v", seed, n, st)
 			}
 		}
 	}

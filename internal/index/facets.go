@@ -24,6 +24,22 @@ func (ix *Index) FacetsContext(ctx context.Context, q Query, field string, filte
 		return nil, err
 	}
 	r := ix.ring.Load()
+	ref := ix.cache.Load()
+	st := ix.stampFor(r)
+	if ref != nil {
+		if key, ok := facetsKey(q, field, filters); ok {
+			ck := ref.key(kindFacets, key)
+			if v, ok := ref.c.get(ck, st); ok {
+				return copyFacets(v.([]FacetCount)), nil
+			}
+			fc, err := ix.facetsWith(ctx, r, ix.gatherStats(ctx, r, q), q, field, filters)
+			if err != nil {
+				return nil, err
+			}
+			ref.c.put(ck, st, fc, facetBytes(fc))
+			return copyFacets(fc), nil
+		}
+	}
 	return ix.facetsWith(ctx, r, ix.gatherStats(ctx, r, q), q, field, filters)
 }
 

@@ -7,7 +7,7 @@ import (
 
 func TestFacetsOverMatch(t *testing.T) {
 	ix := sampleIndex(t)
-	got := ix.Facets(MatchQuery{Text: "game"}, "producer", nil)
+	got := ix.mustFacets(MatchQuery{Text: "game"}, "producer", nil)
 	want := []FacetCount{
 		{Value: "Nintendo", N: 2},
 		{Value: "Ensemble", N: 1},
@@ -20,7 +20,7 @@ func TestFacetsOverMatch(t *testing.T) {
 
 func TestFacetsRespectFilters(t *testing.T) {
 	ix := sampleIndex(t)
-	got := ix.Facets(nil, "producer", map[string]string{"producer": "Nintendo"})
+	got := ix.mustFacets(nil, "producer", map[string]string{"producer": "Nintendo"})
 	if len(got) != 1 || got[0].N != 2 {
 		t.Fatalf("filtered facets = %v", got)
 	}
@@ -29,13 +29,13 @@ func TestFacetsRespectFilters(t *testing.T) {
 func TestFacetsSkipDeletedAndEmpty(t *testing.T) {
 	ix := sampleIndex(t)
 	ix.Delete("g1")
-	got := ix.Facets(nil, "producer", nil)
+	got := ix.mustFacets(nil, "producer", nil)
 	for _, f := range got {
 		if f.Value == "Nintendo" && f.N != 1 {
 			t.Fatalf("deleted doc counted: %v", got)
 		}
 	}
-	if got := ix.Facets(nil, "nonexistent", nil); len(got) != 0 {
+	if got := ix.mustFacets(nil, "nonexistent", nil); len(got) != 0 {
 		t.Fatalf("phantom field facets = %v", got)
 	}
 }

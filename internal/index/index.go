@@ -152,10 +152,37 @@ type Index struct {
 	wgate sync.RWMutex
 	// reshardMu serializes Reshard calls (one migration at a time).
 	reshardMu sync.Mutex
+
+	// earlyExitOff disables the block-max top-k evaluator (wand.go),
+	// forcing every search through the exhaustive accumulator path.
+	// For equivalence tests and A/B benchmarks; results are identical
+	// either way.
+	earlyExitOff atomic.Bool
+	// scanScored / scanSkipped count postings decoded vs. jumped
+	// without decoding by the block-max evaluator, across all
+	// searches — operator-visible proof that early exit is live.
+	scanScored  atomic.Uint64
+	scanSkipped atomic.Uint64
+	// wandDenseForce disables the dense-disjunction fallback in
+	// searchTopK, sending every streamable top-k through the
+	// block-max evaluator even when no skipping is possible. Only
+	// equivalence tests set it: small fixtures are always "dense".
+	wandDenseForce atomic.Bool
 	// mig, when non-nil, is the active migration. Writers load it
 	// under their shard's write lock and journal every applied op so
 	// the commit replay cannot lose a write. See reshard.go.
 	mig atomic.Pointer[migration]
+
+	// ver counts completed mutations (adds, deletes, compactions,
+	// configuration changes). Together with the ring generation it
+	// forms the Stamp that validates entries in the attached
+	// cross-request cache: mutations bump it after they apply, so
+	// anything cached against the old value is never served to a
+	// reader that starts after the mutation.
+	ver atomic.Uint64
+	// cache, when non-nil, is the shared cross-request cache plus this
+	// index's key namespace. See AttachCache in cache.go.
+	cache atomic.Pointer[cacheRef]
 
 	// cfg guards global, shard-independent state: the scoring
 	// configuration and the registry of known fields with their
@@ -201,12 +228,32 @@ func (ix *Index) NumShards() int { return len(ix.ring.Load().shards) }
 // that a reshard completed.
 func (ix *Index) RingGen() uint64 { return ix.ring.Load().gen }
 
+// SetEarlyExit toggles the block-max early-exit evaluator (on by
+// default). Rankings are bit-identical either way; disabling it is
+// only useful for equivalence testing and A/B benchmarking.
+func (ix *Index) SetEarlyExit(on bool) { ix.earlyExitOff.Store(!on) }
+
+// BlockScanStats reports cumulative posting-block activity of the
+// block-max evaluator: blocks entered for decoding and whole blocks
+// skipped without decoding. A zero Skipped on a corpus larger than a
+// few blocks means early exit is not engaging.
+type BlockScanStats struct {
+	Scored  uint64 `json:"scored"`
+	Skipped uint64 `json:"skipped"`
+}
+
+// ScanStats returns the index's cumulative block scan counters.
+func (ix *Index) ScanStats() BlockScanStats {
+	return BlockScanStats{Scored: ix.scanScored.Load(), Skipped: ix.scanSkipped.Load()}
+}
+
 // SetRanker switches the scoring function. Safe to call at any time;
 // it affects subsequent searches only.
 func (ix *Index) SetRanker(r Ranker) {
 	ix.cfg.Lock()
-	defer ix.cfg.Unlock()
 	ix.cfg.ranker = r
+	ix.cfg.Unlock()
+	ix.bumpVer()
 }
 
 // SetFieldOptions configures analysis and boost for a field. It must
@@ -225,6 +272,7 @@ func (ix *Index) SetFieldOptions(field string, opts FieldOptions) {
 	for _, s := range ix.ring.Load().shards {
 		s.setFieldOptions(field, opts)
 	}
+	ix.bumpVer()
 }
 
 // fieldOpts returns the registered options for field and whether the
@@ -277,8 +325,9 @@ func (ix *Index) Add(doc Document) error {
 		analyzed[field] = opts.Analyzer.Analyze(text)
 	}
 	ix.wgate.RLock()
-	defer ix.wgate.RUnlock()
 	ix.ring.Load().shardFor(doc.ID).add(doc, analyzed)
+	ix.wgate.RUnlock()
+	ix.bumpVer()
 	return nil
 }
 
@@ -297,8 +346,12 @@ func (ix *Index) AddBatch(docs []Document) error {
 // the delete is journaled and replayed across an in-flight reshard.
 func (ix *Index) Delete(id string) bool {
 	ix.wgate.RLock()
-	defer ix.wgate.RUnlock()
-	return ix.ring.Load().shardFor(id).delete(id)
+	deleted := ix.ring.Load().shardFor(id).delete(id)
+	ix.wgate.RUnlock()
+	if deleted {
+		ix.bumpVer()
+	}
+	return deleted
 }
 
 // Compact rebuilds posting lists without tombstoned entries. Call it
@@ -307,6 +360,7 @@ func (ix *Index) Delete(id string) bool {
 func (ix *Index) Compact() {
 	r := ix.ring.Load()
 	eachShard(r, func(_ int, s *shard) { s.compact() })
+	ix.bumpVer()
 }
 
 // TombstoneRatio reports the fraction of uncompacted tombstoned

@@ -43,7 +43,7 @@ func BenchmarkSearchMatch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix.Search(MatchQuery{Text: "alpha review"}, SearchOptions{Limit: 10})
+		ix.mustSearch(MatchQuery{Text: "alpha review"}, SearchOptions{Limit: 10})
 	}
 }
 
@@ -56,7 +56,7 @@ func BenchmarkSearchBool(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix.Search(q, SearchOptions{Limit: 10})
+		ix.mustSearch(q, SearchOptions{Limit: 10})
 	}
 }
 
@@ -78,7 +78,7 @@ func BenchmarkSearchMatchParallel(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
-					ix.Search(MatchQuery{Text: "alpha review"}, SearchOptions{Limit: 10})
+					ix.mustSearch(MatchQuery{Text: "alpha review"}, SearchOptions{Limit: 10})
 				}
 			})
 		})

@@ -57,7 +57,7 @@ func TestAddEmptyID(t *testing.T) {
 
 func TestMatchQueryOr(t *testing.T) {
 	ix := sampleIndex(t)
-	rs := ix.Search(MatchQuery{Text: "zelda adventure"}, SearchOptions{})
+	rs := ix.mustSearch(MatchQuery{Text: "zelda adventure"}, SearchOptions{})
 	got := ids(rs)
 	if len(got) < 2 || got[0] != "g1" && got[0] != "g4" {
 		t.Fatalf("zelda adventure results = %v", got)
@@ -72,7 +72,7 @@ func TestMatchQueryOr(t *testing.T) {
 
 func TestMatchQueryAnd(t *testing.T) {
 	ix := sampleIndex(t)
-	rs := ix.Search(MatchQuery{Text: "zelda puzzles", Operator: "and"}, SearchOptions{})
+	rs := ix.mustSearch(MatchQuery{Text: "zelda puzzles", Operator: "and"}, SearchOptions{})
 	if got := ids(rs); len(got) != 1 || got[0] != "g1" {
 		t.Fatalf("AND query = %v, want [g1]", got)
 	}
@@ -80,11 +80,11 @@ func TestMatchQueryAnd(t *testing.T) {
 
 func TestFieldRestrictedMatch(t *testing.T) {
 	ix := sampleIndex(t)
-	rs := ix.Search(MatchQuery{Fields: []string{"title"}, Text: "adventure"}, SearchOptions{})
+	rs := ix.mustSearch(MatchQuery{Fields: []string{"title"}, Text: "adventure"}, SearchOptions{})
 	if len(rs) != 0 {
 		t.Fatalf("title-only adventure matched %v", ids(rs))
 	}
-	rs = ix.Search(MatchQuery{Fields: []string{"desc"}, Text: "adventure"}, SearchOptions{})
+	rs = ix.mustSearch(MatchQuery{Fields: []string{"desc"}, Text: "adventure"}, SearchOptions{})
 	if len(rs) != 2 {
 		t.Fatalf("desc adventure = %v", ids(rs))
 	}
@@ -92,7 +92,7 @@ func TestFieldRestrictedMatch(t *testing.T) {
 
 func TestTitleBoostRanksTitleHitsFirst(t *testing.T) {
 	ix := sampleIndex(t)
-	rs := ix.Search(MatchQuery{Text: "war"}, SearchOptions{})
+	rs := ix.mustSearch(MatchQuery{Text: "war"}, SearchOptions{})
 	// g2 "Halo Wars" and g3 "Gears of War" have title hits; both should
 	// rank and g2/g3 should beat any desc-only hit.
 	if len(rs) < 2 {
@@ -102,12 +102,12 @@ func TestTitleBoostRanksTitleHitsFirst(t *testing.T) {
 
 func TestPhraseQuery(t *testing.T) {
 	ix := sampleIndex(t)
-	rs := ix.Search(PhraseQuery{Field: "title", Text: "spirit tracks"}, SearchOptions{})
+	rs := ix.mustSearch(PhraseQuery{Field: "title", Text: "spirit tracks"}, SearchOptions{})
 	if got := ids(rs); len(got) != 1 || got[0] != "g4" {
 		t.Fatalf("phrase = %v", got)
 	}
 	// Out-of-order words must not match as phrase.
-	rs = ix.Search(PhraseQuery{Field: "title", Text: "tracks spirit"}, SearchOptions{})
+	rs = ix.mustSearch(PhraseQuery{Field: "title", Text: "tracks spirit"}, SearchOptions{})
 	if len(rs) != 0 {
 		t.Fatalf("reversed phrase matched %v", ids(rs))
 	}
@@ -116,13 +116,13 @@ func TestPhraseQuery(t *testing.T) {
 func TestPhraseQueryWithStopwordGap(t *testing.T) {
 	ix := sampleIndex(t)
 	// "legend of zelda": "of" is a stopword; the gap must be honored.
-	rs := ix.Search(PhraseQuery{Field: "title", Text: "legend of zelda"}, SearchOptions{})
+	rs := ix.mustSearch(PhraseQuery{Field: "title", Text: "legend of zelda"}, SearchOptions{})
 	if got := ids(rs); len(got) != 1 || got[0] != "g1" {
 		t.Fatalf("stopword phrase = %v", got)
 	}
 	// "legend zelda" with no gap should NOT match because the indexed
 	// positions have a hole where "of" was.
-	rs = ix.Search(PhraseQuery{Field: "title", Text: "legend zelda"}, SearchOptions{})
+	rs = ix.mustSearch(PhraseQuery{Field: "title", Text: "legend zelda"}, SearchOptions{})
 	if len(rs) != 0 {
 		t.Fatalf("gapless phrase matched %v", ids(rs))
 	}
@@ -130,7 +130,7 @@ func TestPhraseQueryWithStopwordGap(t *testing.T) {
 
 func TestPrefixQuery(t *testing.T) {
 	ix := sampleIndex(t)
-	rs := ix.Search(PrefixQuery{Field: "title", Prefix: "zel"}, SearchOptions{})
+	rs := ix.mustSearch(PrefixQuery{Field: "title", Prefix: "zel"}, SearchOptions{})
 	if len(rs) != 2 {
 		t.Fatalf("prefix zel = %v", ids(rs))
 	}
@@ -142,7 +142,7 @@ func TestBoolQuery(t *testing.T) {
 		Must:    []Query{MatchQuery{Text: "game"}},
 		MustNot: []Query{MatchQuery{Text: "zelda"}},
 	}
-	rs := ix.Search(q, SearchOptions{})
+	rs := ix.mustSearch(q, SearchOptions{})
 	for _, id := range ids(rs) {
 		if id == "g1" || id == "g4" {
 			t.Errorf("mustnot leaked %s", id)
@@ -159,7 +159,7 @@ func TestBoolQueryShouldOnly(t *testing.T) {
 		TermQuery{Field: "title", Term: "halo"},
 		TermQuery{Field: "title", Term: "gears"},
 	}}
-	rs := ix.Search(q, SearchOptions{})
+	rs := ix.mustSearch(q, SearchOptions{})
 	if len(rs) != 2 {
 		t.Fatalf("should-only = %v", ids(rs))
 	}
@@ -167,7 +167,7 @@ func TestBoolQueryShouldOnly(t *testing.T) {
 
 func TestAllQueryAndFilters(t *testing.T) {
 	ix := sampleIndex(t)
-	rs := ix.Search(AllQuery{}, SearchOptions{Filters: map[string]string{"producer": "Nintendo"}})
+	rs := ix.mustSearch(AllQuery{}, SearchOptions{Filters: map[string]string{"producer": "Nintendo"}})
 	if len(rs) != 2 {
 		t.Fatalf("filter producer=Nintendo = %v", ids(rs))
 	}
@@ -175,26 +175,26 @@ func TestAllQueryAndFilters(t *testing.T) {
 
 func TestCount(t *testing.T) {
 	ix := sampleIndex(t)
-	if n := ix.Count(MatchQuery{Text: "game"}, nil); n != 4 {
+	if n := ix.mustCount(MatchQuery{Text: "game"}, nil); n != 4 {
 		t.Fatalf("Count(game) = %d", n)
 	}
-	if n := ix.Count(nil, map[string]string{"producer": "Epic"}); n != 1 {
+	if n := ix.mustCount(nil, map[string]string{"producer": "Epic"}); n != 1 {
 		t.Fatalf("Count(producer=Epic) = %d", n)
 	}
 }
 
 func TestLimitOffset(t *testing.T) {
 	ix := sampleIndex(t)
-	all := ix.Search(MatchQuery{Text: "game"}, SearchOptions{})
-	page1 := ix.Search(MatchQuery{Text: "game"}, SearchOptions{Limit: 2})
-	page2 := ix.Search(MatchQuery{Text: "game"}, SearchOptions{Limit: 2, Offset: 2})
+	all := ix.mustSearch(MatchQuery{Text: "game"}, SearchOptions{})
+	page1 := ix.mustSearch(MatchQuery{Text: "game"}, SearchOptions{Limit: 2})
+	page2 := ix.mustSearch(MatchQuery{Text: "game"}, SearchOptions{Limit: 2, Offset: 2})
 	if len(page1) != 2 || len(page2) != 2 {
 		t.Fatalf("pagination sizes %d %d", len(page1), len(page2))
 	}
 	if page1[0].ID != all[0].ID || page2[0].ID != all[2].ID {
 		t.Error("pagination does not line up with full result order")
 	}
-	if got := ix.Search(MatchQuery{Text: "game"}, SearchOptions{Offset: 99}); got != nil {
+	if got := ix.mustSearch(MatchQuery{Text: "game"}, SearchOptions{Offset: 99}); got != nil {
 		t.Error("offset past end should be empty")
 	}
 }
@@ -210,7 +210,7 @@ func TestDelete(t *testing.T) {
 	if ix.Len() != 3 {
 		t.Fatalf("Len after delete = %d", ix.Len())
 	}
-	rs := ix.Search(MatchQuery{Text: "legend"}, SearchOptions{})
+	rs := ix.mustSearch(MatchQuery{Text: "legend"}, SearchOptions{})
 	if len(rs) != 0 {
 		t.Fatalf("deleted doc still matches: %v", ids(rs))
 	}
@@ -225,10 +225,10 @@ func TestReAddReplaces(t *testing.T) {
 	if ix.Len() != 4 {
 		t.Fatalf("Len after replace = %d", ix.Len())
 	}
-	if rs := ix.Search(MatchQuery{Text: "legend"}, SearchOptions{}); len(rs) != 0 {
+	if rs := ix.mustSearch(MatchQuery{Text: "legend"}, SearchOptions{}); len(rs) != 0 {
 		t.Error("old content of replaced doc still searchable")
 	}
-	if rs := ix.Search(MatchQuery{Text: "completely"}, SearchOptions{}); len(rs) != 1 {
+	if rs := ix.mustSearch(MatchQuery{Text: "completely"}, SearchOptions{}); len(rs) != 1 {
 		t.Error("new content of replaced doc not searchable")
 	}
 }
@@ -238,7 +238,7 @@ func TestCompact(t *testing.T) {
 	ix.Delete("g2")
 	ix.Delete("g3")
 	ix.Compact()
-	rs := ix.Search(MatchQuery{Text: "zelda"}, SearchOptions{})
+	rs := ix.mustSearch(MatchQuery{Text: "zelda"}, SearchOptions{})
 	if len(rs) != 2 {
 		t.Fatalf("post-compact zelda = %v", ids(rs))
 	}
@@ -267,7 +267,7 @@ func TestFieldsSorted(t *testing.T) {
 
 func TestSnippetHighlights(t *testing.T) {
 	ix := sampleIndex(t)
-	rs := ix.Search(MatchQuery{Text: "adventure"}, SearchOptions{SnippetField: "desc"})
+	rs := ix.mustSearch(MatchQuery{Text: "adventure"}, SearchOptions{SnippetField: "desc"})
 	if len(rs) == 0 {
 		t.Fatal("no results")
 	}
@@ -285,7 +285,7 @@ func TestSnippetHighlights(t *testing.T) {
 func TestSnippetStemmedHighlight(t *testing.T) {
 	ix := New()
 	ix.Add(Document{ID: "d", Fields: map[string]string{"body": "Latest reviews from critics"}})
-	rs := ix.Search(MatchQuery{Text: "review"}, SearchOptions{SnippetField: "body"})
+	rs := ix.mustSearch(MatchQuery{Text: "review"}, SearchOptions{SnippetField: "body"})
 	if len(rs) != 1 || !strings.Contains(rs[0].Snippet, "<b>reviews</b>") {
 		t.Fatalf("stemmed highlight missing: %#v", rs)
 	}
@@ -295,7 +295,7 @@ func TestKeywordFieldAnalyzer(t *testing.T) {
 	ix := New()
 	ix.SetFieldOptions("site", FieldOptions{Analyzer: textproc.KeywordAnalyzer})
 	ix.Add(Document{ID: "p", Fields: map[string]string{"site": "ign.com"}})
-	rs := ix.Search(TermQuery{Field: "site", Term: "ign"}, SearchOptions{})
+	rs := ix.mustSearch(TermQuery{Field: "site", Term: "ign"}, SearchOptions{})
 	if len(rs) != 1 {
 		t.Fatalf("keyword term = %v", ids(rs))
 	}
@@ -303,9 +303,9 @@ func TestKeywordFieldAnalyzer(t *testing.T) {
 
 func TestScoreOrderingDeterministic(t *testing.T) {
 	ix := sampleIndex(t)
-	a := ids(ix.Search(MatchQuery{Text: "game"}, SearchOptions{}))
+	a := ids(ix.mustSearch(MatchQuery{Text: "game"}, SearchOptions{}))
 	for i := 0; i < 5; i++ {
-		b := ids(ix.Search(MatchQuery{Text: "game"}, SearchOptions{}))
+		b := ids(ix.mustSearch(MatchQuery{Text: "game"}, SearchOptions{}))
 		for j := range a {
 			if a[j] != b[j] {
 				t.Fatalf("nondeterministic order: %v vs %v", a, b)
@@ -316,7 +316,7 @@ func TestScoreOrderingDeterministic(t *testing.T) {
 
 func TestEmptyQueryText(t *testing.T) {
 	ix := sampleIndex(t)
-	if rs := ix.Search(MatchQuery{Text: "   "}, SearchOptions{}); len(rs) != 0 {
+	if rs := ix.mustSearch(MatchQuery{Text: "   "}, SearchOptions{}); len(rs) != 0 {
 		t.Fatalf("blank query matched %v", ids(rs))
 	}
 }
@@ -341,7 +341,7 @@ func TestConcurrentReadWrite(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				ix.Search(MatchQuery{Text: "platform"}, SearchOptions{Limit: 10})
+				ix.mustSearch(MatchQuery{Text: "platform"}, SearchOptions{Limit: 10})
 			}
 		}()
 	}
@@ -365,13 +365,13 @@ func TestPropertySearchFindsAdded(t *testing.T) {
 			})
 		}
 		for i := 0; i < n; i++ {
-			rs := ix.Search(MatchQuery{Text: fmt.Sprintf("uniqueterm%d", i)}, SearchOptions{})
+			rs := ix.mustSearch(MatchQuery{Text: fmt.Sprintf("uniqueterm%d", i)}, SearchOptions{})
 			if len(rs) != 1 || rs[0].ID != fmt.Sprintf("doc%d", i) {
 				return false
 			}
 		}
-		return ix.Count(MatchQuery{Text: "shared"}, nil) == n &&
-			len(ix.Search(MatchQuery{Text: "shared"}, SearchOptions{})) == n
+		return ix.mustCount(MatchQuery{Text: "shared"}, nil) == n &&
+			len(ix.mustSearch(MatchQuery{Text: "shared"}, SearchOptions{})) == n
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
@@ -389,7 +389,7 @@ func TestPropertyDeleteInvisible(t *testing.T) {
 		}
 		victim := fmt.Sprintf("d%d", rng.Intn(n))
 		ix.Delete(victim)
-		for _, r := range ix.Search(MatchQuery{Text: "alpha"}, SearchOptions{}) {
+		for _, r := range ix.mustSearch(MatchQuery{Text: "alpha"}, SearchOptions{}) {
 			if r.ID == victim {
 				return false
 			}
@@ -412,8 +412,8 @@ func TestPropertyIDFMonotonic(t *testing.T) {
 		}
 		ix.Add(Document{ID: fmt.Sprintf("d%d", i), Fields: map[string]string{"b": body}})
 	}
-	rare := ix.Search(MatchQuery{Text: "rare"}, SearchOptions{})
-	common := ix.Search(MatchQuery{Text: "common"}, SearchOptions{})
+	rare := ix.mustSearch(MatchQuery{Text: "rare"}, SearchOptions{})
+	common := ix.mustSearch(MatchQuery{Text: "common"}, SearchOptions{})
 	if len(rare) != 1 || len(common) != 49 {
 		t.Fatal("setup wrong")
 	}

@@ -46,6 +46,11 @@ type searchStats struct {
 	// instead of burning CPU to the end of every posting list. A nil
 	// channel (background context) costs one nil check per block.
 	done <-chan struct{}
+	// cref/stamp carry the attached cross-request cache (nil when none)
+	// and the mutation era this evaluation was stamped with, so shard
+	// evaluation can fetch and store decoded posting lists.
+	cref  *cacheRef
+	stamp Stamp
 }
 
 // cancelStride is how many postings an evaluation loop scores between
@@ -105,6 +110,8 @@ func (ix *Index) gatherStats(ctx context.Context, r *ring, q Query) *searchStats
 	st := newSearchStats()
 	st.done = ctx.Done()
 	st.ranker, st.k1, st.b = ix.scoringParams()
+	st.cref = ix.cache.Load()
+	st.stamp = ix.stampFor(r)
 	need := make(map[fieldTerm]bool)
 	ix.collectTerms(q, need, st)
 	if len(need) == 0 {
@@ -116,7 +123,7 @@ func (ix *Index) gatherStats(ctx context.Context, r *ring, q Query) *searchStats
 	for ft := range need {
 		needFields[ft.field] = true
 	}
-	live, avgLen, df := aggregateStats(r, needFields, need)
+	live, avgLen, df := aggregateStatsCached(st.cref, st.stamp, r, needFields, need)
 	st.live = live
 	for f, v := range avgLen {
 		st.avgLen[f] = v

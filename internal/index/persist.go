@@ -36,9 +36,15 @@ import (
 // (SetFieldOptions) before restoring, exactly as before indexing.
 
 // indexSnapshotMagic/indexSnapshotVersion guard the framed format.
+// Version 2 added the per-term max term frequency (the block-max
+// early-exit bound's input) ahead of each posting run. Version 1
+// snapshots still restore: decode rebuilds posting lists through
+// appendPosting, which recomputes every block's metadata — including
+// maxima — so the field is an integrity check on v2 streams and
+// simply absent from v1 ones.
 const (
 	indexSnapshotMagic   = "SYMIDX1\n"
-	indexSnapshotVersion = 1
+	indexSnapshotVersion = 2
 )
 
 // indexHeader is the header frame: everything shard-independent.
@@ -61,7 +67,8 @@ type indexHeader struct {
 //	live, dead
 //	fieldCount, then per field (sorted): name, totalLen,
 //	  docLen entries (count + ord/len pairs, sorted by ord),
-//	  terms (count + per sorted term: postings as ord + positions)
+//	  terms (count + per sorted term: max tf [v2+], postings as
+//	  ord + positions)
 //
 // Map keys are sorted wherever maps are walked, so identical state
 // encodes to identical bytes.
@@ -126,6 +133,7 @@ func (s *shard) snapshot(w io.Writer) error {
 		for _, term := range terms {
 			list := fp.terms[term]
 			bw.str(term)
+			bw.uvarint(list.maxTF)
 			bw.uvarint(list.n)
 			it := list.iter()
 			pi := list.positions()
@@ -154,7 +162,7 @@ func (ix *Index) RestoreShard(i int, r io.Reader) error {
 	if i < 0 || i >= len(shards) {
 		return fmt.Errorf("index: restore shard %d of %d", i, len(shards))
 	}
-	fresh, err := ix.decodeShard(r, ix.fieldOpts)
+	fresh, err := ix.decodeShard(r, ix.fieldOpts, indexSnapshotVersion)
 	if err != nil {
 		return err
 	}
@@ -165,8 +173,9 @@ func (ix *Index) RestoreShard(i int, r io.Reader) error {
 	}
 	s := shards[i]
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.docs, s.byID, s.live, s.dead, s.fields = fresh.docs, fresh.byID, fresh.live, fresh.dead, fresh.fields
+	s.mu.Unlock()
+	ix.bumpVer()
 	return nil
 }
 
@@ -174,7 +183,11 @@ func (ix *Index) RestoreShard(i int, r io.Reader) error {
 // validating internal consistency so a corrupt frame cannot produce
 // an index that panics at query time. optsFor resolves field options
 // (Restore passes the merged registry before it is installed).
-func (ix *Index) decodeShard(r io.Reader, optsFor func(string) (FieldOptions, bool)) (*shard, error) {
+// version selects the payload layout; appendPosting rebuilds block
+// metadata either way, so pre-block-max (v1) payloads restore with
+// maxima recomputed and v2's declared max tf is checked against the
+// recomputed value.
+func (ix *Index) decodeShard(r io.Reader, optsFor func(string) (FieldOptions, bool), version int) (*shard, error) {
 	payload, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("index: reading shard payload: %w", err)
@@ -253,6 +266,9 @@ func (ix *Index) decodeShard(r io.Reader, optsFor func(string) (FieldOptions, bo
 			if fp.docLen[ord], err = br.uvarint(); err != nil {
 				return fail(err)
 			}
+			if n := fp.docLen[ord]; n > 0 && (fp.minLen == 0 || n < fp.minLen) {
+				fp.minLen = n
+			}
 		}
 		fp.docCount = nLens
 		nTerms, err := br.count()
@@ -266,6 +282,12 @@ func (ix *Index) decodeShard(r io.Reader, optsFor func(string) (FieldOptions, bo
 				return fail(err)
 			}
 			dict = append(dict, term)
+			declaredMaxTF := -1
+			if version >= 2 {
+				if declaredMaxTF, err = br.uvarint(); err != nil {
+					return fail(err)
+				}
+			}
 			nPostings, err := br.count()
 			if err != nil {
 				return fail(err)
@@ -304,6 +326,9 @@ func (ix *Index) decodeShard(r io.Reader, optsFor func(string) (FieldOptions, bo
 					positions = append(positions, pos)
 				}
 				list.appendPosting(doc, positions)
+			}
+			if declaredMaxTF >= 0 && list.maxTF != declaredMaxTF {
+				return fail(fmt.Errorf("field %q term %q max tf %d, postings say %d", name, term, declaredMaxTF, list.maxTF))
 			}
 			fp.terms[term] = list
 		}
@@ -396,7 +421,7 @@ func (ix *Index) Restore(r io.Reader) error {
 	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
 		return fmt.Errorf("index: restore header: %w", err)
 	}
-	if hdr.Version != indexSnapshotVersion {
+	if hdr.Version < 1 || hdr.Version > indexSnapshotVersion {
 		return fmt.Errorf("index: restore: unsupported snapshot version %d", hdr.Version)
 	}
 	// Bound the shard count before it sizes allocations and goroutine
@@ -436,7 +461,7 @@ func (ix *Index) Restore(r io.Reader) error {
 	shards := make([]*shard, hdr.Shards)
 	errs := make([]error, hdr.Shards)
 	fanOut(hdr.Shards, func(i int) {
-		shards[i], errs[i] = ix.decodeShard(bytes.NewReader(frames[i]), optsFor)
+		shards[i], errs[i] = ix.decodeShard(bytes.NewReader(frames[i]), optsFor, hdr.Version)
 	})
 	for i, err := range errs {
 		if err != nil {

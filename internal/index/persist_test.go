@@ -2,7 +2,9 @@ package index
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
@@ -60,8 +62,8 @@ func TestSnapshotRestoreEquivalence(t *testing.T) {
 			t.Fatalf("restored Len = %d, want %d", restored.Len(), fresh.Len())
 		}
 		for name, q := range shardQueries() {
-			want := fresh.Search(q, SearchOptions{})
-			got := restored.Search(q, SearchOptions{})
+			want := fresh.mustSearch(q, SearchOptions{})
+			got := restored.mustSearch(q, SearchOptions{})
 			if len(want) != len(got) {
 				t.Fatalf("%s: %d hits, want %d", name, len(got), len(want))
 			}
@@ -71,12 +73,12 @@ func TestSnapshotRestoreEquivalence(t *testing.T) {
 						name, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
 				}
 			}
-			if wc, gc := fresh.Count(q, nil), restored.Count(q, nil); wc != gc {
+			if wc, gc := fresh.mustCount(q, nil), restored.mustCount(q, nil); wc != gc {
 				t.Fatalf("%s: Count %d, want %d", name, gc, wc)
 			}
 		}
-		wantFacets := fresh.Facets(MatchQuery{Text: "zelda"}, "producer", nil)
-		gotFacets := restored.Facets(MatchQuery{Text: "zelda"}, "producer", nil)
+		wantFacets := fresh.mustFacets(MatchQuery{Text: "zelda"}, "producer", nil)
+		gotFacets := restored.mustFacets(MatchQuery{Text: "zelda"}, "producer", nil)
 		if fmt.Sprint(wantFacets) != fmt.Sprint(gotFacets) {
 			t.Fatalf("facets = %v, want %v", gotFacets, wantFacets)
 		}
@@ -115,8 +117,8 @@ func TestSnapshotEquivalentToRebuild(t *testing.T) {
 		}
 	}
 	for name, q := range shardQueries() {
-		want := rebuilt.Search(q, SearchOptions{})
-		got := restored.Search(q, SearchOptions{})
+		want := rebuilt.mustSearch(q, SearchOptions{})
+		got := restored.mustSearch(q, SearchOptions{})
 		if len(want) != len(got) {
 			t.Fatalf("%s: %d hits, want %d", name, len(got), len(want))
 		}
@@ -159,8 +161,8 @@ func TestShardSnapshotRoundTrip(t *testing.T) {
 	if other.Len() != ix.Len() {
 		t.Fatalf("Len = %d, want %d", other.Len(), ix.Len())
 	}
-	want := ix.Search(MatchQuery{Text: "zelda"}, SearchOptions{})
-	got := other.Search(MatchQuery{Text: "zelda"}, SearchOptions{})
+	want := ix.mustSearch(MatchQuery{Text: "zelda"}, SearchOptions{})
+	got := other.mustSearch(MatchQuery{Text: "zelda"}, SearchOptions{})
 	if fmt.Sprint(ids(want)) != fmt.Sprint(ids(got)) {
 		t.Fatalf("per-shard restore = %v, want %v", ids(got), ids(want))
 	}
@@ -172,8 +174,188 @@ func TestShardSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
-// TestRestoreRejectsCorruptLeavesIndexIntact: corrupt streams fail
-// cleanly and leave the target untouched.
+// snapshotV1 encodes ix in the pre-block-max layout: header version 1
+// and shard payloads without the per-term max tf field. It mirrors the
+// v1 writer byte-for-byte so restore compatibility stays pinned even
+// as the current writer evolves.
+func snapshotV1(t *testing.T, ix *Index) []byte {
+	t.Helper()
+	r := ix.ring.Load()
+	hdr := indexHeader{Version: 1, Shards: len(r.shards), Boosts: make(map[string]float64)}
+	ix.cfg.RLock()
+	hdr.Ranker = int(ix.cfg.ranker)
+	hdr.K1, hdr.B = ix.cfg.k1, ix.cfg.b
+	for f, opts := range ix.cfg.fields {
+		hdr.Boosts[f] = opts.Boost
+	}
+	ix.cfg.RUnlock()
+	var out bytes.Buffer
+	if err := frameio.WriteMagic(&out, indexSnapshotMagic); err != nil {
+		t.Fatal(err)
+	}
+	hdrBytes, err := json.Marshal(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := frameio.WriteFrame(&out, hdrBytes); err != nil {
+		t.Fatal(err)
+	}
+	var positions []int
+	for _, s := range r.shards {
+		s.mu.RLock()
+		bw := &binWriter{}
+		bw.uvarint(len(s.docs))
+		for _, doc := range s.docs {
+			bw.str(doc.ID)
+			if doc.ID == "" {
+				continue
+			}
+			bw.strmap(doc.Fields)
+			bw.strmap(doc.Stored)
+		}
+		bw.uvarint(s.live)
+		bw.uvarint(s.dead)
+		names := make([]string, 0, len(s.fields))
+		for name := range s.fields {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		bw.uvarint(len(names))
+		for _, name := range names {
+			fp := s.fields[name]
+			bw.str(name)
+			bw.uvarint(fp.totalLen)
+			ords := make([]int, 0, fp.docCount)
+			for ord := range s.docs {
+				if s.docs[ord].ID == "" {
+					continue
+				}
+				if _, ok := s.docs[ord].Fields[name]; ok {
+					ords = append(ords, ord)
+				}
+			}
+			bw.uvarint(len(ords))
+			for _, ord := range ords {
+				bw.uvarint(ord)
+				bw.uvarint(fp.lenAt(ord))
+			}
+			terms := fp.sortedTerms()
+			bw.uvarint(len(terms))
+			for _, term := range terms {
+				list := fp.terms[term]
+				bw.str(term)
+				bw.uvarint(list.n)
+				it := list.iter()
+				pi := list.positions()
+				for it.next() {
+					bw.uvarint(it.doc)
+					bw.uvarint(it.tf)
+					positions = pi.read(it.tf, positions)
+					for _, pos := range positions {
+						bw.uvarint(pos)
+					}
+				}
+			}
+		}
+		s.mu.RUnlock()
+		if err := frameio.WriteFrame(&out, bw.buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.Bytes()
+}
+
+// TestRestoreV1Snapshot: snapshots written before the block-max fields
+// existed (version 1, no per-term max tf) must still restore. Decode
+// rebuilds posting lists through appendPosting, so the maxima the
+// early-exit path depends on are recomputed, and every query — both
+// the accumulator path and the top-k early-exit path — returns results
+// bit-identical to the index that wrote the snapshot.
+func TestRestoreV1Snapshot(t *testing.T) {
+	ix := persistCorpus(t, WithShards(3))
+	data := snapshotV1(t, ix)
+
+	restored := New(WithShards(3))
+	restored.SetFieldOptions("title", FieldOptions{Boost: 2})
+	if err := restored.Restore(bytes.NewReader(data)); err != nil {
+		t.Fatalf("restore v1 snapshot: %v", err)
+	}
+	if restored.Len() != ix.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), ix.Len())
+	}
+
+	// The block-max metadata must be fully rebuilt: every non-empty
+	// posting list carries a positive max tf consistent with its blocks.
+	for _, s := range restored.ring.Load().shards {
+		for name, fp := range s.fields {
+			for term, list := range fp.terms {
+				if list.n == 0 {
+					continue
+				}
+				if list.maxTF < 1 {
+					t.Fatalf("field %q term %q: max tf %d after v1 restore", name, term, list.maxTF)
+				}
+				blockMax := 0
+				for _, b := range list.blocks {
+					if b.maxTF > blockMax {
+						blockMax = b.maxTF
+					}
+				}
+				if blockMax != list.maxTF {
+					t.Fatalf("field %q term %q: list max tf %d, block max %d", name, term, list.maxTF, blockMax)
+				}
+			}
+		}
+	}
+
+	for name, q := range shardQueries() {
+		for _, opts := range []SearchOptions{{}, {Limit: 3}} {
+			want := ix.mustSearch(q, opts)
+			got := restored.mustSearch(q, opts)
+			if len(want) != len(got) {
+				t.Fatalf("%s limit=%d: %d hits, want %d", name, opts.Limit, len(got), len(want))
+			}
+			for i := range want {
+				if want[i].ID != got[i].ID || want[i].Score != got[i].Score {
+					t.Fatalf("%s limit=%d hit %d: got %s@%v, want %s@%v",
+						name, opts.Limit, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+// TestRestoreRejectsDeclaredMaxTFMismatch: a v2 stream whose declared
+// max tf disagrees with its own postings is corruption, not something
+// to silently repair.
+func TestRestoreRejectsDeclaredMaxTFMismatch(t *testing.T) {
+	ix := New(WithShards(1))
+	if err := ix.Add(Document{ID: "a", Fields: map[string]string{"body": "zelda zelda quest"}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.SnapshotShard(0, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the declared max tf for the first term by re-encoding the
+	// payload with every per-term max tf bumped by one.
+	target := New(WithShards(1))
+	if err := target.RestoreShard(0, &buf); err != nil {
+		t.Fatalf("sanity restore: %v", err)
+	}
+	s := ix.ring.Load().shards[0]
+	list := s.fields["body"].terms["zelda"]
+	list.maxTF++
+	var bad bytes.Buffer
+	err := s.snapshot(&bad)
+	list.maxTF--
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := target.RestoreShard(0, &bad); err == nil {
+		t.Fatal("restore accepted max tf that disagrees with postings")
+	}
+}
 func TestRestoreRejectsCorrupt(t *testing.T) {
 	ix := persistCorpus(t, WithShards(2))
 	var good bytes.Buffer
@@ -210,7 +392,7 @@ func TestRestoreRejectsCorrupt(t *testing.T) {
 		if target.Len() != wantLen {
 			t.Fatalf("%s: failed restore mutated index: Len = %d, want %d", name, target.Len(), wantLen)
 		}
-		if got := target.Search(MatchQuery{Text: "zelda"}, SearchOptions{}); len(got) == 0 {
+		if got := target.mustSearch(MatchQuery{Text: "zelda"}, SearchOptions{}); len(got) == 0 {
 			t.Fatalf("%s: failed restore broke target search", name)
 		}
 	}
@@ -260,7 +442,7 @@ func TestRestoredIndexIsWritable(t *testing.T) {
 	if restored.Len() != before+1 {
 		t.Fatalf("Len after add = %d, want %d", restored.Len(), before+1)
 	}
-	got := restored.Search(TermQuery{Field: "body", Term: "sequel"}, SearchOptions{})
+	got := restored.mustSearch(TermQuery{Field: "body", Term: "sequel"}, SearchOptions{})
 	if len(got) != 1 || got[0].ID != "new1" {
 		t.Fatalf("search for new doc = %v", ids(got))
 	}

@@ -103,6 +103,22 @@ func (ix *Index) SearchContext(ctx context.Context, q Query, opts SearchOptions)
 		return nil, err
 	}
 	r := ix.ring.Load()
+	ref := ix.cache.Load()
+	st := ix.stampFor(r)
+	if ref != nil {
+		if key, ok := serpKey(q, opts); ok {
+			ck := ref.key(kindSERP, key)
+			if v, ok := ref.c.get(ck, st); ok {
+				return copyResults(v.([]Result)), nil
+			}
+			hits, err := ix.searchWith(ctx, r, ix.gatherStats(ctx, r, q), q, opts)
+			if err != nil {
+				return nil, err
+			}
+			ref.c.put(ck, st, hits, serpBytes(hits))
+			return copyResults(hits), nil
+		}
+	}
 	return ix.searchWith(ctx, r, ix.gatherStats(ctx, r, q), q, opts)
 }
 
@@ -152,6 +168,22 @@ func (ix *Index) CountContext(ctx context.Context, q Query, filters map[string]s
 		return 0, err
 	}
 	r := ix.ring.Load()
+	ref := ix.cache.Load()
+	st := ix.stampFor(r)
+	if ref != nil {
+		if key, ok := countKey(q, filters); ok {
+			ck := ref.key(kindCount, key)
+			if v, ok := ref.c.get(ck, st); ok {
+				return v.(int), nil
+			}
+			n, err := ix.countWith(ctx, r, ix.gatherStats(ctx, r, q), q, filters)
+			if err != nil {
+				return 0, err
+			}
+			ref.c.put(ck, st, n, 8)
+			return n, nil
+		}
+	}
 	return ix.countWith(ctx, r, ix.gatherStats(ctx, r, q), q, filters)
 }
 
@@ -270,25 +302,36 @@ func (q PhraseQuery) eval(s *shard, st *searchStats, out *accum) {
 	}
 	// Gather positions per doc for each term, honoring the analyzed
 	// position gaps (stopword holes count). Only this query type pays
-	// for position decoding.
+	// for position decoding — and only for candidate blocks: after the
+	// anchor term fixes the candidate set, later terms seek their doc
+	// cursors block-to-block and jump the position stream to each
+	// block's posOff anchor, never length-walking non-candidate
+	// blocks' positions.
 	base := toks[0].Position
 	first := fp.terms[toks[0].Term]
 	if first == nil {
 		return
 	}
-	cand := make(map[int][]int, first.n) // doc -> surviving start positions
-	it := first.iter()
-	pi := first.positions()
+	var cnt scanCounters
+	defer func() {
+		s.ix.scanScored.Add(cnt.scored)
+		s.ix.scanSkipped.Add(cnt.skipped)
+	}()
+	type phraseCand struct {
+		ord    int
+		starts []int
+	}
+	cand := make([]phraseCand, 0, first.n) // ascending ord, surviving start positions
+	cur := newMemberCursor(first, fp, termScorer{}, &cnt)
 	nc := 0
-	for it.next() {
+	for !cur.done {
 		if nc++; nc&(cancelStride-1) == 0 && st.canceled() {
 			return
 		}
-		if s.docs[it.doc].ID == "" {
-			pi.skip(it.tf)
-			continue
+		if s.docs[cur.doc].ID != "" {
+			cand = append(cand, phraseCand{ord: cur.doc, starts: cur.readPositions(nil)})
 		}
-		cand[it.doc] = pi.read(it.tf, nil)
+		cur.next()
 	}
 	var scratch []int
 	for _, tok := range toks[1:] {
@@ -297,37 +340,35 @@ func (q PhraseQuery) eval(s *shard, st *searchStats, out *accum) {
 		if list == nil {
 			return
 		}
-		next := make(map[int][]int, len(cand))
-		it := list.iter()
-		pi := list.positions()
-		for it.next() {
+		cur := newMemberCursor(list, fp, termScorer{}, &cnt)
+		kept := cand[:0]
+		for _, c := range cand {
 			if nc++; nc&(cancelStride-1) == 0 && st.canceled() {
 				return
 			}
-			starts, ok := cand[it.doc]
-			if !ok || s.docs[it.doc].ID == "" {
-				pi.skip(it.tf)
+			cur.seekGE(c.ord)
+			if cur.doc != c.ord {
 				continue
 			}
-			scratch = pi.read(it.tf, scratch)
+			scratch = cur.readPositions(scratch)
 			// Both position runs ascend, so a two-pointer sweep
 			// replaces the per-doc position set of the old evaluator.
-			kept := starts[:0]
+			surv := c.starts[:0]
 			j := 0
-			for _, start := range starts {
+			for _, start := range c.starts {
 				wantPos := start + gap
 				for j < len(scratch) && scratch[j] < wantPos {
 					j++
 				}
 				if j < len(scratch) && scratch[j] == wantPos {
-					kept = append(kept, start)
+					surv = append(surv, start)
 				}
 			}
-			if len(kept) > 0 {
-				next[it.doc] = kept
+			if len(surv) > 0 {
+				kept = append(kept, phraseCand{ord: c.ord, starts: surv})
 			}
 		}
-		cand = next
+		cand = kept
 		if len(cand) == 0 {
 			return
 		}
@@ -338,13 +379,13 @@ func (q PhraseQuery) eval(s *shard, st *searchStats, out *accum) {
 	if !ok {
 		return
 	}
-	for ord, starts := range cand {
+	for _, c := range cand {
 		var base float64
-		if tf, ok := first.tfAt(ord); ok {
-			base = sc.score(float64(tf), fp.lenAt(ord))
+		if tf, ok := first.tfAt(c.ord); ok {
+			base = sc.score(float64(tf), fp.lenAt(c.ord))
 		}
-		out.scores[ord] = base * (1 + 0.5*float64(len(starts)))
-		out.seen[ord] = true
+		out.scores[c.ord] = base * (1 + 0.5*float64(len(c.starts)))
+		out.seen[c.ord] = true
 	}
 }
 

@@ -81,7 +81,7 @@ func BenchmarkQuery(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if rs := ix.Search(tc.q, tc.opts); len(rs) == 0 {
+				if rs := ix.mustSearch(tc.q, tc.opts); len(rs) == 0 {
 					b.Fatal("no hits")
 				}
 			}
@@ -90,7 +90,7 @@ func BenchmarkQuery(b *testing.B) {
 	b.Run("facets", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if fc := ix.Facets(MatchQuery{Text: "w0001"}, "producer", nil); len(fc) == 0 {
+			if fc := ix.mustFacets(MatchQuery{Text: "w0001"}, "producer", nil); len(fc) == 0 {
 				b.Fatal("no facets")
 			}
 		}
@@ -102,9 +102,9 @@ func BenchmarkQuery(b *testing.B) {
 		b.ReportAllocs()
 		q := MatchQuery{Text: "w0001 w0007 saga"}
 		for i := 0; i < b.N; i++ {
-			ix.Search(q, SearchOptions{Limit: 10})
-			ix.Count(q, nil)
-			ix.Facets(q, "producer", nil)
+			ix.mustSearch(q, SearchOptions{Limit: 10})
+			ix.mustCount(q, nil)
+			ix.mustFacets(q, "producer", nil)
 		}
 	})
 	// serp-session is the same page through one request-scoped
@@ -114,9 +114,96 @@ func BenchmarkQuery(b *testing.B) {
 		q := MatchQuery{Text: "w0001 w0007 saga"}
 		for i := 0; i < b.N; i++ {
 			sess := ix.Session()
-			sess.Search(q, SearchOptions{Limit: 10})
-			sess.Count(q, nil)
-			sess.Facets(q, "producer", nil)
+			sess.mustSearch(q, SearchOptions{Limit: 10})
+			sess.mustCount(q, nil)
+			sess.mustFacets(q, "producer", nil)
+		}
+	})
+}
+
+var (
+	scaleBenchMu  sync.Mutex
+	scaleBenchIxs = map[int]*Index{}
+)
+
+// scaleBenchIndex builds (once per size) an index over n docs from the
+// same deterministic generator as queryBenchIndex.
+func scaleBenchIndex(b *testing.B, n int) *Index {
+	b.Helper()
+	scaleBenchMu.Lock()
+	defer scaleBenchMu.Unlock()
+	if ix := scaleBenchIxs[n]; ix != nil {
+		return ix
+	}
+	ix := New()
+	ix.SetFieldOptions("title", FieldOptions{Boost: 2})
+	if err := ix.AddBatch(queryBenchCorpus(n)); err != nil {
+		b.Fatal(err)
+	}
+	scaleBenchIxs[n] = ix
+	return ix
+}
+
+// BenchmarkQueryScale pins the sublinear-scoring claim: the same
+// top-10 query over 12k and 120k documents (a 10x corpus). The
+// headline case is the classic block-max one — a single common term
+// whose long posting list the evaluator prunes block-by-block once
+// the top-10 threshold rises above most per-block maxTF bounds, so
+// latency must grow far slower than the corpus does.
+// postings-skipped/op counts postings jumped without decoding, and CI
+// fails the smoke run when it reads zero.
+func BenchmarkQueryScale(b *testing.B) {
+	q := TermQuery{Field: "body", Term: "w0001"}
+	for _, n := range []int{queryBenchDocs, 10 * queryBenchDocs} {
+		b.Run(fmt.Sprintf("docs=%d", n), func(b *testing.B) {
+			ix := scaleBenchIndex(b, n)
+			s0 := ix.ScanStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rs := ix.mustSearch(q, SearchOptions{Limit: 10}); len(rs) == 0 {
+					b.Fatal("no hits")
+				}
+			}
+			b.StopTimer()
+			s1 := ix.ScanStats()
+			b.ReportMetric(float64(s1.Scored-s0.Scored)/float64(b.N), "postings-scored/op")
+			b.ReportMetric(float64(s1.Skipped-s0.Skipped)/float64(b.N), "postings-skipped/op")
+		})
+	}
+}
+
+// BenchmarkQueryCache measures one SERP (search + count + facets)
+// cold — every request fully evaluated — versus warm, answered out of
+// the generation-stamped cross-request cache.
+func BenchmarkQueryCache(b *testing.B) {
+	ix := queryBenchIndex(b)
+	q := MatchQuery{Text: "w0001 w0007 saga"}
+	serp := func() {
+		ix.mustSearch(q, SearchOptions{Limit: 10})
+		ix.mustCount(q, nil)
+		ix.mustFacets(q, "producer", nil)
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			serp()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := NewCache(64 << 20)
+		ix.AttachCache(c)
+		defer ix.AttachCache(nil)
+		serp() // fill
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serp()
+		}
+		b.StopTimer()
+		st := c.Stats()
+		if total := st.Hits + st.Misses; total > 0 {
+			b.ReportMetric(float64(st.Hits)/float64(total)*100, "hit-%")
 		}
 	})
 }

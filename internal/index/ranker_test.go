@@ -8,7 +8,7 @@ import (
 func TestTFIDFRankerProducesResults(t *testing.T) {
 	ix := sampleIndex(t)
 	ix.SetRanker(RankerTFIDF)
-	rs := ix.Search(MatchQuery{Text: "zelda adventure"}, SearchOptions{})
+	rs := ix.mustSearch(MatchQuery{Text: "zelda adventure"}, SearchOptions{})
 	if len(rs) == 0 {
 		t.Fatal("tfidf returned nothing")
 	}
@@ -19,7 +19,7 @@ func TestTFIDFRankerProducesResults(t *testing.T) {
 	}
 	// Same match set as BM25, possibly different order.
 	ix.SetRanker(RankerBM25)
-	bm := ix.Search(MatchQuery{Text: "zelda adventure"}, SearchOptions{})
+	bm := ix.mustSearch(MatchQuery{Text: "zelda adventure"}, SearchOptions{})
 	if len(bm) != len(rs) {
 		t.Fatalf("match sets differ: %d vs %d", len(rs), len(bm))
 	}
@@ -38,7 +38,7 @@ func TestRankersDifferOnLengthNormalization(t *testing.T) {
 		}
 		ix.Add(Document{ID: "short", Fields: map[string]string{"b": "target word"}})
 		ix.Add(Document{ID: "long", Fields: map[string]string{"b": long}})
-		return ix.Search(MatchQuery{Text: "target"}, SearchOptions{})
+		return ix.mustSearch(MatchQuery{Text: "target"}, SearchOptions{})
 	}
 	bm := build(RankerBM25)
 	if len(bm) != 2 || bm[0].ID != "short" {

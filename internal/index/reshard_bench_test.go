@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"sort"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func BenchmarkReshard(b *testing.B) {
 		b.ResetTimer()
 		targets := [2]int{4, 2}
 		for i := 0; i < b.N; i++ {
-			if err := ix.Reshard(targets[i%2]); err != nil {
+			if err := ix.ReshardContext(context.Background(), targets[i%2]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -55,7 +56,7 @@ func BenchmarkReshard(b *testing.B) {
 					return
 				default:
 				}
-				if err := ix.Reshard(targets[cycles%2]); err != nil {
+				if err := ix.ReshardContext(context.Background(), targets[cycles%2]); err != nil {
 					panic(err)
 				}
 				cycles++
@@ -67,7 +68,7 @@ func BenchmarkReshard(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			t0 := time.Now()
-			if rs := ix.Search(q, SearchOptions{Limit: 10}); len(rs) == 0 {
+			if rs := ix.mustSearch(q, SearchOptions{Limit: 10}); len(rs) == 0 {
 				b.Fatal("no hits")
 			}
 			lat = append(lat, time.Since(t0))
@@ -92,7 +93,7 @@ func BenchmarkReshard(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if rs := ix.Search(q, SearchOptions{Limit: 10}); len(rs) == 0 {
+			if rs := ix.mustSearch(q, SearchOptions{Limit: 10}); len(rs) == 0 {
 				b.Fatal("no hits")
 			}
 		}

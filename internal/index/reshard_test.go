@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -21,7 +22,7 @@ func TestReshardEquivalence(t *testing.T) {
 	transitions := []int{3, runtime.NumCPU(), 2}
 	gen := ix.RingGen()
 	for _, n := range transitions {
-		if err := ix.Reshard(n); err != nil {
+		if err := ix.ReshardContext(context.Background(), n); err != nil {
 			t.Fatalf("Reshard(%d): %v", n, err)
 		}
 		if got := ix.NumShards(); got != n {
@@ -41,14 +42,14 @@ func TestReshardEquivalence(t *testing.T) {
 				{Limit: 5, Filters: map[string]string{"producer": "Epic"}},
 			}
 			for i, o := range opts {
-				got := ix.Search(q, o)
+				got := ix.mustSearch(q, o)
 				mustEqualResults(t, fmt.Sprintf("%s ref opts%d", label, i), got, refSearch(ix, q, o))
-				mustEqualResults(t, fmt.Sprintf("%s fresh opts%d", label, i), got, fresh.Search(q, o))
+				mustEqualResults(t, fmt.Sprintf("%s fresh opts%d", label, i), got, fresh.mustSearch(q, o))
 			}
-			if got, want := ix.Count(q, nil), fresh.Count(q, nil); got != want {
+			if got, want := ix.mustCount(q, nil), fresh.mustCount(q, nil); got != want {
 				t.Fatalf("%s: Count %d, want %d", label, got, want)
 			}
-			gotF, wantF := ix.Facets(q, "producer", nil), fresh.Facets(q, "producer", nil)
+			gotF, wantF := ix.mustFacets(q, "producer", nil), fresh.mustFacets(q, "producer", nil)
 			if fmt.Sprint(gotF) != fmt.Sprint(wantF) {
 				t.Fatalf("%s: facets %v, want %v", label, gotF, wantF)
 			}
@@ -64,20 +65,20 @@ func TestReshardEquivalence(t *testing.T) {
 // resharding an empty index works.
 func TestReshardValidation(t *testing.T) {
 	ix := New(WithShards(2))
-	if err := ix.Reshard(0); err == nil {
+	if err := ix.ReshardContext(context.Background(), 0); err == nil {
 		t.Fatal("Reshard(0) accepted")
 	}
-	if err := ix.Reshard(-3); err == nil {
+	if err := ix.ReshardContext(context.Background(), -3); err == nil {
 		t.Fatal("Reshard(-3) accepted")
 	}
 	gen := ix.RingGen()
-	if err := ix.Reshard(2); err != nil {
+	if err := ix.ReshardContext(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	if ix.RingGen() != gen {
 		t.Fatalf("no-op reshard bumped ring gen %d → %d", gen, ix.RingGen())
 	}
-	if err := ix.Reshard(5); err != nil {
+	if err := ix.ReshardContext(context.Background(), 5); err != nil {
 		t.Fatal(err)
 	}
 	if ix.NumShards() != 5 || ix.Len() != 0 {
@@ -86,7 +87,7 @@ func TestReshardValidation(t *testing.T) {
 	if err := ix.Add(Document{ID: "a", Fields: map[string]string{"body": "hello world"}}); err != nil {
 		t.Fatal(err)
 	}
-	if got := ix.Search(TermQuery{Field: "body", Term: "hello"}, SearchOptions{}); len(got) != 1 {
+	if got := ix.mustSearch(TermQuery{Field: "body", Term: "hello"}, SearchOptions{}); len(got) != 1 {
 		t.Fatalf("post-reshard add not searchable: %d hits", len(got))
 	}
 }
@@ -115,7 +116,7 @@ func TestRestoreHonorsConfiguredShards(t *testing.T) {
 	fresh := equivCorpus(t, 16)
 	for name, q := range equivQueries() {
 		mustEqualResults(t, "restore-16 "+name,
-			restored.Search(q, SearchOptions{Limit: 20}), fresh.Search(q, SearchOptions{Limit: 20}))
+			restored.mustSearch(q, SearchOptions{Limit: 20}), fresh.mustSearch(q, SearchOptions{Limit: 20}))
 	}
 
 	// The other direction: a wide snapshot restored on a narrow box.
@@ -133,7 +134,7 @@ func TestRestoreHonorsConfiguredShards(t *testing.T) {
 	}
 	for name, q := range equivQueries() {
 		mustEqualResults(t, "restore-2 "+name,
-			narrow.Search(q, SearchOptions{Limit: 20}), fresh.Search(q, SearchOptions{Limit: 20}))
+			narrow.mustSearch(q, SearchOptions{Limit: 20}), fresh.mustSearch(q, SearchOptions{Limit: 20}))
 	}
 }
 
@@ -144,8 +145,8 @@ func TestRestoreHonorsConfiguredShards(t *testing.T) {
 func TestReshardReadersBitIdenticalDuringMigration(t *testing.T) {
 	ix := equivCorpus(t, 2)
 	q := MatchQuery{Text: "zelda strategy"}
-	baseline := ix.Search(q, SearchOptions{Limit: 20})
-	baseCount := ix.Count(q, nil)
+	baseline := ix.mustSearch(q, SearchOptions{Limit: 20})
+	baseCount := ix.mustCount(q, nil)
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -160,7 +161,7 @@ func TestReshardReadersBitIdenticalDuringMigration(t *testing.T) {
 					return
 				default:
 				}
-				got := ix.Search(q, SearchOptions{Limit: 20})
+				got := ix.mustSearch(q, SearchOptions{Limit: 20})
 				if len(got) != len(baseline) {
 					failed.Store(true)
 					return
@@ -171,7 +172,7 @@ func TestReshardReadersBitIdenticalDuringMigration(t *testing.T) {
 						return
 					}
 				}
-				if ix.Count(q, nil) != baseCount {
+				if ix.mustCount(q, nil) != baseCount {
 					failed.Store(true)
 					return
 				}
@@ -179,7 +180,7 @@ func TestReshardReadersBitIdenticalDuringMigration(t *testing.T) {
 		}()
 	}
 	for i := 0; i < 6; i++ {
-		if err := ix.Reshard(1 + i%4); err != nil {
+		if err := ix.ReshardContext(context.Background(), 1+i%4); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -239,15 +240,15 @@ func TestReshardTorture(t *testing.T) {
 				return
 			default:
 			}
-			ix.Search(q, SearchOptions{Limit: 10})
+			ix.mustSearch(q, SearchOptions{Limit: 10})
 			sess := ix.Session()
-			sess.Search(q, SearchOptions{Limit: 5})
-			sess.Count(q, nil)
+			sess.mustSearch(q, SearchOptions{Limit: 5})
+			sess.mustCount(q, nil)
 		}
 	}()
 
 	for _, n := range []int{5, 1, 4, 3, 2} {
-		if err := ix.Reshard(n); err != nil {
+		if err := ix.ReshardContext(context.Background(), n); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -276,7 +277,7 @@ func TestReshardTorture(t *testing.T) {
 		"phrase": PhraseQuery{Field: "body", Text: "torture common"},
 		"all":    AllQuery{},
 	} {
-		mustEqualResults(t, "torture "+name, ix.Search(q, SearchOptions{}), fresh.Search(q, SearchOptions{}))
+		mustEqualResults(t, "torture "+name, ix.mustSearch(q, SearchOptions{}), fresh.mustSearch(q, SearchOptions{}))
 	}
 }
 
@@ -308,7 +309,7 @@ func TestReshardPreservesTombstoneFreeState(t *testing.T) {
 	if ix.TombstoneRatio() == 0 {
 		t.Fatal("expected tombstones before reshard")
 	}
-	if err := ix.Reshard(3); err != nil {
+	if err := ix.ReshardContext(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
 	if got := ix.TombstoneRatio(); got != 0 {

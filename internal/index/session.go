@@ -33,6 +33,14 @@ import (
 type Session struct {
 	ix *Index
 	r  *ring
+	// ref/st pin the shared cross-request cache (nil when none) and
+	// the mutation era captured at session creation. Every cache
+	// operation of the session presents this one stamp, so the session
+	// reads one consistent era — its documented snapshot semantics —
+	// and anything it stores is never served to readers that started
+	// after a later mutation.
+	ref *cacheRef
+	st  Stamp
 
 	mu     sync.Mutex
 	ranker Ranker
@@ -69,6 +77,8 @@ func (ix *Index) Session() *Session {
 		toks:     make(map[fieldTerm][]textproc.Token),
 	}
 	sess.ranker, sess.k1, sess.b = ix.scoringParams()
+	sess.ref = ix.cache.Load()
+	sess.st = ix.stampFor(sess.r)
 	return sess
 }
 
@@ -83,6 +93,7 @@ func (sess *Session) statsFor(ctx context.Context, q Query) *searchStats {
 	st := newSearchStats()
 	st.done = ctx.Done()
 	st.ranker, st.k1, st.b = sess.ranker, sess.k1, sess.b
+	st.cref, st.stamp = sess.ref, sess.st
 	// Seed the analysis caches so collectTerms skips re-analysis of
 	// raw text this session has already processed.
 	for k, v := range sess.terms {
@@ -114,7 +125,7 @@ func (sess *Session) statsFor(ctx context.Context, q Query) *searchStats {
 		}
 	}
 	if len(missingTerms) > 0 || len(missingFields) > 0 || !sess.liveOK {
-		live, avgLen, df := aggregateStats(sess.r, missingFields, missingTerms)
+		live, avgLen, df := aggregateStatsCached(sess.ref, sess.st, sess.r, missingFields, missingTerms)
 		if !sess.liveOK {
 			sess.live = live
 			sess.liveOK = true
@@ -143,7 +154,8 @@ func (sess *Session) statsFor(ctx context.Context, q Query) *searchStats {
 func (sess *Session) RingGen() uint64 { return sess.r.gen }
 
 // SearchContext is Index.SearchContext evaluated under this session's
-// statistics.
+// statistics, served from the shared cache when an identical request
+// was answered in the same mutation era.
 func (sess *Session) SearchContext(ctx context.Context, q Query, opts SearchOptions) ([]Result, error) {
 	if q == nil {
 		q = AllQuery{}
@@ -151,11 +163,25 @@ func (sess *Session) SearchContext(ctx context.Context, q Query, opts SearchOpti
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if sess.ref != nil {
+		if key, ok := serpKey(q, opts); ok {
+			ck := sess.ref.key(kindSERP, key)
+			if v, ok := sess.ref.c.get(ck, sess.st); ok {
+				return copyResults(v.([]Result)), nil
+			}
+			hits, err := sess.ix.searchWith(ctx, sess.r, sess.statsFor(ctx, q), q, opts)
+			if err != nil {
+				return nil, err
+			}
+			sess.ref.c.put(ck, sess.st, hits, serpBytes(hits))
+			return copyResults(hits), nil
+		}
+	}
 	return sess.ix.searchWith(ctx, sess.r, sess.statsFor(ctx, q), q, opts)
 }
 
 // CountContext is Index.CountContext evaluated under this session's
-// statistics.
+// statistics, cached like SearchContext.
 func (sess *Session) CountContext(ctx context.Context, q Query, filters map[string]string) (int, error) {
 	if q == nil {
 		q = AllQuery{}
@@ -163,17 +189,45 @@ func (sess *Session) CountContext(ctx context.Context, q Query, filters map[stri
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
+	if sess.ref != nil {
+		if key, ok := countKey(q, filters); ok {
+			ck := sess.ref.key(kindCount, key)
+			if v, ok := sess.ref.c.get(ck, sess.st); ok {
+				return v.(int), nil
+			}
+			n, err := sess.ix.countWith(ctx, sess.r, sess.statsFor(ctx, q), q, filters)
+			if err != nil {
+				return 0, err
+			}
+			sess.ref.c.put(ck, sess.st, n, 8)
+			return n, nil
+		}
+	}
 	return sess.ix.countWith(ctx, sess.r, sess.statsFor(ctx, q), q, filters)
 }
 
 // FacetsContext is Index.FacetsContext evaluated under this session's
-// statistics.
+// statistics, cached like SearchContext.
 func (sess *Session) FacetsContext(ctx context.Context, q Query, field string, filters map[string]string) ([]FacetCount, error) {
 	if q == nil {
 		q = AllQuery{}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if sess.ref != nil {
+		if key, ok := facetsKey(q, field, filters); ok {
+			ck := sess.ref.key(kindFacets, key)
+			if v, ok := sess.ref.c.get(ck, sess.st); ok {
+				return copyFacets(v.([]FacetCount)), nil
+			}
+			fc, err := sess.ix.facetsWith(ctx, sess.r, sess.statsFor(ctx, q), q, field, filters)
+			if err != nil {
+				return nil, err
+			}
+			sess.ref.c.put(ck, sess.st, fc, facetBytes(fc))
+			return copyFacets(fc), nil
+		}
 	}
 	return sess.ix.facetsWith(ctx, sess.r, sess.statsFor(ctx, q), q, field, filters)
 }

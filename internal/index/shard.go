@@ -20,7 +20,14 @@ type fieldPostings struct {
 	// of the BM25 average length.
 	docLen   []int
 	docCount int
-	opts     FieldOptions
+	// minLen is the smallest non-zero field length ever recorded
+	// (0 = none yet). Deletes leave it alone: a stale low value is
+	// still a valid lower bound on every live length, which is all
+	// the block-max score bound needs — BM25 only grows as length
+	// shrinks, so bounding at minLen instead of zero stays correct
+	// while cutting the bound's slack enormously.
+	minLen int
+	opts   FieldOptions
 	// dict caches the sorted term dictionary for prefix scans and
 	// spell candidates. Writers holding the shard write lock
 	// invalidate it (Store nil); readers holding the read lock rebuild
@@ -52,6 +59,9 @@ func (fp *fieldPostings) setDocLen(ord, n int) {
 	}
 	fp.docLen[ord] = n
 	fp.docCount++
+	if n > 0 && (fp.minLen == 0 || n < fp.minLen) {
+		fp.minLen = n
+	}
 }
 
 func (fp *fieldPostings) lenAt(ord int) int {
@@ -332,6 +342,12 @@ func (s *shard) liveDFLocked(field, term string) int {
 	if list == nil {
 		return 0
 	}
+	if s.dead == 0 {
+		// No tombstones anywhere in the shard: every posting is live,
+		// so df is the list length — O(1) instead of a full list walk.
+		// Compaction restores this fast path after deletions.
+		return list.n
+	}
 	n := 0
 	it := list.iter()
 	for it.next() {
@@ -364,6 +380,14 @@ func (s *shard) search(ctx context.Context, q Query, st *searchStats, filters ma
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	// Streamable top-k queries take the block-max early-exit path
+	// (wand.go), which skips whole posting blocks the bounded heap's
+	// threshold rules out — same hits, same scores, same order.
+	if k > 0 && !s.ix.earlyExitOff.Load() {
+		if hits, ok := s.searchTopK(q, st, filters, k); ok {
+			return hits
+		}
+	}
 	acc := getAccum(len(s.docs))
 	defer putAccum(acc)
 	q.eval(s, st, acc)
@@ -400,43 +424,64 @@ func (s *shard) search(ctx context.Context, q Query, st *searchStats, filters ma
 // selected set and final sort are identical to sorting every match
 // and truncating.
 func (s *shard) topKLocked(acc *accum, filters map[string]string, k int) []shardHit {
-	h := make([]shardHit, 0, k)
-	// ranksBelow reports whether (sc, id) orders after the heap root,
-	// i.e. is a worse hit.
-	ranksBelow := func(sc float64, id string) bool {
-		return sc < h[0].res.Score || (sc == h[0].res.Score && id > h[0].res.ID)
-	}
+	h := &topkHeap{k: k}
 	for ord, seen := range acc.seen {
 		if !seen {
 			continue
 		}
-		doc := s.docs[ord]
-		if doc.ID == "" {
+		if s.docs[ord].ID == "" {
 			continue
 		}
-		sc := acc.scores[ord]
-		if len(h) == k && ranksBelow(sc, doc.ID) {
-			continue
-		}
-		if !matchFilters(doc, filters) {
-			continue
-		}
-		hit := shardHit{ord: ord, res: Result{ID: doc.ID, Score: sc, Stored: doc.Stored}}
-		if len(h) < k {
-			h = append(h, hit)
-			siftUp(h, len(h)-1)
-			continue
-		}
-		h[0] = hit
-		siftDown(h, 0)
+		h.offer(s, ord, acc.scores[ord], filters)
 	}
-	sort.Slice(h, func(i, j int) bool {
-		if h[i].res.Score != h[j].res.Score {
-			return h[i].res.Score > h[j].res.Score
+	return h.sorted()
+}
+
+// topkHeap is the bounded min-heap both evaluation paths feed: the
+// root is the worst retained hit, its score the running threshold the
+// block-max evaluator skips against. Candidates must be offered in
+// ascending ordinal order so both paths build identical heaps.
+type topkHeap struct {
+	h []shardHit
+	k int
+}
+
+func (t *topkHeap) full() bool { return len(t.h) == t.k }
+
+// threshold is the worst retained score; callers must check full()
+// first — with fewer than k hits every candidate must be evaluated.
+func (t *topkHeap) threshold() float64 { return t.h[0].res.Score }
+
+// offer considers the live document at ord with score sc. The
+// cannot-place rejection runs before the filter check, exactly as the
+// original loop ordered them.
+func (t *topkHeap) offer(s *shard, ord int, sc float64, filters map[string]string) {
+	doc := s.docs[ord]
+	// ranksBelow: (sc, id) orders after the heap root, i.e. is worse.
+	if t.full() && (sc < t.h[0].res.Score || (sc == t.h[0].res.Score && doc.ID > t.h[0].res.ID)) {
+		return
+	}
+	if !matchFilters(doc, filters) {
+		return
+	}
+	hit := shardHit{ord: ord, res: Result{ID: doc.ID, Score: sc, Stored: doc.Stored}}
+	if len(t.h) < t.k {
+		t.h = append(t.h, hit)
+		siftUp(t.h, len(t.h)-1)
+		return
+	}
+	t.h[0] = hit
+	siftDown(t.h, 0)
+}
+
+func (t *topkHeap) sorted() []shardHit {
+	sort.Slice(t.h, func(i, j int) bool {
+		if t.h[i].res.Score != t.h[j].res.Score {
+			return t.h[i].res.Score > t.h[j].res.Score
 		}
-		return h[i].res.ID < h[j].res.ID
+		return t.h[i].res.ID < t.h[j].res.ID
 	})
-	return h
+	return t.h
 }
 
 // heapLess orders the worst hit first (min-heap on the search order).
@@ -599,6 +644,26 @@ func (s *shard) scoreTermInto(fp *fieldPostings, field, term string, st *searchS
 	}
 	sc, ok := s.scorerFor(fp, field, term, st)
 	if !ok {
+		return
+	}
+	// Long lists go through the shared cache in decoded form: the
+	// varint walk is paid once per mutation era instead of per query.
+	if dec := cachedPostings(st.cref, st.stamp, list); dec != nil {
+		for i, ord := range dec.ords {
+			if i&(cancelStride-1) == cancelStride-1 && st.canceled() {
+				return
+			}
+			doc := int(ord)
+			if s.docs[doc].ID == "" {
+				continue
+			}
+			v := sc.score(float64(dec.tfs[i]), fp.lenAt(doc))
+			if max {
+				out.mergeMax(doc, v)
+			} else {
+				out.add(doc, v)
+			}
+		}
 		return
 	}
 	it := list.iter()

@@ -59,8 +59,8 @@ func TestWithShardsEquivalence(t *testing.T) {
 			t.Fatalf("NumShards = %d, want %d", got, n)
 		}
 		for name, q := range shardQueries() {
-			want := base.Search(q, SearchOptions{})
-			got := sharded.Search(q, SearchOptions{})
+			want := base.mustSearch(q, SearchOptions{})
+			got := sharded.mustSearch(q, SearchOptions{})
 			if len(want) != len(got) {
 				t.Fatalf("shards=%d %s: %d hits, want %d", n, name, len(got), len(want))
 			}
@@ -70,7 +70,7 @@ func TestWithShardsEquivalence(t *testing.T) {
 						n, name, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
 				}
 			}
-			if bc, sc := base.Count(q, nil), sharded.Count(q, nil); bc != sc {
+			if bc, sc := base.mustCount(q, nil), sharded.mustCount(q, nil); bc != sc {
 				t.Fatalf("shards=%d %s: Count %d, want %d", n, name, sc, bc)
 			}
 		}
@@ -95,11 +95,11 @@ func TestWithShards1PreRefactorRanking(t *testing.T) {
 	if err := ix.AddBatch(docs); err != nil {
 		t.Fatal(err)
 	}
-	got := ids(ix.Search(MatchQuery{Text: "zelda"}, SearchOptions{}))
+	got := ids(ix.mustSearch(MatchQuery{Text: "zelda"}, SearchOptions{}))
 	if len(got) != 2 || got[0] != "g1" || got[1] != "g4" {
 		t.Fatalf("zelda ranking = %v, want [g1 g4]", got)
 	}
-	if got := ids(ix.Search(MatchQuery{Text: "zelda puzzles", Operator: "and"}, SearchOptions{})); len(got) != 1 || got[0] != "g1" {
+	if got := ids(ix.mustSearch(MatchQuery{Text: "zelda puzzles", Operator: "and"}, SearchOptions{})); len(got) != 1 || got[0] != "g1" {
 		t.Fatalf("AND ranking = %v, want [g1]", got)
 	}
 }
@@ -109,7 +109,7 @@ func TestWithShards1PreRefactorRanking(t *testing.T) {
 func TestCrossShardFacetsSummation(t *testing.T) {
 	for _, n := range []int{1, 4} {
 		ix := shardCorpus(t, WithShards(n))
-		got := ix.Facets(AllQuery{}, "producer", nil)
+		got := ix.mustFacets(AllQuery{}, "producer", nil)
 		if len(got) != 3 {
 			t.Fatalf("shards=%d facets = %v", n, got)
 		}
@@ -124,7 +124,7 @@ func TestCrossShardFacetsSummation(t *testing.T) {
 			t.Fatalf("shards=%d facet total = %d, want 60", n, total)
 		}
 		// Restricted query: every third doc mentions zelda.
-		zelda := ix.Facets(MatchQuery{Text: "zelda"}, "producer", nil)
+		zelda := ix.mustFacets(MatchQuery{Text: "zelda"}, "producer", nil)
 		zTotal := 0
 		for _, f := range zelda {
 			zTotal += f.N
@@ -160,13 +160,13 @@ func TestDeleteCompactNonZeroShard(t *testing.T) {
 	if ix.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", ix.Len())
 	}
-	if rs := ix.Search(MatchQuery{Text: "rarestterm"}, SearchOptions{}); len(rs) != 0 {
+	if rs := ix.mustSearch(MatchQuery{Text: "rarestterm"}, SearchOptions{}); len(rs) != 0 {
 		t.Fatalf("deleted doc still matches: %v", ids(rs))
 	}
 	if df := ix.DocFreq("body", "rarestterm"); df != 0 {
 		t.Fatalf("post-compact df = %d", df)
 	}
-	for _, f := range ix.Facets(nil, "kind", nil) {
+	for _, f := range ix.mustFacets(nil, "kind", nil) {
 		if f.Value == "victim" {
 			t.Fatalf("deleted doc still faceted: %v", f)
 		}
@@ -182,7 +182,7 @@ func TestTieBreakDeterministicAcrossShards(t *testing.T) {
 		for i := 0; i < 40; i++ {
 			ix.Add(Document{ID: fmt.Sprintf("tie%02d", i), Fields: map[string]string{"b": "identical content everywhere"}})
 		}
-		rs := ix.Search(MatchQuery{Text: "identical"}, SearchOptions{})
+		rs := ix.mustSearch(MatchQuery{Text: "identical"}, SearchOptions{})
 		if len(rs) != 40 {
 			t.Fatalf("shards=%d hits = %d", n, len(rs))
 		}
@@ -195,7 +195,7 @@ func TestTieBreakDeterministicAcrossShards(t *testing.T) {
 			}
 		}
 		// Pagination across the tie must line up with the full ordering.
-		page := ix.Search(MatchQuery{Text: "identical"}, SearchOptions{Limit: 10, Offset: 15})
+		page := ix.mustSearch(MatchQuery{Text: "identical"}, SearchOptions{Limit: 10, Offset: 15})
 		for i, r := range page {
 			if want := rs[15+i].ID; r.ID != want {
 				t.Fatalf("shards=%d page hit %d = %s, want %s", n, i, r.ID, want)
@@ -247,9 +247,9 @@ func TestShardedConcurrentMixedOps(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				ix.Search(MatchQuery{Text: "platform"}, SearchOptions{Limit: 10, SnippetField: "body"})
-				ix.Facets(MatchQuery{Text: "sharded"}, "w", nil)
-				ix.Count(AllQuery{}, nil)
+				ix.mustSearch(MatchQuery{Text: "platform"}, SearchOptions{Limit: 10, SnippetField: "body"})
+				ix.mustFacets(MatchQuery{Text: "sharded"}, "w", nil)
+				ix.mustCount(AllQuery{}, nil)
 			}
 		}()
 	}

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -162,7 +163,7 @@ func TestUploadCreatesDatasetWithInferredSchema(t *testing.T) {
 	if !rep.CreatedDataset || rep.Loaded != 3 || rep.Received != 3 {
 		t.Fatalf("report = %+v", rep)
 	}
-	ds, err := s.Dataset("shop", "ann", "inventory", store.PermRead)
+	ds, err := s.DatasetContext(context.Background(), "shop", "ann", "inventory", store.PermRead)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestUploadCreatesDatasetWithInferredSchema(t *testing.T) {
 	if f.Type != store.TypeNumber {
 		t.Errorf("price type = %v", f.Type)
 	}
-	hits, err := ds.Search(store.SearchRequest{Query: "zelda"})
+	hits, err := ds.SearchContext(context.Background(), store.SearchRequest{Query: "zelda"})
 	if err != nil || len(hits) != 1 {
 		t.Fatalf("search after upload: %v, %v", hits, err)
 	}
@@ -261,7 +262,7 @@ func TestUploadURLAndFeedPolling(t *testing.T) {
 	if _, err := sub.Poll(); err != nil {
 		t.Fatal(err)
 	}
-	ds, _ := s.Dataset("shop", "ann", "news", store.PermRead)
+	ds, _ := s.DatasetContext(context.Background(), "shop", "ann", "news", store.PermRead)
 	if ds.Len() != 2 {
 		t.Fatalf("after re-poll dataset has %d records", ds.Len())
 	}

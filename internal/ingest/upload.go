@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -92,7 +93,9 @@ func (u *Uploader) load(opts Options, recs []store.Record) (*Report, error) {
 		Received: len(recs),
 		Rejected: make(map[int]string),
 	}
-	ds, err := u.Store.Dataset(opts.Tenant, opts.Actor, opts.Dataset, store.PermWrite)
+	// Uploads are batch jobs without a request context; lookups run
+	// uncancellable, as before the ctx-first migration.
+	ds, err := u.Store.DatasetContext(context.Background(), opts.Tenant, opts.Actor, opts.Dataset, store.PermWrite)
 	switch {
 	case err == nil:
 	case errors.Is(err, store.ErrNoSuchDataset):

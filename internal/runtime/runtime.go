@@ -175,7 +175,7 @@ func (x *Executor) Execute(ctx context.Context, a *app.Application, q Query) (*R
 }
 
 func (x *Executor) executePrimary(ctx context.Context, a *app.Application, sc *app.SourceConfig, q Query, renderer *render.Renderer, trace *Trace, depth int) (*SourceBlock, error) {
-	src, err := x.resolve(a, sc, depth)
+	src, err := x.resolve(ctx, a, sc, depth)
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +312,7 @@ func (x *Executor) fanOut(ctx context.Context, a *app.Application, block *Source
 // querySupplemental runs one supplemental source for one primary
 // item, passing the configured drive fields as args.
 func (x *Executor) querySupplemental(ctx context.Context, a *app.Application, sc *app.SourceConfig, item source.Item, depth int) ([]source.Item, error) {
-	src, err := x.resolve(a, sc, depth)
+	src, err := x.resolve(ctx, a, sc, depth)
 	if err != nil {
 		return nil, err
 	}
@@ -346,13 +346,13 @@ func (x *Executor) alteredQuery(sc *app.SourceConfig, q Query) string {
 }
 
 // resolve turns a SourceConfig into a live Source.
-func (x *Executor) resolve(a *app.Application, sc *app.SourceConfig, depth int) (source.Source, error) {
+func (x *Executor) resolve(ctx context.Context, a *app.Application, sc *app.SourceConfig, depth int) (source.Source, error) {
 	switch sc.Kind {
 	case app.KindProprietary:
 		if x.Store == nil {
 			return nil, fmt.Errorf("runtime: no store configured")
 		}
-		ds, err := x.Store.Dataset(a.Tenant, a.Owner, sc.Dataset, store.PermRead)
+		ds, err := x.Store.DatasetContext(ctx, a.Tenant, a.Owner, sc.Dataset, store.PermRead)
 		if err != nil {
 			return nil, fmt.Errorf("runtime: source %s: %w", sc.ID, err)
 		}
@@ -435,7 +435,7 @@ func (x *Executor) resolveApp(sc *app.SourceConfig, depth int) (source.Source, e
 			var all []source.Item
 			for i := range sub.Primary {
 				psc := &sub.Primary[i]
-				srcSub, err := x.resolve(sub, psc, depth+1)
+				srcSub, err := x.resolve(ctx, sub, psc, depth+1)
 				if err != nil {
 					return nil, err
 				}

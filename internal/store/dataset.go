@@ -43,13 +43,17 @@ func (d *Dataset) setQuotaCheck(usage func() int, quota int) {
 }
 
 // newDataset builds a dataset whose index has shardTarget shards
-// (0 = the index default, one per CPU).
-func newDataset(schema Schema, shardTarget int) *Dataset {
+// (0 = the index default, one per CPU) and, when cache is non-nil,
+// participates in the shared cross-request cache.
+func newDataset(schema Schema, shardTarget int, cache *index.Cache) *Dataset {
 	var ix *index.Index
 	if shardTarget > 0 {
 		ix = index.New(index.WithShards(shardTarget))
 	} else {
 		ix = index.New()
+	}
+	if cache != nil {
+		ix.AttachCache(cache)
 	}
 	ds := &Dataset{
 		schema:  schema,
@@ -211,6 +215,10 @@ func (d *Dataset) NumShards() int { return d.ix.NumShards() }
 // RingGen reports the dataset index's ring generation — it increments
 // on every completed reshard, so operators can watch progress.
 func (d *Dataset) RingGen() uint64 { return d.ix.RingGen() }
+
+// ScanStats reports the dataset index's cumulative block-max scan
+// counters: postings decoded vs. jumped without decoding.
+func (d *Dataset) ScanStats() index.BlockScanStats { return d.ix.ScanStats() }
 
 // TombstoneRatio reports the dataset index's uncompacted tombstone
 // fraction.

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/frameio"
+	"repro/internal/index"
 )
 
 // Persistence: Symphony hosts the designers' proprietary data, so
@@ -520,7 +521,7 @@ func (s *Store) restoreV2(ctx context.Context, r io.Reader, o persistOptions) er
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				datasets[i], errs[i] = decodeFrame(frames[i], expects[i].tenant, expects[i].name, s.shardTarget)
+				datasets[i], errs[i] = decodeFrame(frames[i], expects[i].tenant, expects[i].name, s.shardTarget, s.cache)
 			}
 		}()
 	}
@@ -571,7 +572,7 @@ func (s *Store) restoreV2(ctx context.Context, r io.Reader, o persistOptions) er
 // The index restore decodes the snapshot's shard layout and then
 // reshards to the dataset's configured target, so checkpoint layout
 // never caps query fan-out on the restoring machine.
-func decodeFrame(payload []byte, wantTenant, wantName string, shardTarget int) (*Dataset, error) {
+func decodeFrame(payload []byte, wantTenant, wantName string, shardTarget int, cache *index.Cache) (*Dataset, error) {
 	meta, index, err := splitDatasetFrame(payload)
 	if err != nil {
 		return nil, err
@@ -590,7 +591,7 @@ func decodeFrame(payload []byte, wantTenant, wantName string, shardTarget int) (
 	if len(frame.Order) != len(frame.Records) {
 		return nil, fmt.Errorf("order/record mismatch")
 	}
-	ds := newDataset(frame.Schema, shardTarget)
+	ds := newDataset(frame.Schema, shardTarget, cache)
 	ds.nextID = frame.NextID
 	for i, rec := range frame.Records {
 		id := frame.Order[i]
@@ -651,7 +652,7 @@ func (s *Store) restoreV1(r io.Reader) error {
 			if len(dsnap.Order) != len(dsnap.Records) {
 				return fmt.Errorf("store: restore tenant %s dataset %s: order/record mismatch", ts.ID, dsnap.Schema.Name)
 			}
-			ds := newDataset(dsnap.Schema, s.shardTarget)
+			ds := newDataset(dsnap.Schema, s.shardTarget, s.cache)
 			ds.nextID = dsnap.NextID
 			for i, rec := range dsnap.Records {
 				id := dsnap.Order[i]

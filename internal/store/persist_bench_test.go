@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -69,7 +70,7 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 			}
 			size = buf.Len()
 			fresh := New()
-			if err := fresh.Restore(bytes.NewReader(buf.Bytes()), opts...); err != nil {
+			if err := fresh.RestoreContext(context.Background(), bytes.NewReader(buf.Bytes()), opts...); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -82,7 +83,7 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("v2-workers-%d", workers), func(b *testing.B) {
 			roundTrip(b, func(w io.Writer) error {
-				return s.Snapshot(w, WithWorkers(workers))
+				return s.SnapshotContext(context.Background(), w, WithWorkers(workers))
 			}, WithWorkers(workers))
 		})
 	}
@@ -120,7 +121,7 @@ func BenchmarkSnapshotOnly(b *testing.B) {
 		b.Run(fmt.Sprintf("v2-workers-%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if err := s.Snapshot(io.Discard, WithWorkers(workers)); err != nil {
+				if err := s.SnapshotContext(context.Background(), io.Discard, WithWorkers(workers)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -136,14 +137,14 @@ func BenchmarkRestoreOnly(b *testing.B) {
 	if err := s.SnapshotV1(&v1); err != nil {
 		b.Fatal(err)
 	}
-	if err := s.Snapshot(&v2); err != nil {
+	if err := s.SnapshotContext(context.Background(), &v2); err != nil {
 		b.Fatal(err)
 	}
 	b.Run("v1-serial", func(b *testing.B) {
 		b.ReportAllocs()
 		b.SetBytes(int64(v1.Len()))
 		for i := 0; i < b.N; i++ {
-			if err := New().Restore(bytes.NewReader(v1.Bytes())); err != nil {
+			if err := New().RestoreContext(context.Background(), bytes.NewReader(v1.Bytes())); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -153,7 +154,7 @@ func BenchmarkRestoreOnly(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(int64(v2.Len()))
 			for i := 0; i < b.N; i++ {
-				if err := New().Restore(bytes.NewReader(v2.Bytes()), WithWorkers(workers)); err != nil {
+				if err := New().RestoreContext(context.Background(), bytes.NewReader(v2.Bytes()), WithWorkers(workers)); err != nil {
 					b.Fatal(err)
 				}
 			}

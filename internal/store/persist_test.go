@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -15,15 +16,15 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := s.Snapshot(&buf); err != nil {
+	if err := s.SnapshotContext(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 
 	restored := New()
-	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+	if err := restored.RestoreContext(context.Background(), bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	ds2, err := restored.Dataset("gamerqueen", "ann", "inventory", PermWrite)
+	ds2, err := restored.DatasetContext(context.Background(), "gamerqueen", "ann", "inventory", PermWrite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,15 +37,15 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 		t.Fatalf("G1 = %v %v", rec, ok)
 	}
 	// Indexes rebuilt: search works.
-	hits, err := ds2.Search(SearchRequest{Query: "zelda"})
+	hits, err := ds2.SearchContext(context.Background(), SearchRequest{Query: "zelda"})
 	if err != nil || len(hits) != 2 {
 		t.Fatalf("restored search = %v, %v", hits, err)
 	}
 	// Grants preserved.
-	if _, err := restored.Dataset("gamerqueen", "bob", "inventory", PermRead); err != nil {
+	if _, err := restored.DatasetContext(context.Background(), "gamerqueen", "bob", "inventory", PermRead); err != nil {
 		t.Fatalf("grant lost: %v", err)
 	}
-	if _, err := restored.Dataset("gamerqueen", "mallory", "inventory", PermRead); err == nil {
+	if _, err := restored.DatasetContext(context.Background(), "gamerqueen", "mallory", "inventory", PermRead); err == nil {
 		t.Fatal("access control lost in restore")
 	}
 	// Insertion order preserved.
@@ -61,14 +62,14 @@ func TestRestoreContinuesAutoIDs(t *testing.T) {
 	ds.Put(Record{"text": "first"})
 	ds.Put(Record{"text": "second"})
 	var buf bytes.Buffer
-	if err := s.Snapshot(&buf); err != nil {
+	if err := s.SnapshotContext(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	restored := New()
-	if err := restored.Restore(&buf); err != nil {
+	if err := restored.RestoreContext(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
-	ds2, _ := restored.Dataset("t", "o", "notes", PermWrite)
+	ds2, _ := restored.DatasetContext(context.Background(), "t", "o", "notes", PermWrite)
 	id, err := ds2.Put(Record{"text": "third"})
 	if err != nil {
 		t.Fatal(err)
@@ -80,17 +81,17 @@ func TestRestoreContinuesAutoIDs(t *testing.T) {
 
 func TestRestoreRejectsGarbage(t *testing.T) {
 	s := New()
-	if err := s.Restore(strings.NewReader("{broken")); err == nil {
+	if err := s.RestoreContext(context.Background(), strings.NewReader("{broken")); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	if err := s.Restore(strings.NewReader(`{"version":99}`)); err == nil {
+	if err := s.RestoreContext(context.Background(), strings.NewReader(`{"version":99}`)); err == nil {
 		t.Fatal("future version accepted")
 	}
-	if err := s.Restore(strings.NewReader(`{"version":1,"tenants":[{"id":"","owner":""}]}`)); err == nil {
+	if err := s.RestoreContext(context.Background(), strings.NewReader(`{"version":1,"tenants":[{"id":"","owner":""}]}`)); err == nil {
 		t.Fatal("empty tenant accepted")
 	}
 	bad := `{"version":1,"tenants":[{"id":"t","owner":"o","datasets":[{"schema":{"name":"d","fields":[{"name":"a"}]},"order":["1","2"],"records":[{"a":"x"}]}]}]}`
-	if err := s.Restore(strings.NewReader(bad)); err == nil {
+	if err := s.RestoreContext(context.Background(), strings.NewReader(bad)); err == nil {
 		t.Fatal("order/record mismatch accepted")
 	}
 }
@@ -98,13 +99,13 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 func TestRestoreReplacesExistingState(t *testing.T) {
 	s, _ := newInventory(t)
 	var buf bytes.Buffer
-	if err := s.Snapshot(&buf); err != nil {
+	if err := s.SnapshotContext(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	// A store with unrelated content restores to exactly the snapshot.
 	other := New()
 	other.CreateTenant("junk", "j")
-	if err := other.Restore(&buf); err != nil {
+	if err := other.RestoreContext(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	if got := other.Tenants(); len(got) != 1 || got[0] != "gamerqueen" {
@@ -115,10 +116,10 @@ func TestRestoreReplacesExistingState(t *testing.T) {
 func TestSnapshotDeterministic(t *testing.T) {
 	s, _ := newInventory(t)
 	var a, b bytes.Buffer
-	if err := s.Snapshot(&a); err != nil {
+	if err := s.SnapshotContext(context.Background(), &a); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Snapshot(&b); err != nil {
+	if err := s.SnapshotContext(context.Background(), &b); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -127,7 +128,7 @@ func TestSnapshotDeterministic(t *testing.T) {
 	// Worker count must not change the bytes either: frames are
 	// written in deterministic order regardless of encode order.
 	var c bytes.Buffer
-	if err := s.Snapshot(&c, WithWorkers(1)); err != nil {
+	if err := s.SnapshotContext(context.Background(), &c, WithWorkers(1)); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != c.String() {
@@ -200,7 +201,7 @@ func storeFingerprint(t testing.TB, s *Store) string {
 				continue
 			}
 			for _, name := range names {
-				ds, err := s.Dataset(tenant, actor, name, PermRead)
+				ds, err := s.DatasetContext(context.Background(), tenant, actor, name, PermRead)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -208,7 +209,7 @@ func storeFingerprint(t testing.TB, s *Store) string {
 				for _, rec := range ds.List(0, 0) {
 					fmt.Fprintf(&b, "  %s=%s\n", rec["_id"], rec["title"])
 				}
-				hits, err := ds.Search(SearchRequest{Query: "common unique4"})
+				hits, err := ds.SearchContext(context.Background(), SearchRequest{Query: "common unique4"})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -234,7 +235,7 @@ func TestV1V2CompatRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	fromV1 := New()
-	if err := fromV1.Restore(bytes.NewReader(v1.Bytes())); err != nil {
+	if err := fromV1.RestoreContext(context.Background(), bytes.NewReader(v1.Bytes())); err != nil {
 		t.Fatalf("v1 restore: %v", err)
 	}
 	if got := storeFingerprint(t, fromV1); got != want {
@@ -242,11 +243,11 @@ func TestV1V2CompatRoundTrip(t *testing.T) {
 	}
 
 	var v2 bytes.Buffer
-	if err := fromV1.Snapshot(&v2); err != nil {
+	if err := fromV1.SnapshotContext(context.Background(), &v2); err != nil {
 		t.Fatal(err)
 	}
 	fromV2 := New()
-	if err := fromV2.Restore(bytes.NewReader(v2.Bytes())); err != nil {
+	if err := fromV2.RestoreContext(context.Background(), bytes.NewReader(v2.Bytes())); err != nil {
 		t.Fatalf("v2 restore: %v", err)
 	}
 	if got := storeFingerprint(t, fromV2); got != want {
@@ -259,11 +260,11 @@ func TestV1V2CompatRoundTrip(t *testing.T) {
 func TestV2RestoreMatchesFreshScores(t *testing.T) {
 	orig := multiTenantStore(t)
 	var buf bytes.Buffer
-	if err := orig.Snapshot(&buf); err != nil {
+	if err := orig.SnapshotContext(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	restored := New()
-	if err := restored.Restore(bytes.NewReader(buf.Bytes()), WithWorkers(4)); err != nil {
+	if err := restored.RestoreContext(context.Background(), bytes.NewReader(buf.Bytes()), WithWorkers(4)); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := storeFingerprint(t, restored), storeFingerprint(t, orig); got != want {
@@ -287,14 +288,14 @@ func TestV2QuotaSurvivesRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := s.Snapshot(&buf); err != nil {
+	if err := s.SnapshotContext(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	restored := New()
-	if err := restored.Restore(&buf); err != nil {
+	if err := restored.RestoreContext(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
-	ds2, err := restored.Dataset("t", "o", "d", PermWrite)
+	ds2, err := restored.DatasetContext(context.Background(), "t", "o", "d", PermWrite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestV2QuotaSurvivesRestore(t *testing.T) {
 func TestRestoreCorruptV2LeavesStoreUntouched(t *testing.T) {
 	src := multiTenantStore(t)
 	var good bytes.Buffer
-	if err := src.Snapshot(&good); err != nil {
+	if err := src.SnapshotContext(context.Background(), &good); err != nil {
 		t.Fatal(err)
 	}
 	gb := good.Bytes()
@@ -338,7 +339,7 @@ func TestRestoreCorruptV2LeavesStoreUntouched(t *testing.T) {
 	for name, data := range cases {
 		target, _ := newInventory(t)
 		before := storeFingerprint(t, target)
-		if err := target.Restore(bytes.NewReader(data)); err == nil {
+		if err := target.RestoreContext(context.Background(), bytes.NewReader(data)); err == nil {
 			t.Errorf("%s: corrupt snapshot accepted", name)
 			continue
 		}
@@ -353,7 +354,7 @@ func TestRestoreCorruptV2LeavesStoreUntouched(t *testing.T) {
 // them out nor produce a stream that fails to restore.
 func TestSnapshotConcurrentWithWrites(t *testing.T) {
 	s := multiTenantStore(t)
-	ds, err := s.Dataset("tenant0", "owner0", "data0", PermWrite)
+	ds, err := s.DatasetContext(context.Background(), "tenant0", "owner0", "data0", PermWrite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,11 +378,11 @@ func TestSnapshotConcurrentWithWrites(t *testing.T) {
 	}()
 	for i := 0; i < 5; i++ {
 		var buf bytes.Buffer
-		if err := s.Snapshot(&buf); err != nil {
+		if err := s.SnapshotContext(context.Background(), &buf); err != nil {
 			t.Fatal(err)
 		}
 		restored := New()
-		if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		if err := restored.RestoreContext(context.Background(), bytes.NewReader(buf.Bytes())); err != nil {
 			t.Fatalf("snapshot %d failed to restore: %v", i, err)
 		}
 	}
@@ -416,7 +417,7 @@ func TestSnapshotConcurrentWithGrants(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 20; i++ {
-		if err := s.Snapshot(io.Discard); err != nil {
+		if err := s.SnapshotContext(context.Background(), io.Discard); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 )
@@ -10,12 +11,12 @@ import (
 // keeps search results identical and bumps the observable layout.
 func TestDatasetReshard(t *testing.T) {
 	s, ds := newInventory(t)
-	before, err := ds.Search(SearchRequest{Query: "zelda adventure"})
+	before, err := ds.SearchContext(context.Background(), SearchRequest{Query: "zelda adventure"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	gen := ds.RingGen()
-	if err := s.Reshard("gamerqueen", "ann", "inventory", 5); err != nil {
+	if err := s.ReshardContext(context.Background(), "gamerqueen", "ann", "inventory", 5); err != nil {
 		t.Fatal(err)
 	}
 	if got := ds.NumShards(); got != 5 {
@@ -24,7 +25,7 @@ func TestDatasetReshard(t *testing.T) {
 	if ds.RingGen() <= gen {
 		t.Fatalf("ring gen did not advance: %d → %d", gen, ds.RingGen())
 	}
-	after, err := ds.Search(SearchRequest{Query: "zelda adventure"})
+	after, err := ds.SearchContext(context.Background(), SearchRequest{Query: "zelda adventure"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,13 +41,13 @@ func TestDatasetReshard(t *testing.T) {
 	// every idle reshard would force a full frame re-encode at the
 	// next incremental checkpoint.
 	v := ds.Version()
-	if err := s.Reshard("gamerqueen", "ann", "inventory", 5); err != nil {
+	if err := s.ReshardContext(context.Background(), "gamerqueen", "ann", "inventory", 5); err != nil {
 		t.Fatal(err)
 	}
 	if got := ds.Version(); got != v {
 		t.Fatalf("no-op reshard bumped version %d → %d", v, got)
 	}
-	if err := ds.Reshard(0); err == nil {
+	if err := ds.ReshardContext(context.Background(), 0); err == nil {
 		t.Fatal("Reshard(0) accepted")
 	}
 	if got := ds.Version(); got != v {
@@ -57,10 +58,10 @@ func TestDatasetReshard(t *testing.T) {
 	if err := s.Grant("gamerqueen", "ann", "bob", PermRead); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Reshard("gamerqueen", "bob", "inventory", 2); err != ErrAccessDenied {
+	if err := s.ReshardContext(context.Background(), "gamerqueen", "bob", "inventory", 2); err != ErrAccessDenied {
 		t.Fatalf("reader reshard = %v, want ErrAccessDenied", err)
 	}
-	if err := s.Reshard("gamerqueen", "ann", "nope", 2); err != ErrNoSuchDataset {
+	if err := s.ReshardContext(context.Background(), "gamerqueen", "ann", "nope", 2); err != ErrNoSuchDataset {
 		t.Fatalf("missing dataset reshard = %v, want ErrNoSuchDataset", err)
 	}
 }
@@ -84,22 +85,22 @@ func TestStoreShardTarget(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := s.Snapshot(&buf); err != nil {
+	if err := s.SnapshotContext(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 
 	wide := New(WithShardTarget(8))
-	if err := wide.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+	if err := wide.RestoreContext(context.Background(), bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	rds, err := wide.Dataset("gamerqueen", "ann", "inventory", PermRead)
+	rds, err := wide.DatasetContext(context.Background(), "gamerqueen", "ann", "inventory", PermRead)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := rds.NumShards(); got != 8 {
 		t.Fatalf("restored dataset shards = %d, want configured 8 (snapshot had 3)", got)
 	}
-	hits, err := rds.Search(SearchRequest{Query: "zelda"})
+	hits, err := rds.SearchContext(context.Background(), SearchRequest{Query: "zelda"})
 	if err != nil || len(hits) != 1 {
 		t.Fatalf("restored search = %v, %v", hits, err)
 	}
@@ -127,7 +128,7 @@ func TestStoreStatus(t *testing.T) {
 	if st[1].Records != 4 || st[1].Shards < 1 || st[1].RingGen < 1 {
 		t.Fatalf("inventory status = %+v", st[1])
 	}
-	if err := s.Reshard("gamerqueen", "ann", "inventory", st[1].Shards+1); err != nil {
+	if err := s.ReshardContext(context.Background(), "gamerqueen", "ann", "inventory", st[1].Shards+1); err != nil {
 		t.Fatal(err)
 	}
 	st2 := s.Status()
@@ -145,7 +146,7 @@ func TestSnapshotFrameCache(t *testing.T) {
 	cache := NewFrameCache()
 
 	var first bytes.Buffer
-	if err := s.Snapshot(&first, WithFrameCache(cache)); err != nil {
+	if err := s.SnapshotContext(context.Background(), &first, WithFrameCache(cache)); err != nil {
 		t.Fatal(err)
 	}
 	_, misses0 := cache.Stats()
@@ -156,7 +157,7 @@ func TestSnapshotFrameCache(t *testing.T) {
 	// Nothing changed: the second pass must reuse every frame and
 	// produce the identical stream.
 	var second bytes.Buffer
-	if err := s.Snapshot(&second, WithFrameCache(cache)); err != nil {
+	if err := s.SnapshotContext(context.Background(), &second, WithFrameCache(cache)); err != nil {
 		t.Fatal(err)
 	}
 	hits1, misses1 := cache.Stats()
@@ -171,7 +172,7 @@ func TestSnapshotFrameCache(t *testing.T) {
 	}
 
 	// Mutate exactly one dataset: only its frame re-encodes.
-	ds, err := s.Dataset("tenant0", "owner0", "data0", PermWrite)
+	ds, err := s.DatasetContext(context.Background(), "tenant0", "owner0", "data0", PermWrite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestSnapshotFrameCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	var third bytes.Buffer
-	if err := s.Snapshot(&third, WithFrameCache(cache)); err != nil {
+	if err := s.SnapshotContext(context.Background(), &third, WithFrameCache(cache)); err != nil {
 		t.Fatal(err)
 	}
 	_, misses2 := cache.Stats()
@@ -189,27 +190,27 @@ func TestSnapshotFrameCache(t *testing.T) {
 
 	// The incremental stream restores like any other v2 snapshot.
 	restored := New()
-	if err := restored.Restore(bytes.NewReader(third.Bytes())); err != nil {
+	if err := restored.RestoreContext(context.Background(), bytes.NewReader(third.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	rds, err := restored.Dataset("tenant0", "owner0", "data0", PermRead)
+	rds, err := restored.DatasetContext(context.Background(), "tenant0", "owner0", "data0", PermRead)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rds.Len() != ds.Len() {
 		t.Fatalf("restored Len = %d, want %d", rds.Len(), ds.Len())
 	}
-	if hits, err := rds.Search(SearchRequest{Query: "new game"}); err != nil || len(hits) == 0 {
+	if hits, err := rds.SearchContext(context.Background(), SearchRequest{Query: "new game"}); err != nil || len(hits) == 0 {
 		t.Fatalf("restored search = %v, %v", hits, err)
 	}
 
 	// A reshard also dirties the frame (layout changed), and dropping
 	// a dataset prunes its cache entry.
-	if err := ds.Reshard(ds.NumShards() + 1); err != nil {
+	if err := ds.ReshardContext(context.Background(), ds.NumShards()+1); err != nil {
 		t.Fatal(err)
 	}
 	var fourth bytes.Buffer
-	if err := s.Snapshot(&fourth, WithFrameCache(cache)); err != nil {
+	if err := s.SnapshotContext(context.Background(), &fourth, WithFrameCache(cache)); err != nil {
 		t.Fatal(err)
 	}
 	_, misses3 := cache.Stats()
@@ -220,7 +221,7 @@ func TestSnapshotFrameCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	var fifth bytes.Buffer
-	if err := s.Snapshot(&fifth, WithFrameCache(cache)); err != nil {
+	if err := s.SnapshotContext(context.Background(), &fifth, WithFrameCache(cache)); err != nil {
 		t.Fatal(err)
 	}
 	cache.mu.Lock()
@@ -251,11 +252,11 @@ func TestFrameCacheConcurrentWriters(t *testing.T) {
 	}()
 	for i := 0; i < 10; i++ {
 		var buf bytes.Buffer
-		if err := s.Snapshot(&buf, WithFrameCache(cache)); err != nil {
+		if err := s.SnapshotContext(context.Background(), &buf, WithFrameCache(cache)); err != nil {
 			t.Fatal(err)
 		}
 		restored := New()
-		if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		if err := restored.RestoreContext(context.Background(), bytes.NewReader(buf.Bytes())); err != nil {
 			t.Fatalf("snapshot %d does not restore: %v", i, err)
 		}
 	}

@@ -1,6 +1,9 @@
 package store
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestStats(t *testing.T) {
 	_, ds := newInventory(t)
@@ -42,7 +45,7 @@ func TestStatsEmptyDataset(t *testing.T) {
 
 func TestFacets(t *testing.T) {
 	_, ds := newInventory(t)
-	facets, err := ds.Facets(SearchRequest{Query: "game"}, "producer")
+	facets, err := ds.FacetsContext(context.Background(), SearchRequest{Query: "game"}, "producer")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +53,7 @@ func TestFacets(t *testing.T) {
 		t.Fatalf("facets = %v", facets)
 	}
 	// Facets compose with structured filters.
-	facets, err = ds.Facets(SearchRequest{Filters: []Filter{{Field: "instock", Op: "=", Value: "true"}}}, "producer")
+	facets, err = ds.FacetsContext(context.Background(), SearchRequest{Filters: []Filter{{Field: "instock", Op: "=", Value: "true"}}}, "producer")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +64,7 @@ func TestFacets(t *testing.T) {
 	if total != 3 {
 		t.Fatalf("in-stock facet total = %d", total)
 	}
-	if _, err := ds.Facets(SearchRequest{}, "ghost"); err == nil {
+	if _, err := ds.FacetsContext(context.Background(), SearchRequest{}, "ghost"); err == nil {
 		t.Fatal("unknown facet field accepted")
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/index"
 )
 
 // Common errors. ErrAccessDenied is returned whenever an actor
@@ -47,6 +49,9 @@ type Store struct {
 	// CPU). Restores honor it too: a snapshot written under another
 	// layout reshards to this target on load.
 	shardTarget int
+	// cache, when non-nil, is attached to every dataset index the
+	// store creates or restores; each gets its own key namespace.
+	cache *index.Cache
 }
 
 // Option configures a Store at construction time.
@@ -61,6 +66,15 @@ func WithShardTarget(n int) Option {
 			s.shardTarget = n
 		}
 	}
+}
+
+// WithCache attaches a shared cross-request result cache to every
+// dataset index the store creates or restores. Tenants share the
+// cache's capacity but never its keys (per-index namespaces), and
+// stamped validation means a hit is always from the dataset's current
+// mutation era. Nil leaves caching off.
+func WithCache(c *index.Cache) Option {
+	return func(s *Store) { s.cache = c }
 }
 
 // New returns an empty store.
@@ -185,7 +199,7 @@ func (s *Store) CreateDataset(tenantID, actor string, schema Schema) (*Dataset, 
 	if _, ok := t.datasets[schema.Name]; ok {
 		return nil, ErrDatasetExists
 	}
-	ds := newDataset(schema, s.shardTarget)
+	ds := newDataset(schema, s.shardTarget, s.cache)
 	t.datasets[schema.Name] = ds
 	if t.quota > 0 {
 		ds.setQuotaCheck(usageExcluding(t, ds), t.quota)
@@ -272,15 +286,20 @@ func (s *Store) ReshardContext(ctx context.Context, tenantID, actor, name string
 
 // DatasetStatus is the operator-facing view of one dataset's index
 // layout: shard count, ring generation (increments per completed
-// reshard), tombstone ratio and whether a migration is in flight.
+// reshard), tombstone ratio, whether a migration is in flight, and
+// the block-max evaluator's cumulative posting counters (decoded vs
+// jumped without decoding — operator-visible proof early exit is
+// engaging on this dataset's traffic).
 type DatasetStatus struct {
-	Tenant         string  `json:"tenant"`
-	Dataset        string  `json:"dataset"`
-	Records        int     `json:"records"`
-	Shards         int     `json:"shards"`
-	RingGen        uint64  `json:"ringGen"`
-	TombstoneRatio float64 `json:"tombstoneRatio"`
-	Resharding     bool    `json:"resharding,omitempty"`
+	Tenant          string  `json:"tenant"`
+	Dataset         string  `json:"dataset"`
+	Records         int     `json:"records"`
+	Shards          int     `json:"shards"`
+	RingGen         uint64  `json:"ringGen"`
+	TombstoneRatio  float64 `json:"tombstoneRatio"`
+	Resharding      bool    `json:"resharding,omitempty"`
+	PostingsScored  uint64  `json:"postingsScored"`
+	PostingsSkipped uint64  `json:"postingsSkipped"`
 }
 
 // Status reports every dataset's shard layout in deterministic
@@ -308,14 +327,17 @@ func (s *Store) Status() []DatasetStatus {
 	})
 	out := make([]DatasetStatus, len(refs))
 	for i, r := range refs {
+		scan := r.ds.ScanStats()
 		out[i] = DatasetStatus{
-			Tenant:         r.tenant,
-			Dataset:        r.name,
-			Records:        r.ds.Len(),
-			Shards:         r.ds.NumShards(),
-			RingGen:        r.ds.RingGen(),
-			TombstoneRatio: r.ds.TombstoneRatio(),
-			Resharding:     r.ds.Resharding(),
+			Tenant:          r.tenant,
+			Dataset:         r.name,
+			Records:         r.ds.Len(),
+			Shards:          r.ds.NumShards(),
+			RingGen:         r.ds.RingGen(),
+			TombstoneRatio:  r.ds.TombstoneRatio(),
+			Resharding:      r.ds.Resharding(),
+			PostingsScored:  scan.Scored,
+			PostingsSkipped: scan.Skipped,
 		}
 	}
 	return out

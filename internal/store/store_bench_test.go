@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -47,7 +48,7 @@ func BenchmarkSearchText(b *testing.B) {
 	ds := benchDataset(b, 5000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ds.Search(SearchRequest{Query: "deluxe", Limit: 10}); err != nil {
+		if _, err := ds.SearchContext(context.Background(), SearchRequest{Query: "deluxe", Limit: 10}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -62,7 +63,7 @@ func BenchmarkSearchFiltered(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ds.Search(req); err != nil {
+		if _, err := ds.SearchContext(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -116,7 +117,7 @@ func TestPutReplacesByKey(t *testing.T) {
 	if rec["title"] != "Zelda Remastered" {
 		t.Errorf("replace failed: %v", rec)
 	}
-	hits, _ := ds.Search(SearchRequest{Query: "legend"})
+	hits, _ := ds.SearchContext(context.Background(), SearchRequest{Query: "legend"})
 	if len(hits) != 0 {
 		t.Error("old indexed content survived replace")
 	}
@@ -138,7 +139,7 @@ func TestAutoIDWhenNoKey(t *testing.T) {
 
 func TestSearchFullText(t *testing.T) {
 	_, ds := newInventory(t)
-	hits, err := ds.Search(SearchRequest{Query: "zelda"})
+	hits, err := ds.SearchContext(context.Background(), SearchRequest{Query: "zelda"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,24 +155,24 @@ func TestSearchFullText(t *testing.T) {
 
 func TestSearchFieldRestriction(t *testing.T) {
 	_, ds := newInventory(t)
-	hits, err := ds.Search(SearchRequest{Query: "adventure", Fields: []string{"title"}})
+	hits, err := ds.SearchContext(context.Background(), SearchRequest{Query: "adventure", Fields: []string{"title"}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(hits) != 0 {
 		t.Fatalf("title-only adventure hits = %d", len(hits))
 	}
-	if _, err := ds.Search(SearchRequest{Query: "x", Fields: []string{"price"}}); err == nil {
+	if _, err := ds.SearchContext(context.Background(), SearchRequest{Query: "x", Fields: []string{"price"}}); err == nil {
 		t.Error("non-searchable field accepted")
 	}
-	if _, err := ds.Search(SearchRequest{Query: "x", Fields: []string{"nope"}}); err == nil {
+	if _, err := ds.SearchContext(context.Background(), SearchRequest{Query: "x", Fields: []string{"nope"}}); err == nil {
 		t.Error("unknown field accepted")
 	}
 }
 
 func TestSearchEmptyQueryBrowses(t *testing.T) {
 	_, ds := newInventory(t)
-	hits, err := ds.Search(SearchRequest{})
+	hits, err := ds.SearchContext(context.Background(), SearchRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,14 +183,14 @@ func TestSearchEmptyQueryBrowses(t *testing.T) {
 
 func TestNumericFilters(t *testing.T) {
 	_, ds := newInventory(t)
-	hits, err := ds.Search(SearchRequest{Filters: []Filter{{Field: "price", Op: "<", Value: "35"}}})
+	hits, err := ds.SearchContext(context.Background(), SearchRequest{Filters: []Filter{{Field: "price", Op: "<", Value: "35"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(hits) != 2 {
 		t.Fatalf("price<35 hits = %d", len(hits))
 	}
-	hits, _ = ds.Search(SearchRequest{Filters: []Filter{
+	hits, _ = ds.SearchContext(context.Background(), SearchRequest{Filters: []Filter{
 		{Field: "price", Op: ">=", Value: "29.99"},
 		{Field: "instock", Op: "=", Value: "true"},
 	}})
@@ -200,7 +201,7 @@ func TestNumericFilters(t *testing.T) {
 
 func TestContainsFilter(t *testing.T) {
 	_, ds := newInventory(t)
-	hits, err := ds.Search(SearchRequest{Filters: []Filter{{Field: "description", Op: "contains", Value: "GAME adventure"}}})
+	hits, err := ds.SearchContext(context.Background(), SearchRequest{Filters: []Filter{{Field: "description", Op: "contains", Value: "GAME adventure"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,17 +212,17 @@ func TestContainsFilter(t *testing.T) {
 
 func TestFilterErrors(t *testing.T) {
 	_, ds := newInventory(t)
-	if _, err := ds.Search(SearchRequest{Filters: []Filter{{Field: "nope", Op: "="}}}); err == nil {
+	if _, err := ds.SearchContext(context.Background(), SearchRequest{Filters: []Filter{{Field: "nope", Op: "="}}}); err == nil {
 		t.Error("unknown filter field accepted")
 	}
-	if _, err := ds.Search(SearchRequest{Filters: []Filter{{Field: "price", Op: "~"}}}); err == nil {
+	if _, err := ds.SearchContext(context.Background(), SearchRequest{Filters: []Filter{{Field: "price", Op: "~"}}}); err == nil {
 		t.Error("unknown op accepted")
 	}
 }
 
 func TestOrderBy(t *testing.T) {
 	_, ds := newInventory(t)
-	hits, err := ds.Search(SearchRequest{OrderBy: "price"})
+	hits, err := ds.SearchContext(context.Background(), SearchRequest{OrderBy: "price"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,23 +231,23 @@ func TestOrderBy(t *testing.T) {
 			t.Fatal("ascending order violated")
 		}
 	}
-	hits, _ = ds.Search(SearchRequest{OrderBy: "-price"})
+	hits, _ = ds.SearchContext(context.Background(), SearchRequest{OrderBy: "-price"})
 	if hits[0].Record["sku"] != "G1" {
 		t.Errorf("descending price first = %v", hits[0].Record["sku"])
 	}
-	if _, err := ds.Search(SearchRequest{OrderBy: "nope"}); err == nil {
+	if _, err := ds.SearchContext(context.Background(), SearchRequest{OrderBy: "nope"}); err == nil {
 		t.Error("unknown order field accepted")
 	}
 }
 
 func TestSearchPagination(t *testing.T) {
 	_, ds := newInventory(t)
-	all, _ := ds.Search(SearchRequest{OrderBy: "price"})
-	p, _ := ds.Search(SearchRequest{OrderBy: "price", Limit: 2, Offset: 2})
+	all, _ := ds.SearchContext(context.Background(), SearchRequest{OrderBy: "price"})
+	p, _ := ds.SearchContext(context.Background(), SearchRequest{OrderBy: "price", Limit: 2, Offset: 2})
 	if len(p) != 2 || p[0].ID != all[2].ID {
 		t.Fatal("pagination misaligned")
 	}
-	if p, _ := ds.Search(SearchRequest{Offset: 99}); p != nil {
+	if p, _ := ds.SearchContext(context.Background(), SearchRequest{Offset: 99}); p != nil {
 		t.Error("offset past end not empty")
 	}
 }
@@ -276,7 +277,7 @@ func TestGetReturnsCopy(t *testing.T) {
 func TestTenantIsolation(t *testing.T) {
 	s, _ := newInventory(t)
 	// Bob cannot see Ann's data.
-	if _, err := s.Dataset("gamerqueen", "bob", "inventory", PermRead); !errors.Is(err, ErrAccessDenied) {
+	if _, err := s.DatasetContext(context.Background(), "gamerqueen", "bob", "inventory", PermRead); !errors.Is(err, ErrAccessDenied) {
 		t.Fatalf("bob read = %v", err)
 	}
 	if _, err := s.Datasets("gamerqueen", "bob"); !errors.Is(err, ErrAccessDenied) {
@@ -286,17 +287,17 @@ func TestTenantIsolation(t *testing.T) {
 	if err := s.Grant("gamerqueen", "ann", "bob", PermRead); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Dataset("gamerqueen", "bob", "inventory", PermRead); err != nil {
+	if _, err := s.DatasetContext(context.Background(), "gamerqueen", "bob", "inventory", PermRead); err != nil {
 		t.Fatalf("bob read after grant = %v", err)
 	}
-	if _, err := s.Dataset("gamerqueen", "bob", "inventory", PermWrite); !errors.Is(err, ErrAccessDenied) {
+	if _, err := s.DatasetContext(context.Background(), "gamerqueen", "bob", "inventory", PermWrite); !errors.Is(err, ErrAccessDenied) {
 		t.Fatal("bob got write with read grant")
 	}
 	// Revoke.
 	if err := s.Revoke("gamerqueen", "ann", "bob"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Dataset("gamerqueen", "bob", "inventory", PermRead); !errors.Is(err, ErrAccessDenied) {
+	if _, err := s.DatasetContext(context.Background(), "gamerqueen", "bob", "inventory", PermRead); !errors.Is(err, ErrAccessDenied) {
 		t.Fatal("bob read after revoke")
 	}
 }
@@ -319,10 +320,10 @@ func TestStoreErrors(t *testing.T) {
 	if err := s.CreateTenant("t", "o"); err == nil {
 		t.Error("duplicate tenant accepted")
 	}
-	if _, err := s.Dataset("missing", "o", "x", PermRead); !errors.Is(err, ErrNoSuchTenant) {
+	if _, err := s.DatasetContext(context.Background(), "missing", "o", "x", PermRead); !errors.Is(err, ErrNoSuchTenant) {
 		t.Error("missing tenant not reported")
 	}
-	if _, err := s.Dataset("t", "o", "x", PermRead); !errors.Is(err, ErrNoSuchDataset) {
+	if _, err := s.DatasetContext(context.Background(), "t", "o", "x", PermRead); !errors.Is(err, ErrNoSuchDataset) {
 		t.Error("missing dataset not reported")
 	}
 	sch := Schema{Name: "d", Fields: []Field{{Name: "a"}}}
@@ -401,7 +402,7 @@ func TestPropertyPutSearchAgree(t *testing.T) {
 			})
 		}
 		cut := float64(rng.Intn(100))
-		hits, err := ds.Search(SearchRequest{Filters: []Filter{{Field: "price", Op: "<", Value: fmt.Sprintf("%.0f", cut)}}})
+		hits, err := ds.SearchContext(context.Background(), SearchRequest{Filters: []Filter{{Field: "price", Op: "<", Value: fmt.Sprintf("%.0f", cut)}}})
 		if err != nil {
 			return false
 		}
@@ -415,7 +416,7 @@ func TestPropertyPutSearchAgree(t *testing.T) {
 			return false
 		}
 		i := rng.Intn(n)
-		found, err := ds.Search(SearchRequest{Query: fmt.Sprintf("token%d", i)})
+		found, err := ds.SearchContext(context.Background(), SearchRequest{Query: fmt.Sprintf("token%d", i)})
 		return err == nil && len(found) == 1 && found[0].ID == fmt.Sprintf("r%d", i)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {

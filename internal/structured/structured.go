@@ -14,6 +14,7 @@
 package structured
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -108,13 +109,14 @@ func unquote(s string) string {
 }
 
 // Apply parses the query and runs it against a dataset. Unknown
-// fields and malformed clauses surface as errors.
-func Apply(ds *store.Dataset, query string, limit int) ([]store.Hit, error) {
+// fields and malformed clauses surface as errors. Cancelling ctx
+// aborts the underlying index evaluation.
+func Apply(ctx context.Context, ds *store.Dataset, query string, limit int) ([]store.Hit, error) {
 	p, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return ds.Search(store.SearchRequest{
+	return ds.SearchContext(ctx, store.SearchRequest{
 		Query:   p.FreeText,
 		Filters: p.Filters,
 		OrderBy: p.OrderBy,

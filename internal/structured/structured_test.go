@@ -1,6 +1,7 @@
 package structured
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -103,7 +104,7 @@ func invDataset(t testing.TB) *store.Dataset {
 
 func TestApplyCombinesTextAndFilters(t *testing.T) {
 	ds := invDataset(t)
-	hits, err := Apply(ds, "zelda price:<40", 10)
+	hits, err := Apply(context.Background(), ds, "zelda price:<40", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestApplyCombinesTextAndFilters(t *testing.T) {
 
 func TestApplySortDirective(t *testing.T) {
 	ds := invDataset(t)
-	hits, err := Apply(ds, "sort:-price", 10)
+	hits, err := Apply(context.Background(), ds, "sort:-price", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestApplySortDirective(t *testing.T) {
 
 func TestApplyBoolFilter(t *testing.T) {
 	ds := invDataset(t)
-	hits, err := Apply(ds, "instock:true", 10)
+	hits, err := Apply(context.Background(), ds, "instock:true", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,14 +137,14 @@ func TestApplyBoolFilter(t *testing.T) {
 
 func TestApplyUnknownFieldFails(t *testing.T) {
 	ds := invDataset(t)
-	if _, err := Apply(ds, "nope:<3", 10); err == nil {
+	if _, err := Apply(context.Background(), ds, "nope:<3", 10); err == nil {
 		t.Fatal("unknown field accepted")
 	}
 }
 
 func TestApplyLimit(t *testing.T) {
 	ds := invDataset(t)
-	hits, err := Apply(ds, "producer:Nintendo", 1)
+	hits, err := Apply(context.Background(), ds, "producer:Nintendo", 1)
 	if err != nil || len(hits) != 1 {
 		t.Fatalf("limit: %v %v", hits, err)
 	}

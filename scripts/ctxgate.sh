@@ -5,8 +5,8 @@
 # and internal/index either takes `ctx context.Context` as its first
 # parameter or is grandfathered in scripts/ctxgate_allow.txt (the
 # pre-redesign constructor/accessor surface that has no blocking work
-# to cancel). deprecated.go files are exempt wholesale: they are the
-# compatibility wrappers the redesign deliberately kept.
+# to cancel). The deprecated.go compatibility wrappers kept for one
+# release after the redesign are gone; every caller is ctx-first now.
 #
 # A NEW exported entry point without ctx therefore fails CI until it
 # either gains the parameter or is consciously added to the allowlist
@@ -27,7 +27,7 @@ offenders() {
     for dir in internal/engine internal/store internal/index; do
         for f in "$dir"/*.go; do
             case "$f" in
-            *_test.go | */deprecated.go) continue ;;
+            *_test.go) continue ;;
             esac
             # "func Name(" or "func (r *Recv) Name(" with an exported
             # Name; then drop lines whose first param is ctx.
