@@ -1,0 +1,224 @@
+// Command benchingest measures the write path: documents per second
+// into a live dataset as a function of batch size, WAL fsync policy
+// and index shard count.
+//
+// Every configuration ingests the same synthetic corpus into a fresh
+// store. Batch size 1 drives the single-document path (one PutContext
+// — and, with a WAL, one commit wait — per record); larger batches go
+// through AddBatchContext, which analyzes the whole batch on a worker
+// pool, applies it with one lock acquisition per index shard, and
+// rides one group commit per batch instead of one fsync per record.
+//
+// The run writes BENCH_ingest.json: one row per configuration plus,
+// per policy × shard count, the batch-256 speedup over batch-1 — the
+// headline claim is >= 3x under the durable policies, and the full
+// run exits non-zero if the synced policies miss it. --smoke shrinks
+// the corpus for CI and reports without gating.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// row is one measured configuration in BENCH_ingest.json.
+type row struct {
+	Policy     string  `json:"policy"` // "none" = no WAL attached
+	Shards     int     `json:"shards"`
+	Batch      int     `json:"batch"`
+	Docs       int     `json:"docs"`
+	ElapsedMs  float64 `json:"elapsedMs"`
+	DocsPerSec float64 `json:"docsPerSec"`
+}
+
+// speedup summarizes batch-256 against batch-1 for one policy/shards.
+type speedup struct {
+	Policy  string  `json:"policy"`
+	Shards  int     `json:"shards"`
+	Speedup float64 `json:"speedupBatch256"`
+}
+
+type benchOutput struct {
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Docs       int       `json:"docs"`
+	Rows       []row     `json:"rows"`
+	Speedups   []speedup `json:"speedups"`
+	// GateOK: every durable policy (always, group) reached >= 3x at
+	// batch 256. Informational in --smoke.
+	GateOK bool `json:"gateOk"`
+}
+
+func benchSchema() store.Schema {
+	return store.Schema{
+		Name: "inv",
+		Key:  "sku",
+		Fields: []store.Field{
+			{Name: "sku", Type: store.TypeString, Required: true},
+			{Name: "title", Type: store.TypeString, Searchable: true},
+			{Name: "body", Type: store.TypeString, Searchable: true},
+			{Name: "price", Type: store.TypeNumber},
+		},
+	}
+}
+
+var vocab = []string{
+	"arcade", "baroque", "copper", "dynamo", "ember", "fjord", "gadget",
+	"harbor", "indigo", "jubilee", "kestrel", "lattice", "meridian",
+	"nimbus", "opal", "prairie", "quartz", "rustic", "saffron", "tundra",
+}
+
+// corpus builds n records deterministically (no RNG: the mix of vocab
+// words is index-derived, identical across runs and configurations).
+func corpus(n int) []store.Record {
+	recs := make([]store.Record, n)
+	for i := range recs {
+		w1, w2, w3 := vocab[i%len(vocab)], vocab[(i*7+3)%len(vocab)], vocab[(i*13+5)%len(vocab)]
+		recs[i] = store.Record{
+			"sku":   fmt.Sprintf("d%06d", i),
+			"title": fmt.Sprintf("%s %s gadget %d", w1, w2, i),
+			"body":  fmt.Sprintf("the %s %s with a %s finish, model %d of the bench corpus", w1, w2, w3, i),
+			"price": fmt.Sprintf("%d", i%500+1),
+		}
+	}
+	return recs
+}
+
+// run ingests recs into a fresh store under one configuration and
+// returns the measured row. policy "none" attaches no log.
+func run(policy string, shards, batch int, recs []store.Record) (row, error) {
+	r := row{Policy: policy, Shards: shards, Batch: batch, Docs: len(recs)}
+	s := store.New(store.WithShardTarget(shards))
+	var l *wal.Log
+	if policy != "none" {
+		dir, err := os.MkdirTemp("", "benchingest-wal-")
+		if err != nil {
+			return r, err
+		}
+		defer os.RemoveAll(dir)
+		pol, err := wal.ParsePolicy(policy)
+		if err != nil {
+			return r, err
+		}
+		l, err = wal.Open(dir, wal.Options{Policy: pol})
+		if err != nil {
+			return r, err
+		}
+		defer l.Close()
+		s.AttachWAL(l)
+	}
+	if err := s.CreateTenant("bench", "ann"); err != nil {
+		return r, err
+	}
+	if _, err := s.CreateDataset("bench", "ann", benchSchema()); err != nil {
+		return r, err
+	}
+	ctx := context.Background()
+	ds, err := s.DatasetContext(ctx, "bench", "ann", "inv", store.PermWrite)
+	if err != nil {
+		return r, err
+	}
+	start := time.Now()
+	if batch <= 1 {
+		for _, rec := range recs {
+			if _, err := ds.PutContext(ctx, rec); err != nil {
+				return r, err
+			}
+		}
+	} else {
+		for lo := 0; lo < len(recs); lo += batch {
+			hi := lo + batch
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			if _, err := ds.AddBatchContext(ctx, recs[lo:hi]); err != nil {
+				return r, err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if ds.Len() != len(recs) {
+		return r, fmt.Errorf("ingested %d docs, dataset holds %d", len(recs), ds.Len())
+	}
+	r.ElapsedMs = float64(elapsed.Microseconds()) / 1000
+	r.DocsPerSec = float64(len(recs)) / elapsed.Seconds()
+	return r, nil
+}
+
+func main() {
+	smoke := flag.Bool("smoke", false, "tiny corpus for CI; report without gating")
+	out := flag.String("o", "BENCH_ingest.json", "output path")
+	docs := flag.Int("docs", 0, "corpus size per configuration (0 = 4000, or 800 with --smoke)")
+	flag.Parse()
+
+	n := *docs
+	if n == 0 {
+		n = 4000
+		if *smoke {
+			n = 800
+		}
+	}
+	recs := corpus(n)
+
+	policies := []string{"none", "always", "group", "interval"}
+	shardCounts := []int{1, 4}
+	batches := []int{1, 16, 64, 256}
+
+	o := benchOutput{GOMAXPROCS: runtime.GOMAXPROCS(0), Docs: n, GateOK: true}
+	rate := make(map[string]float64) // "policy/shards/batch" -> docs/s
+	for _, pol := range policies {
+		for _, sh := range shardCounts {
+			for _, b := range batches {
+				r, err := run(pol, sh, b, recs)
+				if err != nil {
+					log.Fatalf("benchingest: %s shards=%d batch=%d: %v", pol, sh, b, err)
+				}
+				o.Rows = append(o.Rows, r)
+				rate[fmt.Sprintf("%s/%d/%d", pol, sh, b)] = r.DocsPerSec
+				fmt.Printf("%-9s shards=%d batch=%-4d %10.0f docs/s\n", pol, sh, b, r.DocsPerSec)
+			}
+		}
+	}
+	for _, pol := range policies {
+		for _, sh := range shardCounts {
+			base := rate[fmt.Sprintf("%s/%d/1", pol, sh)]
+			top := rate[fmt.Sprintf("%s/%d/256", pol, sh)]
+			sp := speedup{Policy: pol, Shards: sh}
+			if base > 0 {
+				sp.Speedup = top / base
+			}
+			o.Speedups = append(o.Speedups, sp)
+			// The durability gate: group commit must buy the synced
+			// policies their headline batched-ingest win.
+			if (pol == "always" || pol == "group") && sp.Speedup < 3 {
+				o.GateOK = false
+			}
+			fmt.Printf("%-9s shards=%d batch-256 speedup %5.1fx\n", pol, sh, sp.Speedup)
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(o); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (gateOk=%v)\n", *out, o.GateOK)
+	if !o.GateOK && !*smoke {
+		log.Fatal("benchingest: durable-policy batch-256 speedup below 3x")
+	}
+}

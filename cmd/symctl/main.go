@@ -14,6 +14,7 @@
 //	symctl suggest -sites a.com,b.com related-site suggestions
 //	symctl recommend                  supplemental sites for inventory
 //	symctl structured -q "price:<30"  structured query over inventory
+//	symctl load -i data.csv -dataset d -key sku   batched upload into a dataset
 //	symctl snapshot -o store.snap     write a durable store snapshot
 //	symctl restore -i store.snap      restore a snapshot and summarize
 //	symctl reshard <tenant> <dataset> <n>  reshard a dataset index online
@@ -29,12 +30,14 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/app"
 	"repro/internal/core"
 	"repro/internal/demo"
 	"repro/internal/engine"
 	"repro/internal/host"
+	"repro/internal/ingest"
 	"repro/internal/recommend"
 	"repro/internal/runtime"
 	"repro/internal/store"
@@ -52,7 +55,10 @@ func main() {
 	sites := fs.String("sites", "ign.com,gamespot.com", "comma-separated seed sites")
 	seed := fs.Int64("seed", 1, "synthetic web seed")
 	out := fs.String("o", "store.snap", "snapshot output path (snapshot)")
-	in := fs.String("i", "store.snap", "snapshot input path (restore)")
+	in := fs.String("i", "store.snap", "input path (restore: snapshot; load: data file)")
+	dataset := fs.String("dataset", "", "target dataset name (load)")
+	format := fs.String("format", "", "upload format csv|json|rss (load; empty = detect from filename)")
+	key := fs.String("key", "", "column promoted to record key on inferred schemas (load)")
 	legacy := fs.Bool("v1", false, "write the legacy v1 snapshot format (snapshot)")
 	timeout := fs.Duration("timeout", 0, "overall command deadline (0 = none); Ctrl-C always cancels")
 	fs.Parse(os.Args[2:])
@@ -184,6 +190,48 @@ func main() {
 		for _, h := range hits {
 			fmt.Printf("%s  %s\n", h.Record["sku"], h.Record["title"])
 		}
+	case "load":
+		// symctl load -i data.csv -dataset inventory2 [-key sku]: a
+		// batched upload through the ingest path — one parse, one
+		// AddBatch (parallel analysis, one lock acquisition per index
+		// shard), one report. symctl acts as Ann in the gamerqueen
+		// tenant, so the usual write grant rules apply.
+		if *dataset == "" {
+			fmt.Fprintln(os.Stderr, "usage: symctl load -i <file> -dataset <name> [-format csv|json|rss] [-key field]")
+			os.Exit(2)
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmtName := ingest.Format(*format)
+		if fmtName == "" {
+			detected, err := ingest.DetectFormat(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmtName = detected
+		}
+		up := &ingest.Uploader{Store: p.Store}
+		start := time.Now()
+		rep, err := up.Upload(ingest.Options{
+			Tenant: "gamerqueen", Actor: "ann", Dataset: *dataset,
+			Format: fmtName, KeyField: *key,
+		}, f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		rate := float64(rep.Loaded) / elapsed.Seconds()
+		if rep.CreatedDataset {
+			fmt.Printf("created dataset %s with inferred schema\n", rep.Dataset)
+		}
+		fmt.Printf("loaded %d/%d records (%s) in %v (%.0f docs/s)\n",
+			rep.Loaded, rep.Received, rep.Format, elapsed.Round(time.Millisecond), rate)
+		for i, reason := range rep.Rejected {
+			fmt.Printf("  rejected #%d: %s\n", i, reason)
+		}
 	case "snapshot":
 		f, err := os.Create(*out)
 		if err != nil {
@@ -277,6 +325,6 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: symctl {query|serp|config|snippet|report|suggest|recommend|structured|snapshot|restore|reshard|status} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: symctl {query|serp|config|snippet|report|suggest|recommend|structured|load|snapshot|restore|reshard|status} [flags]")
 	os.Exit(2)
 }

@@ -15,6 +15,16 @@
 // kill/restart cycle loses nothing that was checkpointed or
 // acknowledged at shutdown.
 //
+// With --wal (default on) the data dir also carries a write-ahead
+// log under the checkpoint cycle: every acknowledged write is
+// appended to an fsynced segmented log, boot replays the tail the
+// latest snapshot missed, and a completed checkpoint truncates the
+// replayed history — so recovery converges to the last acknowledged
+// write, not the last checkpoint. --fsync picks the ack policy:
+// "always" (fsync before every ack), "group" (group commit: batch
+// many acks per fsync, default) or "interval" (ack immediately,
+// fsync periodically — bounded loss window).
+//
 // --shards controls dataset index parallelism: "auto" (default, one
 // shard per CPU) or a fixed count. Snapshots written under another
 // layout reshard to the target on restore, so a checkpoint from a
@@ -47,6 +57,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/demo"
 	"repro/internal/host"
+	"repro/internal/wal"
 )
 
 // parseShards turns --shards auto|N into a core.Config.ShardTarget
@@ -63,6 +74,18 @@ func parseShards(v string) (int, error) {
 }
 
 func main() {
+	// All real work happens in run so every failure — including the
+	// final shutdown checkpoint — propagates as an error and a nonzero
+	// exit, instead of being logged and dropped. The crash-test harness
+	// keys on the marker line plus exit status to tell a clean shutdown
+	// (everything durable) from a dirty one (recovery must replay).
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("symphonyd: clean shutdown")
+}
+
+func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	seed := flag.Int64("seed", 1, "synthetic web seed")
 	dataDir := flag.String("data-dir", "", "directory for store snapshots (empty = not durable)")
@@ -73,11 +96,17 @@ func main() {
 	tenantSlots := flag.Int("tenant-slots", 4, "concurrent queries allowed per tenant")
 	tenantQueue := flag.Int("tenant-queue", 8, "queued queries allowed per tenant beyond the slots (0 = shed immediately)")
 	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds hint on shed (429) responses")
+	walEnabled := flag.Bool("wal", true, "with --data-dir, layer a write-ahead log under the checkpoint cycle")
+	fsync := flag.String("fsync", "group", "WAL fsync policy: always (fsync before every ack), group (batch commits), interval (periodic)")
 	flag.Parse()
 
 	shardTarget, err := parseShards(*shards)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	fsyncPolicy, err := wal.ParsePolicy(*fsync)
+	if err != nil {
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -87,14 +116,14 @@ func main() {
 	p := core.New(core.Config{Seed: *seed, ClickBase: base + "/click", ShardTarget: shardTarget, CacheMB: *cacheMB})
 	gq, err := demo.GamerQueen(p, *seed, 10)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer gq.Close()
 	if _, err := demo.WineFinder(p, *seed, 10); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if _, err := demo.VideoStore(p, *seed, 10); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Durability: demo seeding above defines the apps; the data dir
@@ -105,15 +134,26 @@ func main() {
 	if *dataDir != "" {
 		cp, err = p.NewCheckpointer(*dataDir, *checkpointEvery)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		cp.Logf = log.Printf
 		restored, err := cp.RestoreLatestContext(ctx)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if !restored {
 			log.Printf("symphonyd: no snapshot in %s, starting from seeded data", *dataDir)
+		}
+		// WAL under the checkpoint cycle: replay the tail the last
+		// snapshot missed, then log every acknowledged write, so boot
+		// recovers to the last ack — not just the last checkpoint.
+		if *walEnabled {
+			st, err := cp.EnableWALContext(ctx, wal.Options{Policy: fsyncPolicy})
+			if err != nil {
+				return err
+			}
+			log.Printf("symphonyd: wal enabled (fsync=%s): replayed %d records (%d applied, %d skipped) from %d segments",
+				fsyncPolicy, st.Records, st.Applied, st.Skipped, st.Segments)
 		}
 		cp.Start()
 	}
@@ -144,6 +184,10 @@ func main() {
 		if p.Cache != nil {
 			cacheStats = p.Cache.Stats()
 		}
+		var walStats any
+		if cp != nil && cp.WAL() != nil {
+			walStats = cp.WAL().Stats()
+		}
 		if err := enc.Encode(map[string]any{
 			"shardTarget":  target,
 			"gomaxprocs":   runtime.GOMAXPROCS(0),
@@ -151,6 +195,7 @@ func main() {
 			"admission":    admission.Stats(),
 			"queryTimeout": queryTimeout.String(),
 			"cache":        cacheStats,
+			"wal":          walStats,
 		}); err != nil {
 			log.Printf("symphonyd: statusz: %v", err)
 		}
@@ -171,7 +216,7 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		return err
 	case <-ctx.Done():
 		log.Printf("symphonyd: shutting down")
 	}
@@ -183,10 +228,14 @@ func main() {
 	if cp != nil {
 		// The final checkpoint shares the shutdown grace period: if it
 		// cannot finish in time it aborts and the previous checkpoint
-		// stays good, instead of the daemon hanging past its deadline.
+		// (plus the WAL, which CloseContext syncs and closes) stays a
+		// complete recovery point — but the failure must surface, not
+		// be logged and dropped: the exit status is the crash tests'
+		// contract for "everything on disk, no replay needed".
 		if err := cp.CloseContext(shutdownCtx); err != nil {
-			log.Fatalf("symphonyd: final checkpoint: %v", err)
+			return fmt.Errorf("symphonyd: final checkpoint: %w", err)
 		}
 		log.Printf("symphonyd: final checkpoint written to %s", cp.Path())
 	}
+	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // Checkpointer periodically snapshots the platform's proprietary data
@@ -38,6 +40,18 @@ type Checkpointer struct {
 	mu   sync.Mutex // serializes Checkpoint calls
 	stop chan struct{}
 	done chan struct{}
+
+	// wlog, when non-nil, is the write-ahead log layered under the
+	// checkpoint cycle (EnableWALContext): each checkpoint rotates the
+	// log first, so every record in a sealed segment is covered by the
+	// snapshot taken after the rotation, and sealed segments older
+	// than the PREVIOUS checkpoint's boundary are truncated — the one-
+	// checkpoint lag keeps the retained prior snapshot (Path()+".1")
+	// plus the remaining log a complete recovery point on its own.
+	wlog *wal.Log
+	// lastBoundary is the rotation boundary of the previous completed
+	// checkpoint (0 = none yet). Guarded by mu.
+	lastBoundary int
 }
 
 // NewCheckpointer prepares a checkpointer over dir, creating the
@@ -58,12 +72,53 @@ func (c *Checkpointer) Path() string {
 	return filepath.Join(c.dir, "store.snap")
 }
 
-// RestoreLatestContext loads the snapshot file into the platform's
-// store if one exists, reporting whether a restore happened. Old v1
+// PrevPath returns the retained previous snapshot. Each checkpoint
+// renames the current snapshot here before installing the new one, so
+// a corrupt primary never strands the store: the previous checkpoint
+// plus the write-ahead log (truncation lags one checkpoint) is a
+// complete recovery point.
+func (c *Checkpointer) PrevPath() string {
+	return c.Path() + ".1"
+}
+
+// WALDir returns the write-ahead log directory EnableWALContext uses.
+func (c *Checkpointer) WALDir() string {
+	return filepath.Join(c.dir, "wal")
+}
+
+// RestoreLatestContext loads the latest usable snapshot into the
+// platform's store, reporting whether a restore happened. A missing
+// or corrupt primary snapshot falls back to the retained previous one
+// (see PrevPath); only when both fail does boot fail. Old v1
 // snapshots restore transparently; the next checkpoint rewrites them
 // as v2. Cancelling ctx aborts the load with the store unchanged.
 func (c *Checkpointer) RestoreLatestContext(ctx context.Context) (bool, error) {
-	f, err := os.Open(c.Path())
+	ok, err := c.restoreFrom(ctx, c.Path())
+	if err == nil {
+		if ok {
+			return true, nil
+		}
+		// No primary: a crash between the retention rename and the
+		// install rename leaves only the previous snapshot.
+		return c.restoreFrom(ctx, c.PrevPath())
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false, err
+	}
+	c.logf("restore %s failed: %v; falling back to previous checkpoint", c.Path(), err)
+	ok, ferr := c.restoreFrom(ctx, c.PrevPath())
+	if ferr != nil {
+		return false, fmt.Errorf("%w (fallback: %v)", err, ferr)
+	}
+	if !ok {
+		return false, err // corrupt primary and nothing to fall back to
+	}
+	return true, nil
+}
+
+// restoreFrom loads one snapshot file; a missing file is (false, nil).
+func (c *Checkpointer) restoreFrom(ctx context.Context, path string) (bool, error) {
+	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return false, nil
 	}
@@ -72,9 +127,9 @@ func (c *Checkpointer) RestoreLatestContext(ctx context.Context) (bool, error) {
 	}
 	defer f.Close()
 	if err := c.p.Store.RestoreContext(ctx, f); err != nil {
-		return false, fmt.Errorf("core: restore checkpoint %s: %w", c.Path(), err)
+		return false, fmt.Errorf("core: restore checkpoint %s: %w", path, err)
 	}
-	c.logf("restored store from %s", c.Path())
+	c.logf("restored store from %s", path)
 	// The restore resharded every dataset to the store's configured
 	// target (snapshot layout is decoupled from runtime parallelism);
 	// log the resulting layout so the transition is visible in the
@@ -86,6 +141,41 @@ func (c *Checkpointer) RestoreLatestContext(ctx context.Context) (bool, error) {
 	return true, nil
 }
 
+// EnableWALContext layers a write-ahead log under the checkpoint
+// cycle. Call it after RestoreLatestContext: it replays the log tail
+// over the restored state (records already in the snapshot re-apply
+// idempotently), opens a fresh log generation, attaches it to the
+// store so every subsequent acknowledged write is logged, and writes
+// a boot checkpoint so the replay is not repeated on the next boot.
+// From here on, boot recovers to the last acknowledged write — not
+// just the last checkpoint — under the chosen fsync policy.
+func (c *Checkpointer) EnableWALContext(ctx context.Context, opts wal.Options) (wal.ReplayStats, error) {
+	st, err := wal.Replay(c.WALDir(), c.p.Store.ApplyWAL)
+	if err != nil {
+		return st, fmt.Errorf("core: wal replay: %w", err)
+	}
+	if st.Records > 0 || st.Torn {
+		c.logf("wal replay: %d records applied, %d skipped, %d segments (torn=%v)",
+			st.Applied, st.Skipped, st.Segments, st.Torn)
+	}
+	l, err := wal.Open(c.WALDir(), opts)
+	if err != nil {
+		return st, fmt.Errorf("core: wal open: %w", err)
+	}
+	c.wlog = l
+	c.p.Store.AttachWAL(l)
+	if err := c.CheckpointContext(ctx); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// WAL returns the attached write-ahead log (nil before
+// EnableWALContext), for operator stats.
+func (c *Checkpointer) WAL() *wal.Log {
+	return c.wlog
+}
+
 // CheckpointContext writes one snapshot now: temp file, fsync, atomic
 // rename. Concurrent calls serialize. Only datasets mutated since
 // the previous checkpoint are re-encoded; clean ones reuse their
@@ -95,6 +185,21 @@ func (c *Checkpointer) RestoreLatestContext(ctx context.Context) (bool, error) {
 func (c *Checkpointer) CheckpointContext(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Rotate the log BEFORE snapshotting: every record in a sealed
+	// segment was applied to memory before its append (same dataset
+	// lock), so the snapshot about to be taken covers all of them and
+	// the sealed history becomes truncatable — one checkpoint later.
+	boundary := 0
+	if c.wlog != nil {
+		b, err := c.wlog.Rotate()
+		if err != nil {
+			// A failed log cannot rotate; the snapshot itself is still
+			// the durability path, so checkpoint anyway, never truncate.
+			c.logf("wal rotate failed: %v", err)
+		} else {
+			boundary = b
+		}
+	}
 	f, err := os.CreateTemp(c.dir, "store-*.tmp")
 	if err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
@@ -117,6 +222,12 @@ func (c *Checkpointer) CheckpointContext(ctx context.Context) error {
 		os.Remove(tmp)
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
+	// Retain the previous snapshot before installing the new one: the
+	// corrupt-primary fallback in RestoreLatestContext depends on it.
+	if err := os.Rename(c.Path(), c.PrevPath()); err != nil && !os.IsNotExist(err) {
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint: retain previous: %w", err)
+	}
 	if err := os.Rename(tmp, c.Path()); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("core: checkpoint: %w", err)
@@ -129,6 +240,17 @@ func (c *Checkpointer) CheckpointContext(ctx context.Context) error {
 	}
 	c.logf("checkpoint written to %s (%d frames re-encoded, %d reused)",
 		c.Path(), misses1-misses0, hits1-hits0)
+	// Truncate WAL history one checkpoint behind: the snapshot just
+	// written needs segments >= boundary; the retained previous one
+	// needs segments >= lastBoundary. Everything older is garbage.
+	if c.wlog != nil && boundary > 0 {
+		if c.lastBoundary > 0 {
+			if err := c.wlog.TruncateBefore(c.lastBoundary); err != nil {
+				c.logf("wal truncate failed: %v", err)
+			}
+		}
+		c.lastBoundary = boundary
+	}
 	return nil
 }
 
@@ -162,13 +284,23 @@ func (c *Checkpointer) Start() {
 // the final snapshot: a daemon given a shutdown deadline stops
 // encoding mid-pass and keeps the previous checkpoint instead of
 // hanging past its grace period.
+// A WAL attached by EnableWALContext is closed after the final
+// checkpoint — even a failed final snapshot loses nothing, because
+// the closed log retains every acknowledged write for replay.
 func (c *Checkpointer) CloseContext(ctx context.Context) error {
 	if c.stop != nil {
 		close(c.stop)
 		<-c.done
 		c.stop, c.done = nil, nil
 	}
-	return c.CheckpointContext(ctx)
+	err := c.CheckpointContext(ctx)
+	if c.wlog != nil {
+		if cerr := c.wlog.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("core: close wal: %w", cerr)
+		}
+		c.wlog = nil
+	}
+	return err
 }
 
 // Checkpoint writes one snapshot without a deadline.

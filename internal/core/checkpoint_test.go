@@ -66,16 +66,21 @@ func TestCheckpointAtomicRename(t *testing.T) {
 	if err := cp.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
+	if err := cp.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != "store.snap" {
-		names := make([]string, len(entries))
-		for i, e := range entries {
-			names[i] = e.Name()
-		}
-		t.Fatalf("data dir = %v, want exactly store.snap (no temp leftovers)", names)
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	// Two-snapshot retention: the current checkpoint plus the retained
+	// previous one, never more, and no temp leftovers.
+	if len(names) != 2 || names[0] != "store.snap" || names[1] != "store.snap.1" {
+		t.Fatalf("data dir = %v, want exactly store.snap + store.snap.1 (no temp leftovers)", names)
 	}
 }
 

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// bootWAL builds a platform over dir with WAL durability enabled,
+// exactly like symphonyd boot: restore, replay, open, attach,
+// boot checkpoint.
+func bootWAL(t *testing.T, dir string, policy wal.Policy) (*Platform, *Checkpointer) {
+	t.Helper()
+	p := New(Config{Seed: 1, ShardTarget: 2})
+	cp, err := p.NewCheckpointer(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.RestoreLatestContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp.EnableWALContext(context.Background(), wal.Options{Policy: policy}); err != nil {
+		t.Fatal(err)
+	}
+	return p, cp
+}
+
+func inventory(t *testing.T, p *Platform, perm store.Permission) *store.Dataset {
+	t.Helper()
+	ds, err := p.Store.DatasetContext(context.Background(), "gamerqueen", "ann", "inventory", perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestWALRecoversUncheckpointedWrites is the core durability claim:
+// writes acknowledged after the last checkpoint survive a crash (no
+// CloseContext, no final snapshot) via log replay on the next boot.
+func TestWALRecoversUncheckpointedWrites(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	p, _ := bootWAL(t, dir, wal.PolicyAlways)
+	buildGamerQueen(t, p)
+	ds := inventory(t, p, store.PermWrite)
+	if _, err := ds.PutContext(ctx, store.Record{"sku": "G77", "title": "Crash Survivor", "producer": "Studio7",
+		"description": "a durable game", "image": "http://img.example/77.png", "detailurl": "http://gamerqueen.example/g/77"}); err != nil {
+		t.Fatal(err)
+	}
+	want := ds.Len()
+	// "Crash": abandon the platform without CloseContext. The log is
+	// never closed cleanly; its synced frames must carry the state.
+
+	p2, _ := bootWAL(t, dir, wal.PolicyAlways)
+	ds2 := inventory(t, p2, store.PermRead)
+	if got := ds2.Len(); got != want {
+		t.Fatalf("recovered %d records, want %d", got, want)
+	}
+	rec, ok := ds2.Get("G77")
+	if !ok || rec["title"] != "Crash Survivor" {
+		t.Fatalf("uncheckpointed write lost: %v %v", rec, ok)
+	}
+	hits, err := ds2.SearchContext(ctx, store.SearchRequest{Query: "durable"})
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("recovered record not searchable: %v %v", hits, err)
+	}
+}
+
+// TestWALCorruptSnapshotFallsBack is the satellite case: the primary
+// snapshot is corrupted on disk, and boot must fall back to the
+// retained previous checkpoint and replay the (longer) WAL tail —
+// not fail, and not lose acknowledged writes.
+func TestWALCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	p, cp := bootWAL(t, dir, wal.PolicyAlways)
+	buildGamerQueen(t, p)
+	// Checkpoint #2 (after the boot checkpoint): both store.snap and
+	// store.snap.1 now exist, and the WAL retains history back to the
+	// previous boundary.
+	if err := cp.CheckpointContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ds := inventory(t, p, store.PermWrite)
+	if _, err := ds.PutContext(ctx, store.Record{"sku": "G88", "title": "Fallback Proof", "producer": "Studio8",
+		"description": "written after the last checkpoint", "image": "http://img.example/88.png", "detailurl": "http://gamerqueen.example/g/88"}); err != nil {
+		t.Fatal(err)
+	}
+	want := ds.Len()
+
+	// Corrupt the primary snapshot in place; keep the previous one.
+	if err := os.WriteFile(cp.Path(), []byte("SYMSNP2\ngarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, _ := bootWAL(t, dir, wal.PolicyAlways)
+	ds2 := inventory(t, p2, store.PermRead)
+	if got := ds2.Len(); got != want {
+		t.Fatalf("fallback recovery has %d records, want %d", got, want)
+	}
+	if _, ok := ds2.Get("G88"); !ok {
+		t.Fatal("write after last checkpoint lost in fallback recovery")
+	}
+}
+
+// TestWALTruncationLagsOneCheckpoint pins the retention contract:
+// after N checkpoints, segments older than the previous checkpoint's
+// rotation boundary are gone, and the ones the retained snapshot
+// needs are still there.
+func TestWALTruncationLagsOneCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	p, cp := bootWAL(t, dir, wal.PolicyAlways)
+	buildGamerQueen(t, p)
+	ds := inventory(t, p, store.PermWrite)
+	countSegs := func() int {
+		ents, err := os.ReadDir(cp.WALDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(ents)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := ds.PutContext(ctx, store.Record{"sku": "G9", "title": "Churn", "producer": "Studio9",
+			"description": "rewritten every round", "image": "http://img.example/9.png", "detailurl": "http://gamerqueen.example/g/9"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.CheckpointContext(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rotation adds a segment per checkpoint and truncation removes
+	// the sealed ones two checkpoints back; the directory must not
+	// grow without bound. Boot + 4 checkpoints = 5 rotations; without
+	// truncation there would be >6 files.
+	if n := countSegs(); n > 4 {
+		t.Fatalf("wal dir holds %d segments after 4 checkpoints; truncation is not engaging", n)
+	}
+	if err := cp.CloseContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,83 @@ import (
 	"io"
 )
 
+// ErrTruncatedFrame reports a stream that ends in something other
+// than a frame boundary: a partial header, a payload shorter than its
+// length prefix, a checksum mismatch, or a length prefix past
+// MaxFrame. Offset is the byte position just after the last fully
+// verified frame — the point an append-only log can safely be
+// truncated back to. It wraps the underlying cause, so callers can
+// still errors.Is/As against io.ErrUnexpectedEOF and friends.
+//
+// Only Reader returns it: plain ReadFrame keeps its historical bare
+// errors for the snapshot formats, where any damage is fatal anyway.
+type ErrTruncatedFrame struct {
+	Offset int64
+	Cause  error
+}
+
+func (e *ErrTruncatedFrame) Error() string {
+	return fmt.Sprintf("frameio: truncated or corrupt frame after offset %d: %v", e.Offset, e.Cause)
+}
+
+func (e *ErrTruncatedFrame) Unwrap() error { return e.Cause }
+
+// Reader reads a frame stream sequentially while tracking byte
+// offsets, so tail damage is reported as *ErrTruncatedFrame with the
+// exact recovery point instead of a bare CRC or EOF error. It is the
+// read side used by the write-ahead log, whose contract is "recover
+// every complete frame, stop cleanly at the first incomplete one".
+type Reader struct {
+	r   io.Reader
+	off int64 // bytes consumed up to the end of the last good frame
+}
+
+// NewReader returns a Reader positioned at offset 0 of r. If the
+// stream starts with a magic string, consume it first with
+// ExpectMagic and pass the magic length via Skip.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// Skip records n bytes already consumed from the underlying stream
+// (magic strings, resumption points) so reported offsets stay
+// absolute.
+func (fr *Reader) Skip(n int64) { fr.off += n }
+
+// Offset reports the byte position just after the last successfully
+// read frame.
+func (fr *Reader) Offset() int64 { return fr.off }
+
+// Next returns the next frame's payload. A clean end of stream
+// returns io.EOF; anything else that stops the read — partial header,
+// short payload, bad length, checksum mismatch — returns
+// *ErrTruncatedFrame carrying the offset of the last good frame.
+func (fr *Reader) Next() ([]byte, error) {
+	var hdr [12]byte
+	n, err := io.ReadFull(fr.r, hdr[:])
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		// A partial header is a torn tail, not a clean end.
+		return nil, &ErrTruncatedFrame{Offset: fr.off, Cause: err}
+	}
+	length := binary.BigEndian.Uint64(hdr[:8])
+	if length > MaxFrame {
+		return nil, &ErrTruncatedFrame{Offset: fr.off, Cause: fmt.Errorf("frame length %d exceeds limit %d", length, MaxFrame)}
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, &ErrTruncatedFrame{Offset: fr.off, Cause: err}
+	}
+	want := binary.BigEndian.Uint32(hdr[8:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, &ErrTruncatedFrame{Offset: fr.off, Cause: fmt.Errorf("frame checksum mismatch: %08x, want %08x", got, want)}
+	}
+	fr.off += int64(n) + int64(length)
+	return payload, nil
+}
+
 // castagnoli is the CRC-32C table (the polynomial used by storage
 // formats generally, chosen here for its error-detection properties).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

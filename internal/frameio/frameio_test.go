@@ -66,3 +66,126 @@ func TestOversizeFrameRejected(t *testing.T) {
 		t.Fatal("oversize frame length accepted")
 	}
 }
+
+// writeFrames returns a stream of n frames plus the cumulative byte
+// offset at the end of each frame.
+func writeFrames(t *testing.T, payloads ...[]byte) ([]byte, []int64) {
+	t.Helper()
+	var buf bytes.Buffer
+	offsets := make([]int64, len(payloads))
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		offsets[i] = int64(buf.Len())
+	}
+	return buf.Bytes(), offsets
+}
+
+func TestReaderCleanStream(t *testing.T) {
+	stream, offsets := writeFrames(t, []byte("one"), []byte("two"), []byte("three"))
+	fr := NewReader(bytes.NewReader(stream))
+	for i, want := range []string{"one", "two", "three"} {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if string(got) != want {
+			t.Fatalf("frame %d = %q, want %q", i, got, want)
+		}
+		if fr.Offset() != offsets[i] {
+			t.Fatalf("offset after frame %d = %d, want %d", i, fr.Offset(), offsets[i])
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+// TestReaderTornTails cuts and corrupts a three-frame stream at every
+// interesting point and asserts the reader recovers exactly the
+// frames before the damage, reporting the last good offset.
+func TestReaderTornTails(t *testing.T) {
+	stream, offsets := writeFrames(t, []byte("frame-a"), []byte("frame-b"), []byte("frame-c"))
+	cases := []struct {
+		name      string
+		mutate    func([]byte) []byte
+		wantGood  int   // complete frames recovered
+		wantAfter int64 // reported offset of last good frame
+	}{
+		{"cut mid-header", func(b []byte) []byte { return b[:offsets[1]+5] }, 2, offsets[1]},
+		{"cut mid-payload", func(b []byte) []byte { return b[:offsets[2]-2] }, 2, offsets[1]},
+		{"flipped payload byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0xff
+			return c
+		}, 2, offsets[1]},
+		{"garbage length prefix", func(b []byte) []byte {
+			c := append([]byte(nil), b[:offsets[1]]...)
+			var hdr [12]byte
+			binary.BigEndian.PutUint64(hdr[:8], MaxFrame+7)
+			return append(c, hdr[:]...)
+		}, 2, offsets[1]},
+		{"trailing garbage", func(b []byte) []byte {
+			return append(append([]byte(nil), b...), 0xde, 0xad, 0xbe, 0xef, 0x99, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08)
+		}, 3, offsets[2]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fr := NewReader(bytes.NewReader(tc.mutate(stream)))
+			good := 0
+			for {
+				_, err := fr.Next()
+				if err == nil {
+					good++
+					continue
+				}
+				if err == io.EOF {
+					t.Fatalf("stream ended cleanly after %d frames, want ErrTruncatedFrame", good)
+				}
+				var torn *ErrTruncatedFrame
+				if !asTruncated(err, &torn) {
+					t.Fatalf("err = %v (%T), want *ErrTruncatedFrame", err, err)
+				}
+				if torn.Offset != tc.wantAfter {
+					t.Fatalf("torn offset = %d, want %d", torn.Offset, tc.wantAfter)
+				}
+				break
+			}
+			if good != tc.wantGood {
+				t.Fatalf("recovered %d frames, want %d", good, tc.wantGood)
+			}
+		})
+	}
+}
+
+// asTruncated is errors.As without the import dance in table tests.
+func asTruncated(err error, target **ErrTruncatedFrame) bool {
+	if e, ok := err.(*ErrTruncatedFrame); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestReaderSkipOffsets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMagic(&buf, "MAGIC01\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	if err := ExpectMagic(r, "MAGIC01\n"); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewReader(r)
+	fr.Skip(int64(len("MAGIC01\n")))
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(buf.Len()); fr.Offset() != want {
+		t.Fatalf("offset = %d, want %d", fr.Offset(), want)
+	}
+}

@@ -137,6 +137,25 @@ func (s *shard) add(doc Document, analyzed map[string][]textproc.Token) {
 	}
 }
 
+// addBatch applies the shard's slice of a batched Add under a single
+// write-lock acquisition: idxs selects this shard's documents from
+// docs, in slice order, so the result is identical to one add() per
+// document without paying one lock round trip each. The migration
+// pointer is loaded once inside the lock — the copy pass cannot
+// visit mid-batch (it needs this same lock), so journaling the whole
+// batch against one observation is sound.
+func (s *shard) addBatch(docs []Document, analyzed []map[string][]textproc.Token, idxs []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.ix.mig.Load()
+	for _, i := range idxs {
+		s.addLocked(docs[i], analyzed[i])
+		if m != nil {
+			m.journalAdd(docs[i], analyzed[i])
+		}
+	}
+}
+
 // addStaging is add without the journal hook, for migration staging
 // shards and journal replay — both feed the ring being built, which
 // must not journal into itself.

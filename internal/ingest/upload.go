@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // Uploader loads parsed uploads into a designer's dataset, creating
@@ -115,6 +116,22 @@ func (u *Uploader) load(opts Options, recs []store.Record) (*Report, error) {
 	default:
 		return nil, err
 	}
+	// Fast path: one batched write. The whole upload is analyzed in
+	// parallel and applied with one lock acquisition per index shard —
+	// and, with a WAL attached, acknowledged by one group commit
+	// instead of one fsync per record.
+	if _, err := ds.AddBatchContext(context.Background(), recs); err == nil {
+		rep.Loaded = len(recs)
+		return rep, nil
+	} else if isDurabilityErr(err) {
+		// The log is failed (or the batch was cancelled): nothing useful
+		// to attribute per record, and retrying record-by-record against
+		// a sticky-failed log would only re-apply the batch in memory.
+		return nil, err
+	}
+	// Slow path, taken only when the batch was rejected up front
+	// (validation or quota — nothing was applied): retry one record at
+	// a time so the report attributes each failure to its ordinal.
 	for i, rec := range recs {
 		if _, err := ds.Put(rec); err != nil {
 			rep.Rejected[i] = err.Error()
@@ -123,6 +140,14 @@ func (u *Uploader) load(opts Options, recs []store.Record) (*Report, error) {
 		rep.Loaded++
 	}
 	return rep, nil
+}
+
+// isDurabilityErr reports whether err means the write path itself is
+// broken (failed log, cancellation) rather than the records invalid.
+func isDurabilityErr(err error) bool {
+	var we *wal.WriteError
+	return errors.As(err, &we) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // FeedSubscription polls an RSS feed into a dataset, giving the

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/textproc"
+	"repro/internal/wal"
 )
 
 // Dataset is one named, schema'd collection of records inside a
@@ -32,6 +33,12 @@ type Dataset struct {
 	// records across the tenant, quota is the ceiling (0 = none).
 	usage func() int
 	quota int
+
+	// Write-ahead logging, wired by the store (see wal.go): when wlog
+	// is non-nil every acknowledged put/delete appends a record tagged
+	// with the owning tenant. Guarded by mu.
+	wlog      *wal.Log
+	walTenant string
 }
 
 // setQuotaCheck wires tenant-level quota enforcement into Put.
@@ -75,8 +82,17 @@ func newDataset(schema Schema, shardTarget int, cache *index.Cache) *Dataset {
 // Schema returns the dataset schema.
 func (d *Dataset) Schema() Schema { return d.schema }
 
-// Put inserts or replaces a record, returning its ID.
+// Put inserts or replaces a record with no deadline, returning its ID.
 func (d *Dataset) Put(rec Record) (string, error) {
+	return d.PutContext(context.Background(), rec)
+}
+
+// PutContext inserts or replaces a record, returning its ID. When a
+// write-ahead log is attached, the call returns only after the record
+// is durable under the log's fsync policy; a *wal.WriteError return
+// means the write applied in memory but is NOT durable (the log has
+// failed — reads keep serving, further writes fail fast).
+func (d *Dataset) PutContext(ctx context.Context, rec Record) (string, error) {
 	if err := checkRecord(d.schema, rec); err != nil {
 		return "", err
 	}
@@ -99,11 +115,11 @@ func (d *Dataset) Put(rec Record) (string, error) {
 	}
 
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	var id string
 	if d.schema.Key != "" {
 		id = rec[d.schema.Key]
 		if id == "" {
+			d.mu.Unlock()
 			return "", fmt.Errorf("store: record missing key field %q", d.schema.Key)
 		}
 	} else {
@@ -119,20 +135,125 @@ func (d *Dataset) Put(rec Record) (string, error) {
 	}
 	d.records[id] = cp
 	d.ver++
-	return id, d.reindexLocked(id, cp)
+	err := d.reindexLocked(id, cp)
+	// Append under the lock (log order = apply order for this key),
+	// wait after releasing it so the fsync stalls only this caller.
+	c := d.walAppendLocked(&wal.Record{Op: wal.OpPut, ID: id, Rec: cp})
+	d.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	if err := c.Wait(ctx); err != nil {
+		return "", err
+	}
+	return id, nil
 }
 
 func (d *Dataset) reindexLocked(id string, rec Record) error {
+	return d.ix.Add(docFor(d.schema, id, rec))
+}
+
+// docFor projects a record into its index document: every schema
+// field stored verbatim, searchable non-empty fields analyzed.
+func docFor(s Schema, id string, rec Record) index.Document {
 	fields := make(map[string]string)
 	stored := make(map[string]string, len(rec))
-	for _, f := range d.schema.Fields {
+	for _, f := range s.Fields {
 		v := rec[f.Name]
 		stored[f.Name] = v
 		if f.Searchable && v != "" {
 			fields[f.Name] = v
 		}
 	}
-	return d.ix.Add(index.Document{ID: id, Fields: fields, Stored: stored})
+	return index.Document{ID: id, Fields: fields, Stored: stored}
+}
+
+// AddBatchContext inserts or replaces recs as one batch, returning
+// the assigned IDs in input order. The heavy lifting — text analysis
+// and per-shard index application — runs through the index's batched
+// write path (one lock acquisition per shard instead of one per
+// document), which is what makes bulk loads scale; results are
+// bit-identical to looping PutContext. The batch is atomic in memory:
+// cancellation is honored before anything is applied, and once
+// application starts the whole batch lands. One WAL record is still
+// appended per document (replay needs per-record granularity), but
+// the call waits once, on the last commit — the log syncs in order,
+// so the last record durable implies the whole batch is.
+func (d *Dataset) AddBatchContext(ctx context.Context, recs []Record) ([]string, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	for i := range recs {
+		if err := checkRecord(d.schema, recs[i]); err != nil {
+			return nil, fmt.Errorf("store: batch record %d: %w", i, err)
+		}
+		if d.schema.Key != "" && recs[i][d.schema.Key] == "" {
+			return nil, fmt.Errorf("store: batch record %d missing key field %q", i, d.schema.Key)
+		}
+	}
+	// Approximate pre-lock quota check, same contract as PutContext.
+	d.mu.RLock()
+	quota, usage := d.quota, d.usage
+	cur := len(d.records)
+	newCount := len(recs)
+	if d.schema.Key != "" {
+		newCount = 0
+		seen := make(map[string]bool, len(recs))
+		for _, rec := range recs {
+			id := rec[d.schema.Key]
+			if _, exists := d.records[id]; !exists && !seen[id] {
+				seen[id] = true
+				newCount++
+			}
+		}
+	}
+	d.mu.RUnlock()
+	if quota > 0 && usage != nil && newCount > 0 && usage()+cur+newCount > quota {
+		return nil, ErrQuotaExceeded
+	}
+
+	d.mu.Lock()
+	ids := make([]string, len(recs))
+	cps := make([]Record, len(recs))
+	docs := make([]index.Document, len(recs))
+	assigned := 0
+	for i, rec := range recs {
+		if d.schema.Key != "" {
+			ids[i] = rec[d.schema.Key]
+		} else {
+			d.nextID++
+			assigned++
+			ids[i] = strconv.Itoa(d.nextID)
+		}
+		cp := make(Record, len(rec))
+		for k, v := range rec {
+			cp[k] = v
+		}
+		cps[i] = cp
+		docs[i] = docFor(d.schema, ids[i], cp)
+	}
+	// Index first: a ctx error here means nothing was applied, so the
+	// records map is untouched and the assigned IDs can be returned to
+	// the sequence for the next batch to reuse.
+	if err := d.ix.AddBatchContext(ctx, docs); err != nil {
+		d.nextID -= assigned
+		d.mu.Unlock()
+		return nil, err
+	}
+	var last *wal.Commit
+	for i, id := range ids {
+		if _, exists := d.records[id]; !exists {
+			d.order = append(d.order, id)
+		}
+		d.records[id] = cps[i]
+		last = d.walAppendLocked(&wal.Record{Op: wal.OpPut, ID: id, Rec: cps[i]})
+	}
+	d.ver++
+	d.mu.Unlock()
+	if err := last.Wait(ctx); err != nil {
+		return nil, err
+	}
+	return ids, nil
 }
 
 // Get returns the record with the given ID.
@@ -150,10 +271,30 @@ func (d *Dataset) Get(id string) (Record, bool) {
 	return cp, true
 }
 
-// Delete removes a record.
+// Delete removes a record with no deadline, reporting whether it
+// existed. Durability failures are deferred to the next write's error
+// (the log latches failed); use DeleteContext to observe them here.
 func (d *Dataset) Delete(id string) bool {
+	ok, _ := d.DeleteContext(context.Background(), id)
+	return ok
+}
+
+// DeleteContext removes a record, reporting whether it existed. Like
+// PutContext, with a log attached the call returns only after the
+// tombstone is durable; a *wal.WriteError means the delete applied in
+// memory but is not durable.
+func (d *Dataset) DeleteContext(ctx context.Context, id string) (bool, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	if !d.deleteLocked(id) {
+		d.mu.Unlock()
+		return false, nil
+	}
+	c := d.walAppendLocked(&wal.Record{Op: wal.OpDelete, ID: id})
+	d.mu.Unlock()
+	return true, c.Wait(ctx)
+}
+
+func (d *Dataset) deleteLocked(id string) bool {
 	if _, ok := d.records[id]; !ok {
 		return false
 	}

@@ -2,11 +2,13 @@ package store
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/index"
+	"repro/internal/wal"
 )
 
 // Common errors. ErrAccessDenied is returned whenever an actor
@@ -52,6 +54,9 @@ type Store struct {
 	// cache, when non-nil, is attached to every dataset index the
 	// store creates or restores; each gets its own key namespace.
 	cache *index.Cache
+	// wal, when non-nil, receives every acknowledged mutation. Wired
+	// by AttachWAL (wal.go) after restore + replay. Guarded by mu.
+	wal *wal.Log
 }
 
 // Option configures a Store at construction time.
@@ -90,8 +95,8 @@ func New(opts ...Option) *Store {
 // existing tenant is an error.
 func (s *Store) CreateTenant(id, owner string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.tenants[id]; ok {
+		s.mu.Unlock()
 		return fmt.Errorf("store: tenant %q already exists", id)
 	}
 	s.tenants[id] = &tenant{
@@ -99,26 +104,31 @@ func (s *Store) CreateTenant(id, owner string) error {
 		datasets: make(map[string]*Dataset),
 		grants:   make(map[string]Permission),
 	}
-	return nil
+	c := s.walAppendLocked(&wal.Record{Op: wal.OpCreateTenant, Tenant: id, Actor: owner})
+	s.mu.Unlock()
+	return c.Wait(context.Background())
 }
 
 // SetQuota bounds the tenant's total record count (0 = unlimited).
 // Only the owner may set it (in production, the platform operator).
 func (s *Store) SetQuota(id, byActor string, records int) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	t, ok := s.tenants[id]
 	if !ok {
+		s.mu.Unlock()
 		return ErrNoSuchTenant
 	}
 	if t.owner != byActor {
+		s.mu.Unlock()
 		return ErrAccessDenied
 	}
 	t.quota = records
 	for _, ds := range t.datasets {
 		ds.setQuotaCheck(usageExcluding(t, ds), records)
 	}
-	return nil
+	c := s.walAppendLocked(&wal.Record{Op: wal.OpSetQuota, Tenant: id, Actor: byActor, N: records})
+	s.mu.Unlock()
+	return c.Wait(context.Background())
 }
 
 // usageExcluding reports the tenant's record count across every
@@ -140,31 +150,37 @@ func usageExcluding(t *tenant, self *Dataset) func() int {
 // may grant.
 func (s *Store) Grant(id, byActor, toActor string, perm Permission) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	t, ok := s.tenants[id]
 	if !ok {
+		s.mu.Unlock()
 		return ErrNoSuchTenant
 	}
 	if t.owner != byActor {
+		s.mu.Unlock()
 		return ErrAccessDenied
 	}
 	t.grants[toActor] = perm
-	return nil
+	c := s.walAppendLocked(&wal.Record{Op: wal.OpGrant, Tenant: id, Actor: byActor, ID: toActor, Perm: string(perm)})
+	s.mu.Unlock()
+	return c.Wait(context.Background())
 }
 
 // Revoke removes actor's grant. Only the owner may revoke.
 func (s *Store) Revoke(id, byActor, fromActor string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	t, ok := s.tenants[id]
 	if !ok {
+		s.mu.Unlock()
 		return ErrNoSuchTenant
 	}
 	if t.owner != byActor {
+		s.mu.Unlock()
 		return ErrAccessDenied
 	}
 	delete(t.grants, fromActor)
-	return nil
+	c := s.walAppendLocked(&wal.Record{Op: wal.OpRevoke, Tenant: id, Actor: byActor, ID: fromActor})
+	s.mu.Unlock()
+	return c.Wait(context.Background())
 }
 
 func (s *Store) access(id, actor string, need Permission) (*tenant, error) {
@@ -191,18 +207,33 @@ func (s *Store) CreateDataset(tenantID, actor string, schema Schema) (*Dataset, 
 		return nil, err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	t, err := s.access(tenantID, actor, PermWrite)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
 	if _, ok := t.datasets[schema.Name]; ok {
+		s.mu.Unlock()
 		return nil, ErrDatasetExists
 	}
 	ds := newDataset(schema, s.shardTarget, s.cache)
 	t.datasets[schema.Name] = ds
 	if t.quota > 0 {
 		ds.setQuotaCheck(usageExcluding(t, ds), t.quota)
+	}
+	var c *wal.Commit
+	if s.wal != nil {
+		ds.bindWAL(s.wal, tenantID)
+		sb, merr := json.Marshal(schema)
+		if merr != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("store: encode schema for wal: %w", merr)
+		}
+		c = s.wal.Append(&wal.Record{Op: wal.OpCreateDataset, Tenant: tenantID, Actor: actor, Dataset: schema.Name, Schema: sb})
+	}
+	s.mu.Unlock()
+	if err := c.Wait(context.Background()); err != nil {
+		return nil, err
 	}
 	return ds, nil
 }
@@ -231,16 +262,19 @@ func (s *Store) DatasetContext(ctx context.Context, tenantID, actor, name string
 // DropDataset removes a dataset.
 func (s *Store) DropDataset(tenantID, actor, name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	t, err := s.access(tenantID, actor, PermWrite)
 	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	if _, ok := t.datasets[name]; !ok {
+		s.mu.Unlock()
 		return ErrNoSuchDataset
 	}
 	delete(t.datasets, name)
-	return nil
+	c := s.walAppendLocked(&wal.Record{Op: wal.OpDropDataset, Tenant: tenantID, Actor: actor, Dataset: name})
+	s.mu.Unlock()
+	return c.Wait(context.Background())
 }
 
 // Datasets lists the dataset names visible to actor in the tenant.
@@ -282,6 +316,19 @@ func (s *Store) ReshardContext(ctx context.Context, tenantID, actor, name string
 		return err
 	}
 	return ds.ReshardContext(ctx, n)
+}
+
+// AddBatchContext bulk-inserts recs into a dataset after a write-
+// level access check, returning the assigned IDs in input order. The
+// batched write path analyzes documents in a worker pool and applies
+// per-shard groups under one lock acquisition each — the bulk-load
+// fast path behind `symctl load`.
+func (s *Store) AddBatchContext(ctx context.Context, tenantID, actor, name string, recs []Record) ([]string, error) {
+	ds, err := s.DatasetContext(ctx, tenantID, actor, name, PermWrite)
+	if err != nil {
+		return nil, err
+	}
+	return ds.AddBatchContext(ctx, recs)
 }
 
 // DatasetStatus is the operator-facing view of one dataset's index

@@ -1,0 +1,308 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// appendN appends n put records and waits every commit.
+func appendN(t *testing.T, l *Log, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		c := l.Append(&Record{Op: OpPut, Tenant: "t", Dataset: "d", ID: fmt.Sprintf("doc-%04d", i),
+			Rec: map[string]string{"body": fmt.Sprintf("body %d", i)}})
+		if err := c.Wait(context.Background()); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+}
+
+// replayIDs replays dir and returns applied put IDs in order.
+func replayIDs(t *testing.T, dir string) ([]string, ReplayStats) {
+	t.Helper()
+	var ids []string
+	st, err := Replay(dir, func(r *Record) error {
+		if r.Op == OpPut {
+			ids = append(ids, r.ID)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids, st
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	for _, policy := range []Policy{PolicyAlways, PolicyGroup, PolicyInterval} {
+		t.Run(string(policy), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{Policy: policy, Interval: 5 * time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendN(t, l, 0, 50)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			ids, st := replayIDs(t, dir)
+			if len(ids) != 50 {
+				t.Fatalf("replayed %d records, want 50", len(ids))
+			}
+			for i, id := range ids {
+				if want := fmt.Sprintf("doc-%04d", i); id != want {
+					t.Fatalf("record %d = %s, want %s (order must match append order)", i, id, want)
+				}
+			}
+			if st.Torn {
+				t.Fatalf("clean log reported torn: %+v", st)
+			}
+		})
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyGroup, GroupBatch: 64, GroupWait: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// 256 concurrent writers; group commit should need far fewer than
+	// 256 fsyncs (one per batch window, not one per write).
+	var wg sync.WaitGroup
+	for i := 0; i < 256; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := l.Append(&Record{Op: OpPut, ID: fmt.Sprintf("c%03d", i)})
+			if err := c.Wait(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Appends != 256 {
+		t.Fatalf("appends = %d, want 256", st.Appends)
+	}
+	if st.Fsyncs >= 64 {
+		t.Fatalf("group commit used %d fsyncs for 256 concurrent appends; expected heavy batching", st.Fsyncs)
+	}
+	if st.SyncedSeq != st.AppendedSeq {
+		t.Fatalf("synced seq %d lags appended %d after all commits resolved", st.SyncedSeq, st.AppendedSeq)
+	}
+}
+
+func TestGroupWaitBoundsLatency(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyGroup, GroupBatch: 1 << 20, GroupWait: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// A lone append can never fill the batch; the max-latency bound
+	// must commit it anyway.
+	start := time.Now()
+	c := l.Append(&Record{Op: OpPut, ID: "lonely"})
+	if err := c.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("lone append took %v, group wait bound not honored", e)
+	}
+}
+
+func TestRotateTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 10)
+	b1, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 10, 10)
+	b2, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 20, 10)
+
+	// Everything still replayable before truncation.
+	if ids, _ := replayIDs(t, dir); len(ids) != 30 {
+		t.Fatalf("pre-truncate replay = %d records, want 30", len(ids))
+	}
+	// Truncating before b1 drops the first segment only.
+	if err := l.TruncateBefore(b1); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := replayIDs(t, dir); len(ids) != 20 {
+		t.Fatalf("post-truncate(b1) replay = %d records, want 20", len(ids))
+	}
+	// Truncating before b2 leaves the active tail.
+	if err := l.TruncateBefore(b2); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := replayIDs(t, dir); len(ids) != 10 {
+		t.Fatalf("post-truncate(b2) replay = %d records, want 10", len(ids))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenStartsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 5)
+	seg1 := l.ActiveSegment()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail of the closed segment: a new Open must not touch
+	// it, and replay must still see the intact prefix plus the new
+	// log's appends.
+	name := filepath.Join(dir, segmentName(seg1))
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(name, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.ActiveSegment() <= seg1 {
+		t.Fatalf("reopened active segment %d not after %d", l2.ActiveSegment(), seg1)
+	}
+	appendN(t, l2, 5, 3)
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ids, st := replayIDs(t, dir)
+	if !st.Torn {
+		t.Fatal("torn tail not reported")
+	}
+	// The torn record (doc-0004) is lost with the tail; everything
+	// sealed before it and everything in the new segment survives...
+	// except records after the tear in the SAME segment don't exist.
+	// 4 intact from the first segment + 3 from the second = 7? No:
+	// the tear ends replay entirely at the damaged segment, and the
+	// damaged segment is not the last one.
+	if st.SegmentsAfterTear == 0 {
+		t.Fatalf("tear in sealed history should report segments after it: %+v", st)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("replayed %d records, want 4 (intact prefix of damaged segment)", len(ids))
+	}
+}
+
+func TestDiskErrorLatchesTyped(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("simulated EIO")
+	var failing bool
+	l, err := Open(dir, Options{
+		Policy: PolicyAlways,
+		InjectFault: func(op string) error {
+			if failing && op == "sync" {
+				return boom
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 3)
+	failing = true
+	c := l.Append(&Record{Op: OpPut, ID: "doomed"})
+	err = c.Wait(context.Background())
+	var werr *WriteError
+	if !errors.As(err, &werr) {
+		t.Fatalf("failed commit error = %v (%T), want *WriteError", err, err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("typed error does not wrap the cause: %v", err)
+	}
+	if l.Healthy() {
+		t.Fatal("log still reports healthy after sync failure")
+	}
+	// Subsequent writes fail fast with the same typed error.
+	if err := l.Append(&Record{Op: OpPut, ID: "after"}).Wait(context.Background()); !errors.As(err, &werr) {
+		t.Fatalf("append after failure = %v, want *WriteError", err)
+	}
+	if st := l.Stats(); st.Failed == "" {
+		t.Fatal("stats do not report the failure")
+	}
+	l.Close()
+	// Every acknowledged record must replay. The doomed record hit
+	// the OS before the fsync failed, so it may or may not survive —
+	// exactly the contract for an unacknowledged write.
+	ids, _ := replayIDs(t, dir)
+	if len(ids) < 3 {
+		t.Fatalf("replayed %d records after disk failure, want at least the 3 acknowledged", len(ids))
+	}
+	for i := 0; i < 3; i++ {
+		if ids[i] != fmt.Sprintf("doc-%04d", i) {
+			t.Fatalf("acknowledged record %d missing from replay: %v", i, ids)
+		}
+	}
+}
+
+func TestReplaySkipRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 4)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	st, err := Replay(dir, func(r *Record) error {
+		if r.ID == "doc-0002" {
+			return ErrSkipRecord
+		}
+		applied++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 3 || st.Skipped != 1 || applied != 3 {
+		t.Fatalf("applied=%d skipped=%d, want 3/1", st.Applied, st.Skipped)
+	}
+}
+
+func TestReplayMissingDir(t *testing.T) {
+	st, err := Replay(filepath.Join(t.TempDir(), "nope"), func(*Record) error { return nil })
+	if err != nil || st.Records != 0 {
+		t.Fatalf("missing dir: %v %+v", err, st)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, good := range []string{"always", "group", "interval"} {
+		if _, err := ParsePolicy(good); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ParsePolicy("yolo"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

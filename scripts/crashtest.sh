@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# crashtest.sh — kill -9 loop against a real symphonyd.
+#
+# Each cycle boots the daemon durable (--data-dir + WAL), uploads
+# acknowledged batches through /admin/upload, SIGKILLs the process at a
+# randomized point (sometimes mid-upload), reboots, and asserts every
+# acknowledged record is served again. The run ends with a graceful
+# SIGTERM cycle asserting the clean-shutdown marker and a zero exit
+# status — the contract the daemon's run() refactor exists to provide.
+#
+#   CYCLES=n   kill cycles (default 5)
+#   FSYNC=p    WAL fsync policy (default always — the strict policy;
+#              group/interval ack before this script's accounting, so
+#              only "always" supports the acked>=served assertion)
+#   PORT=p     listen port (default 18941)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cycles=${CYCLES:-5}
+fsync=${FSYNC:-always}
+addr=127.0.0.1:${PORT:-18941}
+root=$(mktemp -d)
+pid=""
+trap '[ -n "$pid" ] && kill -9 "$pid" 2>/dev/null; rm -rf "$root"' EXIT
+
+go build -o "$root/symphonyd" ./cmd/symphonyd
+
+boot() {
+    "$root/symphonyd" -addr "$addr" -data-dir "$root/data" \
+        -checkpoint-interval 2s -fsync "$fsync" >>"$root/daemon.log" 2>&1 &
+    pid=$!
+    for _ in $(seq 100); do
+        curl -sf "http://$addr/statusz" >/dev/null 2>&1 && return 0
+        kill -0 "$pid" 2>/dev/null || { echo "daemon died on boot:"; tail -5 "$root/daemon.log"; exit 1; }
+        sleep 0.1
+    done
+    echo "daemon never came up"; exit 1
+}
+
+served() {
+    curl -sf "http://$addr/statusz" |
+        awk '/"dataset": "crash"/{f=1} f && /"records"/{gsub(/[^0-9]/,""); print; exit}'
+}
+
+# upload n rows with unique skus; echoes the row count on ack.
+upload() {
+    local tag=$1 n=$2 body="sku,title,price"
+    for ((r = 0; r < n; r++)); do
+        body+=$'\n'"$tag-$r,crash test item $tag $r,$((r + 1))"
+    done
+    curl -sf -X POST -H 'X-Symphony-Designer: ann' --data-binary "$body" \
+        "http://$addr/admin/upload?tenant=gamerqueen&dataset=crash&format=csv&key=sku" >/dev/null &&
+        echo "$n"
+}
+
+acked=0
+for ((i = 1; i <= cycles; i++)); do
+    boot
+    got=$(served); got=${got:-0}
+    if ((got < acked)); then
+        echo "FAIL cycle $i: $acked rows acked before the kill, only $got served after recovery"
+        tail -20 "$root/daemon.log"
+        exit 1
+    fi
+    # A few acknowledged batches...
+    for ((j = 0, n = RANDOM % 4 + 1; j < n; j++)); do
+        acked=$((acked + $(upload "c$i-$j" 20 || echo 0)))
+    done
+    # ...then one in flight when the SIGKILL lands (never counted).
+    upload "c$i-doomed" 50 >/dev/null 2>&1 &
+    sleep "0.0$((RANDOM % 6))"
+    kill -9 "$pid"
+    wait "$pid" 2>/dev/null || true
+    pid=""
+    wait 2>/dev/null || true
+    echo "cycle $i: killed with $acked rows acked (served $got at boot)"
+done
+
+# Graceful finale: SIGTERM must produce the marker and exit 0.
+boot
+acked=$((acked + $(upload final 20)))
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if ((rc != 0)); then
+    echo "FAIL: graceful shutdown exited $rc"; tail -10 "$root/daemon.log"; exit 1
+fi
+grep -q 'symphonyd: clean shutdown' "$root/daemon.log" ||
+    { echo "FAIL: clean-shutdown marker missing"; tail -10 "$root/daemon.log"; exit 1; }
+
+boot
+got=$(served)
+kill -TERM "$pid"; wait "$pid" || true; pid=""
+if ((got < acked)); then
+    echo "FAIL: after clean shutdown $acked acked, $got served"; exit 1
+fi
+echo "PASS: $cycles kill cycles + clean shutdown, $acked rows acked, $got served"
