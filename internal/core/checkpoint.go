@@ -113,7 +113,45 @@ func (c *Checkpointer) RestoreLatestContext(ctx context.Context) (bool, error) {
 	if !ok {
 		return false, err // corrupt primary and nothing to fall back to
 	}
+	// Quarantine the corrupt primary now, before any checkpoint runs:
+	// the checkpoint's retention rename would otherwise move the known-
+	// bad file over the good previous snapshot, and a crash between
+	// that rename and the install of the new snapshot would leave the
+	// next boot with nothing restorable at all. With the primary gone,
+	// the retention rename is a no-op and PrevPath keeps the good
+	// snapshot until the new one is installed.
+	if qerr := c.quarantineBadSnapshot(); qerr != nil {
+		return false, fmt.Errorf("core: restore: corrupt snapshot %s could not be quarantined: %w", c.Path(), qerr)
+	}
 	return true, nil
+}
+
+// quarantineBadSnapshot moves an unreadable primary snapshot aside as
+// Path()+".corrupt" (kept for forensics; the next quarantine replaces
+// it) and fsyncs the directory so the move survives power loss.
+func (c *Checkpointer) quarantineBadSnapshot() error {
+	if err := os.Rename(c.Path(), c.Path()+".corrupt"); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	c.logf("quarantined corrupt snapshot as %s", c.Path()+".corrupt")
+	return syncDir(c.dir)
+}
+
+// syncDir fsyncs a directory so renames and file creations in it are
+// durable against power loss, not just process crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // restoreFrom loads one snapshot file; a missing file is (false, nil).
@@ -152,11 +190,23 @@ func (c *Checkpointer) restoreFrom(ctx context.Context, path string) (bool, erro
 func (c *Checkpointer) EnableWALContext(ctx context.Context, opts wal.Options) (wal.ReplayStats, error) {
 	st, err := wal.Replay(c.WALDir(), c.p.Store.ApplyWAL)
 	if err != nil {
+		// Includes wal.ErrDamagedHistory: damage in a sealed segment
+		// with acked writes beyond it fails boot loudly instead of
+		// checkpointing over the hole and making the loss permanent.
 		return st, fmt.Errorf("core: wal replay: %w", err)
 	}
 	if st.Records > 0 || st.Torn {
 		c.logf("wal replay: %d records applied, %d skipped, %d segments (torn=%v)",
 			st.Applied, st.Skipped, st.Segments, st.Torn)
+	}
+	// Seal a torn tail before opening the next segment: once a newer
+	// segment exists, replay can no longer tell this crash tear from
+	// media damage in acked history, and would refuse to boot.
+	if st.Torn {
+		if err := wal.SealTornTail(st); err != nil {
+			return st, fmt.Errorf("core: wal: %w", err)
+		}
+		c.logf("wal: sealed torn tail: %s truncated to %d bytes", st.TornSegment, st.TornOffset)
 	}
 	l, err := wal.Open(c.WALDir(), opts)
 	if err != nil {
@@ -232,11 +282,11 @@ func (c *Checkpointer) CheckpointContext(ctx context.Context) error {
 		os.Remove(tmp)
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
-	// Fsync the directory too: the rename itself must survive power
-	// loss before the checkpoint counts as durable.
-	if d, err := os.Open(c.dir); err == nil {
-		d.Sync()
-		d.Close()
+	// Fsync the directory too: the renames themselves must survive
+	// power loss before the checkpoint counts as durable (and before
+	// the WAL history they supersede is truncated below).
+	if err := syncDir(c.dir); err != nil {
+		return fmt.Errorf("core: checkpoint: sync dir: %w", err)
 	}
 	c.logf("checkpoint written to %s (%d frames re-encoded, %d reused)",
 		c.Path(), misses1-misses0, hits1-hits0)

@@ -106,6 +106,53 @@ func TestWALCorruptSnapshotFallsBack(t *testing.T) {
 	}
 }
 
+// TestWALCorruptPrimaryQuarantinedOnFallback pins the crash-window
+// fix around fallback recovery: once boot restores from the previous
+// snapshot because the primary is corrupt, the corrupt primary must
+// be quarantined before the boot checkpoint runs. Otherwise the
+// checkpoint's retention rename would move the known-bad file over
+// the good previous snapshot, and a crash between the two renames
+// would leave the next boot with nothing restorable.
+func TestWALCorruptPrimaryQuarantinedOnFallback(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	p, cp := bootWAL(t, dir, wal.PolicyAlways)
+	buildGamerQueen(t, p)
+	// Checkpoint #2: primary and retained previous snapshot both exist.
+	if err := cp.CheckpointContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(cp.PrevPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inventory(t, p, store.PermRead).Len()
+
+	// Corrupt the primary in place; boot must fall back, quarantine
+	// the bad file, and leave the good previous snapshot untouched
+	// through the boot checkpoint.
+	bad := []byte("SYMSNP2\ngarbage")
+	if err := os.WriteFile(cp.Path(), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, cp2 := bootWAL(t, dir, wal.PolicyAlways)
+
+	q, err := os.ReadFile(cp2.Path() + ".corrupt")
+	if err != nil || string(q) != string(bad) {
+		t.Fatalf("corrupt primary not quarantined: %v (%d bytes)", err, len(q))
+	}
+	prev, err := os.ReadFile(cp2.PrevPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prev) != string(good) {
+		t.Fatal("boot checkpoint replaced the good previous snapshot while the primary was known corrupt")
+	}
+	if got := inventory(t, p2, store.PermRead).Len(); got != want {
+		t.Fatalf("fallback recovery has %d records, want %d", got, want)
+	}
+}
+
 // TestWALTruncationLagsOneCheckpoint pins the retention contract:
 // after N checkpoints, segments older than the previous checkpoint's
 // rotation boundary are gone, and the ones the retained snapshot

@@ -18,6 +18,15 @@ import (
 // way). Replay counts skips so recovery is never silently lossy.
 var ErrSkipRecord = errors.New("wal: skip record")
 
+// ErrDamagedHistory reports damage inside a sealed segment — one with
+// newer segments after it. A torn tail from a crash can only live in
+// the newest segment (boot seals it with SealTornTail before opening
+// the next one), so damage behind the frontier is media corruption of
+// acknowledged history. Replay refuses to continue past it: the
+// segments beyond the hole hold acked writes that would otherwise be
+// dropped silently, and an operator has to decide what to salvage.
+var ErrDamagedHistory = errors.New("wal: damaged sealed segment")
+
 // ReplayStats reports what a recovery pass found.
 type ReplayStats struct {
 	// Segments is how many segment files were read.
@@ -28,24 +37,26 @@ type ReplayStats struct {
 	Applied int
 	// Skipped counts records dropped via ErrSkipRecord.
 	Skipped int
-	// Torn reports that replay stopped at a damaged frame instead of
-	// a clean end of log — the expected signature of a crash mid-
-	// append (torn write) or media damage in the tail.
-	Torn bool
-	// TornSegment and TornOffset locate the damage: the byte offset
-	// of the last fully verified frame in that segment file.
+	// Torn reports that the newest segment ended at a damaged frame
+	// instead of a clean end of log — the expected signature of a
+	// crash mid-append (torn write). TornSegment and TornOffset
+	// locate it: the byte offset of the last fully verified frame in
+	// that segment file, the point SealTornTail truncates back to.
+	Torn        bool
 	TornSegment string
 	TornOffset  int64
-	// SegmentsAfterTear counts segment files newer than the damaged
-	// one. Zero is the normal torn-tail case; non-zero means damage
-	// in sealed history, and everything after it was NOT replayed.
-	SegmentsAfterTear int
 }
 
 // Replay reads every WAL segment in dir in order and hands each
-// record to apply. A torn or corrupt tail ends the replay cleanly at
-// the last verified frame (recovery's contract: lose at most the
-// unsynced suffix, never apply a partial record); apply errors other
+// record to apply. A torn or corrupt tail of the NEWEST segment ends
+// the replay cleanly at the last verified frame (recovery's contract:
+// lose at most the unsynced suffix, never apply a partial record);
+// the caller then seals the tear with SealTornTail before opening a
+// new log generation. Damage in any older segment is another matter:
+// boot sealed that segment's tail before the next one was created, so
+// a bad frame behind the frontier is corruption of acknowledged
+// history, and Replay aborts with ErrDamagedHistory rather than
+// silently dropping the acked segments beyond it. Apply errors other
 // than ErrSkipRecord abort with the error. A missing directory
 // replays zero records.
 func Replay(dir string, apply func(*Record) error) (ReplayStats, error) {
@@ -64,14 +75,39 @@ func Replay(dir string, apply func(*Record) error) (ReplayStats, error) {
 		if torn {
 			st.Torn = true
 			st.TornSegment = name
-			st.SegmentsAfterTear = len(segs) - i - 1
-			// Damage ends the usable log: records in newer segments
-			// were written after the damaged one and must not be
-			// applied over a hole in history.
+			if newer := len(segs) - i - 1; newer > 0 {
+				return st, fmt.Errorf("wal: replay %s: damage at offset %d with %d newer segment(s) holding acknowledged writes: %w",
+					name, st.TornOffset, newer, ErrDamagedHistory)
+			}
 			break
 		}
 	}
 	return st, nil
+}
+
+// SealTornTail truncates the damage off the torn tail that Replay
+// reported and fsyncs the file, making the tear point a durable,
+// clean end of segment. Boot calls it between Replay and Open: once a
+// newer segment exists, a damaged frame in this one can no longer be
+// told apart from media corruption of acked history (see
+// ErrDamagedHistory), so the tear must be sealed while the segment is
+// still the newest. A stats value without a tear seals nothing.
+func SealTornTail(st ReplayStats) error {
+	if !st.Torn {
+		return nil
+	}
+	f, err := os.OpenFile(st.TornSegment, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: seal torn tail: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(st.TornOffset); err != nil {
+		return fmt.Errorf("wal: seal torn tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: seal torn tail: %w", err)
+	}
+	return nil
 }
 
 // replaySegment reads one segment file, reporting whether it ended
@@ -82,6 +118,13 @@ func replaySegment(name string, apply func(*Record) error, st *ReplayStats) (tor
 		return false, fmt.Errorf("wal: replay %s: %w", name, err)
 	}
 	defer f.Close()
+	if info, err := f.Stat(); err == nil && info.Size() == 0 {
+		// A segment created but never flushed (crash before the first
+		// sync), or a torn-at-zero tail a previous boot sealed. Either
+		// way it holds nothing and is a clean, empty segment — not a
+		// tear, or sealed history would look damaged forever.
+		return false, nil
+	}
 	if err := frameio.ExpectMagic(f, segmentMagic); err != nil {
 		// A crash can leave a segment with a partial (or absent)
 		// magic: created, never fsynced. Nothing in it was ever

@@ -22,6 +22,12 @@ package wal_test
 //   - the store rebuilt from the log serves exactly the applied
 //     records, and serves them whole.
 //
+// TestTortureCrashLoopSameLog adds the multi-crash dimension: the
+// same log directory survives a loop of kill/corrupt/recover cycles,
+// with each boot sealing the torn tail before the next child writes —
+// so a tear from one crash can never cost a later boot the acked
+// writes of the generations in between.
+//
 // TORTURE_CYCLES=<n> raises the cycle count (CI runs >= 50).
 
 import (
@@ -77,6 +83,12 @@ func tortureChild() {
 	if err != nil {
 		fail(err)
 	}
+	start := 0
+	if v := os.Getenv("WAL_TORTURE_START"); v != "" {
+		if start, err = strconv.Atoi(v); err != nil {
+			fail(err)
+		}
+	}
 	l, err := wal.Open(os.Getenv("WAL_TORTURE_DIR"), wal.Options{Policy: pol})
 	if err != nil {
 		fail(err)
@@ -96,7 +108,7 @@ func tortureChild() {
 		}
 	}
 	fmt.Println("READY")
-	for i := 0; ; i++ {
+	for i := start; ; i++ {
 		id := fmt.Sprintf("doc-%06d", i)
 		rec := &wal.Record{Op: wal.OpPut, Tenant: "t", Dataset: "inv", ID: id, Rec: map[string]string{
 			"sku":   id,
@@ -145,8 +157,12 @@ func TestTortureKillRecover(t *testing.T) {
 	}
 }
 
-func tortureCycle(t *testing.T, rng *rand.Rand, pol wal.Policy, corrupt string) {
-	dir := t.TempDir()
+// runTortureChild re-execs the writer against dir (appending from doc
+// index start), SIGKILLs it at a randomized point, and returns the
+// highest document index it acknowledged as durable (-1: none) plus
+// its stderr.
+func runTortureChild(t *testing.T, rng *rand.Rand, dir string, pol wal.Policy, start int) (int64, string) {
+	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
@@ -156,6 +172,7 @@ func tortureCycle(t *testing.T, rng *rand.Rand, pol wal.Policy, corrupt string) 
 		"WAL_TORTURE_CHILD=1",
 		"WAL_TORTURE_DIR="+dir,
 		"WAL_TORTURE_POLICY="+string(pol),
+		"WAL_TORTURE_START="+strconv.Itoa(start),
 	)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
@@ -215,6 +232,12 @@ func tortureCycle(t *testing.T, rng *rand.Rand, pol wal.Policy, corrupt string) 
 	}
 	wg.Wait()
 	cmd.Wait() // the SIGKILL exit status is the expected outcome
+	return lastAck.Load(), stderr.String()
+}
+
+func tortureCycle(t *testing.T, rng *rand.Rand, pol wal.Policy, corrupt string) {
+	dir := t.TempDir()
+	la, childErr := runTortureChild(t, rng, dir, pol, 0)
 
 	if corrupt != "" {
 		corruptTail(t, rng, dir, corrupt)
@@ -225,7 +248,7 @@ func tortureCycle(t *testing.T, rng *rand.Rand, pol wal.Policy, corrupt string) 
 	s := store.New(store.WithShardTarget(2))
 	next := 0        // contiguity: the only acceptable put sequence is doc-0, doc-1, ...
 	appliedPuts := 0 // puts the store accepted (all of them unless the DDL was torn away)
-	_, err = wal.Replay(dir, func(rec *wal.Record) error {
+	_, err := wal.Replay(dir, func(rec *wal.Record) error {
 		if rec.Op == wal.OpPut {
 			if want := fmt.Sprintf("doc-%06d", next); rec.ID != want {
 				t.Fatalf("recovered %s out of order, want %s", rec.ID, want)
@@ -244,12 +267,11 @@ func tortureCycle(t *testing.T, rng *rand.Rand, pol wal.Policy, corrupt string) 
 		return aerr
 	})
 	if err != nil {
-		t.Fatalf("recovery replay failed (must never happen): %v; child stderr: %s", err, stderr.String())
+		t.Fatalf("recovery replay failed (must never happen): %v; child stderr: %s", err, childErr)
 	}
 
 	// Durability: an acknowledged write under always/group was fsynced
 	// before the ack, so a pure kill (no injected damage) cannot lose it.
-	la := lastAck.Load()
 	t.Logf("killed after ack %d; recovered %d puts (%d applied)", la, next, appliedPuts)
 	if corrupt == "" && pol != wal.PolicyInterval && int64(next) <= la {
 		t.Fatalf("policy %s lost acknowledged writes: last ack doc-%06d, recovered only %d records", pol, la, next)
@@ -278,6 +300,80 @@ func tortureCycle(t *testing.T, rng *rand.Rand, pol wal.Policy, corrupt string) 
 		if err != nil || len(hits) == 0 {
 			t.Fatalf("recovered index not searchable: %v %v", hits, err)
 		}
+	}
+}
+
+// TestTortureCrashLoopSameLog crashes repeatedly against ONE log
+// directory: every boot replays, seals the torn tail, and hands the
+// same dir to the next child. This is the multi-crash shape the
+// fresh-TempDir cycles above cannot see — a tear left by crash k must
+// not cost boot k+2 the acknowledged writes boot k+1 appended to
+// newer segments.
+func TestTortureCrashLoopSameLog(t *testing.T) {
+	cycles := 8
+	if v := os.Getenv("TORTURE_CYCLES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad TORTURE_CYCLES %q", v)
+		}
+		cycles = n
+	}
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("crash loop: %d cycles, seed %d (set in code to reproduce)", cycles, seed)
+	dir := t.TempDir()
+	policies := []wal.Policy{wal.PolicyAlways, wal.PolicyGroup}
+	corruptions := []string{"truncate", "flip", "garbage"}
+	ackedFloor := int64(-1) // highest doc index known durable on disk
+	start := 0
+	for cycle := 0; cycle < cycles; cycle++ {
+		pol := policies[cycle%len(policies)]
+		la, childErr := runTortureChild(t, rng, dir, pol, start)
+		if la > ackedFloor {
+			ackedFloor = la
+		}
+		// Every third cycle also tears the newest segment's tail, so
+		// sealed tears and injected damage interleave across boots.
+		corrupted := cycle%3 == 2
+		if corrupted {
+			corruptTail(t, rng, dir, corruptions[rng.Intn(len(corruptions))])
+		}
+
+		// Boot: replay (contiguous, whole documents, never an error),
+		// then seal the tear so the next generation opens clean.
+		s := store.New(store.WithShardTarget(2))
+		next := 0
+		st, err := wal.Replay(dir, func(rec *wal.Record) error {
+			if rec.Op == wal.OpPut {
+				if want := fmt.Sprintf("doc-%06d", next); rec.ID != want {
+					t.Fatalf("cycle %d: recovered %s out of order, want %s", cycle, rec.ID, want)
+				}
+				for _, f := range []string{"sku", "title", "body"} {
+					if rec.Rec[f] == "" {
+						t.Fatalf("cycle %d: partially written document %s: missing %s", cycle, rec.ID, f)
+					}
+				}
+				next++
+			}
+			return s.ApplyWAL(rec)
+		})
+		if err != nil {
+			t.Fatalf("cycle %d: recovery replay failed (must never happen): %v; child stderr: %s", cycle, err, childErr)
+		}
+		if err := wal.SealTornTail(st); err != nil {
+			t.Fatalf("cycle %d: seal torn tail: %v", cycle, err)
+		}
+		if corrupted {
+			// Injected damage may destroy synced frames; the surviving
+			// prefix becomes the durable floor later cycles must hold.
+			ackedFloor = int64(next) - 1
+		} else if int64(next) <= ackedFloor {
+			t.Fatalf("cycle %d (%s): acked writes lost across crashes: floor doc-%06d, recovered only %d puts",
+				cycle, pol, ackedFloor, next)
+		}
+		t.Logf("cycle %d (%s): acked through %d, recovered %d puts (torn=%v, corrupted=%v)",
+			cycle, pol, la, next, st.Torn, corrupted)
+		start = next
 	}
 }
 

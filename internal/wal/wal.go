@@ -304,10 +304,20 @@ func Open(dir string, opts Options) (*Log, error) {
 }
 
 // openSegmentLocked creates the segment file and writes its magic.
-// Callers hold mu (or own the log exclusively during Open).
+// The directory is fsynced so the new entry survives power loss: the
+// file's own fsyncs make its contents durable, but on most
+// filesystems only a directory fsync makes its *existence* durable,
+// and an acked record in a segment whose entry vanished is a lost
+// acked record. Callers hold mu (or own the log exclusively during
+// Open), so the dir sync completes before any commit in the new
+// segment can be acknowledged.
 func (l *Log) openSegmentLocked(n int) error {
 	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(n)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
+		return fmt.Errorf("wal: segment %d: %w", n, err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
 		return fmt.Errorf("wal: segment %d: %w", n, err)
 	}
 	bw := bufio.NewWriterSize(f, 1<<16)
@@ -317,6 +327,20 @@ func (l *Log) openSegmentLocked(n int) error {
 	}
 	l.f, l.bw = f, bw
 	return nil
+}
+
+// syncDir fsyncs a directory, making its entries (file creations,
+// renames) durable against power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Dir returns the log directory.

@@ -160,6 +160,31 @@ func TestRotateTruncate(t *testing.T) {
 	}
 }
 
+// tearTail chops n bytes off the end of segment seg, simulating a
+// crash mid-append.
+func tearTail(t *testing.T, dir string, seg int, n int) {
+	t.Helper()
+	name := filepath.Join(dir, segmentName(seg))
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(name, data[:len(data)-n], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bootReplaySeal runs the boot-side recovery sequence — replay, then
+// seal any torn tail — and returns the recovered put IDs.
+func bootReplaySeal(t *testing.T, dir string) ([]string, ReplayStats) {
+	t.Helper()
+	ids, st := replayIDs(t, dir)
+	if err := SealTornTail(st); err != nil {
+		t.Fatal(err)
+	}
+	return ids, st
+}
+
 func TestReopenStartsFreshSegment(t *testing.T) {
 	dir := t.TempDir()
 	l, err := Open(dir, Options{Policy: PolicyAlways})
@@ -171,16 +196,15 @@ func TestReopenStartsFreshSegment(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Tear the tail of the closed segment: a new Open must not touch
-	// it, and replay must still see the intact prefix plus the new
-	// log's appends.
-	name := filepath.Join(dir, segmentName(seg1))
-	data, err := os.ReadFile(name)
-	if err != nil {
-		t.Fatal(err)
+	// Tear the tail of the newest segment; boot replays the intact
+	// prefix, seals the tear, and a new Open starts a fresh segment.
+	tearTail(t, dir, seg1, 4)
+	ids, st := bootReplaySeal(t, dir)
+	if !st.Torn {
+		t.Fatal("torn tail not reported")
 	}
-	if err := os.WriteFile(name, data[:len(data)-4], 0o644); err != nil {
-		t.Fatal(err)
+	if len(ids) != 4 {
+		t.Fatalf("replayed %d records, want 4 (intact prefix of torn segment)", len(ids))
 	}
 	l2, err := Open(dir, Options{Policy: PolicyAlways})
 	if err != nil {
@@ -193,21 +217,88 @@ func TestReopenStartsFreshSegment(t *testing.T) {
 	if err := l2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	ids, st := replayIDs(t, dir)
+	// The torn record (doc-0004) is lost with the tail; the sealed
+	// prefix and everything in the new segment replay cleanly.
+	ids, st = replayIDs(t, dir)
+	if st.Torn {
+		t.Fatalf("sealed log still reports torn: %+v", st)
+	}
+	if len(ids) != 7 {
+		t.Fatalf("replayed %d records, want 7 (4 sealed + 3 new)", len(ids))
+	}
+}
+
+// TestCrashAfterTearKeepsNewerAckedWrites pins the multi-crash
+// contract: a tear sealed by boot k must not cost boot k+2 the
+// acknowledged writes boot k+1 appended to newer segments.
+func TestCrashAfterTearKeepsNewerAckedWrites(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 5)
+	seg1 := l.ActiveSegment()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tearTail(t, dir, seg1, 4) // crash #1 tears doc-0004
+
+	// Boot #2: recover 4 records, seal, append 3 more acked writes.
+	ids, st := bootReplaySeal(t, dir)
+	if !st.Torn || len(ids) != 4 {
+		t.Fatalf("boot #2 recovery: torn=%v ids=%d, want torn with 4 records", st.Torn, len(ids))
+	}
+	l2, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l2, 4, 3)
+	seg2 := l2.ActiveSegment()
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tearTail(t, dir, seg2, 4) // crash #2 tears doc-0006
+
+	// Boot #3 must recover the first boot's sealed prefix AND the
+	// second boot's intact acked writes — not stop at the old tear.
+	ids, st = bootReplaySeal(t, dir)
 	if !st.Torn {
-		t.Fatal("torn tail not reported")
+		t.Fatal("boot #3: tear in newest segment not reported")
 	}
-	// The torn record (doc-0004) is lost with the tail; everything
-	// sealed before it and everything in the new segment survives...
-	// except records after the tear in the SAME segment don't exist.
-	// 4 intact from the first segment + 3 from the second = 7? No:
-	// the tear ends replay entirely at the damaged segment, and the
-	// damaged segment is not the last one.
-	if st.SegmentsAfterTear == 0 {
-		t.Fatalf("tear in sealed history should report segments after it: %+v", st)
+	if len(ids) != 6 {
+		t.Fatalf("boot #3 recovered %d records, want 6 (4 sealed + 2 intact acked)", len(ids))
 	}
-	if len(ids) != 4 {
-		t.Fatalf("replayed %d records, want 4 (intact prefix of damaged segment)", len(ids))
+	for i, id := range ids {
+		if want := fmt.Sprintf("doc-%04d", i); id != want {
+			t.Fatalf("record %d = %s, want %s", i, id, want)
+		}
+	}
+}
+
+// TestDamagedSealedSegmentFailsReplay: damage behind the segment
+// frontier is media corruption of acknowledged history, and replay
+// must refuse to proceed (dropping the acked segments beyond the hole
+// would be silent loss) instead of treating it like a torn tail.
+func TestDamagedSealedSegmentFailsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 5)
+	seg1 := l.ActiveSegment()
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 5, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tearTail(t, dir, seg1, 4) // rot inside a sealed segment
+	_, err = Replay(dir, func(*Record) error { return nil })
+	if !errors.Is(err, ErrDamagedHistory) {
+		t.Fatalf("replay over damaged sealed segment: err=%v, want ErrDamagedHistory", err)
 	}
 }
 
