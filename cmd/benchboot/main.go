@@ -1,0 +1,400 @@
+// Command benchboot measures what the zero-copy boot path buys: the
+// time from "process has a data dir" to "first query answered with
+// 200" and the resident set needed to serve, mapped (--mmap=on boot:
+// the v3 snapshot is attached as views, postings and records
+// materialize copy-on-write) versus heap (the same snapshot decoded
+// eagerly, as every boot before v3 worked).
+//
+// For each corpus size the harness builds a checkpoint once, then
+// re-execs itself as a child per mode. The child restores, serves one
+// dataset over HTTP, reports the time to its first 200 and its VmRSS
+// — after the first query and again after a query burst, so lazy
+// materialization's steady-state cost is visible, not just the cold
+// number. The parent writes BENCH_boot.json and gates the mapped
+// speedup: boot time is supposed to stop scaling with corpus size,
+// and a regression that quietly decodes everything again shows up as
+// the ratio collapsing.
+//
+// --smoke builds only the smallest corpus and gates mapped speedup at
+// >= 3x for CI; the full run (12k/120k/600k docs) gates >= 10x boot
+// and >= 2x RSS at the largest size.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// childResult is one (mode, size) measurement, produced by the
+// re-exec'd child on stdout.
+type childResult struct {
+	Mode              string  `json:"mode"` // mapped | heap
+	Docs              int     `json:"docs"`
+	SnapshotBytes     int64   `json:"snapshotBytes"`
+	RestoreMs         float64 `json:"restoreMs"`
+	TimeToFirst200Ms  float64 `json:"timeToFirst200Ms"`
+	RSSAfterFirstKB   int64   `json:"rssAfterFirst200KB"`
+	RSSAfterBurstKB   int64   `json:"rssAfterBurstKB"`
+	MappedBytes       int64   `json:"mappedBytes"`
+	MaterializedBytes int64   `json:"materializedBytes"`
+}
+
+// sizeResult pairs the two modes at one corpus size with the ratios
+// the gate reads.
+type sizeResult struct {
+	Docs        int         `json:"docs"`
+	Mapped      childResult `json:"mapped"`
+	Heap        childResult `json:"heap"`
+	BootSpeedup float64     `json:"bootSpeedup"` // heap first-200 / mapped first-200
+	RSSRatio    float64     `json:"rssRatio"`    // heap RSS / mapped RSS, after the burst
+}
+
+type benchOutput struct {
+	Benchmark   string         `json:"benchmark"`
+	Environment map[string]any `json:"environment"`
+	Sizes       []sizeResult   `json:"sizes"`
+	GateDocs    int            `json:"gateDocs"`
+	GateBootMin float64        `json:"gateBootSpeedupMin"`
+	GateRSSMin  float64        `json:"gateRssRatioMin"`
+	GateOK      bool           `json:"gateOk"`
+	Summary     string         `json:"summary"`
+}
+
+func main() {
+	if os.Getenv("BENCHBOOT_CHILD") == "1" {
+		childMain()
+		return
+	}
+	smoke := flag.Bool("smoke", false, "smallest corpus only, 3x gate — for CI")
+	out := flag.String("o", "BENCH_boot.json", "output path")
+	dir := flag.String("dir", "", "corpus cache directory (empty = temp, removed after)")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	flag.Parse()
+
+	sizes := []int{12000, 120000, 600000}
+	gateBoot, gateRSS := 10.0, 2.0
+	if *smoke {
+		sizes = sizes[:1]
+		// A 12k corpus decodes fast even on the heap path, so the smoke
+		// gate only asks for the ratio's sign, not its asymptote — and
+		// skips the RSS gate, where a small corpus drowns in runtime
+		// baseline.
+		gateBoot, gateRSS = 3.0, 0
+	}
+	root := *dir
+	if root == "" {
+		var err error
+		if root, err = os.MkdirTemp("", "benchboot-*"); err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(root)
+	}
+
+	output := benchOutput{
+		Benchmark:   "zero-copy boot: time-to-first-200 and RSS, mapped (--mmap=on) vs heap boot from the same v3 checkpoint (cmd/benchboot)",
+		Environment: environment(*smoke),
+		GateDocs:    sizes[len(sizes)-1],
+		GateBootMin: gateBoot,
+		GateRSSMin:  gateRSS,
+	}
+	for _, n := range sizes {
+		cdir := filepath.Join(root, fmt.Sprintf("docs-%d", n))
+		if err := buildCorpus(cdir, n, *seed); err != nil {
+			log.Fatalf("corpus %d: %v", n, err)
+		}
+		sr := sizeResult{Docs: n}
+		for _, mode := range []string{"heap", "mapped"} {
+			res, err := runChild(cdir, mode, n)
+			if err != nil {
+				log.Fatalf("%s boot at %d docs: %v", mode, n, err)
+			}
+			log.Printf("%d docs %s: first 200 in %.1fms (restore %.1fms), RSS %d KB after burst",
+				n, mode, res.TimeToFirst200Ms, res.RestoreMs, res.RSSAfterBurstKB)
+			if mode == "heap" {
+				sr.Heap = res
+			} else {
+				sr.Mapped = res
+			}
+		}
+		sr.BootSpeedup = sr.Heap.TimeToFirst200Ms / sr.Mapped.TimeToFirst200Ms
+		sr.RSSRatio = float64(sr.Heap.RSSAfterBurstKB) / float64(sr.Mapped.RSSAfterBurstKB)
+		output.Sizes = append(output.Sizes, sr)
+	}
+
+	last := output.Sizes[len(output.Sizes)-1]
+	output.GateOK = last.BootSpeedup >= gateBoot && (gateRSS == 0 || last.RSSRatio >= gateRSS)
+	output.Summary = fmt.Sprintf(
+		"at %d docs: mapped boot %.1fx faster to first 200 (%.1fms vs %.1fms), %.1fx less resident memory after a query burst (%d KB vs %d KB); gate (boot >= %.0fx, rss >= %.0fx) %s",
+		last.Docs, last.BootSpeedup, last.Mapped.TimeToFirst200Ms, last.Heap.TimeToFirst200Ms,
+		last.RSSRatio, last.Mapped.RSSAfterBurstKB, last.Heap.RSSAfterBurstKB,
+		gateBoot, gateRSS, map[bool]string{true: "PASS", false: "FAIL"}[output.GateOK])
+
+	buf, err := json.MarshalIndent(output, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+	log.Print(output.Summary)
+	if !output.GateOK {
+		os.Exit(1)
+	}
+}
+
+// environment mirrors BENCH_persist.json's block so the two files can
+// be read against the same hardware context.
+func environment(smoke bool) map[string]any {
+	cpu := "unknown"
+	if b, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				cpu = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+				break
+			}
+		}
+	}
+	cmd := "go run ./cmd/benchboot"
+	if smoke {
+		cmd += " --smoke"
+	}
+	return map[string]any{
+		"goos":    runtime.GOOS,
+		"goarch":  runtime.GOARCH,
+		"cpu":     cpu,
+		"cores":   runtime.NumCPU(),
+		"command": cmd,
+		"date":    time.Now().Format("2006-01-02"),
+	}
+}
+
+// buildCorpus checkpoints an n-document dataset into dir, reusing a
+// finished build from a previous run (marker file) when present.
+func buildCorpus(dir string, n int, seed int64) error {
+	marker := filepath.Join(dir, "corpus.ok")
+	if b, err := os.ReadFile(marker); err == nil && strings.TrimSpace(string(b)) == strconv.Itoa(n) {
+		return nil
+	}
+	log.Printf("building %d-doc corpus in %s", n, dir)
+	os.RemoveAll(dir)
+	ctx := context.Background()
+	p := core.New(core.Config{Seed: seed})
+	if err := p.Store.CreateTenant("bench", "ann"); err != nil {
+		return err
+	}
+	if err := p.Store.SetQuota("bench", "ann", n+1000); err != nil {
+		return err
+	}
+	if _, err := p.Store.CreateDataset("bench", "ann", store.Schema{
+		Name: "docs",
+		Key:  "sku",
+		Fields: []store.Field{
+			{Name: "sku", Type: store.TypeString, Required: true},
+			{Name: "title", Type: store.TypeString, Searchable: true},
+			{Name: "body", Type: store.TypeString, Searchable: true},
+		},
+	}); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vocab := make([]string, 2000)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("word%c%04d", 'a'+i%7, i)
+	}
+	const batch = 2000
+	recs := make([]store.Record, 0, batch)
+	for i := 0; i < n; i++ {
+		var b strings.Builder
+		b.WriteString("catalog entry")
+		if i%50 == 0 {
+			b.WriteString(" exciting") // the probe query's term
+		}
+		for w := 0; w < 12+rng.Intn(10); w++ {
+			b.WriteByte(' ')
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+		}
+		recs = append(recs, store.Record{
+			"sku":   fmt.Sprintf("doc-%07d", i),
+			"title": fmt.Sprintf("Item %d %s", i, vocab[rng.Intn(len(vocab))]),
+			"body":  b.String(),
+		})
+		if len(recs) == batch || i == n-1 {
+			if _, err := p.Store.AddBatchContext(ctx, "bench", "ann", "docs", recs); err != nil {
+				return err
+			}
+			recs = recs[:0]
+		}
+	}
+	cp, err := p.NewCheckpointer(dir, 0)
+	if err != nil {
+		return err
+	}
+	if err := cp.CheckpointContext(ctx); err != nil {
+		return err
+	}
+	return os.WriteFile(marker, []byte(strconv.Itoa(n)), 0o644)
+}
+
+// runChild re-execs this binary in child mode and decodes its report.
+// The snapshot file is read once first, so both modes boot against a
+// warm page cache and the comparison is decode cost, not disk.
+func runChild(dir, mode string, docs int) (childResult, error) {
+	var res childResult
+	snap, err := os.ReadFile(filepath.Join(dir, "store.snap"))
+	if err != nil {
+		return res, err
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"BENCHBOOT_CHILD=1",
+		"BENCHBOOT_DIR="+dir,
+		"BENCHBOOT_MODE="+mode,
+		"BENCHBOOT_DOCS="+strconv.Itoa(docs),
+	)
+	cmd.Stderr = os.Stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return res, err
+	}
+	if err := cmd.Start(); err != nil {
+		return res, err
+	}
+	dec := json.NewDecoder(bufio.NewReader(outPipe))
+	decErr := dec.Decode(&res)
+	if err := cmd.Wait(); err != nil {
+		return res, fmt.Errorf("child: %w", err)
+	}
+	if decErr != nil {
+		return res, fmt.Errorf("child output: %w", decErr)
+	}
+	res.SnapshotBytes = int64(len(snap))
+	return res, nil
+}
+
+// childMain is the measured boot: restore, serve, one probe query,
+// then a burst, reporting wall times and VmRSS at each stage.
+func childMain() {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchboot child:", err)
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	dir := os.Getenv("BENCHBOOT_DIR")
+	mode := os.Getenv("BENCHBOOT_MODE")
+	docs, _ := strconv.Atoi(os.Getenv("BENCHBOOT_DOCS"))
+
+	t0 := time.Now()
+	p := core.New(core.Config{Seed: 1})
+	cp, err := p.NewCheckpointer(dir, 0)
+	if err != nil {
+		fail(err)
+	}
+	cp.MMap = mode == "mapped"
+	restored, err := cp.RestoreLatestContext(ctx)
+	if err != nil {
+		fail(err)
+	}
+	if !restored {
+		fail(fmt.Errorf("nothing restored from %s", dir))
+	}
+	restoreMs := float64(time.Since(t0).Microseconds()) / 1000
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		ds, err := p.Store.DatasetContext(r.Context(), "bench", "ann", "docs", store.PermRead)
+		if err != nil {
+			http.Error(w, err.Error(), 500)
+			return
+		}
+		hits, err := ds.SearchContext(r.Context(), store.SearchRequest{Query: r.URL.Query().Get("q"), Limit: 10})
+		if err != nil || len(hits) == 0 {
+			http.Error(w, fmt.Sprintf("no hits: %v", err), 500)
+			return
+		}
+		fmt.Fprintf(w, "%d hits\n", len(hits))
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	go http.Serve(ln, mux)
+
+	probe := func(q string) error {
+		resp, err := http.Get(fmt.Sprintf("http://%s/search?q=%s", ln.Addr(), q))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("query %q: HTTP %d", q, resp.StatusCode)
+		}
+		return nil
+	}
+	if err := probe("exciting"); err != nil {
+		fail(err)
+	}
+	first200Ms := float64(time.Since(t0).Microseconds()) / 1000
+	rssFirst := rssKB()
+
+	// The burst: random vocabulary terms, so the mapped side pays its
+	// lazy decodes for a realistic working set before the second RSS
+	// reading.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		probe(fmt.Sprintf("word%c%04d", 'a'+rng.Intn(7), rng.Intn(2000)))
+	}
+	rssBurst := rssKB()
+
+	var mapped, materialized int64
+	for _, st := range p.Store.Status() {
+		mapped += st.MappedBytes
+		materialized += st.MaterializedBytes
+	}
+	json.NewEncoder(os.Stdout).Encode(childResult{
+		Mode:              mode,
+		Docs:              docs,
+		RestoreMs:         restoreMs,
+		TimeToFirst200Ms:  first200Ms,
+		RSSAfterFirstKB:   rssFirst,
+		RSSAfterBurstKB:   rssBurst,
+		MappedBytes:       mapped,
+		MaterializedBytes: materialized,
+	})
+}
+
+// rssKB returns VmRSS from /proc/self/status, after returning freed
+// heap to the OS so both modes report retained footprint, not
+// allocator slack.
+func rssKB() int64 {
+	debug.FreeOSMemory()
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmRSS:"); ok {
+			n, _ := strconv.ParseInt(strings.TrimSuffix(strings.TrimSpace(rest), " kB"), 10, 64)
+			return n
+		}
+	}
+	return 0
+}

@@ -25,6 +25,14 @@
 // many acks per fsync, default) or "interval" (ack immediately,
 // fsync periodically — bounded loss window).
 //
+// --mmap (default on) boots v3 snapshots as mmap'd read-only views:
+// records and postings stay in the snapshot file's pages and
+// materialize copy-on-write as writes touch them, so boot time and
+// resident set stop scaling with corpus size (see cmd/benchboot).
+// /statusz reports the mapped-vs-materialized byte split.
+// --pprof-addr serves net/http/pprof on its own listener (off by
+// default, never the tenant port) for heap and CPU profiles.
+//
 // --shards controls dataset index parallelism: "auto" (default, one
 // shard per CPU) or a fixed count. Snapshots written under another
 // layout reshard to the target on restore, so a checkpoint from a
@@ -47,6 +55,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only on --pprof-addr's listener
 	"os"
 	"os/signal"
 	"runtime"
@@ -98,6 +107,8 @@ func run() error {
 	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds hint on shed (429) responses")
 	walEnabled := flag.Bool("wal", true, "with --data-dir, layer a write-ahead log under the checkpoint cycle")
 	fsync := flag.String("fsync", "group", "WAL fsync policy: always (fsync before every ack), group (batch commits), interval (periodic)")
+	mmapMode := flag.String("mmap", "on", "boot from v3 snapshots as mmap'd views with copy-on-write materialization: on|off")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof on its own listener (empty = disabled)")
 	flag.Parse()
 
 	shardTarget, err := parseShards(*shards)
@@ -107,6 +118,25 @@ func run() error {
 	fsyncPolicy, err := wal.ParsePolicy(*fsync)
 	if err != nil {
 		return err
+	}
+	var mmapOn bool
+	switch *mmapMode {
+	case "on":
+		mmapOn = true
+	case "off":
+	default:
+		return fmt.Errorf("symphonyd: --mmap must be \"on\" or \"off\", got %q", *mmapMode)
+	}
+
+	// pprof gets its own listener so profiling endpoints never share a
+	// port (or an audience) with tenant traffic; off by default.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("symphonyd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("symphonyd: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -137,6 +167,7 @@ func run() error {
 			return err
 		}
 		cp.Logf = log.Printf
+		cp.MMap = mmapOn
 		restored, err := cp.RestoreLatestContext(ctx)
 		if err != nil {
 			return err
@@ -188,10 +219,25 @@ func run() error {
 		if cp != nil && cp.WAL() != nil {
 			walStats = cp.WAL().Stats()
 		}
+		// Aggregate mapped-vs-heap residency across datasets so the
+		// zero-copy boot is observable: mappedBytes drains toward
+		// materializedBytes as copy-on-write promotes what the
+		// workload writes.
+		datasets := p.Store.Status()
+		var mappedBytes, materializedBytes int64
+		for _, st := range datasets {
+			mappedBytes += st.MappedBytes
+			materializedBytes += st.MaterializedBytes
+		}
 		if err := enc.Encode(map[string]any{
+			"mmap": map[string]any{
+				"mode":              *mmapMode,
+				"mappedBytes":       mappedBytes,
+				"materializedBytes": materializedBytes,
+			},
 			"shardTarget":  target,
 			"gomaxprocs":   runtime.GOMAXPROCS(0),
-			"datasets":     p.Store.Status(),
+			"datasets":     datasets,
 			"admission":    admission.Stats(),
 			"queryTimeout": queryTimeout.String(),
 			"cache":        cacheStats,

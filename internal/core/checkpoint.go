@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/mmapio"
 	"repro/internal/store"
 	"repro/internal/wal"
 )
@@ -20,7 +21,7 @@ import (
 // over the previous snapshot, so a crash mid-checkpoint leaves the
 // last good snapshot in place.
 //
-// The snapshot uses store format v2, whose per-dataset locking means
+// The snapshot uses store format v3, whose per-dataset locking means
 // a running checkpoint does not block writers on other datasets.
 //
 // Checkpoints are incremental: a frame cache shared across the
@@ -36,6 +37,17 @@ type Checkpointer struct {
 	cache    *store.FrameCache
 	// Logf reports checkpoint activity (default: silent).
 	Logf func(format string, args ...any)
+	// MMap, when set before RestoreLatestContext, makes boot attach v3
+	// snapshots as mmap'd views instead of decoding them to the heap:
+	// records and postings materialize copy-on-write as the workload
+	// touches them, so time-to-serving and resident set stop scaling
+	// with corpus size. Older snapshot formats (and platforms where
+	// mmap is unavailable — mmapio falls back to a heap read) restore
+	// through the streaming path transparently. The checkpoint cycle
+	// is unchanged: snapshots are always written to a temp file and
+	// renamed into place, never rewritten in place, so live mapped
+	// readers keep serving from the replaced file's still-open pages.
+	MMap bool
 
 	mu   sync.Mutex // serializes Checkpoint calls
 	stop chan struct{}
@@ -155,7 +167,17 @@ func syncDir(dir string) error {
 }
 
 // restoreFrom loads one snapshot file; a missing file is (false, nil).
+// With MMap set and a v3 snapshot on disk, the file is mapped and
+// attached zero-copy; anything else streams through the heap path.
 func (c *Checkpointer) restoreFrom(ctx context.Context, path string) (bool, error) {
+	if c.MMap {
+		ok, err := c.restoreMappedFrom(ctx, path)
+		if ok || err != nil {
+			return ok, err
+		}
+		// Not mappable (missing file falls through too — the streaming
+		// path reports it the same way).
+	}
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return false, nil
@@ -175,6 +197,38 @@ func (c *Checkpointer) restoreFrom(ctx context.Context, path string) (bool, erro
 	for _, st := range c.p.Store.Status() {
 		c.logf("restored %s/%s: %d records in %d shards (ring gen %d)",
 			st.Tenant, st.Dataset, st.Records, st.Shards, st.RingGen)
+	}
+	return true, nil
+}
+
+// restoreMappedFrom attaches a v3 snapshot as mapped views. (false,
+// nil) means the file is missing or not a v3 stream and the caller
+// should try the streaming path. A failed mapped restore leaves the
+// mapping unmunmapped deliberately: a partially decoded replacement
+// may still hold views into it, and boot failure is terminal anyway.
+func (c *Checkpointer) restoreMappedFrom(ctx context.Context, path string) (bool, error) {
+	m, err := mmapio.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("core: map checkpoint: %w", err)
+	}
+	if !store.SnapshotIsMappable(m.Data()) {
+		m.Close()
+		return false, nil
+	}
+	if err := c.p.Store.RestoreMappedContext(ctx, m.Data()); err != nil {
+		return false, fmt.Errorf("core: restore mapped checkpoint %s: %w", path, err)
+	}
+	kind := "heap-backed"
+	if m.Mapped() {
+		kind = "mmap-backed"
+	}
+	c.logf("restored store from %s (%s, %d bytes attached lazily)", path, kind, m.Len())
+	for _, st := range c.p.Store.Status() {
+		c.logf("restored %s/%s: %d records in %d shards (ring gen %d, %d bytes mapped)",
+			st.Tenant, st.Dataset, st.Records, st.Shards, st.RingGen, st.MappedBytes)
 	}
 	return true, nil
 }

@@ -132,6 +132,39 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
+// NextFrameInBuf walks one frame of a stream held in memory (an
+// mmap'd snapshot file), returning the payload as a subslice of buf —
+// no copy — and the offset of the next frame. A clean end of buffer
+// returns io.EOF; a partial header or short payload reports
+// truncation. verify controls the CRC check: attach-time validation
+// passes true to catch corrupt files before serving from them; re-
+// walks over already-verified bytes pass false to skip the hashing.
+func NextFrameInBuf(buf []byte, off int, verify bool) (payload []byte, next int, err error) {
+	if off == len(buf) {
+		return nil, off, io.EOF
+	}
+	if off > len(buf) || len(buf)-off < 12 {
+		return nil, off, fmt.Errorf("frameio: truncated frame header at offset %d", off)
+	}
+	length := binary.BigEndian.Uint64(buf[off : off+8])
+	if length > MaxFrame {
+		return nil, off, fmt.Errorf("frameio: frame length %d exceeds limit %d", length, MaxFrame)
+	}
+	body := off + 12
+	if uint64(len(buf)-body) < length {
+		return nil, off, fmt.Errorf("frameio: truncated frame payload at offset %d: have %d bytes, need %d", off, len(buf)-body, length)
+	}
+	end := body + int(length)
+	payload = buf[body:end:end]
+	if verify {
+		want := binary.BigEndian.Uint32(buf[off+8 : off+12])
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return nil, off, fmt.Errorf("frameio: frame checksum mismatch at offset %d: %08x, want %08x", off, got, want)
+		}
+	}
+	return payload, end, nil
+}
+
 // ReadFrame reads one frame's payload, verifying its checksum. A
 // clean end of stream returns io.EOF; truncation mid-frame returns an
 // unexpected-EOF error; a checksum mismatch reports corruption.

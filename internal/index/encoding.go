@@ -29,6 +29,29 @@ func (w *binWriter) strmap(m map[string]string) {
 	}
 }
 
+// Fixed-width little-endian integers for the v3 offset directories:
+// directories are random-accessed straight out of mapped bytes, so
+// their entries cannot be varints.
+func (w *binWriter) u64(x uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, x)
+}
+func (w *binWriter) u32(x uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, x)
+}
+
+// reserve appends n zero bytes and returns their offset, for
+// directories whose entries are patched in after the sections they
+// point at have been written.
+func (w *binWriter) reserve(n int) int {
+	off := len(w.buf)
+	w.buf = append(w.buf, make([]byte, n)...)
+	return off
+}
+
+func (w *binWriter) patchU64(off int, x uint64) {
+	binary.LittleEndian.PutUint64(w.buf[off:], x)
+}
+
 // binReader decodes a uvarint binary payload with bounds checking.
 type binReader struct {
 	buf []byte

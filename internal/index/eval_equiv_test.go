@@ -1,6 +1,7 @@
 package index
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -144,6 +145,98 @@ func TestEvalEquivalence(t *testing.T) {
 	}
 }
 
+// mappedCopy snapshots ix in v3 and attaches the bytes to a fresh
+// index through the zero-copy path, so queries decode postings lazily
+// from the snapshot layout instead of heap structures.
+func mappedCopy(t testing.TB, ix *Index) *Index {
+	t.Helper()
+	var snap bytes.Buffer
+	if err := ix.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mx := New()
+	if err := mx.RestoreMapped(snap.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	return mx
+}
+
+// TestEvalEquivalenceMapped: an index served from mapped v3 snapshot
+// views must rank bit-identically to the heap index it was written
+// from — for every query type, both rankers, across shard counts, with
+// block-max early exit forced on and off, and after copy-on-write
+// materialization from post-boot writes.
+func TestEvalEquivalenceMapped(t *testing.T) {
+	for _, ranker := range []Ranker{RankerBM25, RankerTFIDF} {
+		for _, n := range []int{1, 3, runtime.NumCPU()} {
+			ix := equivCorpus(t, n)
+			ix.SetRanker(ranker)
+			mx := mappedCopy(t, ix)
+			if st := mx.MMapStats(); st.MappedShards == 0 || st.MappedBytes == 0 {
+				t.Fatalf("ranker=%d shards=%d: mapped copy reports no mapped shards: %+v", ranker, n, st)
+			}
+			compare := func(stage string) {
+				t.Helper()
+				for name, q := range equivQueries() {
+					label := fmt.Sprintf("ranker=%d shards=%d %s %s", ranker, n, stage, name)
+					for i, o := range []SearchOptions{
+						{},
+						{Limit: 10},
+						{Limit: 10, Offset: 7},
+						{Limit: 5, Filters: map[string]string{"producer": "Epic"}},
+					} {
+						mustEqualResults(t, fmt.Sprintf("%s opts%d", label, i),
+							mx.mustSearch(q, o), ix.mustSearch(q, o))
+						mustEqualResults(t, fmt.Sprintf("%s opts%d ref", label, i),
+							mx.mustSearch(q, o), refSearch(mx, q, o))
+					}
+					if got, want := mx.mustCount(q, nil), ix.mustCount(q, nil); got != want {
+						t.Fatalf("%s: mapped Count %d, want %d", label, got, want)
+					}
+					gotF, wantF := mx.mustFacets(q, "producer", nil), ix.mustFacets(q, "producer", nil)
+					if len(gotF) != len(wantF) {
+						t.Fatalf("%s: mapped %d facets, want %d", label, len(gotF), len(wantF))
+					}
+					for i := range wantF {
+						if gotF[i] != wantF[i] {
+							t.Fatalf("%s mapped facet %d: got %v, want %v", label, i, gotF[i], wantF[i])
+						}
+					}
+				}
+			}
+			compare("cold")
+			mx.wandDenseForce.Store(true)
+			ix.wandDenseForce.Store(true)
+			compare("wand-forced")
+			mx.wandDenseForce.Store(false)
+			ix.wandDenseForce.Store(false)
+
+			// Copy-on-write: the same post-boot mutations applied to both
+			// sides must keep rankings bit-identical while only the
+			// touched terms materialize on the mapped side.
+			mutate := func(target *Index) {
+				target.Add(Document{
+					ID:     "doc301",
+					Fields: map[string]string{"title": "Title 1 zelda", "body": "shared zelda halo strategy adventure fresh"},
+					Stored: map[string]string{"producer": "Epic", "parity": "1"},
+				})
+				target.Delete("doc010")
+				target.Add(Document{
+					ID:     "doc020",
+					Fields: map[string]string{"title": "Title 0 zelda", "body": "shared corpus document number20 rewritten halo"},
+					Stored: map[string]string{"producer": "Nintendo", "parity": "0"},
+				})
+			}
+			mutate(ix)
+			mutate(mx)
+			compare("post-cow")
+			if st := mx.MMapStats(); st.MaterializedTerms == 0 {
+				t.Fatalf("ranker=%d shards=%d: writes to mapped index materialized no terms: %+v", ranker, n, st)
+			}
+		}
+	}
+}
+
 // TestSessionEquivalence: queries through a Session — whose second
 // and later stats lookups come from the request cache — must return
 // bit-identical results to direct Index calls, in any order and with
@@ -282,6 +375,43 @@ func TestEvalEquivalenceFuzz(t *testing.T) {
 			if st := c.Stats(); st.Hits == 0 {
 				t.Fatalf("seed=%d shards=%d: warm pass never hit the cache: %+v", seed, n, st)
 			}
+			// Mapped dimension: the same corpus served from snapshot
+			// views must match the heap index and the reference
+			// evaluator cell for cell, before and after copy-on-write.
+			mx := mappedCopy(t, ix)
+			compareMapped := func(stage string) {
+				for qi, q := range queries {
+					label := fmt.Sprintf("seed=%d shards=%d %s q%d(%T)", seed, n, stage, qi, q)
+					mustEqualResults(t, label, mx.mustSearch(q, SearchOptions{}), ix.mustSearch(q, SearchOptions{}))
+					mustEqualResults(t, label+" ref", mx.mustSearch(q, SearchOptions{Limit: 5}), refSearch(mx, q, SearchOptions{Limit: 5}))
+					if got, want := mx.mustCount(q, nil), ix.mustCount(q, nil); got != want {
+						t.Fatalf("%s: mapped Count %d, want %d", label, got, want)
+					}
+				}
+			}
+			compareMapped("mapped")
+			// Cache states over mapped views: a cold pass fills the
+			// shared cache from lazily decoded postings, the warm pass
+			// answers from it, and the CoW mutation below must
+			// invalidate by generation stamp — with the cache still
+			// attached throughout.
+			mc := NewCache(8 << 20)
+			mx.AttachCache(mc)
+			compareMapped("mapped-cache-cold")
+			compareMapped("mapped-cache-warm")
+			if st := mc.Stats(); st.Hits == 0 {
+				t.Fatalf("seed=%d shards=%d: mapped warm pass never hit the cache: %+v", seed, n, st)
+			}
+			for i := 0; i < 5 && i < len(specs); i++ {
+				doc := Document{
+					ID:     specs[i].id,
+					Fields: map[string]string{"title": specs[i].title, "body": specs[i].body + " " + vocab[i%vocabN]},
+					Stored: map[string]string{"facet": specs[i].facet},
+				}
+				ix.Add(doc)
+				mx.Add(doc)
+			}
+			compareMapped("mapped-cow")
 		}
 	}
 }

@@ -58,7 +58,7 @@ func refCount(ix *Index, q Query, filters map[string]string) int {
 	for _, s := range r.shards {
 		s.mu.RLock()
 		for ord := range refEval(q, s, st) {
-			doc := s.docs[ord]
+			doc := s.docAt(ord)
 			if doc.ID != "" && matchFilters(doc, filters) {
 				n++
 			}
@@ -79,7 +79,7 @@ func refFacets(ix *Index, q Query, field string, filters map[string]string) []Fa
 		s.mu.RLock()
 		counts := make(map[string]int)
 		for ord := range refEval(q, s, st) {
-			doc := s.docs[ord]
+			doc := s.docAt(ord)
 			if doc.ID == "" || !matchFilters(doc, filters) {
 				continue
 			}
@@ -101,7 +101,7 @@ func refSearchShard(s *shard, q Query, st *searchStats, filters map[string]strin
 	scores := refEval(q, s, st)
 	hits := make([]shardHit, 0, len(scores))
 	for ord, score := range scores {
-		doc := s.docs[ord]
+		doc := s.docAt(ord)
 		if doc.ID == "" {
 			continue
 		}
@@ -143,8 +143,8 @@ func refEval(q Query, s *shard, st *searchStats) map[int]float64 {
 
 func refEvalAll(s *shard) map[int]float64 {
 	out := make(map[int]float64, s.live)
-	for ord, doc := range s.docs {
-		if doc.ID != "" {
+	for ord, n := 0, s.numDocs(); ord < n; ord++ {
+		if s.liveAt(ord) {
 			out[ord] = 1
 		}
 	}
@@ -158,7 +158,7 @@ func refScoreTerm(s *shard, field, term string, st *searchStats) map[int]float64
 	if fp == nil {
 		return nil
 	}
-	list := fp.terms[term]
+	list := fp.lookup(term)
 	if list == nil || list.n == 0 {
 		return nil
 	}
@@ -178,7 +178,7 @@ func refScoreTerm(s *shard, field, term string, st *searchStats) map[int]float64
 	out := make(map[int]float64, list.n)
 	it := list.iter()
 	for it.next() {
-		if s.docs[it.doc].ID == "" {
+		if !s.liveAt(it.doc) {
 			continue
 		}
 		tf := float64(it.tf)
@@ -292,15 +292,15 @@ func refEvalPhrase(q PhraseQuery, s *shard, st *searchStats) map[int]float64 {
 	}
 	base := toks[0].Position
 	cand := make(map[int][]int)
-	for doc, positions := range decodePostings(fp.terms[toks[0].Term]) {
-		if s.docs[doc].ID != "" {
+	for doc, positions := range decodePostings(fp.lookup(toks[0].Term)) {
+		if s.liveAt(doc) {
 			cand[doc] = positions
 		}
 	}
 	for _, tok := range toks[1:] {
 		gap := tok.Position - base
 		next := make(map[int][]int)
-		for doc, positions := range decodePostings(fp.terms[tok.Term]) {
+		for doc, positions := range decodePostings(fp.lookup(tok.Term)) {
 			starts, ok := cand[doc]
 			if !ok {
 				continue
@@ -339,13 +339,17 @@ func refEvalPrefix(q PrefixQuery, s *shard) map[int]float64 {
 	}
 	prefix := strings.ToLower(q.Prefix)
 	out := make(map[int]float64)
-	for term, list := range fp.terms {
+	for _, term := range fp.sortedTermsAll() {
 		if !strings.HasPrefix(term, prefix) {
+			continue
+		}
+		list := fp.lookup(term)
+		if list == nil {
 			continue
 		}
 		it := list.iter()
 		for it.next() {
-			if s.docs[it.doc].ID != "" {
+			if s.liveAt(it.doc) {
 				out[it.doc] += 1
 			}
 		}

@@ -191,6 +191,15 @@ type Index struct {
 	// index's key namespace. See AttachCache in cache.go.
 	cache atomic.Pointer[cacheRef]
 
+	// Mapped-vs-heap residency counters (mapped.go): bytes still
+	// served from attached v3 payloads, and what copy-on-write has
+	// materialized onto the heap so far.
+	mmMappedBytes atomic.Int64
+	mmMatTerms    atomic.Int64
+	mmMatBytes    atomic.Int64
+	mmMatDocTabs  atomic.Int64
+	mmLazyErrs    atomic.Int64
+
 	// cfg guards global, shard-independent state: the scoring
 	// configuration and the registry of known fields with their
 	// analysis options.

@@ -37,14 +37,17 @@ import (
 
 // indexSnapshotMagic/indexSnapshotVersion guard the framed format.
 // Version 2 added the per-term max term frequency (the block-max
-// early-exit bound's input) ahead of each posting run. Version 1
-// snapshots still restore: decode rebuilds posting lists through
-// appendPosting, which recomputes every block's metadata — including
-// maxima — so the field is an integrity check on v2 streams and
-// simply absent from v1 ones.
+// early-exit bound's input) ahead of each posting run. Version 3 is
+// the mmap-friendly layout (mapped.go): offset directories plus the
+// raw block-compressed byte streams, so a shard can be attached as a
+// read-only view over the file instead of decoded. Versions 1 and 2
+// still restore (always onto the heap): decode rebuilds posting lists
+// through appendPosting, which recomputes every block's metadata —
+// including maxima — so v2's declared max tf is an integrity check
+// and simply absent from v1.
 const (
 	indexSnapshotMagic   = "SYMIDX1\n"
-	indexSnapshotVersion = 2
+	indexSnapshotVersion = 3
 )
 
 // indexHeader is the header frame: everything shard-independent.
@@ -73,24 +76,28 @@ type indexHeader struct {
 // Map keys are sorted wherever maps are walked, so identical state
 // encodes to identical bytes.
 
-// SnapshotShard serializes shard i of the current ring to w. The
-// shard's read lock is held while encoding; other shards stay fully
-// available.
+// SnapshotShard serializes shard i of the current ring to w (format
+// v3). The shard's read lock is held while encoding; other shards
+// stay fully available.
 func (ix *Index) SnapshotShard(i int, w io.Writer) error {
 	shards := ix.ring.Load().shards
 	if i < 0 || i >= len(shards) {
 		return fmt.Errorf("index: snapshot shard %d of %d", i, len(shards))
 	}
-	return shards[i].snapshot(w)
+	return shards[i].snapshotV3(w)
 }
 
-// snapshot serializes this shard under its read lock.
-func (s *shard) snapshot(w io.Writer) error {
+// snapshotV2 serializes this shard in the legacy v2 layout, kept so
+// compatibility fixtures (and SnapshotV2 streams) can still be
+// produced and cross-checked against v3.
+func (s *shard) snapshotV2(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	bw := &binWriter{}
-	bw.uvarint(len(s.docs))
-	for _, doc := range s.docs {
+	nDocs := s.numDocs()
+	bw.uvarint(nDocs)
+	for ord := 0; ord < nDocs; ord++ {
+		doc := s.docAt(ord)
 		bw.str(doc.ID)
 		if doc.ID == "" {
 			continue
@@ -115,11 +122,11 @@ func (s *shard) snapshot(w io.Writer) error {
 		// lists it, so the dense length table serializes as the same
 		// sorted (ord, len) pairs the map representation produced.
 		ords := make([]int, 0, fp.docCount)
-		for ord := range s.docs {
-			if s.docs[ord].ID == "" {
+		for ord := 0; ord < nDocs; ord++ {
+			if !s.liveAt(ord) {
 				continue
 			}
-			if _, ok := s.docs[ord].Fields[name]; ok {
+			if _, ok := s.docAt(ord).Fields[name]; ok {
 				ords = append(ords, ord)
 			}
 		}
@@ -128,10 +135,19 @@ func (s *shard) snapshot(w io.Writer) error {
 			bw.uvarint(ord)
 			bw.uvarint(fp.lenAt(ord))
 		}
-		terms := fp.sortedTerms()
-		bw.uvarint(len(terms))
+		terms := fp.sortedTermsAll()
+		lists := make([]*postingList, 0, len(terms))
+		kept := make([]string, 0, len(terms))
 		for _, term := range terms {
-			list := fp.terms[term]
+			if l := fp.lookup(term); l != nil {
+				lists = append(lists, l)
+				kept = append(kept, term)
+			}
+		}
+		terms = kept
+		bw.uvarint(len(terms))
+		for ti, term := range terms {
+			list := lists[ti]
 			bw.str(term)
 			bw.uvarint(list.maxTF)
 			bw.uvarint(list.n)
@@ -151,6 +167,125 @@ func (s *shard) snapshot(w io.Writer) error {
 	return err
 }
 
+// snapshotV3 serializes this shard in the mmap-friendly v3 layout
+// (see mapped.go for the full map). A shard that is still an
+// untouched mapped view writes its payload bytes verbatim — the
+// incremental-checkpoint fast path that makes re-checkpointing a
+// mapped, read-mostly corpus byte-copy cheap. Anything dirty has its
+// doc table materialized (prepareWriteLocked's invariant), so the
+// generic walk below reads heap docs and per-term lookups that may
+// still be views — both encode identically.
+func (s *shard) snapshotV3(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ms != nil && !s.dirty {
+		_, err := w.Write(s.ms.payload)
+		return err
+	}
+	bw := &binWriter{}
+	nDocs := s.numDocs()
+	bw.reserve(v3HeaderLen)
+	// Doc entries first, recording each live doc's offset; the
+	// directory and ID permutation follow.
+	docOff := make([]uint64, nDocs)
+	type idOrd struct {
+		id  string
+		ord int
+	}
+	byIDSorted := make([]idOrd, 0, s.live)
+	for ord := 0; ord < nDocs; ord++ {
+		doc := s.docAt(ord)
+		if doc.ID == "" {
+			docOff[ord] = v3Tombstone
+			continue
+		}
+		docOff[ord] = uint64(len(bw.buf))
+		bw.str(doc.ID)
+		bw.strmap(doc.Fields)
+		bw.strmap(doc.Stored)
+		byIDSorted = append(byIDSorted, idOrd{doc.ID, ord})
+	}
+	docDirOff := len(bw.buf)
+	for _, off := range docOff {
+		bw.u64(off)
+	}
+	sort.Slice(byIDSorted, func(i, j int) bool { return byIDSorted[i].id < byIDSorted[j].id })
+	idSortedOff := len(bw.buf)
+	for _, e := range byIDSorted {
+		bw.u32(uint32(e.ord))
+	}
+	names := make([]string, 0, len(s.fields))
+	for name := range s.fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fieldOffs := make([]uint64, len(names))
+	for fi, name := range names {
+		fp := s.fields[name]
+		fieldOffs[fi] = uint64(len(bw.buf))
+		bw.str(name)
+		bw.uvarint(fp.totalLen)
+		bw.uvarint(fp.docCount)
+		bw.uvarint(fp.minLen)
+		ords := make([]int, 0, fp.docCount)
+		for ord := 0; ord < nDocs; ord++ {
+			if !s.liveAt(ord) {
+				continue
+			}
+			if _, ok := s.docAt(ord).Fields[name]; ok {
+				ords = append(ords, ord)
+			}
+		}
+		bw.uvarint(len(ords))
+		for _, ord := range ords {
+			bw.uvarint(ord)
+			bw.uvarint(fp.lenAt(ord))
+		}
+		terms := fp.sortedTermsAll()
+		lists := make([]*postingList, 0, len(terms))
+		kept := make([]string, 0, len(terms))
+		for _, term := range terms {
+			if l := fp.lookup(term); l != nil {
+				lists = append(lists, l)
+				kept = append(kept, term)
+			}
+		}
+		terms = kept
+		bw.uvarint(len(terms))
+		termDirOff := bw.reserve(len(terms) * 8)
+		for ti, term := range terms {
+			bw.patchU64(termDirOff+ti*8, uint64(len(bw.buf)))
+			list := lists[ti]
+			bw.str(term)
+			bw.uvarint(list.n)
+			bw.uvarint(list.lastDoc)
+			bw.uvarint(list.maxTF)
+			bw.uvarint(len(list.blocks))
+			for _, b := range list.blocks {
+				bw.uvarint(b.firstDoc)
+				bw.uvarint(b.docOff)
+				bw.uvarint(b.posOff)
+				bw.uvarint(b.maxTF)
+			}
+			bw.uvarint(len(list.docTF))
+			bw.buf = append(bw.buf, list.docTF...)
+			bw.uvarint(len(list.posBuf))
+			bw.buf = append(bw.buf, list.posBuf...)
+		}
+	}
+	fieldDirOff := len(bw.buf)
+	for _, off := range fieldOffs {
+		bw.u64(off)
+	}
+	hdr := []uint64{uint64(nDocs), uint64(s.live), uint64(s.dead), uint64(len(names)),
+		uint64(docDirOff), uint64(idSortedOff), uint64(fieldDirOff), 0}
+	for i, x := range hdr {
+		bw.patchU64(i*8, x)
+	}
+	_, err := w.Write(bw.buf)
+	return err
+}
+
 // RestoreShard replaces shard i's contents from a SnapshotShard
 // stream, rebuilding the ID table and revalidating ordinal
 // references. Field options come from the index registry, so boosts
@@ -162,7 +297,11 @@ func (ix *Index) RestoreShard(i int, r io.Reader) error {
 	if i < 0 || i >= len(shards) {
 		return fmt.Errorf("index: restore shard %d of %d", i, len(shards))
 	}
-	fresh, err := ix.decodeShard(r, ix.fieldOpts, indexSnapshotVersion)
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("index: reading shard payload: %w", err)
+	}
+	fresh, err := ix.decodeShardVersion(payload, ix.fieldOpts, indexSnapshotVersion, false)
 	if err != nil {
 		return err
 	}
@@ -177,6 +316,26 @@ func (ix *Index) RestoreShard(i int, r io.Reader) error {
 	s.mu.Unlock()
 	ix.bumpVer()
 	return nil
+}
+
+// decodeShardVersion decodes one shard payload of any supported
+// version. v1/v2 go through the legacy walking decoder; v3 attaches
+// the offset-directory layout as views and then — unless mapped is
+// true — materializes everything onto the heap so the payload's
+// backing buffer is not retained. With mapped=true the payload must
+// outlive the shard (an mmap'd file, or a buffer the caller pins).
+func (ix *Index) decodeShardVersion(payload []byte, optsFor func(string) (FieldOptions, bool), version int, mapped bool) (*shard, error) {
+	if version < 3 {
+		return ix.decodeShard(bytes.NewReader(payload), optsFor, version)
+	}
+	s, err := ix.attachShardV3(payload, optsFor)
+	if err != nil {
+		return nil, err
+	}
+	if !mapped {
+		s.materializeAllLocked(false)
+	}
+	return s, nil
 }
 
 // decodeShard builds a fresh shard from a SnapshotShard payload,
@@ -350,14 +509,26 @@ func (ix *Index) decodeShard(r io.Reader, optsFor func(string) (FieldOptions, bo
 	return s, nil
 }
 
-// Snapshot serializes the whole index: a header frame with the
-// scoring configuration and field boosts, then one frame per shard.
-// Shard frames are encoded concurrently (each under its own read
-// lock) and written in shard order, so the output is deterministic.
+// Snapshot serializes the whole index in the current format (v3): a
+// header frame with the scoring configuration and field boosts, then
+// one frame per shard. Shard frames are encoded concurrently (each
+// under its own read lock) and written in shard order, so the output
+// is deterministic. Shards that are still clean mapped views write
+// their payload bytes verbatim.
 func (ix *Index) Snapshot(w io.Writer) error {
+	return ix.snapshotVersion(w, indexSnapshotVersion)
+}
+
+// SnapshotV2 serializes the whole index in the legacy v2 format, for
+// compatibility fixtures and downgrade tooling.
+func (ix *Index) SnapshotV2(w io.Writer) error {
+	return ix.snapshotVersion(w, 2)
+}
+
+func (ix *Index) snapshotVersion(w io.Writer, version int) error {
 	r := ix.ring.Load()
 	hdr := indexHeader{
-		Version: indexSnapshotVersion,
+		Version: version,
 		Shards:  len(r.shards),
 		Boosts:  make(map[string]float64),
 	}
@@ -382,7 +553,11 @@ func (ix *Index) Snapshot(w io.Writer) error {
 	bufs := make([]bytes.Buffer, len(r.shards))
 	errs := make([]error, len(r.shards))
 	eachShard(r, func(i int, s *shard) {
-		errs[i] = s.snapshot(&bufs[i])
+		if version >= 3 {
+			errs[i] = s.snapshotV3(&bufs[i])
+		} else {
+			errs[i] = s.snapshotV2(&bufs[i])
+		}
 	})
 	for i := range r.shards {
 		if errs[i] != nil {
@@ -461,7 +636,7 @@ func (ix *Index) Restore(r io.Reader) error {
 	shards := make([]*shard, hdr.Shards)
 	errs := make([]error, hdr.Shards)
 	fanOut(hdr.Shards, func(i int) {
-		shards[i], errs[i] = ix.decodeShard(bytes.NewReader(frames[i]), optsFor, hdr.Version)
+		shards[i], errs[i] = ix.decodeShardVersion(frames[i], optsFor, hdr.Version, false)
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -484,5 +659,86 @@ func (ix *Index) Restore(r io.Reader) error {
 	if hdr.Shards != ix.target {
 		return ix.ReshardContext(context.Background(), ix.target)
 	}
+	return nil
+}
+
+// RestoreMapped attaches the index from an in-memory v3 Snapshot
+// stream — typically a subslice of an mmap'd snapshot file — without
+// decoding postings or documents onto the heap: shards become views
+// over data and materialize copy-on-write as writes arrive
+// (mapped.go). The caller guarantees data stays valid (and unmodified)
+// for the life of the index; internal/mmapio's contract is that
+// mappings are never unmapped while a serving process holds views.
+//
+// Unlike Restore, RestoreMapped adopts the snapshot's shard layout
+// instead of resharding to the configured target: scores are
+// bit-identical at any shard count, and resharding would materialize
+// every byte, forfeiting the zero-copy boot. Frame checksums are
+// verified during the walk, so a truncated or corrupt file fails here
+// rather than at query time.
+func (ix *Index) RestoreMapped(data []byte) error {
+	off := len(indexSnapshotMagic)
+	if len(data) < off || string(data[:off]) != indexSnapshotMagic {
+		return fmt.Errorf("index: restore mapped: bad magic")
+	}
+	hdrBytes, off, err := frameio.NextFrameInBuf(data, off, true)
+	if err != nil {
+		return fmt.Errorf("index: restore mapped header: %w", err)
+	}
+	var hdr indexHeader
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return fmt.Errorf("index: restore mapped header: %w", err)
+	}
+	if hdr.Version != 3 {
+		return fmt.Errorf("index: restore mapped: snapshot version %d is not mappable (v3 required)", hdr.Version)
+	}
+	const maxSnapshotShards = 1 << 16
+	if hdr.Shards < 1 || hdr.Shards > maxSnapshotShards {
+		return fmt.Errorf("index: restore mapped: snapshot has %d shards", hdr.Shards)
+	}
+	frames := make([][]byte, hdr.Shards)
+	for i := range frames {
+		if frames[i], off, err = frameio.NextFrameInBuf(data, off, true); err != nil {
+			return fmt.Errorf("index: restore mapped shard %d: %w", i, err)
+		}
+	}
+	if off != len(data) {
+		return fmt.Errorf("index: restore mapped: %d trailing bytes after %d shard frames", len(data)-off, hdr.Shards)
+	}
+
+	// Same option-merge contract as Restore: receiver's analyzers
+	// survive, snapshot boosts win.
+	merged := make(map[string]FieldOptions, len(hdr.Boosts))
+	ix.cfg.RLock()
+	for f, boost := range hdr.Boosts {
+		opts := ix.cfg.fields[f]
+		opts.Boost = boost
+		merged[f] = opts
+	}
+	ix.cfg.RUnlock()
+	optsFor := func(field string) (FieldOptions, bool) {
+		opts, ok := merged[field]
+		return opts, ok
+	}
+
+	shards := make([]*shard, hdr.Shards)
+	errs := make([]error, hdr.Shards)
+	fanOut(hdr.Shards, func(i int) {
+		shards[i], errs[i] = ix.decodeShardVersion(frames[i], optsFor, hdr.Version, true)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("index: restore mapped shard %d: %w", i, err)
+		}
+	}
+	ix.cfg.Lock()
+	ix.cfg.ranker = Ranker(hdr.Ranker)
+	ix.cfg.k1, ix.cfg.b = hdr.K1, hdr.B
+	for f, opts := range merged {
+		ix.cfg.fields[f] = opts
+	}
+	ix.cfg.Unlock()
+	old := ix.ring.Load()
+	ix.ring.Store(&ring{gen: old.gen + 1, shards: shards})
 	return nil
 }

@@ -213,11 +213,12 @@ func matchFilters(doc Document, filters map[string]string) bool {
 
 func (AllQuery) eval(s *shard, st *searchStats, out *accum) {
 	n := 0
-	for ord := range s.docs {
+	nDocs := s.numDocs()
+	for ord := 0; ord < nDocs; ord++ {
 		if n++; n&(cancelStride-1) == 0 && st.canceled() {
 			return
 		}
-		if s.docs[ord].ID != "" {
+		if s.liveAt(ord) {
 			out.scores[ord] = 1
 			out.seen[ord] = true
 		}
@@ -258,7 +259,7 @@ func (q MatchQuery) eval(s *shard, st *searchStats, out *accum) {
 		dst := out
 		if i > 0 {
 			if tmp == nil {
-				tmp = getAccum(len(s.docs))
+				tmp = getAccum(s.numDocs())
 			} else {
 				tmp.clear()
 			}
@@ -308,7 +309,7 @@ func (q PhraseQuery) eval(s *shard, st *searchStats, out *accum) {
 	// block's posOff anchor, never length-walking non-candidate
 	// blocks' positions.
 	base := toks[0].Position
-	first := fp.terms[toks[0].Term]
+	first := fp.lookup(toks[0].Term)
 	if first == nil {
 		return
 	}
@@ -328,7 +329,7 @@ func (q PhraseQuery) eval(s *shard, st *searchStats, out *accum) {
 		if nc++; nc&(cancelStride-1) == 0 && st.canceled() {
 			return
 		}
-		if s.docs[cur.doc].ID != "" {
+		if s.liveAt(cur.doc) {
 			cand = append(cand, phraseCand{ord: cur.doc, starts: cur.readPositions(nil)})
 		}
 		cur.next()
@@ -336,7 +337,7 @@ func (q PhraseQuery) eval(s *shard, st *searchStats, out *accum) {
 	var scratch []int
 	for _, tok := range toks[1:] {
 		gap := tok.Position - base
-		list := fp.terms[tok.Term]
+		list := fp.lookup(tok.Term)
 		if list == nil {
 			return
 		}
@@ -397,16 +398,20 @@ func (q PrefixQuery) eval(s *shard, st *searchStats, out *accum) {
 	prefix := strings.ToLower(q.Prefix)
 	// The sorted term dictionary turns the full term-map scan of the
 	// old evaluator into a binary-search range scan.
-	dict := fp.sortedTerms()
+	dict := fp.sortedTermsAll()
 	i := sort.SearchStrings(dict, prefix)
 	n := 0
 	for ; i < len(dict) && strings.HasPrefix(dict[i], prefix); i++ {
-		it := fp.terms[dict[i]].iter()
+		list := fp.lookup(dict[i])
+		if list == nil {
+			continue
+		}
+		it := list.iter()
 		for it.next() {
 			if n++; n&(cancelStride-1) == 0 && st.canceled() {
 				return
 			}
-			if s.docs[it.doc].ID != "" {
+			if s.liveAt(it.doc) {
 				out.add(it.doc, 1)
 			}
 		}
@@ -414,7 +419,7 @@ func (q PrefixQuery) eval(s *shard, st *searchStats, out *accum) {
 }
 
 func (q BoolQuery) eval(s *shard, st *searchStats, out *accum) {
-	n := len(s.docs)
+	n := s.numDocs()
 	if len(q.Must) > 0 {
 		q.Must[0].eval(s, st, out)
 		if len(q.Must) > 1 {
@@ -430,8 +435,8 @@ func (q BoolQuery) eval(s *shard, st *searchStats, out *accum) {
 		}
 	} else {
 		// No Must: start from every live doc at score 0 (browse base).
-		for ord := range s.docs {
-			if s.docs[ord].ID != "" {
+		for ord := 0; ord < n; ord++ {
+			if s.liveAt(ord) {
 				out.seen[ord] = true
 			}
 		}

@@ -178,21 +178,30 @@ func (ix *Index) ReshardContext(ctx context.Context, n int) error {
 func migrateShard(src *shard, staging *ring) {
 	src.mu.RLock()
 	defer src.mu.RUnlock()
-	toks := make([]map[string][]textproc.Token, len(src.docs))
+	nDocs := src.numDocs()
+	toks := make([]map[string][]textproc.Token, nDocs)
 	var positions []int
 	for field, fp := range src.fields {
-		for term, list := range fp.terms {
+		// Walk the full dictionary — heap and still-mapped terms alike.
+		// lookup() only touches the lazy view cache, so a mapped shard
+		// migrates without materializing anything under the read lock;
+		// the staging shards it feeds are plain heap shards.
+		for _, term := range fp.sortedTermsAll() {
+			list := fp.lookup(term)
+			if list == nil {
+				continue
+			}
 			it := list.iter()
 			pi := list.positions()
 			for it.next() {
-				if src.docs[it.doc].ID == "" {
+				if !src.liveAt(it.doc) {
 					pi.skip(it.tf)
 					continue
 				}
 				positions = pi.read(it.tf, positions)
 				per := toks[it.doc]
 				if per == nil {
-					per = make(map[string][]textproc.Token, len(src.docs[it.doc].Fields))
+					per = make(map[string][]textproc.Token)
 					toks[it.doc] = per
 				}
 				for _, p := range positions {
@@ -201,8 +210,8 @@ func migrateShard(src *shard, staging *ring) {
 			}
 		}
 	}
-	for ord := range src.docs {
-		doc := src.docs[ord]
+	for ord := 0; ord < nDocs; ord++ {
+		doc := src.docAt(ord)
 		if doc.ID == "" {
 			continue
 		}

@@ -28,6 +28,10 @@ type fieldPostings struct {
 	// while cutting the bound's slack enormously.
 	minLen int
 	opts   FieldOptions
+	// mapped, when non-nil, backs terms absent from the heap map with
+	// the shard's v3 payload (see mapped.go). Read lookups go through
+	// lookup(), writes through lookupForWrite().
+	mapped *mappedField
 	// dict caches the sorted term dictionary for prefix scans and
 	// spell candidates. Writers holding the shard write lock
 	// invalidate it (Store nil); readers holding the read lock rebuild
@@ -90,6 +94,13 @@ type shard struct {
 	// compacted away yet; compact resets it. The tombstone ratio
 	// dead/(dead+live) drives per-shard auto-compaction.
 	dead int
+
+	// ms, when non-nil, is the mapped v3 payload this shard was
+	// attached from (mapped.go); the doc table and posting lists
+	// materialize onto the heap copy-on-write. dirty records any
+	// mutation since attach: a clean mapped shard snapshots verbatim.
+	ms    *mappedShard
+	dirty bool
 }
 
 func newShard(ix *Index) *shard {
@@ -169,6 +180,7 @@ func (s *shard) addStaging(doc Document, analyzed map[string][]textproc.Token) {
 // grow monotonically, so postings always append in increasing doc
 // order — the invariant the delta-encoded lists rely on.
 func (s *shard) addLocked(doc Document, analyzed map[string][]textproc.Token) {
+	s.prepareWriteLocked()
 	if ord, ok := s.byID[doc.ID]; ok {
 		s.deleteOrdLocked(ord)
 		defer s.maybeCompactLocked()
@@ -187,7 +199,9 @@ func (s *shard) addLocked(doc Document, analyzed map[string][]textproc.Token) {
 			perTerm[t.Term] = append(perTerm[t.Term], t.Position)
 		}
 		for term, positions := range perTerm {
-			list := fp.terms[term]
+			// lookupForWrite copies a still-mapped term onto the heap
+			// first, so the append never touches the mapping.
+			list := fp.lookupForWrite(term)
 			if list == nil {
 				list = &postingList{}
 				fp.terms[term] = list
@@ -221,6 +235,15 @@ func (s *shard) deleteStaging(id string) {
 }
 
 func (s *shard) deleteByIDLocked(id string) bool {
+	// On a still-mapped shard, resolve the ID against the mapped table
+	// first: a miss must not materialize anything.
+	if s.ms != nil && !s.ms.docsMat {
+		if _, ok := s.findOrd(id); !ok {
+			return false
+		}
+		s.prepareWriteLocked()
+	}
+	s.dirty = true
 	ord, ok := s.byID[id]
 	if !ok {
 		return false
@@ -290,6 +313,17 @@ func (s *shard) compact() {
 // ordinals, re-encoding the surviving postings (ordinals are stable,
 // so deltas stay valid and positions carry over unchanged).
 func (s *shard) compactLocked() {
+	if s.dead == 0 {
+		// Nothing to reclaim — and the early return keeps Compact on a
+		// clean mapped shard from materializing it.
+		return
+	}
+	// Compaction rewrites every list containing tombstones; the walk
+	// below iterates the heap maps, so a mapped shard converts first.
+	// (Deletes materialized the doc table already; this pulls the
+	// posting lists across too.)
+	s.materializeAllLocked(true)
+	s.dirty = true
 	var positions []int
 	for _, fp := range s.fields {
 		removedTerm := false
@@ -338,11 +372,11 @@ func (s *shard) lenLive() int {
 func (s *shard) get(id string) (Document, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	ord, ok := s.byID[id]
+	ord, ok := s.findOrd(id)
 	if !ok {
 		return Document{}, false
 	}
-	return s.docs[ord], true
+	return s.docAt(ord), true
 }
 
 // docFreq counts live documents containing the analyzed term.
@@ -357,7 +391,7 @@ func (s *shard) liveDFLocked(field, term string) int {
 	if fp == nil {
 		return 0
 	}
-	list := fp.terms[term]
+	list := fp.lookup(term)
 	if list == nil {
 		return 0
 	}
@@ -370,7 +404,7 @@ func (s *shard) liveDFLocked(field, term string) int {
 	n := 0
 	it := list.iter()
 	for it.next() {
-		if s.docs[it.doc].ID != "" {
+		if s.liveAt(it.doc) {
 			n++
 		}
 	}
@@ -407,7 +441,7 @@ func (s *shard) search(ctx context.Context, q Query, st *searchStats, filters ma
 			return hits
 		}
 	}
-	acc := getAccum(len(s.docs))
+	acc := getAccum(s.numDocs())
 	defer putAccum(acc)
 	q.eval(s, st, acc)
 	if st.canceled() {
@@ -421,7 +455,7 @@ func (s *shard) search(ctx context.Context, q Query, st *searchStats, filters ma
 		if !seen {
 			continue
 		}
-		doc := s.docs[ord]
+		doc := s.docAt(ord)
 		if doc.ID == "" || !matchFilters(doc, filters) {
 			continue
 		}
@@ -448,7 +482,7 @@ func (s *shard) topKLocked(acc *accum, filters map[string]string, k int) []shard
 		if !seen {
 			continue
 		}
-		if s.docs[ord].ID == "" {
+		if !s.liveAt(ord) {
 			continue
 		}
 		h.offer(s, ord, acc.scores[ord], filters)
@@ -475,7 +509,7 @@ func (t *topkHeap) threshold() float64 { return t.h[0].res.Score }
 // cannot-place rejection runs before the filter check, exactly as the
 // original loop ordered them.
 func (t *topkHeap) offer(s *shard, ord int, sc float64, filters map[string]string) {
-	doc := s.docs[ord]
+	doc := s.docAt(ord)
 	// ranksBelow: (sc, id) orders after the heap root, i.e. is worse.
 	if t.full() && (sc < t.h[0].res.Score || (sc == t.h[0].res.Score && doc.ID > t.h[0].res.ID)) {
 		return
@@ -547,7 +581,7 @@ func (s *shard) count(ctx context.Context, q Query, st *searchStats, filters map
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	acc := getAccum(len(s.docs))
+	acc := getAccum(s.numDocs())
 	defer putAccum(acc)
 	q.eval(s, st, acc)
 	n := 0
@@ -555,7 +589,7 @@ func (s *shard) count(ctx context.Context, q Query, st *searchStats, filters map
 		if !seen {
 			continue
 		}
-		if doc := s.docs[ord]; doc.ID != "" && matchFilters(doc, filters) {
+		if doc := s.docAt(ord); doc.ID != "" && matchFilters(doc, filters) {
 			n++
 		}
 	}
@@ -570,7 +604,7 @@ func (s *shard) facets(ctx context.Context, q Query, st *searchStats, field stri
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	acc := getAccum(len(s.docs))
+	acc := getAccum(s.numDocs())
 	defer putAccum(acc)
 	q.eval(s, st, acc)
 	counts := make(map[string]int)
@@ -578,7 +612,7 @@ func (s *shard) facets(ctx context.Context, q Query, st *searchStats, field stri
 		if !seen {
 			continue
 		}
-		doc := s.docs[ord]
+		doc := s.docAt(ord)
 		if doc.ID == "" || !matchFilters(doc, filters) {
 			continue
 		}
@@ -594,10 +628,10 @@ func (s *shard) facets(ctx context.Context, q Query, st *searchStats, field stri
 func (s *shard) snippetText(ord int, id, field string) string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if ord >= len(s.docs) || s.docs[ord].ID != id {
+	if ord >= s.numDocs() || s.idAt(ord) != id {
 		return ""
 	}
-	return s.docs[ord].Fields[field]
+	return s.docAt(ord).Fields[field]
 }
 
 // termScorer holds the per-(field, term) constants of the scoring
@@ -657,7 +691,7 @@ func (sc *termScorer) score(tf float64, docLen int) float64 {
 // decoding only the (doc, tf) stream — positions stay untouched. max
 // selects disjunctive-max accumulation (across fields) over sum.
 func (s *shard) scoreTermInto(fp *fieldPostings, field, term string, st *searchStats, out *accum, max bool) {
-	list := fp.terms[term]
+	list := fp.lookup(term)
 	if list == nil || list.n == 0 {
 		return
 	}
@@ -673,7 +707,7 @@ func (s *shard) scoreTermInto(fp *fieldPostings, field, term string, st *searchS
 				return
 			}
 			doc := int(ord)
-			if s.docs[doc].ID == "" {
+			if !s.liveAt(doc) {
 				continue
 			}
 			v := sc.score(float64(dec.tfs[i]), fp.lenAt(doc))
@@ -691,7 +725,7 @@ func (s *shard) scoreTermInto(fp *fieldPostings, field, term string, st *searchS
 		if n++; n&(cancelStride-1) == 0 && st.canceled() {
 			return
 		}
-		if s.docs[it.doc].ID == "" {
+		if !s.liveAt(it.doc) {
 			continue
 		}
 		v := sc.score(float64(it.tf), fp.lenAt(it.doc))

@@ -100,13 +100,13 @@ func (s *shard) suggestCandidates(field, target string, targetGrams map[string]b
 	if fp == nil {
 		return nil, false
 	}
-	if list := fp.terms[target]; list != nil && list.n > 0 {
+	if list := fp.lookup(target); list != nil && list.n > 0 {
 		return nil, true
 	}
 	out := make(map[string]candidate)
 	// Walk the cached sorted dictionary (shared with prefix scans):
 	// slice iteration is cheaper than a map walk and deterministic.
-	for _, t := range fp.sortedTerms() {
+	for _, t := range fp.sortedTermsAll() {
 		// Cheap bigram prefilter before the edit-distance check.
 		if !gramsOverlap(targetGrams, t) {
 			continue
@@ -116,9 +116,13 @@ func (s *shard) suggestCandidates(field, target string, targetGrams map[string]b
 			continue
 		}
 		df := 0
-		it := fp.terms[t].iter()
+		list := fp.lookup(t)
+		if list == nil {
+			continue
+		}
+		it := list.iter()
 		for it.next() {
-			if s.docs[it.doc].ID != "" {
+			if s.liveAt(it.doc) {
 				df++
 			}
 		}

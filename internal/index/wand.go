@@ -652,7 +652,7 @@ func (s *shard) buildGroup(st *searchStats, fields []string, term string, cnt *s
 }
 
 func appendMember(members []*memberCursor, s *shard, fp *fieldPostings, field, term string, st *searchStats, cnt *scanCounters) []*memberCursor {
-	list := fp.terms[term]
+	list := fp.lookup(term)
 	if list == nil || list.n == 0 {
 		return members
 	}
@@ -798,7 +798,7 @@ func (s *shard) wandSingle(plan *topkPlan, st *searchStats, h *topkHeap, filters
 		// The entry/group wrappers are not advanced in this loop, so
 		// score the member directly; a single member's contribution is
 		// float-equal to the generic drive sum (0 + max(0, v) = v).
-		if d := m.doc; s.docs[d].ID != "" && !excludedAt(plan.not, d) {
+		if d := m.doc; s.liveAt(d) && !excludedAt(plan.not, d) {
 			h.offer(s, d, addShould(m.score(), plan.opt, d), filters)
 		}
 		m.next()
@@ -921,7 +921,7 @@ func (s *shard) wandDisjunctive(plan *topkPlan, st *searchStats, h *topkHeap, fi
 				continue
 			}
 		}
-		if s.docs[pivotDoc].ID != "" && !excludedAt(plan.not, pivotDoc) {
+		if s.liveAt(pivotDoc) && !excludedAt(plan.not, pivotDoc) {
 			h.offer(s, pivotDoc, scoreCandidate(plan.drive, plan.opt, pivotDoc), filters)
 		}
 		for _, e := range byDoc[:last+1] {
@@ -972,7 +972,7 @@ func (s *shard) wandConjunctive(plan *topkPlan, st *searchStats, h *topkHeap, fi
 				continue
 			}
 		}
-		if s.docs[d].ID != "" && !excludedAt(plan.not, d) {
+		if s.liveAt(d) && !excludedAt(plan.not, d) {
 			h.offer(s, d, scoreCandidate(plan.req, plan.opt, d), filters)
 		}
 		d++

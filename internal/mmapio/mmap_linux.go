@@ -1,0 +1,38 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// openFile maps the open file read-only. If the kernel refuses the
+// mapping (exotic filesystems, locked-down containers) it falls back
+// to the heap path so callers still boot, just without the zero-copy
+// win.
+func openFile(f *os.File, size int) (*Mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readFile(f, size)
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func unmap(data []byte) error {
+	if err := syscall.Munmap(data); err != nil {
+		return fmt.Errorf("mmapio: munmap: %w", err)
+	}
+	return nil
+}
+
+// readFile is the heap fallback: one exact-size read.
+func readFile(f *os.File, size int) (*Mapping, error) {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("mmapio: read %s: %w", f.Name(), err)
+	}
+	return &Mapping{data: buf, mapped: false}, nil
+}

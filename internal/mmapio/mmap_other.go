@@ -1,0 +1,21 @@
+//go:build !linux
+
+package mmapio
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// openFile on non-Linux platforms reads the file into a heap buffer.
+// The view semantics are identical; only the residency differs.
+func openFile(f *os.File, size int) (*Mapping, error) {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("mmapio: read %s: %w", f.Name(), err)
+	}
+	return &Mapping{data: buf, mapped: false}, nil
+}
+
+func unmap(data []byte) error { return nil }

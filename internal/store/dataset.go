@@ -20,8 +20,13 @@ type Dataset struct {
 	mu      sync.RWMutex
 	records map[string]Record
 	order   []string // insertion order of IDs, for stable listing
-	nextID  int
-	ix      *index.Index
+	// mrecs, when non-nil, holds the dataset's records as views into a
+	// mapped snapshot's record section; records/order are empty until
+	// the first mutation materializes them (see mapped.go). Guarded by
+	// mu.
+	mrecs  *mappedRecords
+	nextID int
+	ix     *index.Index
 	// ver counts mutations (puts, deletes, reshards) for dirty
 	// tracking: incremental checkpoints re-encode a dataset's frame
 	// only when its version moved since the cached encode. Guarded by
@@ -103,11 +108,10 @@ func (d *Dataset) PutContext(ctx context.Context, rec Record) (string, error) {
 	// is the usual contract for storage metering.
 	d.mu.RLock()
 	quota, usage := d.quota, d.usage
-	cur := len(d.records)
+	cur := d.lenLocked()
 	isNew := true
 	if d.schema.Key != "" {
-		_, exists := d.records[rec[d.schema.Key]]
-		isNew = !exists
+		isNew = !d.existsLocked(rec[d.schema.Key])
 	}
 	d.mu.RUnlock()
 	if quota > 0 && usage != nil && isNew && usage()+cur >= quota {
@@ -115,6 +119,7 @@ func (d *Dataset) PutContext(ctx context.Context, rec Record) (string, error) {
 	}
 
 	d.mu.Lock()
+	d.materializeRecordsLocked()
 	var id string
 	if d.schema.Key != "" {
 		id = rec[d.schema.Key]
@@ -194,14 +199,14 @@ func (d *Dataset) AddBatchContext(ctx context.Context, recs []Record) ([]string,
 	// Approximate pre-lock quota check, same contract as PutContext.
 	d.mu.RLock()
 	quota, usage := d.quota, d.usage
-	cur := len(d.records)
+	cur := d.lenLocked()
 	newCount := len(recs)
 	if d.schema.Key != "" {
 		newCount = 0
 		seen := make(map[string]bool, len(recs))
 		for _, rec := range recs {
 			id := rec[d.schema.Key]
-			if _, exists := d.records[id]; !exists && !seen[id] {
+			if !d.existsLocked(id) && !seen[id] {
 				seen[id] = true
 				newCount++
 			}
@@ -213,6 +218,7 @@ func (d *Dataset) AddBatchContext(ctx context.Context, recs []Record) ([]string,
 	}
 
 	d.mu.Lock()
+	d.materializeRecordsLocked()
 	ids := make([]string, len(recs))
 	cps := make([]Record, len(recs))
 	docs := make([]index.Document, len(recs))
@@ -260,7 +266,7 @@ func (d *Dataset) AddBatchContext(ctx context.Context, recs []Record) ([]string,
 func (d *Dataset) Get(id string) (Record, bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	rec, ok := d.records[id]
+	rec, ok := d.recordViewLocked(id)
 	if !ok {
 		return nil, false
 	}
@@ -295,9 +301,12 @@ func (d *Dataset) DeleteContext(ctx context.Context, id string) (bool, error) {
 }
 
 func (d *Dataset) deleteLocked(id string) bool {
-	if _, ok := d.records[id]; !ok {
+	// Check before materializing: deleting an absent ID from a mapped
+	// dataset must stay a no-op, not a whole-table copy.
+	if !d.existsLocked(id) {
 		return false
 	}
+	d.materializeRecordsLocked()
 	delete(d.records, id)
 	for i, o := range d.order {
 		if o == id {
@@ -373,7 +382,7 @@ func (d *Dataset) Resharding() bool { return d.ix.Resharding() }
 func (d *Dataset) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.records)
+	return d.lenLocked()
 }
 
 // List returns up to limit records in insertion order starting at
@@ -381,16 +390,20 @@ func (d *Dataset) Len() int {
 func (d *Dataset) List(offset, limit int) []Record {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if offset >= len(d.order) {
+	n := d.lenLocked()
+	if offset >= n {
 		return nil
 	}
-	ids := d.order[offset:]
-	if limit > 0 && len(ids) > limit {
-		ids = ids[:limit]
+	end := n
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
 	}
-	out := make([]Record, 0, len(ids))
-	for _, id := range ids {
-		rec := d.records[id]
+	out := make([]Record, 0, end-offset)
+	for i := offset; i < end; i++ {
+		id, rec, ok := d.viewAtLocked(i)
+		if !ok {
+			continue
+		}
 		cp := make(Record, len(rec)+1)
 		for k, v := range rec {
 			cp[k] = v
@@ -471,7 +484,7 @@ func (d *Dataset) SearchContext(ctx context.Context, req SearchRequest) ([]Hit, 
 	}
 	hits := make([]Hit, 0, len(raw))
 	for _, r := range raw {
-		rec := d.records[r.ID]
+		rec, _ := d.recordViewLocked(r.ID)
 		ok, err := matchAll(d.schema, rec, req.Filters)
 		if err != nil {
 			return nil, err

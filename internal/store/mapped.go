@@ -1,0 +1,285 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Mapped record sections: the store half of zero-copy boot.
+//
+// A v3 dataset frame carries its records in a binary record section
+// instead of a JSON array, laid out so a restore can serve reads
+// straight out of the snapshot file's mapped bytes:
+//
+//	u64  count                       (little-endian)
+//	recDir   count x u64             entry offsets, insertion order
+//	idSorted count x u32             entry indices sorted by record ID
+//	entries  count x {uvarint-len id, uvarint nFields,
+//	                  nFields x {uvarint-len key, uvarint-len value}}
+//
+// The fixed-width directories are random-accessed in place — List
+// seeks to an insertion-order window, Get binary-searches idSorted —
+// and individual entries decode on demand. A dataset restored mapped
+// holds only the section's byte views until its first mutation, at
+// which point the whole record table materializes to the heap
+// (copy-on-write at dataset granularity; per-term posting
+// materialization lives in the index layer). Entry keys are written
+// sorted, so re-encoding a materialized-but-unchanged dataset
+// reproduces the mapped bytes exactly — incremental checkpoints stay
+// deterministic across the materialization boundary.
+
+// recWriter accumulates a record section. It mirrors the index
+// package's unexported codec; the duplication is the price of keeping
+// that codec private to its hot paths.
+type recWriter struct{ buf []byte }
+
+func (w *recWriter) uvarint(x int) { w.buf = binary.AppendUvarint(w.buf, uint64(x)) }
+func (w *recWriter) str(s string)  { w.uvarint(len(s)); w.buf = append(w.buf, s...) }
+func (w *recWriter) u64(x uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, x) }
+func (w *recWriter) u32(x uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, x) }
+
+func (w *recWriter) reserve(n int) int {
+	off := len(w.buf)
+	w.buf = append(w.buf, make([]byte, n)...)
+	return off
+}
+
+func (w *recWriter) patchU64(off int, x uint64) {
+	binary.LittleEndian.PutUint64(w.buf[off:], x)
+}
+
+// encodeRecordSection serializes records in insertion order. Keys are
+// sorted per entry so the encoding is a pure function of dataset
+// content.
+func encodeRecordSection(order []string, records map[string]Record) []byte {
+	var w recWriter
+	w.u64(uint64(len(order)))
+	dirOff := w.reserve(len(order) * 8)
+	perm := make([]int, len(order))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return order[perm[a]] < order[perm[b]] })
+	for _, p := range perm {
+		w.u32(uint32(p))
+	}
+	keys := make([]string, 0, 16)
+	for i, id := range order {
+		w.patchU64(dirOff+i*8, uint64(len(w.buf)))
+		w.str(id)
+		rec := records[id]
+		keys = keys[:0]
+		for k := range rec {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w.uvarint(len(keys))
+		for _, k := range keys {
+			w.str(k)
+			w.str(rec[k])
+		}
+	}
+	return w.buf
+}
+
+var errRecordSection = fmt.Errorf("store: corrupt record section")
+
+// mappedRecords is a record section attached in place: raw stays a
+// view over the snapshot's bytes (mapped or heap — the code path is
+// the same), entries decode on demand.
+type mappedRecords struct {
+	raw      []byte
+	count    int
+	recDir   []byte // count x u64
+	idSorted []byte // count x u32
+}
+
+// attachRecordSection validates the section's directory structure —
+// entry content is trusted to the frame checksum and decoded lazily.
+func attachRecordSection(raw []byte) (*mappedRecords, error) {
+	if len(raw) < 8 {
+		return nil, errRecordSection
+	}
+	count := binary.LittleEndian.Uint64(raw)
+	// Every entry needs a dir slot (8), an idSorted slot (4) and at
+	// least 2 payload bytes, so an impossible count fails fast.
+	if count > uint64(len(raw))/12 {
+		return nil, errRecordSection
+	}
+	n := int(count)
+	dirEnd := 8 + n*8
+	idEnd := dirEnd + n*4
+	if idEnd > len(raw) {
+		return nil, errRecordSection
+	}
+	mr := &mappedRecords{
+		raw:      raw,
+		count:    n,
+		recDir:   raw[8:dirEnd:dirEnd],
+		idSorted: raw[dirEnd:idEnd:idEnd],
+	}
+	for i := 0; i < n; i++ {
+		if off := mr.entryOff(i); off < idEnd || off >= len(raw) {
+			return nil, errRecordSection
+		}
+	}
+	return mr, nil
+}
+
+func (mr *mappedRecords) entryOff(i int) int {
+	return int(binary.LittleEndian.Uint64(mr.recDir[i*8:]))
+}
+
+// readStr decodes one length-prefixed string at off, returning the
+// string and the next offset, or ok=false on a malformed entry.
+func (mr *mappedRecords) readStr(off int) (s string, next int, ok bool) {
+	n, w := binary.Uvarint(mr.raw[off:])
+	if w <= 0 || n > uint64(len(mr.raw)-off-w) {
+		return "", 0, false
+	}
+	off += w
+	return string(mr.raw[off : off+int(n)]), off + int(n), true
+}
+
+// idAt decodes only the record ID of entry i.
+func (mr *mappedRecords) idAt(i int) (string, bool) {
+	id, _, ok := mr.readStr(mr.entryOff(i))
+	return id, ok
+}
+
+// entryAt decodes entry i completely. The returned record is freshly
+// allocated and owned by the caller.
+func (mr *mappedRecords) entryAt(i int) (string, Record, bool) {
+	off := mr.entryOff(i)
+	id, off, ok := mr.readStr(off)
+	if !ok {
+		return "", nil, false
+	}
+	nf, w := binary.Uvarint(mr.raw[off:])
+	if w <= 0 || nf > uint64(len(mr.raw)-off) {
+		return "", nil, false
+	}
+	off += w
+	rec := make(Record, nf)
+	for f := uint64(0); f < nf; f++ {
+		var k, v string
+		if k, off, ok = mr.readStr(off); !ok {
+			return "", nil, false
+		}
+		if v, off, ok = mr.readStr(off); !ok {
+			return "", nil, false
+		}
+		rec[k] = v
+	}
+	return id, rec, true
+}
+
+// find binary-searches idSorted for id, returning the entry's
+// insertion-order index.
+func (mr *mappedRecords) find(id string) (int, bool) {
+	lo, hi := 0, mr.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ord := int(binary.LittleEndian.Uint32(mr.idSorted[mid*4:]))
+		got, ok := mr.idAt(ord)
+		if !ok {
+			return 0, false
+		}
+		switch {
+		case got < id:
+			lo = mid + 1
+		case got > id:
+			hi = mid
+		default:
+			return ord, true
+		}
+	}
+	return 0, false
+}
+
+// Dataset record accessors. Every read path goes through these so a
+// dataset serves identically whether its records live in the heap map
+// or a mapped section; write paths call materializeRecordsLocked
+// first. All require d.mu held (read paths at least RLock, the
+// materializer the write lock).
+
+func (d *Dataset) lenLocked() int {
+	if d.mrecs != nil {
+		return d.mrecs.count
+	}
+	return len(d.records)
+}
+
+func (d *Dataset) existsLocked(id string) bool {
+	if d.mrecs != nil {
+		_, ok := d.mrecs.find(id)
+		return ok
+	}
+	_, ok := d.records[id]
+	return ok
+}
+
+// recordViewLocked returns a read-only view of the record: the live
+// map on the heap path, a fresh decode on the mapped path. Callers
+// must copy before mutating or retaining past the lock.
+func (d *Dataset) recordViewLocked(id string) (Record, bool) {
+	if d.mrecs != nil {
+		i, ok := d.mrecs.find(id)
+		if !ok {
+			return nil, false
+		}
+		_, rec, ok := d.mrecs.entryAt(i)
+		return rec, ok
+	}
+	rec, ok := d.records[id]
+	return rec, ok
+}
+
+// viewAtLocked returns the id and read-only record at insertion
+// position i.
+func (d *Dataset) viewAtLocked(i int) (string, Record, bool) {
+	if d.mrecs != nil {
+		return d.mrecs.entryAt(i)
+	}
+	id := d.order[i]
+	return id, d.records[id], true
+}
+
+// materializeRecordsLocked promotes a mapped record section to the
+// heap map — the store-level copy-on-write boundary, crossed once per
+// dataset on its first mutation (or first WAL-replayed record, which
+// is the same thing: only datasets with a log tail pay it at boot).
+func (d *Dataset) materializeRecordsLocked() {
+	mr := d.mrecs
+	if mr == nil {
+		return
+	}
+	d.records = make(map[string]Record, mr.count)
+	d.order = make([]string, 0, mr.count)
+	for i := 0; i < mr.count; i++ {
+		id, rec, ok := mr.entryAt(i)
+		if !ok {
+			// Post-checksum corruption; surface what decodes rather
+			// than fail a write path that cannot return decode errors.
+			continue
+		}
+		d.records[id] = rec
+		d.order = append(d.order, id)
+	}
+	d.mrecs = nil
+}
+
+// MemStats reports the dataset's mapped-vs-heap residency: bytes
+// still served from mapped snapshot views (record section + index
+// payloads) and bytes copied to the heap by copy-on-write
+// materialization.
+func (d *Dataset) MemStats() (mappedBytes, materializedBytes int64) {
+	d.mu.RLock()
+	if d.mrecs != nil {
+		mappedBytes = int64(len(d.mrecs.raw))
+	}
+	d.mu.RUnlock()
+	st := d.ix.MMapStats()
+	return mappedBytes + st.MappedBytes, st.MaterializedBytes
+}

@@ -1,0 +1,323 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// restoreMapped attaches a v3 snapshot's bytes to a fresh store.
+func restoreMapped(t testing.TB, data []byte) *Store {
+	t.Helper()
+	s := New()
+	if err := s.RestoreMappedContext(context.Background(), data); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestMappedRestoreMatchesHeap: the same v3 snapshot restored mapped
+// and restored to the heap serves identical state — counts, listing
+// order, records, and search hits with scores.
+func TestMappedRestoreMatchesHeap(t *testing.T) {
+	orig := multiTenantStore(t)
+	want := storeFingerprint(t, orig)
+
+	var buf bytes.Buffer
+	if err := orig.SnapshotContext(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	heap := New()
+	if err := heap.RestoreContext(context.Background(), bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	mapped := restoreMapped(t, buf.Bytes())
+
+	if got := storeFingerprint(t, heap); got != want {
+		t.Fatalf("heap restore state:\n%s\nwant:\n%s", got, want)
+	}
+	if got := storeFingerprint(t, mapped); got != want {
+		t.Fatalf("mapped restore state:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The mapped store reports mapped residency; the heap one none.
+	var mappedBytes int64
+	for _, st := range mapped.Status() {
+		mappedBytes += st.MappedBytes
+	}
+	if mappedBytes == 0 {
+		t.Fatal("mapped restore reports zero mapped bytes")
+	}
+	for _, st := range heap.Status() {
+		if st.MappedBytes != 0 {
+			t.Fatalf("heap restore reports %d mapped bytes for %s/%s", st.MappedBytes, st.Tenant, st.Dataset)
+		}
+	}
+}
+
+// TestMappedCopyOnWrite: mutations against a mapped store apply
+// copy-on-write and converge to exactly the state of the same
+// mutations against a heap restore; untouched datasets stay mapped.
+func TestMappedCopyOnWrite(t *testing.T) {
+	orig := multiTenantStore(t)
+	var buf bytes.Buffer
+	if err := orig.SnapshotContext(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	heap := New()
+	if err := heap.RestoreContext(context.Background(), bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	mapped := restoreMapped(t, buf.Bytes())
+
+	mutate := func(s *Store) {
+		t.Helper()
+		ds, err := s.DatasetContext(context.Background(), "tenant0", "owner0", "data0", PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.Put(Record{"id": "new1", "title": "fresh after boot", "body": "post-restore write"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.Put(Record{"id": "r5", "title": "overwritten", "body": "replaced body"}); err != nil {
+			t.Fatal(err)
+		}
+		if !ds.Delete("r9") {
+			t.Fatal("delete of existing record reported false")
+		}
+		if ds.Delete("absent") {
+			t.Fatal("delete of absent record reported true")
+		}
+	}
+	mutate(heap)
+	mutate(mapped)
+
+	if got, want := storeFingerprint(t, mapped), storeFingerprint(t, heap); got != want {
+		t.Fatalf("mapped CoW state:\n%s\nheap state:\n%s", got, want)
+	}
+
+	// Only the written dataset materialized its record section; its
+	// siblings still serve mapped.
+	for _, st := range mapped.Status() {
+		touched := st.Tenant == "tenant0" && st.Dataset == "data0"
+		ds, err := mapped.DatasetContext(context.Background(), st.Tenant, "owner"+st.Tenant[len("tenant"):], st.Dataset, PermRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds.mu.RLock()
+		stillMapped := ds.mrecs != nil
+		ds.mu.RUnlock()
+		if touched && stillMapped {
+			t.Fatalf("%s/%s: records still mapped after writes", st.Tenant, st.Dataset)
+		}
+		if !touched && !stillMapped {
+			t.Fatalf("%s/%s: untouched dataset materialized its records", st.Tenant, st.Dataset)
+		}
+	}
+}
+
+// TestMappedSnapshotVerbatim: a checkpoint taken from a freshly
+// mapped store re-emits the snapshot byte-for-byte — clean mapped
+// record sections and index shards are copied, not re-encoded.
+func TestMappedSnapshotVerbatim(t *testing.T) {
+	orig := multiTenantStore(t)
+	var first bytes.Buffer
+	if err := orig.SnapshotContext(context.Background(), &first); err != nil {
+		t.Fatal(err)
+	}
+	mapped := restoreMapped(t, first.Bytes())
+	var second bytes.Buffer
+	if err := mapped.SnapshotContext(context.Background(), &second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("snapshot of mapped store differs from its source: %d vs %d bytes", second.Len(), first.Len())
+	}
+}
+
+// TestMappedSnapshotAfterCoWRoundTrips: a snapshot taken after
+// copy-on-write materialization restores to equal state, and
+// re-snapshotting that restore reproduces it bit-identically — the
+// encoder is a pure function of content on both sides of the
+// materialization boundary.
+func TestMappedSnapshotAfterCoWRoundTrips(t *testing.T) {
+	orig := multiTenantStore(t)
+	var buf bytes.Buffer
+	if err := orig.SnapshotContext(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	mapped := restoreMapped(t, buf.Bytes())
+	ds, err := mapped.DatasetContext(context.Background(), "tenant1", "owner1", "data1", PermWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Put(Record{"id": "cow", "title": "materializing write", "body": "forces promotion"}); err != nil {
+		t.Fatal(err)
+	}
+	var a bytes.Buffer
+	if err := mapped.SnapshotContext(context.Background(), &a); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.RestoreContext(context.Background(), bytes.NewReader(a.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := storeFingerprint(t, restored), storeFingerprint(t, mapped); got != want {
+		t.Fatalf("post-CoW snapshot restore state:\n%s\nwant:\n%s", got, want)
+	}
+	var b bytes.Buffer
+	if err := restored.SnapshotContext(context.Background(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("post-CoW snapshot does not round-trip bit-identically")
+	}
+}
+
+// TestSnapshotCompatMatrix: every written format restores to the same
+// queryable state — v1 and v2 through the heap, v3 through both the
+// heap and the mapped path.
+func TestSnapshotCompatMatrix(t *testing.T) {
+	orig := multiTenantStore(t)
+	want := storeFingerprint(t, orig)
+
+	var v1, v2, v3 bytes.Buffer
+	if err := orig.SnapshotV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.SnapshotV2Context(context.Background(), &v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.SnapshotContext(context.Background(), &v3); err != nil {
+		t.Fatal(err)
+	}
+
+	restores := map[string]func() (*Store, error){
+		"v1-heap": func() (*Store, error) {
+			s := New()
+			return s, s.RestoreContext(context.Background(), bytes.NewReader(v1.Bytes()))
+		},
+		"v2-heap": func() (*Store, error) {
+			s := New()
+			return s, s.RestoreContext(context.Background(), bytes.NewReader(v2.Bytes()))
+		},
+		"v3-heap": func() (*Store, error) {
+			s := New()
+			return s, s.RestoreContext(context.Background(), bytes.NewReader(v3.Bytes()))
+		},
+		"v3-mapped": func() (*Store, error) {
+			s := New()
+			return s, s.RestoreMappedContext(context.Background(), v3.Bytes())
+		},
+	}
+	for name, restore := range restores {
+		s, err := restore()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := storeFingerprint(t, s); got != want {
+			t.Fatalf("%s state:\n%s\nwant:\n%s", name, got, want)
+		}
+	}
+
+	// The mapped path accepts only v3.
+	if err := New().RestoreMappedContext(context.Background(), v2.Bytes()); err == nil {
+		t.Fatal("mapped restore accepted a v2 stream")
+	}
+	if err := New().RestoreMappedContext(context.Background(), v1.Bytes()); err == nil {
+		t.Fatal("mapped restore accepted a v1 document")
+	}
+}
+
+// TestMappedRestoreRejectsCorrupt: truncations and bit flips fail the
+// mapped restore at attach time — before anything can serve from the
+// damaged bytes — and leave the target store untouched.
+func TestMappedRestoreRejectsCorrupt(t *testing.T) {
+	src := multiTenantStore(t)
+	var good bytes.Buffer
+	if err := src.SnapshotContext(context.Background(), &good); err != nil {
+		t.Fatal(err)
+	}
+	gb := good.Bytes()
+	flip := func(pos int) []byte {
+		out := append([]byte(nil), gb...)
+		out[pos] ^= 0xFF
+		return out
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"garbage":       []byte("this is not a snapshot"),
+		"magic-only":    gb[:8],
+		"truncated-10%": gb[:len(gb)/10],
+		"truncated-50%": gb[:len(gb)/2],
+		"truncated-99%": gb[:len(gb)-len(gb)/100],
+		"flip-early":    flip(40),
+		"flip-middle":   flip(len(gb) / 2),
+		"flip-late":     flip(len(gb) - 10),
+		"trailing-junk": append(append([]byte(nil), gb...), "extra bytes"...),
+	}
+	for name, data := range cases {
+		target, _ := newInventory(t)
+		before := storeFingerprint(t, target)
+		if err := target.RestoreMappedContext(context.Background(), data); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted by mapped restore", name)
+			continue
+		}
+		if after := storeFingerprint(t, target); after != before {
+			t.Errorf("%s: failed mapped restore mutated target store", name)
+		}
+	}
+}
+
+// TestMappedConcurrentReadsAndMaterialization: concurrent readers on
+// a mapped dataset race a writer whose first put materializes the
+// record table. Run under -race this pins down the promotion's
+// locking.
+func TestMappedConcurrentReadsAndMaterialization(t *testing.T) {
+	orig := multiTenantStore(t)
+	var buf bytes.Buffer
+	if err := orig.SnapshotContext(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	mapped := restoreMapped(t, buf.Bytes())
+	ds, err := mapped.DatasetContext(context.Background(), "tenant2", "owner2", "data0", PermWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				if _, ok := ds.Get(fmt.Sprintf("r%d", i%25)); !ok && i%25 != 3 && i%25 != 7 {
+					t.Errorf("reader %d: r%d missing", r, i%25)
+					return
+				}
+				if _, err := ds.SearchContext(context.Background(), SearchRequest{Query: "common"}); err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				ds.List(0, 10)
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 20; i++ {
+			if _, err := ds.Put(Record{"id": fmt.Sprintf("w%d", i), "title": "concurrent write", "body": "materializes on first put"}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	close(start)
+	wg.Wait()
+}

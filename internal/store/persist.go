@@ -16,25 +16,32 @@ import (
 )
 
 // Persistence: Symphony hosts the designers' proprietary data, so
-// durability is part of the platform contract. Two formats exist:
+// durability is part of the platform contract. Three formats exist:
 //
-// Format v2 (written by Snapshot) is a streaming framed layout: the
-// magic string, a header frame naming every tenant (owner, grants,
-// quota, dataset names), then one frame per dataset in deterministic
-// (tenant, dataset) order. Dataset frames carry the records AND the
-// dataset's sharded full-text index serialized postings-for-postings
-// (see index.Snapshot), so Restore reattaches indexes instead of
-// reanalyzing every record. Frames are encoded by a worker pool, each
-// under its own dataset's read lock — a checkpoint never holds the
-// store-wide lock while encoding, so writers on other datasets are
-// not blocked. The price is per-dataset (not global) point-in-time
-// consistency, the usual contract for online checkpoints.
+// Format v3 (written by Snapshot) keeps v2's framed envelope — the
+// magic string, a header frame naming every tenant, one frame per
+// dataset in deterministic (tenant, dataset) order — but a dataset
+// frame carries its records as a binary record section with offset
+// directories (see mapped.go) followed by the index's v3 mmap-ready
+// stream, instead of a records JSON array. The same bytes serve two
+// restore paths: RestoreContext decodes them to the heap as before,
+// while RestoreMappedContext attaches datasets as lazy views over the
+// snapshot's (typically mmap'd) bytes — records and postings
+// materialize copy-on-write, so boot cost and resident set scale with
+// what the workload touches, not corpus size.
 //
-// Format v1 (written by SnapshotV1, read transparently by Restore) is
-// the legacy single-JSON-document layout; restoring it rebuilds the
-// indexes record by record.
+// Format v2 (written by SnapshotV2Context, read transparently by
+// RestoreContext) is the previous framed layout with JSON records.
+// Format v1 (written by SnapshotV1) is the legacy single-JSON-document
+// layout; restoring it rebuilds the indexes record by record.
 //
-// Restore for both formats builds the replacement tenant map
+// Frames are encoded by a worker pool, each under its own dataset's
+// read lock — a checkpoint never holds the store-wide lock while
+// encoding, so writers on other datasets are not blocked. The price
+// is per-dataset (not global) point-in-time consistency, the usual
+// contract for online checkpoints.
+//
+// Restore for every format builds the replacement tenant map
 // completely — validating schemas, records and index attachment —
 // before swapping it in, so a corrupt or truncated snapshot leaves
 // the target store unchanged.
@@ -42,9 +49,11 @@ import (
 const (
 	snapshotVersionV1 = 1
 	snapshotVersionV2 = 2
-	// snapshotMagicV2 starts every v2 stream. v1 streams start with
+	snapshotVersionV3 = 3
+	// Magic strings start every framed stream. v1 streams start with
 	// '{', so Restore can sniff the format from the first bytes.
 	snapshotMagicV2 = "SYMSNP2\n"
+	snapshotMagicV3 = "SYMSNP3\n"
 )
 
 // PersistOption configures Snapshot and Restore.
@@ -93,6 +102,7 @@ type FrameCache struct {
 
 type cachedFrame struct {
 	version uint64
+	format  int // snapshot format the payload was encoded in
 	payload []byte
 }
 
@@ -101,11 +111,11 @@ func NewFrameCache() *FrameCache {
 	return &FrameCache{frames: make(map[*Dataset]cachedFrame)}
 }
 
-func (c *FrameCache) get(ds *Dataset, version uint64) ([]byte, bool) {
+func (c *FrameCache) get(ds *Dataset, version uint64, format int) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cf, ok := c.frames[ds]
-	if !ok || cf.version != version {
+	if !ok || cf.version != version || cf.format != format {
 		c.misses++
 		return nil, false
 	}
@@ -113,9 +123,9 @@ func (c *FrameCache) get(ds *Dataset, version uint64) ([]byte, bool) {
 	return cf.payload, true
 }
 
-func (c *FrameCache) put(ds *Dataset, version uint64, payload []byte) {
+func (c *FrameCache) put(ds *Dataset, version uint64, format int, payload []byte) {
 	c.mu.Lock()
-	c.frames[ds] = cachedFrame{version: version, payload: payload}
+	c.frames[ds] = cachedFrame{version: version, format: format, payload: payload}
 	c.mu.Unlock()
 }
 
@@ -194,6 +204,19 @@ type v2DatasetFrame struct {
 	NextID  int      `json:"nextId"`
 }
 
+// v3DatasetMeta is the JSON metadata part of a v3 dataset frame. The
+// frame payload is the 8-byte big-endian metadata length, the
+// metadata JSON, an 8-byte big-endian record-section length, the
+// binary record section (mapped.go), then the dataset's serialized
+// sharded index (an index v3 stream) as raw bytes. Records and
+// postings both live in directory-indexed binary sections, so a
+// mapped restore serves them in place.
+type v3DatasetMeta struct {
+	Tenant string `json:"tenant"`
+	Schema Schema `json:"schema"`
+	NextID int    `json:"nextId"`
+}
+
 // splitDatasetFrame separates a dataset frame payload into its JSON
 // metadata and raw index stream.
 func splitDatasetFrame(payload []byte) (meta, index []byte, err error) {
@@ -205,6 +228,24 @@ func splitDatasetFrame(payload []byte) (meta, index []byte, err error) {
 		return nil, nil, fmt.Errorf("dataset frame metadata length %d exceeds payload", n)
 	}
 	return payload[8 : 8+n], payload[8+n:], nil
+}
+
+// splitDatasetFrameV3 separates a v3 dataset frame payload into JSON
+// metadata, record section and raw index stream.
+func splitDatasetFrameV3(payload []byte) (meta, recSec, index []byte, err error) {
+	meta, rest, err := splitDatasetFrame(payload)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(rest) < 8 {
+		return nil, nil, nil, fmt.Errorf("dataset frame missing record section")
+	}
+	n := binary.BigEndian.Uint64(rest[:8])
+	if n > uint64(len(rest)-8) {
+		return nil, nil, nil, fmt.Errorf("dataset frame record section length %d exceeds payload", n)
+	}
+	end := 8 + n
+	return meta, rest[8:end:end], rest[end:], nil
 }
 
 // datasetRef pins one dataset for a snapshot pass.
@@ -248,25 +289,41 @@ func (s *Store) collect() ([]v2Tenant, []datasetRef) {
 	return meta, refs
 }
 
-// SnapshotContext serializes the whole store in format v2. Dataset
+// SnapshotContext serializes the whole store in format v3. Dataset
 // frames are encoded concurrently by a worker pool and written in
 // deterministic (tenant, dataset) order; only the frame being encoded
 // holds its dataset's read lock, so concurrent writers on other
-// datasets proceed during a checkpoint. Cancellation is checked
-// between dataset frames: a cancelled snapshot stops encoding, leaves
-// a truncated (unloadable, by design — Restore validates) stream and
-// returns ctx.Err().
+// datasets proceed during a checkpoint. Datasets still serving from a
+// mapped snapshot re-emit their mapped bytes verbatim — a checkpoint
+// of a freshly booted store copies views, it does not re-encode.
+// Cancellation is checked between dataset frames: a cancelled
+// snapshot stops encoding, leaves a truncated (unloadable, by design
+// — Restore validates) stream and returns ctx.Err().
 func (s *Store) SnapshotContext(ctx context.Context, w io.Writer, opts ...PersistOption) error {
+	return s.snapshotFramed(ctx, w, snapshotVersionV3, opts)
+}
+
+// SnapshotV2Context serializes the store in the previous framed
+// format with JSON records, for compatibility tooling and fixtures.
+func (s *Store) SnapshotV2Context(ctx context.Context, w io.Writer, opts ...PersistOption) error {
+	return s.snapshotFramed(ctx, w, snapshotVersionV2, opts)
+}
+
+func (s *Store) snapshotFramed(ctx context.Context, w io.Writer, version int, opts []PersistOption) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	o := applyPersistOptions(opts)
 	meta, refs := s.collect()
 
-	if err := frameio.WriteMagic(w, snapshotMagicV2); err != nil {
+	magic := snapshotMagicV3
+	if version == snapshotVersionV2 {
+		magic = snapshotMagicV2
+	}
+	if err := frameio.WriteMagic(w, magic); err != nil {
 		return err
 	}
-	hdr, err := json.Marshal(v2Header{Version: snapshotVersionV2, Tenants: meta})
+	hdr, err := json.Marshal(v2Header{Version: version, Tenants: meta})
 	if err != nil {
 		return err
 	}
@@ -290,7 +347,7 @@ func (s *Store) SnapshotContext(ctx context.Context, w io.Writer, opts ...Persis
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i].buf, results[i].err = refs[i].encodeFrame(o.cache)
+				results[i].buf, results[i].err = refs[i].encodeFrame(o.cache, version)
 				close(results[i].done)
 			}
 		}()
@@ -340,46 +397,82 @@ func (s *Store) SnapshotContext(ctx context.Context, w io.Writer, opts ...Persis
 // since it was encoded. The version is read under the same read lock
 // that covers the encode, so a cached (version, payload) pair always
 // agrees with itself.
-func (ref datasetRef) encodeFrame(cache *FrameCache) ([]byte, error) {
+func (ref datasetRef) encodeFrame(cache *FrameCache, format int) ([]byte, error) {
 	ds := ref.ds
 	ds.mu.RLock()
 	if cache != nil {
-		if payload, ok := cache.get(ds, ds.ver); ok {
+		if payload, ok := cache.get(ds, ds.ver, format); ok {
 			ds.mu.RUnlock()
 			return payload, nil
 		}
 	}
 	version := ds.ver
-	frame := v2DatasetFrame{
-		Tenant: ref.tenant,
-		Schema: ds.schema,
-		Order:  append([]string(nil), ds.order...),
-		NextID: ds.nextID,
+	var payload []byte
+	switch format {
+	case snapshotVersionV3:
+		meta, err := json.Marshal(v3DatasetMeta{Tenant: ref.tenant, Schema: ds.schema, NextID: ds.nextID})
+		if err != nil {
+			ds.mu.RUnlock()
+			return nil, err
+		}
+		// A still-mapped record section round-trips verbatim; only
+		// materialized datasets re-encode (and produce the same bytes
+		// for the same content — the encoder is deterministic).
+		var recSec []byte
+		if ds.mrecs != nil {
+			recSec = ds.mrecs.raw
+		} else {
+			recSec = encodeRecordSection(ds.order, ds.records)
+		}
+		payload = make([]byte, 8, 16+len(meta)+len(recSec))
+		binary.BigEndian.PutUint64(payload, uint64(len(meta)))
+		payload = append(payload, meta...)
+		payload = binary.BigEndian.AppendUint64(payload, uint64(len(recSec)))
+		payload = append(payload, recSec...)
+	default:
+		n := ds.lenLocked()
+		frame := v2DatasetFrame{
+			Tenant:  ref.tenant,
+			Schema:  ds.schema,
+			Order:   make([]string, 0, n),
+			Records: make([]Record, 0, n),
+			NextID:  ds.nextID,
+		}
+		for i := 0; i < n; i++ {
+			id, rec, ok := ds.viewAtLocked(i)
+			if !ok {
+				continue
+			}
+			frame.Order = append(frame.Order, id)
+			frame.Records = append(frame.Records, rec)
+		}
+		meta, err := json.Marshal(frame)
+		if err != nil {
+			ds.mu.RUnlock()
+			return nil, err
+		}
+		payload = make([]byte, 8, 8+len(meta)+len(meta)/2)
+		binary.BigEndian.PutUint64(payload, uint64(len(meta)))
+		payload = append(payload, meta...)
 	}
-	frame.Records = make([]Record, 0, len(ds.order))
-	for _, rid := range ds.order {
-		frame.Records = append(frame.Records, ds.records[rid])
-	}
-	meta, err := json.Marshal(frame)
-	if err != nil {
-		ds.mu.RUnlock()
-		return nil, err
-	}
-	payload := make([]byte, 8, 8+len(meta)+len(meta)/2)
-	binary.BigEndian.PutUint64(payload, uint64(len(meta)))
-	payload = append(payload, meta...)
 	// The index snapshot runs inside the dataset lock so records and
 	// postings in this frame agree with each other. Index shard locks
 	// nest inside the dataset lock; nothing takes them in the other
-	// order.
+	// order. Clean mapped index shards are written verbatim by the
+	// index encoder, completing the zero-re-encode checkpoint path.
 	buf := bytes.NewBuffer(payload)
-	err = ds.ix.Snapshot(buf)
+	var err error
+	if format == snapshotVersionV2 {
+		err = ds.ix.SnapshotV2(buf)
+	} else {
+		err = ds.ix.Snapshot(buf)
+	}
 	ds.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
 	if cache != nil {
-		cache.put(ds, version, buf.Bytes())
+		cache.put(ds, version, format, buf.Bytes())
 	}
 	return buf.Bytes(), nil
 }
@@ -430,12 +523,12 @@ func (s *Store) SnapshotV1(w io.Writer) error {
 	return enc.Encode(snap)
 }
 
-// RestoreContext replaces the store's contents from a snapshot in
-// either format: v2 streams (sniffed by magic) decode dataset frames
-// concurrently and reattach their serialized indexes; v1 documents
-// rebuild indexes from records. The replacement state is built and
-// validated completely before it is swapped in, so a failed restore —
-// including a cancelled one — leaves the store unchanged.
+// RestoreContext replaces the store's contents from a snapshot in any
+// format: framed streams (v2/v3, sniffed by magic) decode dataset
+// frames concurrently and reattach their serialized indexes; v1
+// documents rebuild indexes from records. The replacement state is
+// built and validated completely before it is swapped in, so a failed
+// restore — including a cancelled one — leaves the store unchanged.
 // Cancellation is checked between dataset frames.
 func (s *Store) RestoreContext(ctx context.Context, r io.Reader, opts ...PersistOption) error {
 	if err := ctx.Err(); err != nil {
@@ -449,50 +542,73 @@ func (s *Store) RestoreContext(ctx context.Context, r io.Reader, opts ...Persist
 		return fmt.Errorf("store: restore: %w", err)
 	}
 	prefix = prefix[:n]
-	if string(prefix) == snapshotMagicV2 {
-		return s.restoreV2(ctx, r, applyPersistOptions(opts))
+	switch string(prefix) {
+	case snapshotMagicV2:
+		return s.restoreFramed(ctx, r, applyPersistOptions(opts), snapshotVersionV2)
+	case snapshotMagicV3:
+		return s.restoreFramed(ctx, r, applyPersistOptions(opts), snapshotVersionV3)
 	}
 	return s.restoreV1(io.MultiReader(bytes.NewReader(prefix), r))
 }
 
-func (s *Store) restoreV2(ctx context.Context, r io.Reader, o persistOptions) error {
+// SnapshotIsMappable reports whether data begins a v3 snapshot — the
+// only format RestoreMappedContext accepts. Boot paths use it to
+// decide between mapping a snapshot and streaming it: v1/v2 files
+// restore through RestoreContext until the next checkpoint rewrites
+// them as v3.
+func SnapshotIsMappable(data []byte) bool {
+	return len(data) >= len(snapshotMagicV3) && string(data[:len(snapshotMagicV3)]) == snapshotMagicV3
+}
+
+// RestoreMappedContext replaces the store's contents from a v3
+// snapshot held in data — typically an mmapio mapping of the
+// checkpoint file — attaching every dataset as lazy views over those
+// bytes: record sections and posting payloads are NOT copied to the
+// heap, and each dataset's index adopts the snapshot's shard layout
+// (scores are layout-independent). Frame checksums are verified
+// during the walk, so a truncated or corrupt file fails here, before
+// anything serves from it. data must stay valid (mapped) for the life
+// of the store; the mmapio package's never-unmap contract provides
+// exactly that.
+func (s *Store) RestoreMappedContext(ctx context.Context, data []byte, opts ...PersistOption) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(data) < len(snapshotMagicV3) || string(data[:len(snapshotMagicV3)]) != snapshotMagicV3 {
+		return fmt.Errorf("store: restore mapped: not a v3 snapshot")
+	}
+	off := len(snapshotMagicV3)
+	hdrBytes, off, err := frameio.NextFrameInBuf(data, off, true)
+	if err != nil {
+		return fmt.Errorf("store: restore mapped header: %w", err)
+	}
+	tenants, expects, err := parseFramedHeader(hdrBytes, snapshotVersionV3)
+	if err != nil {
+		return err
+	}
+	frames := make([][]byte, len(expects))
+	for i := range frames {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if frames[i], off, err = frameio.NextFrameInBuf(data, off, true); err != nil {
+			return fmt.Errorf("store: restore mapped %s/%s frame: %w", expects[i].tenant, expects[i].name, err)
+		}
+	}
+	if _, _, err := frameio.NextFrameInBuf(data, off, false); err != io.EOF {
+		return fmt.Errorf("store: restore mapped: trailing data after %d dataset frames", len(expects))
+	}
+	return s.installFromFrames(ctx, tenants, expects, frames, applyPersistOptions(opts), snapshotVersionV3, true)
+}
+
+func (s *Store) restoreFramed(ctx context.Context, r io.Reader, o persistOptions, version int) error {
 	hdrBytes, err := frameio.ReadFrame(r)
 	if err != nil {
-		return fmt.Errorf("store: restore v2 header: %w", err)
+		return fmt.Errorf("store: restore header: %w", err)
 	}
-	var hdr v2Header
-	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
-		return fmt.Errorf("store: restore v2 header: %w", err)
-	}
-	if hdr.Version != snapshotVersionV2 {
-		return fmt.Errorf("store: restore: unsupported snapshot version %d", hdr.Version)
-	}
-
-	// Rebuild the expected frame sequence from the header, then read
-	// exactly that many frames.
-	type expect struct{ tenant, name string }
-	var expects []expect
-	tenants := make(map[string]*tenant, len(hdr.Tenants))
-	for _, vt := range hdr.Tenants {
-		if vt.ID == "" || vt.Owner == "" {
-			return fmt.Errorf("store: restore: tenant with empty id/owner")
-		}
-		if _, dup := tenants[vt.ID]; dup {
-			return fmt.Errorf("store: restore: duplicate tenant %q", vt.ID)
-		}
-		t := &tenant{
-			owner:    vt.Owner,
-			datasets: make(map[string]*Dataset, len(vt.Datasets)),
-			grants:   vt.Grants,
-			quota:    vt.Quota,
-		}
-		if t.grants == nil {
-			t.grants = make(map[string]Permission)
-		}
-		tenants[vt.ID] = t
-		for _, name := range vt.Datasets {
-			expects = append(expects, expect{tenant: vt.ID, name: name})
-		}
+	tenants, expects, err := parseFramedHeader(hdrBytes, version)
+	if err != nil {
+		return err
 	}
 	frames := make([][]byte, len(expects))
 	for i := range frames {
@@ -506,12 +622,57 @@ func (s *Store) restoreV2(ctx context.Context, r io.Reader, o persistOptions) er
 	if _, err := frameio.ReadFrame(r); err != io.EOF {
 		return fmt.Errorf("store: restore: trailing data after %d dataset frames", len(expects))
 	}
+	return s.installFromFrames(ctx, tenants, expects, frames, o, version, false)
+}
 
-	// Decode and rebuild datasets on a worker pool; each job is
-	// independent, so decode scales with the dataset count.
-	// Cancellation stops dispatch between frames; already-dispatched
-	// decodes finish (they only build private state) and the whole
-	// restore returns without touching the store.
+// frameExpect names the dataset one frame must carry, derived from
+// the header; the stream is rejected if they disagree.
+type frameExpect struct{ tenant, name string }
+
+// parseFramedHeader validates the header frame shared by the framed
+// formats and returns the replacement tenant map plus the expected
+// dataset frame sequence.
+func parseFramedHeader(hdrBytes []byte, wantVersion int) (map[string]*tenant, []frameExpect, error) {
+	var hdr v2Header
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, nil, fmt.Errorf("store: restore header: %w", err)
+	}
+	if hdr.Version != wantVersion {
+		return nil, nil, fmt.Errorf("store: restore: unsupported snapshot version %d", hdr.Version)
+	}
+	var expects []frameExpect
+	tenants := make(map[string]*tenant, len(hdr.Tenants))
+	for _, vt := range hdr.Tenants {
+		if vt.ID == "" || vt.Owner == "" {
+			return nil, nil, fmt.Errorf("store: restore: tenant with empty id/owner")
+		}
+		if _, dup := tenants[vt.ID]; dup {
+			return nil, nil, fmt.Errorf("store: restore: duplicate tenant %q", vt.ID)
+		}
+		t := &tenant{
+			owner:    vt.Owner,
+			datasets: make(map[string]*Dataset, len(vt.Datasets)),
+			grants:   vt.Grants,
+			quota:    vt.Quota,
+		}
+		if t.grants == nil {
+			t.grants = make(map[string]Permission)
+		}
+		tenants[vt.ID] = t
+		for _, name := range vt.Datasets {
+			expects = append(expects, frameExpect{tenant: vt.ID, name: name})
+		}
+	}
+	return tenants, expects, nil
+}
+
+// installFromFrames decodes dataset frames on a worker pool and swaps
+// the replacement tenant map in — the shared back half of every
+// framed restore. Each job is independent, so decode scales with the
+// dataset count. Cancellation stops dispatch between frames; already-
+// dispatched decodes finish (they only build private state) and the
+// whole restore returns without touching the store.
+func (s *Store) installFromFrames(ctx context.Context, tenants map[string]*tenant, expects []frameExpect, frames [][]byte, o persistOptions, version int, mapped bool) error {
 	datasets := make([]*Dataset, len(expects))
 	errs := make([]error, len(expects))
 	jobs := make(chan int)
@@ -521,7 +682,11 @@ func (s *Store) restoreV2(ctx context.Context, r io.Reader, o persistOptions) er
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				datasets[i], errs[i] = decodeFrame(frames[i], expects[i].tenant, expects[i].name, s.shardTarget, s.cache)
+				if version == snapshotVersionV3 {
+					datasets[i], errs[i] = decodeFrameV3(frames[i], expects[i].tenant, expects[i].name, s.shardTarget, s.cache, mapped)
+				} else {
+					datasets[i], errs[i] = decodeFrame(frames[i], expects[i].tenant, expects[i].name, s.shardTarget, s.cache)
+				}
 			}
 		}()
 	}
@@ -618,6 +783,70 @@ func decodeFrame(payload []byte, wantTenant, wantName string, shardTarget int, c
 	}
 	if got := ds.ix.Len(); got != len(ds.records) {
 		return nil, fmt.Errorf("restored index has %d live docs, dataset has %d records", got, len(ds.records))
+	}
+	return ds, nil
+}
+
+// decodeFrameV3 rebuilds one dataset from a v3 frame. The heap path
+// decodes the record section eagerly (validating every record, like
+// v2) and reshards the index to the configured target. The mapped
+// path attaches both sections as views over the frame's bytes:
+// records and postings stay unmaterialized, the index keeps the
+// snapshot's shard layout, and per-record validation is deferred to
+// the write path that materializes them — the frame checksum already
+// vouches for the bytes, and re-validating every record would decode
+// everything the mapping exists to avoid.
+func decodeFrameV3(payload []byte, wantTenant, wantName string, shardTarget int, cache *index.Cache, mapped bool) (*Dataset, error) {
+	meta, recSec, ixBytes, err := splitDatasetFrameV3(payload)
+	if err != nil {
+		return nil, err
+	}
+	var frame v3DatasetMeta
+	if err := json.Unmarshal(meta, &frame); err != nil {
+		return nil, err
+	}
+	if frame.Tenant != wantTenant || frame.Schema.Name != wantName {
+		return nil, fmt.Errorf("frame is %s/%s, header expects %s/%s",
+			frame.Tenant, frame.Schema.Name, wantTenant, wantName)
+	}
+	if err := frame.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	mr, err := attachRecordSection(recSec)
+	if err != nil {
+		return nil, err
+	}
+	ds := newDataset(frame.Schema, shardTarget, cache)
+	ds.nextID = frame.NextID
+	if mapped {
+		ds.mrecs = mr
+		if err := ds.ix.RestoreMapped(ixBytes); err != nil {
+			return nil, err
+		}
+	} else {
+		for i := 0; i < mr.count; i++ {
+			id, rec, ok := mr.entryAt(i)
+			if !ok {
+				return nil, fmt.Errorf("corrupt record entry at position %d", i)
+			}
+			if id == "" {
+				return nil, fmt.Errorf("empty record ID at position %d", i)
+			}
+			if _, dup := ds.records[id]; dup {
+				return nil, fmt.Errorf("duplicate record ID %q", id)
+			}
+			if err := checkRecord(ds.schema, rec); err != nil {
+				return nil, fmt.Errorf("record %s: %w", id, err)
+			}
+			ds.records[id] = rec
+			ds.order = append(ds.order, id)
+		}
+		if err := ds.ix.Restore(bytes.NewReader(ixBytes)); err != nil {
+			return nil, err
+		}
+	}
+	if got := ds.ix.Len(); got != mr.count {
+		return nil, fmt.Errorf("restored index has %d live docs, dataset has %d records", got, mr.count)
 	}
 	return ds, nil
 }

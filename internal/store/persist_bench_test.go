@@ -52,9 +52,9 @@ func persistBenchStore(b *testing.B, tenants, datasetsPer, recordsPer int) *Stor
 }
 
 // BenchmarkSnapshotRestore compares the serial legacy v1 path against
-// the parallel framed v2 path at several worker counts, measuring a
-// full checkpoint cycle (snapshot + restore into a fresh store).
-// Results are recorded in BENCH_persist.json.
+// the parallel framed path (now v3) at several worker counts,
+// measuring a full checkpoint cycle (snapshot + restore into a fresh
+// store). Results are recorded in BENCH_persist.json.
 func BenchmarkSnapshotRestore(b *testing.B) {
 	s := persistBenchStore(b, 8, 2, 400)
 
@@ -81,7 +81,7 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 		roundTrip(b, s.SnapshotV1)
 	})
 	for _, workers := range benchWorkerCounts() {
-		b.Run(fmt.Sprintf("v2-workers-%d", workers), func(b *testing.B) {
+		b.Run(fmt.Sprintf("v3-workers-%d", workers), func(b *testing.B) {
 			roundTrip(b, func(w io.Writer) error {
 				return s.SnapshotContext(context.Background(), w, WithWorkers(workers))
 			}, WithWorkers(workers))
@@ -118,7 +118,7 @@ func BenchmarkSnapshotOnly(b *testing.B) {
 		}
 	})
 	for _, workers := range benchWorkerCounts() {
-		b.Run(fmt.Sprintf("v2-workers-%d", workers), func(b *testing.B) {
+		b.Run(fmt.Sprintf("v3-workers-%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := s.SnapshotContext(context.Background(), io.Discard, WithWorkers(workers)); err != nil {
@@ -130,14 +130,16 @@ func BenchmarkSnapshotOnly(b *testing.B) {
 }
 
 // BenchmarkRestoreOnly isolates boot-time restore: v1 reindexes every
-// record, v2 reattaches serialized shards.
+// record, the framed heap path reattaches serialized shards, and the
+// mapped path only walks frame CRCs and directory offsets — records
+// and postings stay views into the snapshot bytes.
 func BenchmarkRestoreOnly(b *testing.B) {
 	s := persistBenchStore(b, 8, 2, 400)
-	var v1, v2 bytes.Buffer
+	var v1, v3 bytes.Buffer
 	if err := s.SnapshotV1(&v1); err != nil {
 		b.Fatal(err)
 	}
-	if err := s.SnapshotContext(context.Background(), &v2); err != nil {
+	if err := s.SnapshotContext(context.Background(), &v3); err != nil {
 		b.Fatal(err)
 	}
 	b.Run("v1-serial", func(b *testing.B) {
@@ -150,14 +152,23 @@ func BenchmarkRestoreOnly(b *testing.B) {
 		}
 	})
 	for _, workers := range benchWorkerCounts() {
-		b.Run(fmt.Sprintf("v2-workers-%d", workers), func(b *testing.B) {
+		b.Run(fmt.Sprintf("v3-workers-%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
-			b.SetBytes(int64(v2.Len()))
+			b.SetBytes(int64(v3.Len()))
 			for i := 0; i < b.N; i++ {
-				if err := New().RestoreContext(context.Background(), bytes.NewReader(v2.Bytes()), WithWorkers(workers)); err != nil {
+				if err := New().RestoreContext(context.Background(), bytes.NewReader(v3.Bytes()), WithWorkers(workers)); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
+	b.Run("v3-mapped", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(v3.Len()))
+		for i := 0; i < b.N; i++ {
+			if err := New().RestoreMappedContext(context.Background(), v3.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

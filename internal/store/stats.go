@@ -39,8 +39,12 @@ func (d *Dataset) Stats() []FieldStats {
 		fs := FieldStats{Field: f.Name, Type: f.Type}
 		counts := make(map[string]int)
 		first := true
-		for _, id := range d.order {
-			v := d.records[id][f.Name]
+		for i, n := 0, d.lenLocked(); i < n; i++ {
+			_, rec, ok := d.viewAtLocked(i)
+			if !ok {
+				continue
+			}
+			v := rec[f.Name]
 			if v == "" {
 				continue
 			}

@@ -347,6 +347,11 @@ type DatasetStatus struct {
 	Resharding      bool    `json:"resharding,omitempty"`
 	PostingsScored  uint64  `json:"postingsScored"`
 	PostingsSkipped uint64  `json:"postingsSkipped"`
+	// Residency counters for mapped restores: bytes still served as
+	// views over the mapped snapshot vs. bytes copied to the heap by
+	// copy-on-write materialization. Both zero for heap restores.
+	MappedBytes       int64 `json:"mappedBytes,omitempty"`
+	MaterializedBytes int64 `json:"materializedBytes,omitempty"`
 }
 
 // Status reports every dataset's shard layout in deterministic
@@ -375,6 +380,7 @@ func (s *Store) Status() []DatasetStatus {
 	out := make([]DatasetStatus, len(refs))
 	for i, r := range refs {
 		scan := r.ds.ScanStats()
+		mapped, materialized := r.ds.MemStats()
 		out[i] = DatasetStatus{
 			Tenant:          r.tenant,
 			Dataset:         r.name,
@@ -385,6 +391,9 @@ func (s *Store) Status() []DatasetStatus {
 			Resharding:      r.ds.Resharding(),
 			PostingsScored:  scan.Scored,
 			PostingsSkipped: scan.Skipped,
+
+			MappedBytes:       mapped,
+			MaterializedBytes: materialized,
 		}
 	}
 	return out

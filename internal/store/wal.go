@@ -184,6 +184,9 @@ func (d *Dataset) walAppendLocked(rec *wal.Record) *wal.Commit {
 func (d *Dataset) applyPut(id string, rec Record) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Replay is the one boot path that mutates a mapped dataset: only
+	// datasets with a log tail pay materialization.
+	d.materializeRecordsLocked()
 	if d.schema.Key == "" {
 		if n, err := strconv.Atoi(id); err == nil && n > d.nextID {
 			d.nextID = n
