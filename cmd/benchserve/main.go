@@ -56,6 +56,9 @@ type benchOutput struct {
 	LightWorkers int              `json:"lightWorkers"`
 	HeavyWorkers int              `json:"heavyWorkers"`
 	Scenarios    []scenarioResult `json:"scenarios"`
+	// Saturation is the executor/scratch/encoder A/B sweep (nil when
+	// --mode=isolation).
+	Saturation *saturationOutput `json:"saturation,omitempty"`
 	// Isolation verdict: mixed-run light p99 over solo light p99.
 	LightP99SoloMs  float64 `json:"lightP99SoloMs"`
 	LightP99MixedMs float64 `json:"lightP99MixedMs"`
@@ -70,10 +73,64 @@ func main() {
 	out := flag.String("o", "BENCH_serve.json", "output path")
 	seed := flag.Int64("seed", 1, "synthetic web seed")
 	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "per-query deadline")
+	mode := flag.String("mode", "all", "what to run: isolation, saturate, or all")
+	curve := flag.String("curve", "BENCH_serve_curve.csv", "throughput-vs-concurrency CSV path for saturate mode (empty = skip)")
 	flag.Parse()
+	runIsolation := *mode == "all" || *mode == "isolation"
+	runSaturate := *mode == "all" || *mode == "saturate"
+	if !runIsolation && !runSaturate {
+		log.Fatalf("benchserve: --mode must be isolation, saturate or all, got %q", *mode)
+	}
 
+	o := benchOutput{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		QueryTimeout: queryTimeout.String(),
+	}
+
+	if runIsolation {
+		runIsolationScenarios(&o, *seed, *smoke, *queryTimeout)
+	}
+	if runSaturate {
+		sat := runSaturation(*seed, *smoke, *curve)
+		o.Saturation = &sat
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(o); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fail := false
+	if runIsolation {
+		fmt.Printf("isolation: light p99 %.2fms solo -> %.2fms under 100x neighbor (ratio %.2f, ok=%v); heavy shed %d\n",
+			o.LightP99SoloMs, o.LightP99MixedMs, o.IsolationRatio, o.IsolationOK, o.HeavyShed)
+		fail = fail || !o.IsolationOK
+	}
+	if runSaturate {
+		s := o.Saturation
+		fmt.Printf("saturation: tuned %.0f qps vs legacy %.0f qps (%.2fx, ok=%v); warm match allocs %.1f -> %.1f (%.1fx cut, ok=%v)\n",
+			s.Stages[1].SaturatedQPS, s.Stages[0].SaturatedQPS, s.Speedup, s.QPSGateOK,
+			s.Stages[0].AllocsPerOp, s.Stages[1].AllocsPerOp, s.AllocReduction, s.AllocGateOK)
+		fail = fail || !s.QPSGateOK || !s.AllocGateOK
+	}
+	fmt.Printf("wrote %s\n", *out)
+	if fail && !*smoke {
+		os.Exit(1)
+	}
+}
+
+// runIsolationScenarios fills o with the original two-scenario QoS
+// harness: the light tenant solo, then under a 100x heavy neighbor.
+func runIsolationScenarios(o *benchOutput, seed int64, smoke bool, queryTimeout time.Duration) {
 	lightBudget, heavyBudget := 400, 3600
-	if *smoke {
+	if smoke {
 		lightBudget, heavyBudget = 40, 360
 	}
 
@@ -90,24 +147,24 @@ func main() {
 		},
 	})
 
-	p := core.New(core.Config{Seed: *seed})
-	gq, err := demo.GamerQueen(p, *seed, 10)
+	p := core.New(core.Config{Seed: seed})
+	gq, err := demo.GamerQueen(p, seed, 10)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer gq.Close()
-	if _, err := demo.WineFinder(p, *seed, 10); err != nil {
+	if _, err := demo.WineFinder(p, seed, 10); err != nil {
 		log.Fatal(err)
 	}
 	srv := httptest.NewServer(p.ServeWith("http://bench.local", core.ServeOptions{
-		QueryTimeout: *queryTimeout,
+		QueryTimeout: queryTimeout,
 		Admission:    admission,
 	}))
 	defer srv.Close()
 
 	light := workload.Class{
 		Name: "light", App: "winefinder", Workers: 2,
-		Requests: lightBudget, Seed: *seed,
+		Requests: lightBudget, Seed: seed,
 		Think: 100 * time.Millisecond,
 	}
 	// 100x offered load: 200 closed-loop visitors against the light
@@ -122,7 +179,7 @@ func main() {
 	// Limiter), not admission's.
 	heavy := workload.Class{
 		Name: "heavy", App: "gamerqueen", Workers: 200,
-		Requests: heavyBudget, Seed: *seed + 1,
+		Requests: heavyBudget, Seed: seed + 1,
 		Think:       1300 * time.Millisecond,
 		ShedBackoff: 10 * time.Millisecond,
 	}
@@ -154,37 +211,15 @@ func main() {
 		ratio = mixedLight.P99Ms / soloLight.P99Ms
 	}
 
-	o := benchOutput{
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		QueryTimeout:    queryTimeout.String(),
-		LightSlots:      lightSlots,
-		HeavySlots:      heavySlots,
-		LightWorkers:    light.Workers,
-		HeavyWorkers:    heavy.Workers,
-		Scenarios:       []scenarioResult{{"solo", solo}, {"mixed", mixed}},
-		LightP99SoloMs:  soloLight.P99Ms,
-		LightP99MixedMs: mixedLight.P99Ms,
-		IsolationRatio:  ratio,
-		IsolationOK:     ratio > 0 && ratio <= 2,
-		HeavyShed:       mixedHeavy.Shed,
-		Admission:       admission.Stats(),
-	}
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(o); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("isolation: light p99 %.2fms solo -> %.2fms under 100x neighbor (ratio %.2f, ok=%v); heavy shed %d\n",
-		o.LightP99SoloMs, o.LightP99MixedMs, o.IsolationRatio, o.IsolationOK, o.HeavyShed)
-	fmt.Printf("wrote %s\n", *out)
-	if !o.IsolationOK && !*smoke {
-		os.Exit(1)
-	}
+	o.LightSlots = lightSlots
+	o.HeavySlots = heavySlots
+	o.LightWorkers = light.Workers
+	o.HeavyWorkers = heavy.Workers
+	o.Scenarios = []scenarioResult{{"solo", solo}, {"mixed", mixed}}
+	o.LightP99SoloMs = soloLight.P99Ms
+	o.LightP99MixedMs = mixedLight.P99Ms
+	o.IsolationRatio = ratio
+	o.IsolationOK = ratio > 0 && ratio <= 2
+	o.HeavyShed = mixedHeavy.Shed
+	o.Admission = admission.Stats()
 }

@@ -66,8 +66,29 @@ import (
 	"repro/internal/core"
 	"repro/internal/demo"
 	"repro/internal/host"
+	"repro/internal/index"
 	"repro/internal/wal"
 )
+
+// applyExecWorkers turns --exec-workers auto|off|N into shard-executor
+// configuration: "auto" keeps the default GOMAXPROCS pool, "off"
+// reverts query fan-out to the legacy per-query goroutine spawn, and N
+// resizes the pool.
+func applyExecWorkers(v string) error {
+	switch v {
+	case "", "auto":
+		return nil
+	case "off":
+		index.SetExecutorEnabled(false)
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return fmt.Errorf("symphonyd: --exec-workers must be \"auto\", \"off\" or a positive integer, got %q", v)
+	}
+	index.ConfigureExecutor(n)
+	return nil
+}
 
 // parseShards turns --shards auto|N into a core.Config.ShardTarget
 // (0 = auto).
@@ -109,10 +130,14 @@ func run() error {
 	fsync := flag.String("fsync", "group", "WAL fsync policy: always (fsync before every ack), group (batch commits), interval (periodic)")
 	mmapMode := flag.String("mmap", "on", "boot from v3 snapshots as mmap'd views with copy-on-write materialization: on|off")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof on its own listener (empty = disabled)")
+	execWorkers := flag.String("exec-workers", "auto", "shard executor workers: \"auto\" (GOMAXPROCS), \"off\" (legacy per-query goroutines) or N")
 	flag.Parse()
 
 	shardTarget, err := parseShards(*shards)
 	if err != nil {
+		return err
+	}
+	if err := applyExecWorkers(*execWorkers); err != nil {
 		return err
 	}
 	fsyncPolicy, err := wal.ParsePolicy(*fsync)
@@ -236,6 +261,7 @@ func run() error {
 				"materializedBytes": materializedBytes,
 			},
 			"shardTarget":  target,
+			"executor":     index.GetExecutorStats(),
 			"gomaxprocs":   runtime.GOMAXPROCS(0),
 			"datasets":     datasets,
 			"admission":    admission.Stats(),

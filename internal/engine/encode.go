@@ -1,0 +1,65 @@
+package engine
+
+import "repro/internal/jsonw"
+
+// EncodeJSON appends the response's JSON encoding to w, byte-identical
+// to encoding/json marshalling of the same value (TestEncodeJSONParity
+// pins this, including nil-slice → null). It is the allocation-free
+// alternative to json.Marshal on the serving hot path: field names and
+// string escaping are emitted directly into the writer's pooled buffer
+// with no reflection and no intermediate []byte.
+//
+// Any field added to Response, Result, Stats or index.FacetCount must
+// be added here too; the parity test fails on a mismatch.
+func (r *Response) EncodeJSON(w *jsonw.Writer) {
+	w.BeginObject()
+	w.Name("Results")
+	if r.Results == nil {
+		w.Null()
+	} else {
+		w.BeginArray()
+		for i := range r.Results {
+			res := &r.Results[i]
+			w.BeginObject()
+			w.Name("URL")
+			w.String(res.URL)
+			w.Name("Site")
+			w.String(res.Site)
+			w.Name("Title")
+			w.String(res.Title)
+			w.Name("Snippet")
+			w.String(res.Snippet)
+			w.Name("Score")
+			w.Float(res.Score)
+			w.Name("Vertical")
+			w.String(string(res.Vertical))
+			w.Name("Entity")
+			w.String(res.Entity)
+			w.EndObject()
+		}
+		w.EndArray()
+	}
+	w.Name("Total")
+	w.Int(r.Total)
+	w.Name("SiteFacets")
+	if r.SiteFacets == nil {
+		w.Null()
+	} else {
+		w.BeginArray()
+		for _, f := range r.SiteFacets {
+			w.BeginObject()
+			w.Name("Value")
+			w.String(f.Value)
+			w.Name("N")
+			w.Int(f.N)
+			w.EndObject()
+		}
+		w.EndArray()
+	}
+	w.Name("Stats")
+	w.BeginObject()
+	w.Name("Candidates")
+	w.Int(r.Stats.Candidates)
+	w.EndObject()
+	w.EndObject()
+}

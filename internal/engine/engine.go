@@ -13,7 +13,7 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 
@@ -75,15 +75,33 @@ type LogEntry struct {
 	Site       string
 }
 
+// Option configures New.
+type Option func(*settings)
+
+type settings struct {
+	indexOpts []index.Option
+}
+
+// WithIndexShards shards every vertical's index n ways. The default
+// (index's own auto sizing) is right for production; benchmarks set it
+// explicitly so fan-out behaviour is fixed regardless of the host.
+func WithIndexShards(n int) Option {
+	return func(s *settings) { s.indexOpts = append(s.indexOpts, index.WithShards(n)) }
+}
+
 // New indexes the corpus into per-vertical indexes.
-func New(corpus *webcorpus.Corpus) *Engine {
+func New(corpus *webcorpus.Corpus, opts ...Option) *Engine {
+	var cfg settings
+	for _, o := range opts {
+		o(&cfg)
+	}
 	e := &Engine{
 		corpus:  corpus,
 		perVert: make(map[webcorpus.Vertical]*index.Index),
 		quality: make(map[string]float64),
 	}
 	for _, v := range webcorpus.Verticals {
-		ix := index.New()
+		ix := index.New(cfg.indexOpts...)
 		ix.SetFieldOptions("title", index.FieldOptions{Boost: 2.5})
 		ix.SetFieldOptions("body", index.FieldOptions{Boost: 1})
 		ix.SetFieldOptions("site", index.FieldOptions{Analyzer: textproc.KeywordAnalyzer})
@@ -178,11 +196,16 @@ func (e *Engine) rerank(req Request, raw []index.Result, limit int) []Result {
 			Entity:   r.Stored["entity"],
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	// (score desc, URL asc) is a total order — URLs are unique — so the
+	// reflection-free sort is bit-identical to the sort.Slice it replaced.
+	slices.SortFunc(out, func(a, b Result) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
 		}
-		return out[i].URL < out[j].URL
+		return strings.Compare(a.URL, b.URL)
 	})
 	if req.Offset > 0 {
 		if req.Offset >= len(out) {
@@ -236,6 +259,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (Response, error) {
 		return Response{}, err
 	}
 	sess := ix.Session()
+	defer sess.Release()
 	// Over-fetch so quality/preference reordering has candidates. The
 	// candidate pool depends only on limit+offset so that paginated
 	// requests reorder a consistent set.

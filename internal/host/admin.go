@@ -84,8 +84,7 @@ func (a *Admin) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(rep)
+	writeJSON(w, rep)
 }
 
 func (a *Admin) handlePublish(w http.ResponseWriter, r *http.Request) {
@@ -111,8 +110,7 @@ func (a *Admin) handlePublish(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct {
+	writeJSON(w, struct {
 		Published string `json:"published"`
 	}{application.ID})
 }
@@ -138,8 +136,7 @@ func (a *Admin) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(a.Log.Summarize(appID, 5))
+	writeJSON(w, a.Log.Summarize(appID, 5))
 }
 
 func (a *Admin) handleExport(w http.ResponseWriter, r *http.Request) {
@@ -166,8 +163,7 @@ func (a *Admin) handleSeries(w http.ResponseWriter, r *http.Request) {
 		hours = n
 	}
 	buckets := a.Log.Series(appID, time.Duration(hours)*time.Hour)
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(buckets)
+	writeJSON(w, buckets)
 }
 
 func (a *Admin) handleSuggest(w http.ResponseWriter, r *http.Request) {
@@ -190,6 +186,5 @@ func (a *Admin) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 	out := a.Suggest(strings.Split(sitesParam, ","), limit)
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(out)
+	writeJSON(w, out)
 }

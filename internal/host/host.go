@@ -9,10 +9,10 @@ package host
 
 import (
 	"context"
-	"encoding/json"
 	"encoding/xml"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/url"
 	"sort"
@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/analytics"
 	"repro/internal/app"
+	"repro/internal/jsonw"
 	"repro/internal/runtime"
 )
 
@@ -275,13 +276,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("format") == "json" {
+		// The one JSON endpoint on the end-user serving path: encoded
+		// with the pooled streaming writer, not encoding/json, so a
+		// saturated host does not allocate per response. TestQueryJSON
+		// pins the body to the encoder output it replaced.
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(struct {
-			App    string `json:"app"`
-			Query  string `json:"query"`
-			HTML   string `json:"html"`
-			Blocks int    `json:"blocks"`
-		}{resp.AppID, resp.Query, resp.HTML, len(resp.Blocks)})
+		jw := jsonw.Get()
+		jw.BeginObject()
+		jw.Name("app")
+		jw.String(resp.AppID)
+		jw.Name("query")
+		jw.String(resp.Query)
+		jw.Name("html")
+		jw.String(resp.HTML)
+		jw.Name("blocks")
+		jw.Int(len(resp.Blocks))
+		jw.EndObject()
+		jw.Newline()
+		if _, err := w.Write(jw.Bytes()); err != nil {
+			log.Printf("host: writing query response: %v", err)
+		}
+		jsonw.Put(jw)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -326,7 +341,17 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.Registry.List())
+	jw := jsonw.Get()
+	jw.BeginArray()
+	for _, id := range s.Registry.List() {
+		jw.String(id)
+	}
+	jw.EndArray()
+	jw.Newline()
+	if _, err := w.Write(jw.Bytes()); err != nil {
+		log.Printf("host: writing apps response: %v", err)
+	}
+	jsonw.Put(jw)
 }
 
 // EmbedJS is the auto-generated JavaScript loader the designer pastes

@@ -1,0 +1,28 @@
+package host
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+)
+
+// writeJSON answers an admin request with v as JSON, byte-identical to
+// the json.NewEncoder(w).Encode(v) calls it replaced (trailing newline
+// included). Unlike an Encoder — whose error return those calls
+// dropped — it marshals before touching the ResponseWriter, so an
+// encoding failure still becomes a clean 500 instead of a truncated
+// 200; a failed socket write can only be logged, the status line is
+// already on the wire.
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		log.Printf("host: encoding JSON response: %v", err)
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		log.Printf("host: writing JSON response: %v", err)
+	}
+}

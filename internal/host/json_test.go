@@ -1,0 +1,69 @@
+package host
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// TestQueryJSONEncoderParity pins the hand-rolled query response
+// encoding to the json.NewEncoder output it replaced: same bytes,
+// trailing newline included.
+func TestQueryJSONEncoderParity(t *testing.T) {
+	s, srv := newServer(t)
+	code, body := get(t, srv.Client(), srv.URL+"/query?app=websearch&q=review&format=json")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	a, _ := s.Registry.Get("websearch")
+	resp, err := s.Executor.Execute(context.Background(), a, runtime.Query{Text: "review"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := json.NewEncoder(&want).Encode(struct {
+		App    string `json:"app"`
+		Query  string `json:"query"`
+		HTML   string `json:"html"`
+		Blocks int    `json:"blocks"`
+	}{resp.AppID, resp.Query, resp.HTML, len(resp.Blocks)}); err != nil {
+		t.Fatal(err)
+	}
+	if body != want.String() {
+		t.Errorf("query JSON body diverged from encoder output:\n got %.300s\nwant %.300s", body, want.String())
+	}
+}
+
+// TestAppsEncoderParity does the same for the /apps listing, covering
+// the empty-registry case ("[]", not "null") as well.
+func TestAppsEncoderParity(t *testing.T) {
+	s, srv := newServer(t)
+	for _, publish := range []bool{true, false} {
+		if !publish {
+			s.Registry.Unpublish("websearch")
+		}
+		_, body := get(t, srv.Client(), srv.URL+"/apps")
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(s.Registry.List()); err != nil {
+			t.Fatal(err)
+		}
+		if body != want.String() {
+			t.Errorf("apps body (published=%v) = %q, want %q", publish, body, want.String())
+		}
+	}
+}
+
+// TestWriteJSONError covers the marshal-failure branch: an unencodable
+// value must produce a 500, not a truncated 200.
+func TestWriteJSONError(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, func() {}) // funcs are not JSON-encodable
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+}

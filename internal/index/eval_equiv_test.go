@@ -2,10 +2,12 @@ package index
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -277,6 +279,11 @@ func TestSessionEquivalence(t *testing.T) {
 // reference evaluator across shard counts, with block-max early exit
 // on and off, and with the shared cross-request cache cold and warm.
 func TestEvalEquivalenceFuzz(t *testing.T) {
+	t.Cleanup(func() {
+		SetExecutorEnabled(true)
+		SetScratchPooling(true)
+		ConfigureExecutor(0)
+	})
 	for seed := int64(1); seed <= 4; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		vocabN := 30 + rng.Intn(50)
@@ -356,6 +363,64 @@ func TestEvalEquivalenceFuzz(t *testing.T) {
 					if got, want := ix.mustCount(q, nil), refCount(ix, q, nil); got != want {
 						t.Fatalf("%s: Count %d, want %d", label, got, want)
 					}
+				}
+			}
+			// Scheduling dimension: the shared shard executor off (legacy
+			// one-goroutine-per-shard fan-out), resized to a single
+			// worker, and with request-scratch pooling disabled. Rankings
+			// must be bit-identical under every scheduling policy.
+			SetExecutorEnabled(false)
+			runAll("executor-off")
+			SetExecutorEnabled(true)
+			ConfigureExecutor(1)
+			runAll("exec-one-worker")
+			ConfigureExecutor(0)
+			SetScratchPooling(false)
+			runAll("scratch-off")
+			SetScratchPooling(true)
+			if n == 3 {
+				// Saturation: the same queries from enough concurrent
+				// goroutines to keep every pool worker busy, so the
+				// adaptive fan-out degrades queries to inline execution
+				// mid-stream. Each concurrent result must still equal the
+				// reference computed before the stampede.
+				wantTop := make([][]Result, len(queries))
+				for qi, q := range queries {
+					wantTop[qi] = refSearch(ix, q, SearchOptions{Limit: 5})
+				}
+				var wg sync.WaitGroup
+				errc := make(chan error, 8)
+				for g := 0; g < 8; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for rep := 0; rep < 3; rep++ {
+							for qi, q := range queries {
+								got, err := ix.SearchContext(context.Background(), q, SearchOptions{Limit: 5})
+								if err != nil {
+									errc <- err
+									return
+								}
+								want := wantTop[qi]
+								if len(got) != len(want) {
+									errc <- fmt.Errorf("seed=%d saturated q%d: %d hits, want %d", seed, qi, len(got), len(want))
+									return
+								}
+								for i := range want {
+									if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+										errc <- fmt.Errorf("seed=%d saturated q%d hit %d: got %s@%v, want %s@%v",
+											seed, qi, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+										return
+									}
+								}
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				close(errc)
+				for err := range errc {
+					t.Fatal(err)
 				}
 			}
 			runAll("early-exit")

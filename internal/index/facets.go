@@ -44,8 +44,14 @@ func (ix *Index) FacetsContext(ctx context.Context, q Query, field string, filte
 }
 
 func (ix *Index) facetsWith(ctx context.Context, r *ring, st *searchStats, q Query, field string, filters map[string]string) ([]FacetCount, error) {
-	parts := make([]map[string]int, len(r.shards))
-	eachShard(r, func(i int, s *shard) {
+	defer putSearchStats(st)
+	parts := facetPartsPool.get(len(r.shards))
+	defer facetPartsPool.put(parts)
+	gen := st.gen.Load()
+	ix.runShards(st, r, func(i int, s *shard) {
+		if st.gen.Load() != gen {
+			return
+		}
 		parts[i] = s.facets(ctx, q, st, field, filters)
 	})
 	if err := ctx.Err(); err != nil {

@@ -191,6 +191,11 @@ type Index struct {
 	// index's key namespace. See AttachCache in cache.go.
 	cache atomic.Pointer[cacheRef]
 
+	// an memoizes query-text analysis and the sorted field list across
+	// requests, swapped out wholesale whenever the field registry (and
+	// with it an analyzer) changes. Populated lazily; see analysisMemo.
+	an atomic.Pointer[analysisMemo]
+
 	// Mapped-vs-heap residency counters (mapped.go): bytes still
 	// served from attached v3 payloads, and what copy-on-write has
 	// materialized onto the heap so far.
@@ -285,10 +290,95 @@ func (ix *Index) SetFieldOptions(field string, opts FieldOptions) {
 	ix.cfg.Lock()
 	ix.cfg.fields[field] = opts
 	ix.cfg.Unlock()
+	ix.invalidateAnalysis()
 	for _, s := range ix.ring.Load().shards {
 		s.setFieldOptions(field, opts)
 	}
 	ix.bumpVer()
+}
+
+// analysisMemo is the cross-request analysis cache: analyzed terms
+// keyed by (field, raw text), plus the sorted field list. Query text
+// repeats heavily across requests — the whole memo exists so the warm
+// query path re-analyzes nothing and allocates nothing for analysis.
+// Invalidation is wholesale: any registry write (new field, changed
+// analyzer, restore) drops the memo pointer and the next query starts
+// a fresh one. In-flight queries may finish against the old memo,
+// which matches the existing snapshot semantics (they captured their
+// field options before the write anyway).
+type analysisMemo struct {
+	mu     sync.RWMutex
+	terms  map[fieldTerm][]string
+	fields []string // sorted registry snapshot; nil until first use
+}
+
+// analysisMemoCap bounds the memo so adversarial query vocabularies
+// cannot grow it without bound; at the cap, misses just skip storing.
+const analysisMemoCap = 4096
+
+func (ix *Index) analysisMemoRef() *analysisMemo {
+	if m := ix.an.Load(); m != nil {
+		return m
+	}
+	m := &analysisMemo{terms: make(map[fieldTerm][]string)}
+	if ix.an.CompareAndSwap(nil, m) {
+		return m
+	}
+	return ix.an.Load()
+}
+
+// invalidateAnalysis drops the analysis memo; callers are the registry
+// write sites (SetFieldOptions, ensureField on a new field, restore).
+func (ix *Index) invalidateAnalysis() { ix.an.Store(nil) }
+
+// fieldsCached is Fields through the analysis memo: one registry scan
+// and sort per registry change instead of per query. The returned
+// slice is shared — callers must not mutate it.
+func (ix *Index) fieldsCached() []string {
+	if scratchOff.Load() {
+		// The A/B baseline: with request pooling off, analysis caching is
+		// off too, so the legacy stage measures true per-query cost.
+		return ix.Fields()
+	}
+	m := ix.analysisMemoRef()
+	m.mu.RLock()
+	f := m.fields
+	m.mu.RUnlock()
+	if f != nil {
+		return f
+	}
+	f = ix.Fields()
+	m.mu.Lock()
+	if m.fields == nil {
+		m.fields = f
+	} else {
+		f = m.fields
+	}
+	m.mu.Unlock()
+	return f
+}
+
+// analyzedTermsCached returns opts.Analyzer.AnalyzeTerms(raw) through
+// the cross-request memo. Returned slices are shared and immutable.
+func (ix *Index) analyzedTermsCached(opts FieldOptions, field, raw string) []string {
+	if scratchOff.Load() {
+		return opts.Analyzer.AnalyzeTerms(raw)
+	}
+	m := ix.analysisMemoRef()
+	key := fieldTerm{field, raw}
+	m.mu.RLock()
+	terms, ok := m.terms[key]
+	m.mu.RUnlock()
+	if ok {
+		return terms
+	}
+	terms = opts.Analyzer.AnalyzeTerms(raw)
+	m.mu.Lock()
+	if len(m.terms) < analysisMemoCap {
+		m.terms[key] = terms
+	}
+	m.mu.Unlock()
+	return terms
 }
 
 // fieldOpts returns the registered options for field and whether the
@@ -314,6 +404,7 @@ func (ix *Index) ensureField(field string) {
 		ix.cfg.fields[field] = FieldOptions{}
 	}
 	ix.cfg.Unlock()
+	ix.invalidateAnalysis()
 }
 
 // scoringParams snapshots the ranker configuration for one search.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/textproc"
 )
@@ -40,6 +41,18 @@ type searchStats struct {
 	// toks caches full Analyze output (with positions) for phrases.
 	terms map[fieldTerm][]string
 	toks  map[fieldTerm][]textproc.Token
+	// gen is the scratch generation stamp (see scratch.go): bumped
+	// every time this pooled struct is released, so a stale reference
+	// from a past query can be detected before it evaluates.
+	gen atomic.Uint32
+	// need/needFields are gatherStats working maps, pooled with the
+	// struct; raw memoizes strings.Fields(strings.ToLower(text)) per
+	// query text, and allFields memoizes the index's registered field
+	// list, so MatchQuery evaluation never re-derives either per shard.
+	need       map[fieldTerm]bool
+	needFields map[string]bool
+	raw        map[string][]string
+	allFields  []string
 	// done, when non-nil, is the request context's Done channel. The
 	// evaluation loops poll it once per posting block (cancelStride),
 	// so a cancelled query stops scoring within one block boundary
@@ -74,11 +87,49 @@ func (st *searchStats) canceled() bool {
 
 func newSearchStats() *searchStats {
 	return &searchStats{
-		avgLen: make(map[string]float64),
-		df:     make(map[fieldTerm]int),
-		terms:  make(map[fieldTerm][]string),
-		toks:   make(map[fieldTerm][]textproc.Token),
+		avgLen:     make(map[string]float64),
+		df:         make(map[fieldTerm]int),
+		terms:      make(map[fieldTerm][]string),
+		toks:       make(map[fieldTerm][]textproc.Token),
+		need:       make(map[fieldTerm]bool),
+		needFields: make(map[string]bool),
+		raw:        make(map[string][]string),
 	}
+}
+
+// rawTokens returns strings.Fields(strings.ToLower(text)) through the
+// per-query memo, so shard evaluation and plan building never re-run
+// the tokenizer collectTerms already paid for. It never writes the
+// memo: shard evaluation runs concurrently over one shared stats
+// struct, so misses (only possible off the public query paths)
+// recompute without storing.
+func (st *searchStats) rawTokens(text string) []string {
+	if toks, ok := st.raw[text]; ok {
+		return toks
+	}
+	return strings.Fields(strings.ToLower(text))
+}
+
+// memoRawTokens is rawTokens for the single-threaded collect phase,
+// where storing into the memo is safe.
+func (st *searchStats) memoRawTokens(text string) []string {
+	if toks, ok := st.raw[text]; ok {
+		return toks
+	}
+	toks := strings.Fields(strings.ToLower(text))
+	st.raw[text] = toks
+	return toks
+}
+
+// fieldsOf resolves a MatchQuery's field list: its own when explicit,
+// else the memoized index-wide registry (identical to the per-shard
+// expansion it replaces — shards skip unknown fields via fp == nil,
+// and both lists are sorted).
+func (st *searchStats) fieldsOf(explicit []string) []string {
+	if len(explicit) > 0 {
+		return explicit
+	}
+	return st.allFields
 }
 
 // analyzedTerms returns the cached analysis of raw text for field,
@@ -107,21 +158,27 @@ func (st *searchStats) analyzedToks(fp *fieldPostings, field, raw string) []text
 // context's Done channel is carried into the stats so every
 // evaluation loop downstream can poll for cancellation.
 func (ix *Index) gatherStats(ctx context.Context, r *ring, q Query) *searchStats {
-	st := newSearchStats()
+	st := getSearchStats()
 	st.done = ctx.Done()
 	st.ranker, st.k1, st.b = ix.scoringParams()
 	st.cref = ix.cache.Load()
 	st.stamp = ix.stampFor(r)
-	need := make(map[fieldTerm]bool)
+	need := st.need
 	ix.collectTerms(q, need, st)
 	if len(need) == 0 {
 		// Nothing scores by BM25 (AllQuery, PrefixQuery): skip the
 		// aggregation pass entirely.
 		return st
 	}
-	needFields := make(map[string]bool, len(need))
+	needFields := st.needFields
 	for ft := range need {
 		needFields[ft.field] = true
+	}
+	if st.cref == nil {
+		// No cache attached: aggregate straight into the pooled stats
+		// maps, no intermediates.
+		st.live = aggregateStatsInto(r, needFields, need, st.avgLen, st.df)
+		return st
 	}
 	live, avgLen, df := aggregateStatsCached(st.cref, st.stamp, r, needFields, need)
 	st.live = live
@@ -140,38 +197,60 @@ func (ix *Index) gatherStats(ctx context.Context, r *ring, q Query) *searchStats
 // terms' document frequencies. avgLen has an entry only for fields
 // some shard actually carries, mirroring the scoring fallback to 1.
 func aggregateStats(r *ring, needFields map[string]bool, needTerms map[fieldTerm]bool) (live int, avgLen map[string]float64, df map[fieldTerm]int) {
-	type lenAcc struct{ totalLen, docCount int }
-	fieldAcc := make(map[string]*lenAcc, len(needFields))
+	avgLen = make(map[string]float64, len(needFields))
 	df = make(map[fieldTerm]int, len(needTerms))
+	live = aggregateStatsInto(r, needFields, needTerms, avgLen, df)
+	return live, avgLen, df
+}
+
+// aggregateStatsInto is aggregateStats writing into caller-supplied
+// maps (typically a pooled searchStats'), so the uncached aggregation
+// path allocates nothing. avgLen gets an entry only for fields some
+// shard actually carries, mirroring the scoring fallback to 1.
+func aggregateStatsInto(r *ring, needFields map[string]bool, needTerms map[fieldTerm]bool, avgLen map[string]float64, df map[fieldTerm]int) (live int) {
+	// The handful of requested fields makes a linear-scanned slice
+	// cheaper than a map — and allocation-free at steady state.
+	type lenAcc struct {
+		field              string
+		totalLen, docCount int
+		present            bool
+	}
+	var accBuf [8]lenAcc
+	acc := accBuf[:0]
+	for f := range needFields {
+		if len(acc) == cap(acc) {
+			acc = append(acc, lenAcc{field: f})
+			continue
+		}
+		acc = acc[:len(acc)+1]
+		acc[len(acc)-1] = lenAcc{field: f}
+	}
 	for _, s := range r.shards {
 		s.mu.RLock()
 		live += s.live
-		for f, fp := range s.fields {
-			if !needFields[f] {
-				continue
+		for i := range acc {
+			if fp := s.fields[acc[i].field]; fp != nil {
+				acc[i].totalLen += fp.totalLen
+				acc[i].docCount += fp.docCount
+				acc[i].present = true
 			}
-			acc := fieldAcc[f]
-			if acc == nil {
-				acc = &lenAcc{}
-				fieldAcc[f] = acc
-			}
-			acc.totalLen += fp.totalLen
-			acc.docCount += fp.docCount
 		}
 		for ft := range needTerms {
 			df[ft] += s.liveDFLocked(ft.field, ft.term)
 		}
 		s.mu.RUnlock()
 	}
-	avgLen = make(map[string]float64, len(fieldAcc))
-	for f, acc := range fieldAcc {
-		if acc.docCount > 0 {
-			avgLen[f] = float64(acc.totalLen) / float64(acc.docCount)
+	for i := range acc {
+		if !acc[i].present {
+			continue
+		}
+		if acc[i].docCount > 0 {
+			avgLen[acc[i].field] = float64(acc[i].totalLen) / float64(acc[i].docCount)
 		} else {
-			avgLen[f] = 1
+			avgLen[acc[i].field] = 1
 		}
 	}
-	return live, avgLen, df
+	return live
 }
 
 // collectTerms records every (field, analyzed term) pair q scores and
@@ -186,9 +265,12 @@ func (ix *Index) collectTerms(q Query, need map[fieldTerm]bool, st *searchStats)
 	case MatchQuery:
 		fields := t.Fields
 		if len(fields) == 0 {
-			fields = ix.Fields()
+			if st.allFields == nil {
+				st.allFields = ix.fieldsCached()
+			}
+			fields = st.allFields
 		}
-		rawTerms := strings.Fields(strings.ToLower(t.Text))
+		rawTerms := st.memoRawTokens(t.Text)
 		for _, field := range fields {
 			opts, ok := ix.fieldOpts(field)
 			if !ok {
@@ -198,7 +280,7 @@ func (ix *Index) collectTerms(q Query, need map[fieldTerm]bool, st *searchStats)
 				key := fieldTerm{field, raw}
 				terms, ok := st.terms[key]
 				if !ok {
-					terms = opts.Analyzer.AnalyzeTerms(raw)
+					terms = ix.analyzedTermsCached(opts, field, raw)
 					st.terms[key] = terms
 				}
 				for _, term := range terms {
@@ -214,7 +296,7 @@ func (ix *Index) collectTerms(q Query, need map[fieldTerm]bool, st *searchStats)
 		key := fieldTerm{t.Field, t.Term}
 		terms, ok := st.terms[key]
 		if !ok {
-			terms = opts.Analyzer.AnalyzeTerms(t.Term)
+			terms = ix.analyzedTermsCached(opts, t.Field, t.Term)
 			st.terms[key] = terms
 		}
 		if len(terms) > 0 {
@@ -285,6 +367,8 @@ type mergedHit struct {
 // score desc, ID asc) into one globally ordered list. When cap > 0 the
 // merge stops after cap hits. Shard counts are small, so a linear scan
 // for the best head beats heap bookkeeping.
+// The returned slice comes from a pool; callers release it with
+// mergedPool.put when the request's results have been copied out.
 func mergeHits(shards []*shard, parts [][]shardHit, cap int) []mergedHit {
 	total := 0
 	for _, p := range parts {
@@ -293,8 +377,9 @@ func mergeHits(shards []*shard, parts [][]shardHit, cap int) []mergedHit {
 	if cap <= 0 || cap > total {
 		cap = total
 	}
-	out := make([]mergedHit, 0, cap)
-	heads := make([]int, len(parts))
+	out := mergedPool.get(0)
+	heads := headsPool.get(len(parts))
+	defer headsPool.put(heads)
 	for len(out) < cap {
 		best := -1
 		for i, p := range parts {

@@ -650,6 +650,7 @@ func (ix *Index) Restore(r io.Reader) error {
 		ix.cfg.fields[f] = opts
 	}
 	ix.cfg.Unlock()
+	ix.invalidateAnalysis()
 	old := ix.ring.Load()
 	ix.ring.Store(&ring{gen: old.gen + 1, shards: shards})
 	// Durability layout is decoupled from runtime parallelism: honor
@@ -738,6 +739,7 @@ func (ix *Index) RestoreMapped(data []byte) error {
 		ix.cfg.fields[f] = opts
 	}
 	ix.cfg.Unlock()
+	ix.invalidateAnalysis()
 	old := ix.ring.Load()
 	ix.ring.Store(&ring{gen: old.gen + 1, shards: shards})
 	return nil

@@ -123,34 +123,51 @@ func (ix *Index) SearchContext(ctx context.Context, q Query, opts SearchOptions)
 }
 
 func (ix *Index) searchWith(ctx context.Context, r *ring, st *searchStats, q Query, opts SearchOptions) ([]Result, error) {
+	defer putSearchStats(st)
 	want := 0
 	if opts.Limit > 0 {
 		want = opts.Offset + opts.Limit
 	}
-	parts := make([][]shardHit, len(r.shards))
-	eachShard(r, func(i int, s *shard) {
+	parts := partsPool.get(len(r.shards))
+	defer func() {
+		for _, p := range parts {
+			putShardHits(p)
+		}
+		partsPool.put(parts)
+	}()
+	// The generation stamp catches a stale task reference outliving its
+	// query (see scratch.go): runShards joins before returning, so the
+	// check can only fail if that contract is broken — in which case
+	// skipping the shard is the safe failure.
+	gen := st.gen.Load()
+	ix.runShards(st, r, func(i int, s *shard) {
+		if st.gen.Load() != gen {
+			return
+		}
 		parts[i] = s.search(ctx, q, st, opts.Filters, want)
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	merged := mergeHits(r.shards, parts, want)
+	defer mergedPool.put(merged)
+	page := merged
 	if opts.Offset > 0 {
-		if opts.Offset >= len(merged) {
+		if opts.Offset >= len(page) {
 			return nil, nil
 		}
-		merged = merged[opts.Offset:]
+		page = page[opts.Offset:]
 	}
-	if opts.Limit > 0 && len(merged) > opts.Limit {
-		merged = merged[:opts.Limit]
+	if opts.Limit > 0 && len(page) > opts.Limit {
+		page = page[:opts.Limit]
 	}
-	hits := make([]Result, len(merged))
-	for i, m := range merged {
+	hits := make([]Result, len(page))
+	for i, m := range page {
 		hits[i] = m.res
 	}
 	if opts.SnippetField != "" {
 		terms := ix.queryTerms(q, opts.SnippetField)
-		for i, m := range merged {
+		for i, m := range page {
 			text := m.s.snippetText(m.ord, m.res.ID, opts.SnippetField)
 			hits[i].Snippet = makeSnippet(text, terms, 160)
 		}
@@ -188,8 +205,14 @@ func (ix *Index) CountContext(ctx context.Context, q Query, filters map[string]s
 }
 
 func (ix *Index) countWith(ctx context.Context, r *ring, st *searchStats, q Query, filters map[string]string) (int, error) {
-	counts := make([]int, len(r.shards))
-	eachShard(r, func(i int, s *shard) {
+	defer putSearchStats(st)
+	counts := countsPool.get(len(r.shards))
+	defer countsPool.put(counts)
+	gen := st.gen.Load()
+	ix.runShards(st, r, func(i int, s *shard) {
+		if st.gen.Load() != gen {
+			return
+		}
 		counts[i] = s.count(ctx, q, st, filters)
 	})
 	if err := ctx.Err(); err != nil {
@@ -238,8 +261,11 @@ func (q TermQuery) eval(s *shard, st *searchStats, out *accum) {
 }
 
 func (q MatchQuery) eval(s *shard, st *searchStats, out *accum) {
-	fields := q.Fields
-	if len(fields) == 0 {
+	fields := st.fieldsOf(q.Fields)
+	if fields == nil {
+		// Stats built without this query in scope (defensive; every
+		// public path runs collectTerms first): fall back to the
+		// per-shard field expansion.
 		fields = make([]string, 0, len(s.fields))
 		for f := range s.fields {
 			fields = append(fields, f)
@@ -249,7 +275,7 @@ func (q MatchQuery) eval(s *shard, st *searchStats, out *accum) {
 	// Terms may analyze differently per field; evaluate per raw token
 	// (union keyed by pre-analysis text) so "and" semantics can
 	// require each term somewhere, taking the max across fields.
-	rawTerms := strings.Fields(strings.ToLower(q.Text))
+	rawTerms := st.rawTokens(q.Text)
 	if len(rawTerms) == 0 {
 		return
 	}

@@ -3,6 +3,7 @@ package index
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/textproc"
 )
@@ -57,25 +58,66 @@ type Session struct {
 	// (df 0 is a valid cached value).
 	df   map[fieldTerm]int
 	dfOK map[fieldTerm]bool
-	// terms/toks cache query-text analysis keyed by (field, raw).
+	// terms/toks cache query-text analysis keyed by (field, raw);
+	// raw caches tokenized query text keyed by the raw text.
 	terms map[fieldTerm][]string
 	toks  map[fieldTerm][]textproc.Token
+	raw   map[string][]string
+
+	// released guards the pooled lifecycle (see Release): sessions
+	// recycle through a sync.Pool, and the flag makes double-release
+	// a no-op instead of a double-put.
+	released atomic.Bool
 }
 
-// Session returns a new request-scoped statistics cache over the
-// index. The scoring configuration is snapshotted here so every query
-// of the request scores under one ranker.
-func (ix *Index) Session() *Session {
-	sess := &Session{
-		ix:       ix,
-		r:        ix.ring.Load(),
+func newSession() *Session {
+	return &Session{
 		avgLen:   make(map[string]float64),
 		avgLenOK: make(map[string]bool),
 		df:       make(map[fieldTerm]int),
 		dfOK:     make(map[fieldTerm]bool),
 		terms:    make(map[fieldTerm][]string),
 		toks:     make(map[fieldTerm][]textproc.Token),
+		raw:      make(map[string][]string),
 	}
+}
+
+// Release returns the session's scratch (its struct and memo maps) to
+// the process-wide pool. Call it when the request that created the
+// session is done; the session must not be used afterwards. Release
+// is idempotent and optional — an unreleased session is garbage
+// collected exactly as before pooling existed.
+func (sess *Session) Release() {
+	if scratchOff.Load() {
+		return
+	}
+	if sess.released.Swap(true) {
+		return
+	}
+	sess.ix = nil
+	sess.r = nil
+	sess.ref = nil
+	sess.st = Stamp{}
+	sess.liveOK = false
+	sess.live = 0
+	clear(sess.avgLen)
+	clear(sess.avgLenOK)
+	clear(sess.df)
+	clear(sess.dfOK)
+	clear(sess.terms)
+	clear(sess.toks)
+	clear(sess.raw)
+	sessionPool.Put(sess)
+}
+
+// Session returns a new request-scoped statistics cache over the
+// index. The scoring configuration is snapshotted here so every query
+// of the request scores under one ranker.
+func (ix *Index) Session() *Session {
+	sess := getSession()
+	sess.released.Store(false)
+	sess.ix = ix
+	sess.r = ix.ring.Load()
 	sess.ranker, sess.k1, sess.b = ix.scoringParams()
 	sess.ref = ix.cache.Load()
 	sess.st = ix.stampFor(sess.r)
@@ -90,7 +132,7 @@ func (ix *Index) Session() *Session {
 func (sess *Session) statsFor(ctx context.Context, q Query) *searchStats {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	st := newSearchStats()
+	st := getSearchStats()
 	st.done = ctx.Done()
 	st.ranker, st.k1, st.b = sess.ranker, sess.k1, sess.b
 	st.cref, st.stamp = sess.ref, sess.st
@@ -102,13 +144,19 @@ func (sess *Session) statsFor(ctx context.Context, q Query) *searchStats {
 	for k, v := range sess.toks {
 		st.toks[k] = v
 	}
-	need := make(map[fieldTerm]bool)
+	for k, v := range sess.raw {
+		st.raw[k] = v
+	}
+	need := st.need
 	sess.ix.collectTerms(q, need, st)
 	for k, v := range st.terms {
 		sess.terms[k] = v
 	}
 	for k, v := range st.toks {
 		sess.toks[k] = v
+	}
+	for k, v := range st.raw {
+		sess.raw[k] = v
 	}
 	if len(need) == 0 {
 		// Nothing scores by BM25: same fast path as Index.gatherStats.

@@ -3,6 +3,7 @@ package index
 import (
 	"context"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -450,7 +451,7 @@ func (s *shard) search(ctx context.Context, q Query, st *searchStats, filters ma
 	if k > 0 {
 		return s.topKLocked(acc, filters, k)
 	}
-	var hits []shardHit
+	hits := getShardHits()
 	for ord, seen := range acc.seen {
 		if !seen {
 			continue
@@ -461,13 +462,26 @@ func (s *shard) search(ctx context.Context, q Query, st *searchStats, filters ma
 		}
 		hits = append(hits, shardHit{ord: ord, res: Result{ID: doc.ID, Score: acc.scores[ord], Stored: doc.Stored}})
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].res.Score != hits[j].res.Score {
-			return hits[i].res.Score > hits[j].res.Score
-		}
-		return hits[i].res.ID < hits[j].res.ID
-	})
+	slices.SortFunc(hits, cmpShardHits)
 	return hits
+}
+
+// cmpShardHits orders hits by (score desc, ID asc) — a total order,
+// since IDs are unique within a shard.
+func cmpShardHits(a, b shardHit) int {
+	if a.res.Score != b.res.Score {
+		if a.res.Score > b.res.Score {
+			return -1
+		}
+		return 1
+	}
+	if a.res.ID < b.res.ID {
+		return -1
+	}
+	if a.res.ID > b.res.ID {
+		return 1
+	}
+	return 0
 }
 
 // topKLocked selects the k best (score desc, ID asc) matching hits
@@ -477,7 +491,7 @@ func (s *shard) search(ctx context.Context, q Query, st *searchStats, filters ma
 // selected set and final sort are identical to sorting every match
 // and truncating.
 func (s *shard) topKLocked(acc *accum, filters map[string]string, k int) []shardHit {
-	h := &topkHeap{k: k}
+	h := &topkHeap{k: k, h: getShardHits()}
 	for ord, seen := range acc.seen {
 		if !seen {
 			continue
@@ -528,12 +542,7 @@ func (t *topkHeap) offer(s *shard, ord int, sc float64, filters map[string]strin
 }
 
 func (t *topkHeap) sorted() []shardHit {
-	sort.Slice(t.h, func(i, j int) bool {
-		if t.h[i].res.Score != t.h[j].res.Score {
-			return t.h[i].res.Score > t.h[j].res.Score
-		}
-		return t.h[i].res.ID < t.h[j].res.ID
-	})
+	slices.SortFunc(t.h, cmpShardHits)
 	return t.h
 }
 

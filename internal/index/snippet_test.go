@@ -1,0 +1,105 @@
+package index
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// TestMakeSnippetEquivalence pins the pooled sliding-window snippet
+// generator to the seed implementation byte-for-byte across randomized
+// texts: stemmed-suffix vocabulary, punctuation, unicode, truncation
+// at every fragment boundary, and zero/partial/dense match mixes.
+func TestMakeSnippetEquivalence(t *testing.T) {
+	SetScratchPooling(true)
+	t.Cleanup(func() { SetScratchPooling(true) })
+
+	vocab := []string{
+		"game", "games", "gaming", "gamed", "review", "reviews", "reviewing",
+		"wine", "wines", "winery", "player", "plays", "running", "ran",
+		"ponies", "caresses", "möbius", "東京", "x", "a1b2",
+	}
+	seps := []string{" ", ", ", "! ", " — ", "\n", "'", "...", "  "}
+	rng := rand.New(rand.NewSource(99))
+
+	for iter := 0; iter < 3000; iter++ {
+		var b strings.Builder
+		nWords := rng.Intn(120)
+		for w := 0; w < nWords; w++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			b.WriteString(seps[rng.Intn(len(seps))])
+		}
+		text := b.String()
+		var terms []string
+		for n := rng.Intn(4); n > 0; n-- {
+			terms = append(terms, textproc.Stem(vocab[rng.Intn(len(vocab))]))
+		}
+		maxLen := []int{1, 20, 160, 4096}[rng.Intn(4)]
+
+		want := makeSnippetRef(text, terms, maxLen)
+		got := makeSnippet(text, terms, maxLen)
+		if got != want {
+			t.Fatalf("iter %d: snippet mismatch for terms %v maxLen %d\ntext: %q\n got: %q\nwant: %q",
+				iter, terms, maxLen, text, got, want)
+		}
+	}
+
+	// Degenerate inputs the random sweep cannot hit deterministically.
+	for _, tc := range []struct {
+		text   string
+		terms  []string
+		maxLen int
+	}{
+		{"", []string{"game"}, 160},
+		{"!!! ... ???", []string{"game"}, 160},
+		{"!!! ... ??? and much more punctuation follows here", nil, 8},
+		{"word", nil, 160},
+		{strings.Repeat("review ", 200), []string{"review"}, 160},
+	} {
+		want := makeSnippetRef(tc.text, tc.terms, tc.maxLen)
+		got := makeSnippet(tc.text, tc.terms, tc.maxLen)
+		if got != want {
+			t.Fatalf("degenerate case %q: got %q want %q", tc.text, got, want)
+		}
+	}
+}
+
+// TestMakeSnippetScratchOffMatchesRef checks the A/B switch: with
+// pooling off, makeSnippet must route to the reference implementation.
+func TestMakeSnippetScratchOffMatchesRef(t *testing.T) {
+	SetScratchPooling(false)
+	t.Cleanup(func() { SetScratchPooling(true) })
+	text := "the reviews of the game were glowing and the players agreed"
+	got := makeSnippet(text, []string{"review"}, 30)
+	want := makeSnippetRef(text, []string{"review"}, 30)
+	if got != want {
+		t.Fatalf("scratch-off path diverged: got %q want %q", got, want)
+	}
+}
+
+func BenchmarkMakeSnippet(b *testing.B) {
+	var sb strings.Builder
+	rng := rand.New(rand.NewSource(3))
+	words := []string{"game", "review", "wine", "player", "strategy", "vintage", "score", "level"}
+	for w := 0; w < 400; w++ {
+		sb.WriteString(words[rng.Intn(len(words))])
+		sb.WriteByte(' ')
+	}
+	text := sb.String()
+	terms := []string{"review", "vintag"}
+	for _, mode := range []struct {
+		name   string
+		pooled bool
+	}{{"ref", false}, {"pooled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			SetScratchPooling(mode.pooled)
+			defer SetScratchPooling(true)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				makeSnippet(text, terms, 160)
+			}
+		})
+	}
+}

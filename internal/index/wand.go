@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Block-max early exit: a document-at-a-time top-k evaluator that
@@ -33,6 +34,111 @@ import (
 // is six orders of magnitude of headroom and costs only a marginally
 // conservative skip at the threshold boundary.
 const ubMargin = 1 + 1e-9
+
+// wandArena recycles every transient the plan builder creates for one
+// shard evaluation: the cursor/group/entry objects and the small
+// pointer slices that link them. Objects live in slab-of-pointer
+// free-lists reused by index; link slices are carved off append-only
+// slabs — each collection is built completely before the next starts,
+// so a 3-index subslice of the slab is a stable view even if a later
+// append grows the slab (the view keeps the old backing, whose
+// pointers were already written and never mutate).
+//
+// Everything in the arena is strictly scoped to one searchTopK call:
+// the only thing that escapes is the heap's hit buffer, which comes
+// from shardHitsPool, not from here.
+type wandArena struct {
+	curs []*memberCursor
+	nCur int
+	grps []*planGroup
+	nGrp int
+	ents []*planEntry
+	nEnt int
+
+	memSlab []*memberCursor
+	grpSlab []*planGroup
+	entSlab []*planEntry
+	byDoc   []*planEntry
+
+	plan topkPlan
+	heap topkHeap
+}
+
+var wandArenaPool = sync.Pool{New: func() any { return &wandArena{} }}
+
+func getWandArena() *wandArena {
+	if scratchOff.Load() {
+		// Pooling disabled: a fresh arena per call is the plain-
+		// allocation behaviour the A/B baseline wants.
+		return &wandArena{}
+	}
+	return wandArenaPool.Get().(*wandArena)
+}
+
+func putWandArena(ar *wandArena) {
+	if scratchOff.Load() {
+		return
+	}
+	ar.nCur, ar.nGrp, ar.nEnt = 0, 0, 0
+	clear(ar.memSlab)
+	clear(ar.grpSlab)
+	clear(ar.entSlab)
+	clear(ar.byDoc)
+	ar.memSlab = ar.memSlab[:0]
+	ar.grpSlab = ar.grpSlab[:0]
+	ar.entSlab = ar.entSlab[:0]
+	ar.byDoc = ar.byDoc[:0]
+	ar.plan = topkPlan{}
+	ar.heap = topkHeap{}
+	wandArenaPool.Put(ar)
+}
+
+// cursor returns a reset memberCursor from the object slab, keeping
+// its ubMemo capacity.
+func (ar *wandArena) cursor() *memberCursor {
+	if ar.nCur == len(ar.curs) {
+		ar.curs = append(ar.curs, new(memberCursor))
+	}
+	m := ar.curs[ar.nCur]
+	ar.nCur++
+	memo := m.ubMemo
+	*m = memberCursor{ubMemo: memo[:0]}
+	return m
+}
+
+func (ar *wandArena) group() *planGroup {
+	if ar.nGrp == len(ar.grps) {
+		ar.grps = append(ar.grps, new(planGroup))
+	}
+	g := ar.grps[ar.nGrp]
+	ar.nGrp++
+	*g = planGroup{}
+	return g
+}
+
+func (ar *wandArena) entry() *planEntry {
+	if ar.nEnt == len(ar.ents) {
+		ar.ents = append(ar.ents, new(planEntry))
+	}
+	e := ar.ents[ar.nEnt]
+	ar.nEnt++
+	*e = planEntry{}
+	return e
+}
+
+// oneGroup carves a single-element group list off the link slab.
+func (ar *wandArena) oneGroup(g *planGroup) []*planGroup {
+	start := len(ar.grpSlab)
+	ar.grpSlab = append(ar.grpSlab, g)
+	return ar.grpSlab[start:len(ar.grpSlab):len(ar.grpSlab)]
+}
+
+// oneEntry carves a single-element entry list off the link slab.
+func (ar *wandArena) oneEntry(e *planEntry) []*planEntry {
+	start := len(ar.entSlab)
+	ar.entSlab = append(ar.entSlab, e)
+	return ar.entSlab[start:len(ar.entSlab):len(ar.entSlab)]
+}
 
 // docSentinel marks an exhausted cursor; it compares after every real
 // ordinal so min-based merging needs no special cases.
@@ -99,6 +205,17 @@ type memberCursor struct {
 	cnt *scanCounters
 }
 
+func (ar *wandArena) newMemberCursor(list *postingList, fp *fieldPostings, sc termScorer, cnt *scanCounters) *memberCursor {
+	m := ar.cursor()
+	m.list, m.fp, m.sc, m.cnt = list, fp, sc, cnt
+	m.posBlk = -1
+	m.ub = sc.upperBound(list.maxTF, fp.minLen)
+	m.next()
+	return m
+}
+
+// newMemberCursor is the arena-free constructor for paths outside
+// searchTopK (phrase evaluation walks cursors but builds no plan).
 func newMemberCursor(list *postingList, fp *fieldPostings, sc termScorer, cnt *scanCounters) *memberCursor {
 	m := &memberCursor{list: list, fp: fp, sc: sc, cnt: cnt, posBlk: -1}
 	m.ub = sc.upperBound(list.maxTF, fp.minLen)
@@ -178,9 +295,16 @@ func (m *memberCursor) seekGE(target int) {
 }
 
 // ubFor returns upperBound(maxTF, minLen) through the per-maxTF memo.
+// The memo buffer is arena-recycled, so a too-short one is re-extended
+// (and cleared of the previous list's values) on first use.
 func (m *memberCursor) ubFor(maxTF int) float64 {
-	if m.ubMemo == nil {
-		m.ubMemo = make([]float64, m.list.maxTF+1)
+	if n := m.list.maxTF + 1; len(m.ubMemo) < n {
+		if cap(m.ubMemo) >= n {
+			m.ubMemo = m.ubMemo[:n]
+			clear(m.ubMemo)
+		} else {
+			m.ubMemo = make([]float64, n)
+		}
 	}
 	v := m.ubMemo[maxTF]
 	if v == 0 && maxTF > 0 {
@@ -239,8 +363,9 @@ type planGroup struct {
 	doc     int     // min member doc; docSentinel when all exhausted
 }
 
-func newPlanGroup(members []*memberCursor) *planGroup {
-	g := &planGroup{members: members}
+func (ar *wandArena) newPlanGroup(members []*memberCursor) *planGroup {
+	g := ar.group()
+	g.members = members
 	for _, m := range members {
 		if m.ub > g.ub {
 			g.ub = m.ub
@@ -317,8 +442,10 @@ type planEntry struct {
 	doc    int     // current candidate ordinal; docSentinel when exhausted
 }
 
-func newPlanEntry(conj bool, groups []*planGroup) *planEntry {
-	e := &planEntry{conj: conj, groups: groups}
+func (ar *wandArena) newPlanEntry(conj bool, groups []*planGroup) *planEntry {
+	e := ar.entry()
+	e.conj = conj
+	e.groups = groups
 	for _, g := range groups {
 		e.ub += g.ub
 	}
@@ -454,11 +581,12 @@ type topkPlan struct {
 // when q is not streamable (phrase, prefix, all, nested bool, empty
 // bool) and the accumulator path must run instead. Must be called
 // with the shard read lock held.
-func (s *shard) buildTopkPlan(q Query, st *searchStats, cnt *scanCounters) (*topkPlan, bool) {
-	plan := &topkPlan{}
+func (s *shard) buildTopkPlan(ar *wandArena, q Query, st *searchStats, cnt *scanCounters) (*topkPlan, bool) {
+	plan := &ar.plan
+	*plan = topkPlan{}
 	switch t := q.(type) {
 	case TermQuery:
-		e, ok := s.buildEntry(t, st, cnt)
+		e, ok := s.buildEntry(ar, t, st, cnt)
 		if !ok {
 			return nil, false
 		}
@@ -466,10 +594,10 @@ func (s *shard) buildTopkPlan(q Query, st *searchStats, cnt *scanCounters) (*top
 			plan.empty = true
 			return plan, true
 		}
-		plan.drive = []*planEntry{e}
+		plan.drive = ar.oneEntry(e)
 		return plan, true
 	case MatchQuery:
-		e, ok := s.buildEntry(t, st, cnt)
+		e, ok := s.buildEntry(ar, t, st, cnt)
 		if !ok {
 			return nil, false
 		}
@@ -478,9 +606,9 @@ func (s *shard) buildTopkPlan(q Query, st *searchStats, cnt *scanCounters) (*top
 			return plan, true
 		}
 		if e.conj {
-			plan.req = []*planEntry{e}
+			plan.req = ar.oneEntry(e)
 		} else {
-			plan.drive = splitGroups(e)
+			plan.drive = ar.splitGroups(e)
 		}
 		return plan, true
 	case BoolQuery:
@@ -488,9 +616,9 @@ func (s *shard) buildTopkPlan(q Query, st *searchStats, cnt *scanCounters) (*top
 			// Browse base (all live docs): not cursor-streamable.
 			return nil, false
 		}
-		var must, should, not []*planEntry
+		mustStart := len(ar.entSlab)
 		for _, sub := range t.Must {
-			e, ok := s.buildEntry(sub, st, cnt)
+			e, ok := s.buildEntry(ar, sub, st, cnt)
 			if !ok {
 				return nil, false
 			}
@@ -498,26 +626,31 @@ func (s *shard) buildTopkPlan(q Query, st *searchStats, cnt *scanCounters) (*top
 				plan.empty = true
 				return plan, true
 			}
-			must = append(must, e)
+			ar.entSlab = append(ar.entSlab, e)
 		}
+		must := ar.entSlab[mustStart:len(ar.entSlab):len(ar.entSlab)]
+		shouldStart := len(ar.entSlab)
 		for _, sub := range t.Should {
-			e, ok := s.buildEntry(sub, st, cnt)
+			e, ok := s.buildEntry(ar, sub, st, cnt)
 			if !ok {
 				return nil, false
 			}
 			if e != nil {
-				should = append(should, e)
+				ar.entSlab = append(ar.entSlab, e)
 			}
 		}
+		should := ar.entSlab[shouldStart:len(ar.entSlab):len(ar.entSlab)]
+		notStart := len(ar.entSlab)
 		for _, sub := range t.MustNot {
-			e, ok := s.buildEntry(sub, st, cnt)
+			e, ok := s.buildEntry(ar, sub, st, cnt)
 			if !ok {
 				return nil, false
 			}
 			if e != nil {
-				not = append(not, e)
+				ar.entSlab = append(ar.entSlab, e)
 			}
 		}
+		not := ar.entSlab[notStart:len(ar.entSlab):len(ar.entSlab)]
 		plan.not = not
 		if len(must) == 0 {
 			// Pure Should: candidates are the union of the Should
@@ -537,7 +670,7 @@ func (s *shard) buildTopkPlan(q Query, st *searchStats, cnt *scanCounters) (*top
 		if len(must) == 1 && !must[0].conj {
 			// A single disjunctive Must drives best as WAND over its
 			// groups: same ordered sum, better pivot skipping.
-			plan.drive = splitGroups(must[0])
+			plan.drive = ar.splitGroups(must[0])
 		} else {
 			plan.req = must
 		}
@@ -550,19 +683,19 @@ func (s *shard) buildTopkPlan(q Query, st *searchStats, cnt *scanCounters) (*top
 // splitGroups promotes each group of a disjunctive entry to its own
 // single-group entry so the WAND pivot can reason per group. The
 // ordered sum over the split entries equals the original entry total.
-func splitGroups(e *planEntry) []*planEntry {
-	out := make([]*planEntry, len(e.groups))
-	for i, g := range e.groups {
-		out[i] = newPlanEntry(false, []*planGroup{g})
+func (ar *wandArena) splitGroups(e *planEntry) []*planEntry {
+	start := len(ar.entSlab)
+	for _, g := range e.groups {
+		ar.entSlab = append(ar.entSlab, ar.newPlanEntry(false, ar.oneGroup(g)))
 	}
-	return out
+	return ar.entSlab[start:len(ar.entSlab):len(ar.entSlab)]
 }
 
 // buildEntry converts one streamable sub-query (Term or Match) to an
 // entry. A nil entry with ok=true means the sub-query provably
 // matches nothing in this shard (unknown field, term absent, a
 // required term missing locally).
-func (s *shard) buildEntry(q Query, st *searchStats, cnt *scanCounters) (*planEntry, bool) {
+func (s *shard) buildEntry(ar *wandArena, q Query, st *searchStats, cnt *scanCounters) (*planEntry, bool) {
 	switch t := q.(type) {
 	case TermQuery:
 		fp := s.fields[t.Field]
@@ -573,28 +706,32 @@ func (s *shard) buildEntry(q Query, st *searchStats, cnt *scanCounters) (*planEn
 		if len(terms) == 0 {
 			return nil, true
 		}
-		g := s.buildGroup(st, []string{t.Field}, terms[0], cnt)
-		if g == nil {
+		start := len(ar.memSlab)
+		ar.appendMember(s, fp, t.Field, terms[0], st, cnt)
+		members := ar.memSlab[start:len(ar.memSlab):len(ar.memSlab)]
+		if len(members) == 0 {
 			return nil, true
 		}
-		return newPlanEntry(false, []*planGroup{g}), true
+		return ar.newPlanEntry(false, ar.oneGroup(ar.newPlanGroup(members))), true
 	case MatchQuery:
-		fields := t.Fields
-		if len(fields) == 0 {
+		fields := st.fieldsOf(t.Fields)
+		if fields == nil {
+			// Off the public query paths collectTerms never primed the
+			// field memo; derive the shard-local list as before.
 			fields = make([]string, 0, len(s.fields))
 			for f := range s.fields {
 				fields = append(fields, f)
 			}
 			sort.Strings(fields)
 		}
-		rawTerms := strings.Fields(strings.ToLower(t.Text))
+		rawTerms := st.rawTokens(t.Text)
 		if len(rawTerms) == 0 {
 			return nil, true
 		}
 		and := strings.EqualFold(t.Operator, "and")
-		var groups []*planGroup
+		start := len(ar.grpSlab)
 		for _, raw := range rawTerms {
-			g := s.buildRawGroup(st, fields, raw, cnt)
+			g := s.buildRawGroup(ar, st, fields, raw, cnt)
 			if g == nil {
 				if and {
 					// A required term with no postings here empties the
@@ -603,12 +740,13 @@ func (s *shard) buildEntry(q Query, st *searchStats, cnt *scanCounters) (*planEn
 				}
 				continue
 			}
-			groups = append(groups, g)
+			ar.grpSlab = append(ar.grpSlab, g)
 		}
+		groups := ar.grpSlab[start:len(ar.grpSlab):len(ar.grpSlab)]
 		if len(groups) == 0 {
 			return nil, true
 		}
-		return newPlanEntry(and, groups), true
+		return ar.newPlanEntry(and, groups), true
 	default:
 		return nil, false
 	}
@@ -618,49 +756,34 @@ func (s *shard) buildEntry(q Query, st *searchStats, cnt *scanCounters) (*planEn
 // across fields: each (field, analyzed term) with local postings and a
 // non-zero global document frequency. nil when the term scores
 // nothing in this shard.
-func (s *shard) buildRawGroup(st *searchStats, fields []string, raw string, cnt *scanCounters) *planGroup {
-	var members []*memberCursor
+func (s *shard) buildRawGroup(ar *wandArena, st *searchStats, fields []string, raw string, cnt *scanCounters) *planGroup {
+	start := len(ar.memSlab)
 	for _, field := range fields {
 		fp := s.fields[field]
 		if fp == nil {
 			continue
 		}
 		for _, term := range st.analyzedTerms(fp, field, raw) {
-			members = appendMember(members, s, fp, field, term, st, cnt)
+			ar.appendMember(s, fp, field, term, st, cnt)
 		}
 	}
+	members := ar.memSlab[start:len(ar.memSlab):len(ar.memSlab)]
 	if len(members) == 0 {
 		return nil
 	}
-	return newPlanGroup(members)
+	return ar.newPlanGroup(members)
 }
 
-// buildGroup is buildRawGroup for an already-analyzed term.
-func (s *shard) buildGroup(st *searchStats, fields []string, term string, cnt *scanCounters) *planGroup {
-	var members []*memberCursor
-	for _, field := range fields {
-		fp := s.fields[field]
-		if fp == nil {
-			continue
-		}
-		members = appendMember(members, s, fp, field, term, st, cnt)
-	}
-	if len(members) == 0 {
-		return nil
-	}
-	return newPlanGroup(members)
-}
-
-func appendMember(members []*memberCursor, s *shard, fp *fieldPostings, field, term string, st *searchStats, cnt *scanCounters) []*memberCursor {
+func (ar *wandArena) appendMember(s *shard, fp *fieldPostings, field, term string, st *searchStats, cnt *scanCounters) {
 	list := fp.lookup(term)
 	if list == nil || list.n == 0 {
-		return members
+		return
 	}
 	sc, ok := s.scorerFor(fp, field, term, st)
 	if !ok {
-		return members
+		return
 	}
-	return append(members, newMemberCursor(list, fp, sc, cnt))
+	ar.memSlab = append(ar.memSlab, ar.newMemberCursor(list, fp, sc, cnt))
 }
 
 // searchTopK runs the block-max evaluator for q when it is
@@ -668,7 +791,9 @@ func appendMember(members []*memberCursor, s *shard, fp *fieldPostings, field, t
 // Must be called with the shard read lock held and k > 0.
 func (s *shard) searchTopK(q Query, st *searchStats, filters map[string]string, k int) ([]shardHit, bool) {
 	var cnt scanCounters
-	plan, ok := s.buildTopkPlan(q, st, &cnt)
+	ar := getWandArena()
+	defer putWandArena(ar)
+	plan, ok := s.buildTopkPlan(ar, q, st, &cnt)
 	if !ok {
 		return nil, false
 	}
@@ -703,16 +828,18 @@ func (s *shard) searchTopK(q Query, st *searchStats, filters map[string]string, 
 			return nil, false
 		}
 	}
-	h := &topkHeap{k: k}
+	h := &ar.heap
+	*h = topkHeap{k: k, h: getShardHits()}
 	switch {
 	case len(plan.drive) == 1 && len(plan.drive[0].groups) == 1 && len(plan.drive[0].groups[0].members) == 1:
 		s.wandSingle(plan, st, h, filters)
 	case len(plan.drive) > 0:
-		s.wandDisjunctive(plan, st, h, filters)
+		s.wandDisjunctive(ar, plan, st, h, filters)
 	default:
 		s.wandConjunctive(plan, st, h, filters)
 	}
 	if st.canceled() {
+		putShardHits(h.h)
 		return nil, true
 	}
 	return h.sorted(), true
@@ -810,8 +937,9 @@ func (s *shard) wandSingle(plan *topkPlan, st *searchStats, h *topkHeap, filters
 // the heap threshold), and either advance the pre-pivot entries or
 // evaluate the pivot document — first checking the tighter block-max
 // bound, which can skip a whole aligned block range without decoding.
-func (s *shard) wandDisjunctive(plan *topkPlan, st *searchStats, h *topkHeap, filters map[string]string) {
-	byDoc := append([]*planEntry(nil), plan.drive...)
+func (s *shard) wandDisjunctive(ar *wandArena, plan *topkPlan, st *searchStats, h *topkHeap, filters map[string]string) {
+	byDoc := append(ar.byDoc[:0], plan.drive...)
+	ar.byDoc = byDoc // keep the (possibly regrown) backing for reuse
 	n := 0
 	for {
 		if n++; n&(cancelStride-1) == 0 && st.canceled() {

@@ -1,0 +1,232 @@
+// Package jsonw is a hand-rolled streaming JSON writer for the hot
+// response path. encoding/json reflects over the value, boxes every
+// field into interfaces and allocates an intermediate buffer per
+// response; this writer appends bytes straight into a pooled buffer
+// the handler hands to the socket.
+//
+// The output is byte-identical to encoding/json for everything it can
+// express — same HTML escaping (<, >, &), same control
+// character and U+2028/U+2029 escapes, same � replacement for
+// invalid UTF-8, same float formatting ('f' in the human range, 'e'
+// with a trimmed exponent outside it). TestParity pins that contract
+// against encoding/json itself, table cases plus a seeded randomized
+// sweep, so a Go stdlib change or a writer regression fails loudly.
+package jsonw
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// Writer builds one JSON document in an append-only buffer. Begin/End
+// and Name/value calls manage commas internally, so callers write
+// values in order and never touch separators. The zero value is ready
+// to use; Get/Put recycle writers (and their buffers) across requests.
+type Writer struct {
+	buf []byte
+	// stack tracks, per open container, whether the next element needs
+	// a leading comma.
+	stack []bool
+}
+
+var pool = sync.Pool{New: func() any { return &Writer{} }}
+
+// Get returns an empty pooled writer.
+func Get() *Writer {
+	w := pool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// Put recycles w. Oversized buffers (past 1 MiB) are dropped so one
+// giant response cannot pin memory for the life of the process.
+func Put(w *Writer) {
+	if cap(w.buf) > 1<<20 {
+		return
+	}
+	pool.Put(w)
+}
+
+// Reset truncates the writer for reuse, keeping its buffer capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.stack = w.stack[:0]
+}
+
+// Bytes returns the encoded document. The slice aliases the writer's
+// buffer: it is valid until the next Reset/Put.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// elem starts a new element at the current depth, emitting the comma
+// separator when one is due.
+func (w *Writer) elem() {
+	if n := len(w.stack); n > 0 {
+		if w.stack[n-1] {
+			w.buf = append(w.buf, ',')
+		}
+		w.stack[n-1] = true
+	}
+}
+
+// BeginObject opens {.
+func (w *Writer) BeginObject() {
+	w.elem()
+	w.buf = append(w.buf, '{')
+	w.stack = append(w.stack, false)
+}
+
+// EndObject closes }.
+func (w *Writer) EndObject() {
+	w.buf = append(w.buf, '}')
+	w.stack = w.stack[:len(w.stack)-1]
+}
+
+// BeginArray opens [.
+func (w *Writer) BeginArray() {
+	w.elem()
+	w.buf = append(w.buf, '[')
+	w.stack = append(w.stack, false)
+}
+
+// EndArray closes ].
+func (w *Writer) EndArray() {
+	w.buf = append(w.buf, ']')
+	w.stack = w.stack[:len(w.stack)-1]
+}
+
+// Name writes an object member name; the next value call attaches to
+// it without a comma in between.
+func (w *Writer) Name(s string) {
+	w.elem()
+	w.appendString(s)
+	w.buf = append(w.buf, ':')
+	// The following value belongs to this name: suppress its comma.
+	w.stack[len(w.stack)-1] = false
+}
+
+// String writes a string value.
+func (w *Writer) String(s string) {
+	w.elem()
+	w.appendString(s)
+}
+
+// Int writes an integer value.
+func (w *Writer) Int(n int) {
+	w.elem()
+	w.buf = strconv.AppendInt(w.buf, int64(n), 10)
+}
+
+// Bool writes a boolean value.
+func (w *Writer) Bool(b bool) {
+	w.elem()
+	if b {
+		w.buf = append(w.buf, "true"...)
+	} else {
+		w.buf = append(w.buf, "false"...)
+	}
+}
+
+// Null writes a JSON null.
+func (w *Writer) Null() {
+	w.elem()
+	w.buf = append(w.buf, "null"...)
+}
+
+// Float writes a float64 with encoding/json's exact formatting: 'f'
+// format with minimal digits inside [1e-6, 1e21), 'e' outside it with
+// the two-digit exponent's leading zero trimmed (1e-09 -> 1e-9).
+// encoding/json refuses NaN and infinities with an error; a streaming
+// writer has already committed its status line, so they encode as
+// null instead (the closest JSON-representable value).
+func (w *Writer) Float(f float64) {
+	w.elem()
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		w.buf = append(w.buf, "null"...)
+		return
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	w.buf = strconv.AppendFloat(w.buf, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(w.buf); n >= 4 && w.buf[n-4] == 'e' && w.buf[n-3] == '-' && w.buf[n-2] == '0' {
+			w.buf[n-2] = w.buf[n-1]
+			w.buf = w.buf[:n-1]
+		}
+	}
+}
+
+// Newline appends a bare '\n' — json.Encoder.Encode parity, so
+// handlers that switched from an Encoder emit byte-identical bodies.
+func (w *Writer) Newline() {
+	w.buf = append(w.buf, '\n')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// htmlSafe marks the ASCII bytes encoding/json's default (HTML-
+// escaping) encoder emits verbatim inside strings: the printable
+// range minus '"', '\\', '<', '>' and '&'.
+var htmlSafe = func() (t [utf8.RuneSelf]bool) {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		t[b] = true
+	}
+	t['"'], t['\\'], t['<'], t['>'], t['&'] = false, false, false, false, false
+	return
+}()
+
+// appendString writes a quoted, escaped string with encoding/json's
+// exact escaping rules.
+func (w *Writer) appendString(s string) {
+	buf := append(w.buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if htmlSafe[b] {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				buf = append(buf, '\\', b)
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				// Control characters and the HTML-sensitive trio.
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == 0x2028 || c == 0x2029 {
+			// Valid JSON but invalid JavaScript when embedded raw;
+			// encoding/json escapes them and so do we.
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	w.buf = append(buf, '"')
+}

@@ -1,0 +1,225 @@
+package jsonw
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// marshal is the reference encoder the writer must match byte for byte.
+func marshal(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("json.Marshal(%v): %v", v, err)
+	}
+	return string(b)
+}
+
+func TestStringParityTable(t *testing.T) {
+	cases := []string{
+		"",
+		"plain ascii",
+		`quotes " and \ backslash`,
+		"newline\n tab\t carriage\r",
+		"control \x00 \x01 \x1f \x7f bytes",
+		"html <script>&amp;</script> escaping",
+		"unicode: héllo wörld — em dash",
+		"日本語のテキスト",
+		"emoji 🔍🚀 pair",
+		"line sep \u2028 and para sep \u2029",
+		"invalid utf8: \xff\xfe raw",
+		"truncated rune: \xe6\x97",
+		"mixed \x02<&> \xffend",
+		strings.Repeat("long safe text ", 100),
+	}
+	for _, s := range cases {
+		w := Get()
+		w.String(s)
+		if got, want := string(w.Bytes()), marshal(t, s); got != want {
+			t.Errorf("String(%q):\n got %s\nwant %s", s, got, want)
+		}
+		Put(w)
+	}
+}
+
+func TestStringParityRandom(t *testing.T) {
+	// Alphabet weighted toward the interesting cases: controls, the
+	// HTML trio, multibyte runes, and raw bytes that break UTF-8.
+	alphabet := []string{
+		"a", "z", " ", `"`, `\`, "<", ">", "&", "\n", "\r", "\t",
+		"\x00", "\x07", "\x1f", "\x7f", "é", "日", "🚀",
+		"\u2028", "\u2029", "\xff", "\xc3", "\xe6\x97", "�",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		var sb strings.Builder
+		for n := rng.Intn(40); n > 0; n-- {
+			sb.WriteString(alphabet[rng.Intn(len(alphabet))])
+		}
+		s := sb.String()
+		w := Get()
+		w.String(s)
+		if got, want := string(w.Bytes()), marshal(t, s); got != want {
+			t.Fatalf("String(%q):\n got %s\nwant %s", s, got, want)
+		}
+		Put(w)
+	}
+}
+
+func TestFloatParityTable(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, 0.5, -0.5, 3.14159, 1e-6, 9.999e-7, 1e-7, 1e-21,
+		1e20, 1e21, 1e22, -1e21, 123456789.123456789, 0.1,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+		2.2250738585072014e-308, 1.5e-9, 6.02e23,
+	}
+	for _, f := range cases {
+		w := Get()
+		w.Float(f)
+		if got, want := string(w.Bytes()), marshal(t, f); got != want {
+			t.Errorf("Float(%g): got %s want %s", f, got, want)
+		}
+		Put(w)
+	}
+}
+
+func TestFloatParityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var w Writer
+	for i := 0; i < 5000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue // encoding/json errors on these; Float writes null
+		}
+		w.Reset()
+		w.Float(f)
+		if got, want := string(w.Bytes()), marshal(t, f); got != want {
+			t.Fatalf("Float(%v): got %s want %s", f, got, want)
+		}
+	}
+}
+
+func TestFloatNonFinite(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		var w Writer
+		w.Float(f)
+		if got := string(w.Bytes()); got != "null" {
+			t.Errorf("Float(%v) = %s, want null", f, got)
+		}
+	}
+}
+
+func TestDocumentParity(t *testing.T) {
+	type inner struct {
+		N    int     `json:"n"`
+		Frac float64 `json:"frac"`
+	}
+	type doc struct {
+		Name  string   `json:"name"`
+		OK    bool     `json:"ok"`
+		Tags  []string `json:"tags"`
+		Inner inner    `json:"inner"`
+		Empty []int    `json:"empty"`
+	}
+	v := doc{
+		Name:  "a <b> & \"c\"\nd",
+		OK:    true,
+		Tags:  []string{"x", "y z", ""},
+		Inner: inner{N: -42, Frac: 0.25},
+		Empty: nil,
+	}
+	w := Get()
+	defer Put(w)
+	w.BeginObject()
+	w.Name("name")
+	w.String(v.Name)
+	w.Name("ok")
+	w.Bool(v.OK)
+	w.Name("tags")
+	w.BeginArray()
+	for _, tag := range v.Tags {
+		w.String(tag)
+	}
+	w.EndArray()
+	w.Name("inner")
+	w.BeginObject()
+	w.Name("n")
+	w.Int(v.Inner.N)
+	w.Name("frac")
+	w.Float(v.Inner.Frac)
+	w.EndObject()
+	w.Name("empty")
+	w.Null() // nil slice encodes as null
+	w.EndObject()
+	if got, want := string(w.Bytes()), marshal(t, v); got != want {
+		t.Errorf("document:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestEncoderNewlineParity(t *testing.T) {
+	var ref bytes.Buffer
+	if err := json.NewEncoder(&ref).Encode([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	var w Writer
+	w.BeginArray()
+	w.String("a")
+	w.String("b")
+	w.EndArray()
+	w.Newline()
+	if got, want := string(w.Bytes()), ref.String(); got != want {
+		t.Errorf("encoder parity: got %q want %q", got, want)
+	}
+}
+
+func TestEmptyContainers(t *testing.T) {
+	var w Writer
+	w.BeginObject()
+	w.Name("a")
+	w.BeginArray()
+	w.EndArray()
+	w.Name("b")
+	w.BeginObject()
+	w.EndObject()
+	w.EndObject()
+	if got, want := string(w.Bytes()), `{"a":[],"b":{}}`; got != want {
+		t.Errorf("got %s want %s", got, want)
+	}
+}
+
+func TestPutDropsOversizedBuffers(t *testing.T) {
+	w := &Writer{buf: make([]byte, 0, 2<<20)}
+	Put(w) // must not panic; buffer is simply dropped
+}
+
+// BenchmarkWriter pins the zero-allocation claim: a pooled writer
+// re-encoding a realistic response object must not allocate.
+func BenchmarkWriter(b *testing.B) {
+	w := Get()
+	defer Put(w)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		w.BeginObject()
+		w.Name("query")
+		w.String("hotels <in> paris & london")
+		w.Name("total")
+		w.Int(1234)
+		w.Name("results")
+		w.BeginArray()
+		for j := 0; j < 10; j++ {
+			w.BeginObject()
+			w.Name("url")
+			w.String("https://example.com/page?a=1&b=2")
+			w.Name("score")
+			w.Float(12.345678)
+			w.EndObject()
+		}
+		w.EndArray()
+		w.EndObject()
+	}
+}

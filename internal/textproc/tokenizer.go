@@ -11,6 +11,7 @@ package textproc
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Token is a single analyzed term together with its position in the
@@ -30,7 +31,14 @@ type Token struct {
 // Apostrophes inside words are dropped ("Ann's" -> "anns") so that
 // possessives match their stem.
 func Tokenize(text string) []Token {
-	tokens := make([]Token, 0, len(text)/6+1)
+	return TokenizeAppend(make([]Token, 0, len(text)/6+1), text)
+}
+
+// TokenizeAppend is Tokenize appending into dst, so repeat callers
+// can recycle one slice instead of allocating a fresh token buffer per
+// document.
+func TokenizeAppend(dst []Token, text string) []Token {
+	tokens := dst
 	var b strings.Builder
 	pos := 0
 	start := -1
@@ -63,6 +71,43 @@ func Tokenize(text string) []Token {
 	}
 	flush(len(text))
 	return tokens
+}
+
+// TokenizeFunc streams the tokens of text to fn without materializing
+// a string per token: term is the lowered term bytes in a scratch
+// buffer that is reused for the next token, so it is only valid during
+// the call (copy it to retain it). Position, start and end carry the
+// same meaning as in Token. Tokenization rules are identical to
+// Tokenize; snippet generation uses this to stay allocation-free on
+// the per-hit path.
+func TokenizeFunc(text string, fn func(term []byte, position, start, end int)) {
+	var scratch [48]byte
+	term := scratch[:0]
+	pos := 0
+	start := -1
+	flush := func(end int) {
+		if len(term) == 0 {
+			return
+		}
+		fn(term, pos, start, end)
+		pos++
+		term = term[:0]
+		start = -1
+	}
+	for i, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			if start < 0 {
+				start = i
+			}
+			term = utf8.AppendRune(term, unicode.ToLower(r))
+		case r == '\'':
+			// swallow apostrophes inside words
+		default:
+			flush(i)
+		}
+	}
+	flush(len(text))
 }
 
 // Terms is a convenience wrapper returning just the token terms.

@@ -283,7 +283,10 @@ func decodeJSONItems(body []byte) (Response, error) {
 			case nil:
 				m[k] = ""
 			default:
-				b, _ := json.Marshal(val)
+				b, err := json.Marshal(val)
+				if err != nil {
+					return Response{}, fmt.Errorf("webservice: re-encoding field %q: %w", k, err)
+				}
 				m[k] = string(b)
 			}
 		}
